@@ -1,0 +1,40 @@
+"""Ablation: broadcast redundancy under duplicate suppression.
+
+The paper's Section 2 motivation: flooding creates redundant receptions
+(every node hears each broadcast from several neighbours), which is pure
+energy waste — and exactly what gives PBBF its slack to drop immediate
+forwards.  This bench measures duplicate receptions per delivered packet
+as density grows, the quantity Figure 18 leans on ("increasing delta
+increases the number of redundant broadcasts that a node receives").
+"""
+
+import pytest
+
+from repro.core.params import PBBFParams
+from repro.detailed.config import CodeDistributionParameters
+from repro.detailed.simulator import DetailedSimulator
+
+DENSITIES = (8.0, 12.0, 16.0)
+
+
+def _redundancy(density: float) -> float:
+    config = CodeDistributionParameters(
+        n_nodes=30, density=density, duration=300.0
+    )
+    result = DetailedSimulator(PBBFParams.psm(), config, seed=2).run()
+    duplicates = sum(s.duplicates_dropped for s in result.mac_stats)
+    fresh = sum(s.data_received for s in result.mac_stats)
+    return duplicates / max(1, fresh)
+
+
+def test_ablation_redundancy_vs_density(benchmark):
+    redundancy = benchmark.pedantic(
+        lambda: {d: _redundancy(d) for d in DENSITIES}, rounds=1, iterations=1
+    )
+    print()
+    print("== ablation: duplicate receptions per fresh delivery (PSM) ==")
+    for density, ratio in redundancy.items():
+        print(f"  delta={density:g}: {ratio:.2f} duplicates per delivery")
+        benchmark.extra_info[f"delta{density:g}"] = ratio
+    assert redundancy[16.0] > redundancy[8.0]  # redundancy grows with density
+    assert redundancy[8.0] > 0.5  # flooding is already wasteful at delta=8

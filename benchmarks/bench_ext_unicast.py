@@ -1,0 +1,99 @@
+"""Extension bench: unicast power-save integration (paper future work).
+
+Measures the latency distribution of one-hop unicast exchanges under the
+three regimes: plain announced PSM unicast, PBBF's immediate path with a
+receptive (q=1) peer, and the immediate path falling back after a miss.
+"""
+
+import random
+from typing import List
+
+import pytest
+
+from repro.core.params import PBBFParams
+from repro.core.pbbf import PBBFAgent
+from repro.energy.model import MICA2, RadioEnergyModel
+from repro.mac.base import MacConfig
+from repro.mac.unicast import UnicastPSMMac
+from repro.net.channel import Channel
+from repro.net.packet import Packet, PacketKind
+from repro.net.topology import Topology
+from repro.sim.engine import Engine
+
+
+class _Node:
+    def __init__(self, radio, mac):
+        self.radio = radio
+        self.mac = mac
+
+    def is_listening_interval(self, start, end):
+        return self.radio.is_listening_interval(start, end)
+
+    def on_receive(self, packet):
+        self.mac.handle_receive(packet)
+
+    def on_collision(self, packet):
+        self.mac.handle_collision(packet)
+
+
+def _pair(p, q, seed):
+    engine = Engine()
+    topology = Topology([(0.0, 0.0), (1.0, 0.0)], [[1], [0]])
+    channel = Channel(engine, topology, 19200.0)
+    deliveries = []
+    macs = []
+    for node_id in range(2):
+        radio = RadioEnergyModel(MICA2)
+        agent = PBBFAgent(PBBFParams(p=p, q=q), random.Random(seed * 10 + node_id))
+        mac = UnicastPSMMac(
+            engine, channel, node_id, agent, radio,
+            lambda pkt, t: deliveries.append(t),
+            random.Random(seed * 20 + node_id),
+            config=MacConfig(send_beacons=False),
+        )
+        channel.attach(node_id, _Node(radio, mac))
+        macs.append(mac)
+    for mac in macs:
+        mac.start()
+    return engine, macs, deliveries
+
+
+def _one_exchange_latency(p, q, seed, inject_at=5.0) -> float:
+    engine, macs, deliveries = _pair(p, q, seed)
+    packet = Packet(
+        kind=PacketKind.DATA, origin=0, sender=0, seqno=seed,
+        size_bytes=64, destination=1,
+    )
+    engine.schedule(inject_at, lambda: macs[0].send_unicast(packet))
+    engine.run(until=60.0)
+    assert deliveries, "unicast must eventually deliver"
+    return deliveries[0] - inject_at
+
+
+def _mean_latency(p, q) -> float:
+    values = [_one_exchange_latency(p, q, seed) for seed in range(1, 6)]
+    return sum(values) / len(values)
+
+
+def test_ext_unicast_latency_regimes(benchmark):
+    latencies = benchmark.pedantic(
+        lambda: {
+            "announced (PSM)": _mean_latency(0.0, 0.0),
+            "immediate, peer awake": _mean_latency(1.0, 1.0),
+            "immediate, fallback": _mean_latency(1.0, 0.0),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("== extension: one-hop unicast latency (injected mid-sleep) ==")
+    for regime, latency in latencies.items():
+        print(f"  {regime:<22}: {latency:.2f} s")
+        benchmark.extra_info[regime] = latency
+
+    # The immediate path with a receptive peer skips the next-window wait
+    # entirely; the fallback pays it (plus the wasted attempt), landing at
+    # or above plain announced PSM.
+    assert latencies["immediate, peer awake"] < 1.0
+    assert latencies["announced (PSM)"] > 4.0
+    assert latencies["immediate, fallback"] >= latencies["announced (PSM)"] * 0.9

@@ -1,0 +1,24 @@
+"""Figure 4: threshold behavior for 90% reliability (ideal grid).
+
+Paper shape: PSM and NO PSM flat at 1.0; each PBBF-p curve low at small q,
+jumping to 1.0 past a p-dependent threshold (larger p, larger threshold).
+"""
+
+
+def test_fig04_threshold_90(run_experiment, benchmark):
+    result = run_experiment("fig04")
+
+    assert all(y == 1.0 for _, y in result.get_series("PSM").points)
+    assert all(y == 1.0 for _, y in result.get_series("NO PSM").points)
+
+    # Threshold structure: every PBBF line ends at 1.0 at q=1 and the
+    # larger-p lines start lower at q=0.
+    small_p = result.get_series("PBBF-0.05")
+    large_p = result.get_series("PBBF-0.75")
+    assert small_p.y_at(1.0) == 1.0
+    assert large_p.y_at(1.0) == 1.0
+    assert large_p.y_at(0.0) <= small_p.y_at(0.0)
+    assert large_p.y_at(0.0) < 0.5  # deep sub-threshold at q=0
+
+    benchmark.extra_info["pbbf075_at_q0"] = large_p.y_at(0.0)
+    benchmark.extra_info["pbbf075_at_q1"] = large_p.y_at(1.0)

@@ -1,0 +1,23 @@
+"""Figure 5: threshold behavior for 99% reliability (ideal grid).
+
+Paper shape: like Figure 4 with every threshold shifted toward larger q.
+"""
+
+from repro.experiments import Scale, get_experiment
+
+
+def test_fig05_threshold_99(run_experiment, benchmark):
+    result = run_experiment("fig05")
+
+    assert all(y == 1.0 for _, y in result.get_series("PSM").points)
+    assert all(y == 1.0 for _, y in result.get_series("NO PSM").points)
+
+    # 99% reliability is never easier than 90% at the same operating point.
+    fig04 = get_experiment("fig04").run(Scale.fast())
+    for label in ("PBBF-0.25", "PBBF-0.5", "PBBF-0.75"):
+        series99 = dict(result.get_series(label).points)
+        series90 = dict(fig04.get_series(label).points)
+        for q, y99 in series99.items():
+            assert y99 <= series90[q] + 1e-9
+
+    benchmark.extra_info["pbbf05_at_q0.4"] = result.get_series("PBBF-0.5").y_at(0.4)

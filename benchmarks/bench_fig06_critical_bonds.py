@@ -1,0 +1,28 @@
+"""Figure 6: critical bond fraction for grid topologies.
+
+Paper shape: more occupied bonds are needed for higher reliability levels;
+the 100% level rises with grid size while partial levels drift toward the
+infinite-lattice bond threshold (0.5) from above.
+"""
+
+
+def test_fig06_critical_bonds(run_experiment, benchmark):
+    result = run_experiment("fig06")
+
+    sizes = result.get_series("80% reliability").xs()
+    for size in sizes:
+        thresholds = [
+            result.get_series(f"{level} reliability").y_at(size)
+            for level in ("80%", "90%", "99%", "100%")
+        ]
+        assert thresholds == sorted(thresholds)  # ordered by reliability
+        assert thresholds[0] > 0.5  # partial coverage still above bond pc
+        assert thresholds[-1] < 1.0
+
+    # 100% coverage gets harder with grid size (more sites must connect).
+    full = result.get_series("100% reliability")
+    assert full.y_at(sizes[-1]) > full.y_at(sizes[0])
+
+    benchmark.extra_info["pc99_largest_grid"] = result.get_series(
+        "99% reliability"
+    ).y_at(sizes[-1])

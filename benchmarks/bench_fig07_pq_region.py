@@ -1,0 +1,28 @@
+"""Figure 7: the p-q feasibility frontier per reliability level.
+
+Paper shape: each curve is flat at q=0 for small p, then rises; higher
+reliability levels lie strictly above lower ones; at p=1 the minimum q
+equals the critical bond fraction.
+"""
+
+import pytest
+
+
+def test_fig07_pq_region(run_experiment, benchmark):
+    result = run_experiment("fig07")
+
+    for label in ("80% reliability", "99% reliability", "100% reliability"):
+        series = result.get_series(label)
+        qs = [y for _, y in series.points]
+        assert qs == sorted(qs)  # nondecreasing in p
+        assert series.y_at(0.0) == 0.0
+
+    low = dict(result.get_series("80% reliability").points)
+    high = dict(result.get_series("100% reliability").points)
+    assert all(high[p] >= low[p] for p in low)
+
+    # At p=1 the frontier hits q = pc exactly (Remark 1 algebra).
+    pc99 = result.get_series("99% reliability").y_at(1.0)
+    assert 0.5 < pc99 < 1.0
+
+    benchmark.extra_info["q_at_p1_99"] = pc99

@@ -1,0 +1,34 @@
+"""Figure 8: average energy consumption (ideal grid).
+
+Paper shape: energy per update rises linearly in q, is independent of p
+(all PBBF lines overlap), and spans the PSM floor (~0.3 J) to roughly the
+NO PSM ceiling (~3 J); "using PSM saves almost 3 Joules per update".
+"""
+
+import pytest
+
+
+def test_fig08_energy_ideal(run_experiment, benchmark):
+    result = run_experiment("fig08")
+
+    psm = result.get_series("PSM").points[0][1]
+    no_psm = result.get_series("NO PSM").points[0][1]
+    assert psm == pytest.approx(0.30, rel=0.05)
+    assert no_psm == pytest.approx(3.0, rel=0.05)
+    assert 2.5 < no_psm - psm < 2.9
+
+    # p-independence: PBBF lines overlap pointwise.
+    reference = dict(result.get_series("PBBF-0.05").points)
+    for label in ("PBBF-0.25", "PBBF-0.5", "PBBF-0.75"):
+        series = dict(result.get_series(label).points)
+        for q, y in series.items():
+            assert y == pytest.approx(reference[q], rel=0.02)
+
+    # Linearity in q: second differences vanish.
+    points = sorted(result.get_series("PBBF-0.5").points)
+    ys = [y for _, y in points]
+    gaps = [b - a for a, b in zip(ys, ys[1:])]
+    assert all(g == pytest.approx(gaps[0], rel=0.05) for g in gaps)
+
+    benchmark.extra_info["psm_joules"] = psm
+    benchmark.extra_info["no_psm_joules"] = no_psm

@@ -1,0 +1,31 @@
+"""Figure 9: average hops travelled to reach near-distance nodes.
+
+Paper shape: near the reliability threshold the broadcast reaches nodes
+via tortuous spanning-tree paths (hops well above the lattice distance);
+as q grows the hop count collapses toward the lattice distance.  PSM and
+NO PSM always use shortest paths.
+"""
+
+import pytest
+
+from repro.experiments import Scale
+
+
+def test_fig09_hops_near(run_experiment, benchmark):
+    scale = Scale.fast()
+    result = run_experiment("fig09", scale)
+    d = scale.hop_distance_near
+
+    assert all(
+        y == pytest.approx(d) for _, y in result.get_series("PSM").points
+    )
+    assert all(
+        y == pytest.approx(d) for _, y in result.get_series("NO PSM").points
+    )
+
+    series = result.get_series("PBBF-0.5")
+    observed = [y for _, y in series.points if y is not None]
+    assert max(observed) > d * 1.1  # stretch somewhere along the sweep
+    assert series.y_at(1.0) < d * 1.25  # near-direct at q=1
+
+    benchmark.extra_info["max_stretch"] = max(observed) / d

@@ -1,0 +1,38 @@
+"""Figure 10: average hops travelled to reach far-distance nodes.
+
+Paper shape: the Figure 9 stretch effect amplified by distance — absolute
+stretch is larger for far nodes, and again collapses at high q.
+"""
+
+import pytest
+
+from repro.experiments import Scale, get_experiment
+
+
+def test_fig10_hops_far(run_experiment, benchmark):
+    scale = Scale.fast()
+    result = run_experiment("fig10", scale)
+    d = scale.hop_distance_far
+
+    assert all(
+        y == pytest.approx(d) for _, y in result.get_series("PSM").points
+    )
+
+    series = result.get_series("PBBF-0.5")
+    observed = [(q, y) for q, y in series.points if y is not None]
+    assert observed, "far nodes must be reachable somewhere along the sweep"
+    max_hops = max(y for _, y in observed)
+    assert max_hops > d  # stretch in absolute hops
+
+    # Far-node absolute stretch exceeds near-node absolute stretch.
+    near = get_experiment("fig09").run(scale)
+    near_series = near.get_series("PBBF-0.5")
+    near_excess = max(
+        y - scale.hop_distance_near
+        for _, y in near_series.points
+        if y is not None
+    )
+    far_excess = max(y - d for _, y in observed)
+    assert far_excess >= near_excess - 0.5
+
+    benchmark.extra_info["far_excess_hops"] = far_excess

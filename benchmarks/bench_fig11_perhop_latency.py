@@ -1,0 +1,25 @@
+"""Figure 11: average per-hop update latency (ideal grid).
+
+Paper shape: PSM sits near Tframe (10 s), NO PSM near L1 (~1.5 s); PBBF
+falls between, decreasing in p and q once reliability is meaningful.
+"""
+
+import pytest
+
+
+def test_fig11_perhop_latency(run_experiment, benchmark):
+    result = run_experiment("fig11")
+
+    psm = result.get_series("PSM").points[0][1]
+    no_psm = result.get_series("NO PSM").points[0][1]
+    assert 6.0 < psm <= 10.5  # ~Tframe minus the cheaper first hop
+    assert no_psm == pytest.approx(1.5, rel=0.05)
+
+    # PBBF-0.75 at high q approaches the NO PSM floor; PBBF decreases in q.
+    series = result.get_series("PBBF-0.75")
+    assert series.y_at(1.0) < psm
+    tail = [y for q, y in series.points if q >= 0.4 and y is not None]
+    assert tail == sorted(tail, reverse=True)
+
+    benchmark.extra_info["psm_perhop_s"] = psm
+    benchmark.extra_info["no_psm_perhop_s"] = no_psm

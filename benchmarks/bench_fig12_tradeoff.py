@@ -1,0 +1,23 @@
+"""Figure 12: the energy-latency trade-off at 99% reliability.
+
+Paper shape: a single monotonically decreasing curve — buying lower
+per-hop latency along the reliability frontier costs energy.
+"""
+
+
+def test_fig12_tradeoff(run_experiment, benchmark):
+    result = run_experiment("fig12")
+
+    (series,) = result.series
+    points = list(series.points)
+    assert len(points) >= 10
+    latencies = [x for x, _ in points]
+    energies = [y for _, y in points]
+    assert latencies == sorted(latencies)
+    assert energies == sorted(energies, reverse=True)  # inverse relation
+
+    # The fast-latency end costs several times the slow end.
+    assert energies[0] > 2.0 * energies[-1]
+
+    benchmark.extra_info["fast_end_joules"] = energies[0]
+    benchmark.extra_info["slow_end_joules"] = energies[-1]

@@ -1,0 +1,34 @@
+"""Figure 13: average energy consumption (detailed simulator).
+
+Paper shape: PSM saves roughly 2 J per update over NO PSM; PBBF's energy
+grows linearly with q and overlaps across p values (q dominates p).
+"""
+
+import pytest
+
+
+def test_fig13_energy_detailed(run_experiment, benchmark):
+    result = run_experiment("fig13")
+
+    psm = result.get_series("PSM").points[0][1]
+    no_psm = result.get_series("NO PSM").points[0][1]
+    assert no_psm == pytest.approx(3.0, rel=0.05)
+    assert 1.4 < no_psm - psm < 2.6  # "saves almost 2 Joules per update"
+
+    # Energy increasing in q for every PBBF line, converging near NO PSM.
+    for label in [s.label for s in result.series if s.label.startswith("PBBF")]:
+        points = sorted(result.get_series(label).points)
+        ys = [y for _, y in points if y is not None]
+        assert ys == sorted(ys)
+        assert ys[-1] == pytest.approx(no_psm, rel=0.1)
+
+    # q dominates p: PBBF lines overlap at matching q >= 0.25.
+    labels = [s.label for s in result.series if s.label.startswith("PBBF")]
+    reference = dict(result.get_series(labels[0]).points)
+    for label in labels[1:]:
+        for q, y in result.get_series(label).points:
+            if q >= 0.25 and y is not None and reference.get(q) is not None:
+                assert y == pytest.approx(reference[q], rel=0.1)
+
+    benchmark.extra_info["psm_joules"] = psm
+    benchmark.extra_info["no_psm_joules"] = no_psm

@@ -1,0 +1,25 @@
+"""Figure 14: 2-hop average update latency (detailed simulator).
+
+Paper shape: PSM flat near AW + BI (~11 s); NO PSM far below; PBBF starts
+near/above PSM at small q and crosses below it as p and q grow.
+"""
+
+import pytest
+
+
+def test_fig14_latency_2hop(run_experiment, benchmark):
+    result = run_experiment("fig14")
+
+    psm = result.get_series("PSM").points[0][1]
+    no_psm = result.get_series("NO PSM").points[0][1]
+    assert 10.0 < psm < 14.0  # ~AW + BI
+    assert no_psm < 1.0
+
+    # Crossover: the aggressive PBBF line beats PSM by the top of the sweep.
+    aggressive = result.get_series("PBBF-0.5")
+    assert aggressive.y_at(1.0) < psm
+    # And is not clearly better at the bottom (no free lunch at low q).
+    assert aggressive.y_at(0.0) > psm - 3.0
+
+    benchmark.extra_info["psm_2hop_s"] = psm
+    benchmark.extra_info["pbbf05_q1_2hop_s"] = aggressive.y_at(1.0)

@@ -1,0 +1,41 @@
+"""Figure 15: 5-hop average update latency (detailed simulator).
+
+Paper shape: like Figure 14 scaled by distance (PSM near 4-5 beacon
+intervals), with the PBBF-beats-PSM crossover arriving at a *lower* q.
+"""
+
+import pytest
+
+from repro.experiments import Scale, get_experiment
+
+
+def _crossover_q(series, baseline):
+    """First q at which the series dips below the PSM baseline."""
+    for q, y in sorted(series.points):
+        if y is not None and y < baseline:
+            return q
+    return None
+
+
+def test_fig15_latency_5hop(run_experiment, benchmark):
+    scale = Scale.fast()
+    result = run_experiment("fig15", scale)
+
+    psm = result.get_series("PSM").points[0][1]
+    assert 30.0 < psm < 55.0  # ~4-5 beacon intervals
+
+    aggressive = result.get_series("PBBF-0.5")
+    assert aggressive.y_at(1.0) < psm
+
+    # Crossover at 5 hops happens no later than at 2 hops.
+    fig14 = get_experiment("fig14").run(scale)
+    cross_5 = _crossover_q(aggressive, psm)
+    cross_2 = _crossover_q(
+        fig14.get_series("PBBF-0.5"), fig14.get_series("PSM").points[0][1]
+    )
+    assert cross_5 is not None
+    if cross_2 is not None:
+        assert cross_5 <= cross_2
+
+    benchmark.extra_info["psm_5hop_s"] = psm
+    benchmark.extra_info["crossover_q"] = cross_5

@@ -1,0 +1,32 @@
+"""Figure 16: fraction of updates received (detailed simulator).
+
+Paper shape: PSM and NO PSM deliver ~everything; PBBF-0.5 is visibly
+degraded until q reaches ~0.5; small p loses almost nothing.
+"""
+
+import pytest
+
+
+def test_fig16_updates_received(run_experiment, benchmark):
+    result = run_experiment("fig16")
+
+    assert all(
+        y == pytest.approx(1.0, abs=0.02)
+        for _, y in result.get_series("PSM").points
+    )
+    assert all(
+        y == pytest.approx(1.0, abs=0.02)
+        for _, y in result.get_series("NO PSM").points
+    )
+
+    aggressive = result.get_series("PBBF-0.5")
+    gentle = result.get_series("PBBF-0.1")
+    # Degradation at low q for p=0.5, recovery by high q.
+    assert aggressive.y_at(0.0) < 0.9
+    assert aggressive.y_at(1.0) == pytest.approx(1.0, abs=0.02)
+    # Small p stays close to lossless across the sweep.
+    for q, y in gentle.points:
+        if q >= 0.25 and y is not None:
+            assert y > 0.95
+
+    benchmark.extra_info["pbbf05_at_q0"] = aggressive.y_at(0.0)

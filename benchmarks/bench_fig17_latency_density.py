@@ -1,0 +1,22 @@
+"""Figure 17: average update latency vs density (detailed, q=0.25).
+
+Paper shape: latency falls as density rises for the sleep-scheduled
+protocols (fewer hops from the source mean fewer beacon intervals paid);
+NO PSM stays lowest throughout.
+"""
+
+
+def test_fig17_latency_density(run_experiment, benchmark):
+    result = run_experiment("fig17")
+
+    psm = sorted(result.get_series("PSM").points)
+    assert psm[0][1] > psm[-1][1]  # sparse deployments pay more intervals
+
+    no_psm = dict(result.get_series("NO PSM").points)
+    for label in [s.label for s in result.series if s.label != "NO PSM"]:
+        for density, y in result.get_series(label).points:
+            if y is not None:
+                assert y > no_psm[density]  # NO PSM lowest everywhere
+
+    benchmark.extra_info["psm_sparse_s"] = psm[0][1]
+    benchmark.extra_info["psm_dense_s"] = psm[-1][1]

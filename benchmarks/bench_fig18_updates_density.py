@@ -1,0 +1,23 @@
+"""Figure 18: fraction of updates received vs density (detailed, q=0.25).
+
+Paper shape: PBBF's delivery fraction improves with density (more
+redundant broadcast copies per node); PSM and NO PSM sit at ~1.0.
+"""
+
+import pytest
+
+
+def test_fig18_updates_density(run_experiment, benchmark):
+    result = run_experiment("fig18")
+
+    for label in ("PSM", "NO PSM"):
+        for _, y in result.get_series(label).points:
+            assert y == pytest.approx(1.0, abs=0.05)
+
+    aggressive = result.get_series("PBBF-0.5")
+    points = sorted(aggressive.points)
+    sparse, dense = points[0][1], points[-1][1]
+    assert dense >= sparse  # delivery improves with density
+
+    benchmark.extra_info["pbbf05_sparse"] = sparse
+    benchmark.extra_info["pbbf05_dense"] = dense

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the simulation substrates.
+
+Unlike the figure benches (one timed regeneration each), these measure the
+steady-state throughput of the kernels every experiment leans on, and
+guard against performance regressions in the hot paths.
+"""
+
+import random
+
+from repro.core.params import PBBFParams
+from repro.ideal.config import AnalysisParameters
+from repro.ideal.simulator import IdealSimulator
+from repro.net.topology import GridTopology
+from repro.percolation.bond import bond_sweep
+from repro.sim.engine import Engine
+from repro.util.union_find import UnionFind
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-fire cost of the event loop (10k events per round)."""
+
+    def run():
+        engine = Engine()
+        for i in range(10_000):
+            engine.schedule(float(i % 97) * 0.01, lambda: None)
+        engine.run()
+        return engine.events_fired
+
+    fired = benchmark(run)
+    assert fired == 10_000
+
+
+def test_union_find_throughput(benchmark):
+    """Union/find mix on 10k elements."""
+    rng = random.Random(1)
+    pairs = [(rng.randrange(10_000), rng.randrange(10_000)) for _ in range(20_000)]
+
+    def run():
+        uf = UnionFind(10_000)
+        for a, b in pairs:
+            uf.union(a, b)
+        return uf.n_components
+
+    components = benchmark(run)
+    assert components >= 1
+
+
+def test_bond_sweep_throughput(benchmark):
+    """One full Newman-Ziff sweep of a 40x40 grid (the paper's largest)."""
+    grid = GridTopology(40)
+
+    def run():
+        return bond_sweep(grid, random.Random(7)).n_edges
+
+    edges = benchmark(run)
+    assert edges == grid.n_edges
+
+
+def test_ideal_broadcast_throughput(benchmark):
+    """One broadcast on the paper's full 75x75 analysis grid."""
+    grid = GridTopology(75)
+    sim = IdealSimulator(
+        grid, PBBFParams(0.5, 0.6), AnalysisParameters(), seed=3
+    )
+
+    def run():
+        return sim.run_broadcast(0).n_received
+
+    received = benchmark(run)
+    assert received > 1000

@@ -1,0 +1,14 @@
+"""Table 1: analysis parameter values."""
+
+
+def test_table1_analysis_params(run_experiment):
+    result = run_experiment("table1")
+    rows = dict(result.table_rows)
+    assert rows["N"] == "5625 (75 x 75)"
+    assert rows["PTX"] == "81 mW"
+    assert rows["PI"] == "30 mW"
+    assert rows["PS"] == "3 uW"
+    assert rows["lambda"] == "0.01 packets/s"
+    assert rows["L1"] == "~1.5 s"
+    assert rows["Tframe"] == "10 s"
+    assert rows["Tactive"] == "1 s"

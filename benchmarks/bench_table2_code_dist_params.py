@@ -1,0 +1,11 @@
+"""Table 2: code distribution parameter values."""
+
+
+def test_table2_code_distribution_params(run_experiment):
+    result = run_experiment("table2")
+    rows = dict(result.table_rows)
+    assert rows["N"] == "50"
+    assert rows["Delta"] == "10"
+    assert rows["Total Packet Size"] == "64 bytes"
+    assert rows["Data Packet Payload"] == "30 bytes"
+    assert rows["k"] == "1"

@@ -1,0 +1,49 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one paper artifact at the reduced (``fast``)
+scale, asserts the paper's qualitative shape, records headline values in
+``benchmark.extra_info``, and prints the same rows/series the paper plots
+(run pytest with ``-s`` to see them inline).
+
+Timing methodology: memoization inside the harness would otherwise let a
+second run return instantly, so every benchmark clears the harness caches
+and times exactly one full regeneration (``rounds=1``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Scale, get_experiment
+from repro.experiments.detailed_figures import _detailed_run
+from repro.experiments.ideal_figures import _ideal_point
+from repro.experiments.percolation_figures import _critical_fraction
+
+
+def clear_harness_caches() -> None:
+    """Drop memoized simulation points so timings measure real work."""
+    _ideal_point.cache_clear()
+    _detailed_run.cache_clear()
+    _critical_fraction.cache_clear()
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Benchmark one artifact regeneration and return its result."""
+
+    def _run(experiment_id: str, scale: Scale = None):
+        scale = scale if scale is not None else Scale.fast()
+        spec = get_experiment(experiment_id)
+
+        def regenerate():
+            clear_harness_caches()
+            return spec.run(scale)
+
+        result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+        benchmark.extra_info["experiment"] = experiment_id
+        benchmark.extra_info["scale"] = scale.name
+        print()
+        print(result.render())
+        return result
+
+    return _run

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Code distribution over a realistic MAC/PHY (the paper's Section 5 app).
+
+Simulates the paper's motivating workload — a sink pushing firmware
+updates through a 50-node duty-cycled sensor network — on the detailed
+simulator: random deployment, CSMA/CA contention, collisions, 802.11 PSM
+with ATIM windows, Mica2 energy accounting.
+
+Sweeps a few (p, q) operating points and prints, for each, what a
+deployment engineer would ask: how much battery does an update cost, how
+stale is a 5-hop node, and what fraction of updates arrive at all.
+
+Run:  python examples/code_distribution_campaign.py
+"""
+
+from repro import (
+    CodeDistributionParameters,
+    DetailedSimulator,
+    PBBFParams,
+    SchedulingMode,
+)
+
+OPERATING_POINTS = [
+    ("PSM", PBBFParams.psm(), SchedulingMode.PSM_PBBF),
+    ("PBBF(.1,.25)", PBBFParams(p=0.1, q=0.25), SchedulingMode.PSM_PBBF),
+    ("PBBF(.5,.25)", PBBFParams(p=0.5, q=0.25), SchedulingMode.PSM_PBBF),
+    ("PBBF(.5,.75)", PBBFParams(p=0.5, q=0.75), SchedulingMode.PSM_PBBF),
+    ("NO PSM", PBBFParams.always_on(), SchedulingMode.ALWAYS_ON),
+]
+
+N_RUNS = 3  # paper uses 10; 3 keeps the example snappy
+
+
+def main() -> None:
+    config = CodeDistributionParameters()  # Table 2: N=50, delta=10, 500 s
+    print(
+        f"Code distribution: N={config.n_nodes}, delta={config.density:g}, "
+        f"{config.duration:g} s runs, {N_RUNS} scenarios per point"
+    )
+    header = (
+        f"  {'protocol':<14} {'J/update':>9} {'5-hop latency':>14} "
+        f"{'delivery':>9}"
+    )
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+
+    for label, params, mode in OPERATING_POINTS:
+        joules, latencies, delivery = [], [], []
+        for run in range(N_RUNS):
+            result = DetailedSimulator(
+                params, config, seed=1000 + run, mode=mode
+            ).run()
+            metrics = result.metrics
+            joules.append(metrics.joules_per_update_per_node())
+            five_hop = metrics.mean_latency_at_distance(5)
+            if five_hop is not None:
+                latencies.append(five_hop)
+            delivery.append(metrics.mean_updates_received_fraction())
+        mean_latency = (
+            f"{sum(latencies) / len(latencies):>12.1f} s" if latencies else "          n/a"
+        )
+        print(
+            f"  {label:<14} {sum(joules) / len(joules):>8.2f}J "
+            f"{mean_latency} {sum(delivery) / len(delivery):>8.1%}"
+        )
+
+    print()
+    print("Reading the table: q=0.25 already buys PBBF a beacon interval")
+    print("or two of 5-hop staleness over PSM; pushing q to 0.75 buys")
+    print("several more, paid for linearly in battery (Eq. 8).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Why PBBF percolates: bond vs site thresholds on sensor grids.
+
+The paper's Section 2 argument in executable form: gossip protocols are a
+*site* percolation process (a node relays to everyone or no one) while
+PBBF is a *bond* process (each link independently delivers with
+pedge = 1 - p(1-q)).  Square-lattice bond thresholds sit below site
+thresholds, so a link-probability budget goes further than a node-
+probability budget.
+
+This example measures both with the Newman-Ziff sweep machinery and shows
+the finite-size behaviour of Figure 6.
+
+Run:  python examples/percolation_thresholds.py
+"""
+
+import random
+
+from repro import GridTopology
+from repro.percolation import coverage_bond_fraction, coverage_site_fraction
+from repro.util import summarize
+
+COVERAGE = 0.9
+RUNS = 30
+
+
+def main() -> None:
+    print(f"Critical fractions for {COVERAGE:.0%} coverage ({RUNS} sweeps each)")
+    print(f"  {'grid':>7} {'bond (PBBF-like)':>18} {'site (gossip-like)':>20}")
+    for side in (10, 20, 30, 40):
+        grid = GridTopology(side)
+        bond = summarize(
+            coverage_bond_fraction(grid, COVERAGE, random.Random(1), runs=RUNS)
+        )
+        site = summarize(
+            coverage_site_fraction(grid, COVERAGE, random.Random(2), runs=RUNS)
+        )
+        print(
+            f"  {side:>4}x{side:<3}"
+            f" {bond.mean:>10.3f} ± {bond.ci95:<5.3f}"
+            f" {site.mean:>12.3f} ± {site.ci95:<5.3f}"
+        )
+    print()
+    print("Bond thresholds (infinite lattice: 0.5) sit clearly below site")
+    print("thresholds (infinite lattice: ~0.593): per-link randomness -- the")
+    print("kind PBBF's p and q knobs control -- percolates on a smaller")
+    print("budget than gossip's per-node coin.")
+
+
+if __name__ == "__main__":
+    main()

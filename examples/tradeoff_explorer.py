@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Pick an operating point: the designer workflow the paper proposes.
+
+The paper's punchline (Section 4.4): first estimate where the reliability
+boundary sits, then slide *along* it until the energy-latency mix fits the
+application.  This example does exactly that, end to end:
+
+1. estimate the critical bond probability for 99% coverage on the target
+   grid with Newman-Ziff sweeps (Figure 6 machinery);
+2. invert Remark 1 into the minimum-q frontier (Figure 7);
+3. evaluate Eq. 8 energy and Eq. 9 latency at every frontier point
+   (Figure 12) and print the menu;
+4. answer a concrete design question: "cheapest configuration whose
+   per-hop latency is below 5 seconds".
+
+Run:  python examples/tradeoff_explorer.py
+"""
+
+import random
+
+from repro import (
+    AnalysisParameters,
+    GridTopology,
+    estimate_critical_bond_fraction,
+)
+from repro.analysis import energy_latency_curve
+
+RELIABILITY = 0.99
+LATENCY_BUDGET_S = 5.0
+
+
+def main() -> None:
+    analysis = AnalysisParameters()
+    grid = GridTopology(30)  # the paper's Figure 7 grid
+
+    # Step 1: where is the reliability boundary?
+    thresholds = estimate_critical_bond_fraction(
+        grid, (RELIABILITY,), random.Random(7), runs=30, grid_label="30x30"
+    )
+    pc = thresholds.threshold_for(RELIABILITY)
+    print(f"Critical bond fraction for {RELIABILITY:.0%} coverage on 30x30: {pc}")
+
+    # Steps 2-3: walk the frontier, costing each point.
+    l2 = analysis.t_frame - analysis.l1  # next-window wait (see EXPERIMENTS.md)
+    points = energy_latency_curve(
+        critical_bond_fraction=pc.mean,
+        p_values=[round(0.05 * i, 2) for i in range(1, 21)],
+        l1=analysis.l1,
+        l2=l2,
+        t_active=analysis.t_active,
+        t_sleep=analysis.t_sleep,
+        update_interval=analysis.update_interval,
+    )
+
+    print()
+    print(f"  {'p':>5} {'min q':>6} {'per-hop':>9} {'J/update':>9}")
+    for point in points[::2]:
+        print(
+            f"  {point.p:>5.2f} {point.q:>6.2f} "
+            f"{point.per_hop_latency_s:>8.2f}s {point.joules_per_update:>8.2f}J"
+        )
+
+    # Step 4: the design question.
+    feasible = [
+        point for point in points if point.per_hop_latency_s <= LATENCY_BUDGET_S
+    ]
+    if not feasible:
+        print(f"\nNo frontier point meets {LATENCY_BUDGET_S} s/hop.")
+        return
+    choice = min(feasible, key=lambda point: point.joules_per_update)
+    print()
+    print(
+        f"Cheapest point under {LATENCY_BUDGET_S:g} s/hop at {RELIABILITY:.0%} "
+        f"reliability:\n"
+        f"  p = {choice.p:.2f}, q = {choice.q:.2f}  ->  "
+        f"{choice.per_hop_latency_s:.2f} s/hop at "
+        f"{choice.joules_per_update:.2f} J/update "
+        f"(pedge = {choice.edge_open_probability:.3f} >= pc = {pc.mean:.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

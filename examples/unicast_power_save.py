@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Unicast power-save with PBBF (the paper's last future-work item).
+
+Demonstrates :class:`repro.mac.unicast.UnicastPSMMac`: standard 802.11
+PSM unicast (directed ATIM -> ATIM-ACK -> DATA -> ACK) plus PBBF's
+immediate path — with probability p, skip the announcement and just send;
+if the peer's q-coin kept it awake the exchange completes a beacon
+interval early, and an ACK timeout falls back to the announced path.
+
+A sender injects one unicast request per beacon interval, each in the
+*middle of the sleep period* (worst case for announced PSM), and we
+compare the delivery-latency distribution across regimes.
+
+Run:  python examples/unicast_power_save.py
+"""
+
+import random
+from typing import List
+
+from repro.core.params import PBBFParams
+from repro.core.pbbf import PBBFAgent
+from repro.energy.model import MICA2, RadioEnergyModel
+from repro.mac.base import MacConfig
+from repro.mac.unicast import UnicastPSMMac
+from repro.net.channel import Channel
+from repro.net.packet import Packet, PacketKind
+from repro.net.topology import Topology
+from repro.sim.engine import Engine
+
+N_EXCHANGES = 12
+
+
+class _Node:
+    def __init__(self, radio, mac):
+        self.radio = radio
+        self.mac = mac
+
+    def is_listening_interval(self, start, end):
+        return self.radio.is_listening_interval(start, end)
+
+    def on_receive(self, packet):
+        self.mac.handle_receive(packet)
+
+    def on_collision(self, packet):
+        self.mac.handle_collision(packet)
+
+
+def run_regime(p: float, q: float, seed: int = 1):
+    """A two-node link exchanging N unicast frames; returns latencies."""
+    engine = Engine()
+    topology = Topology([(0.0, 0.0), (1.0, 0.0)], [[1], [0]])
+    channel = Channel(engine, topology, 19200.0)
+    latencies: List[float] = []
+    inject_times = {}
+    macs = []
+    for node_id in range(2):
+        radio = RadioEnergyModel(MICA2)
+        agent = PBBFAgent(PBBFParams(p=p, q=q), random.Random(seed * 10 + node_id))
+        mac = UnicastPSMMac(
+            engine, channel, node_id, agent, radio,
+            lambda pkt, t: latencies.append(t - inject_times[pkt.seqno]),
+            random.Random(seed * 20 + node_id),
+            config=MacConfig(send_beacons=False),
+        )
+        channel.attach(node_id, _Node(radio, mac))
+        macs.append(mac)
+    for mac in macs:
+        mac.start()
+
+    for i in range(N_EXCHANGES):
+        t = 10.0 * i + 5.0  # mid-sleep-period injections
+        inject_times[i] = t
+        packet = Packet(
+            kind=PacketKind.DATA, origin=0, sender=0, seqno=i,
+            size_bytes=64, destination=1,
+        )
+        engine.schedule_at(t, lambda packet=packet: macs[0].send_unicast(packet))
+    engine.run(until=10.0 * N_EXCHANGES + 60.0)
+    energy = macs[1].radio.consumed_joules(engine.now) / N_EXCHANGES
+    return latencies, energy, macs[0].unicast_stats
+
+
+def main() -> None:
+    print(f"One-hop unicast, {N_EXCHANGES} exchanges injected mid-sleep")
+    print(f"  {'regime':<28} {'mean latency':>13} {'rx J/exchange':>14}")
+    regimes = [
+        ("announced PSM (p=0)", 0.0, 0.0),
+        ("PBBF immediate, q=1 peer", 1.0, 1.0),
+        ("PBBF immediate, q=0.5 peer", 1.0, 0.5),
+        ("PBBF immediate, q=0 peer", 1.0, 0.0),
+    ]
+    for label, p, q in regimes:
+        latencies, energy, stats = run_regime(p, q)
+        mean_latency = sum(latencies) / len(latencies)
+        extra = ""
+        if stats.immediate_attempts:
+            hit_rate = stats.immediate_successes / stats.immediate_attempts
+            extra = f"   (immediate hit rate {hit_rate:.0%})"
+        print(f"  {label:<28} {mean_latency:>11.2f} s {energy:>13.3f}J{extra}")
+
+    print()
+    print("The q-knob sets the immediate path's hit rate: awake peers turn")
+    print("a next-interval announcement into a sub-second exchange, missed")
+    print("attempts fall back safely -- PBBF's broadcast trade-off,")
+    print("replayed for unicast.")
+
+
+if __name__ == "__main__":
+    main()

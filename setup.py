@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml; this file exists so that offline
+environments without the ``wheel`` package can still do a legacy editable
+install (``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Adaptive PBBF: the paper's Section 6 future-work heuristics.
+
+The conclusion sketches two controllers the authors leave open:
+
+    "when a node overhears more nodes involved in communication, p could
+    be increased since more nodes will be active to receive the broadcast.
+    Additionally, the q parameter could be increased in response to a node
+    detecting a large fraction of broadcast packets are not being
+    received."
+
+This package implements both as an agent-level extension —
+:class:`~repro.adaptive.controller.AdaptivePBBFAgent` is a drop-in
+replacement for :class:`~repro.core.pbbf.PBBFAgent` that observes exactly
+what a node can observe (receptions, duplicates, sequence-number gaps) and
+nudges p and q once per sleep decision.  No MAC changes are needed, which
+is itself evidence for the paper's layering claim.
+"""
+
+from repro.adaptive.controller import AdaptivePBBFAgent, AdaptivePolicy
+
+__all__ = [
+    "AdaptivePBBFAgent",
+    "AdaptivePolicy",
+]

@@ -1,0 +1,58 @@
+"""The paper's analytical model (Section 4, Equations 3-12).
+
+Pure closed-form functions — no simulation — for:
+
+* **energy** (Section 4.2): duty-cycle energy of the base sleep protocol
+  (Eq. 3), PBBF's inflated active time (Eqs. 5-7), and the headline linear
+  law ``E_PBBF/E_orig = 1 + q * Tsleep/Tactive`` (Eq. 8);
+* **latency** (Section 4.3): the expected per-hop latency
+  ``L = L1 + L2 * (1-p)/(1-p+p*q)`` (Eq. 9), path latency (Eq. 10) and the
+  spanning-tree upper bound ``L * d^(5/4+o(1))`` (Eq. 11);
+* **the energy-latency trade-off** (Section 4.4, Eq. 12): energy as a
+  function of target latency at fixed p, and the Figure 12 curve obtained
+  by walking the reliability frontier.
+
+Note on Eq. 12: the paper's printed equation has a sign error (see
+DESIGN.md, "Known paper erratum").  :func:`relative_energy_for_latency`
+implements the corrected form, and the test suite pins it to Eqs. 8-9 by
+round-trip substitution.
+"""
+
+from repro.analysis.equations import (
+    LOOP_ERASED_WALK_EXPONENT,
+    energy_ratio_vs_original,
+    expected_per_hop_latency,
+    joules_per_update,
+    joules_per_update_always_on,
+    path_latency,
+    path_latency_upper_bound,
+    pbbf_active_time,
+    pbbf_sleep_time,
+    q_for_per_hop_latency,
+    relative_energy_for_latency,
+    relative_energy_original,
+    relative_energy_pbbf,
+)
+from repro.analysis.stretch import ExponentFit, fit_power_law, stretch_exponent
+from repro.analysis.tradeoff import TradeoffPoint, energy_latency_curve
+
+__all__ = [
+    "ExponentFit",
+    "LOOP_ERASED_WALK_EXPONENT",
+    "TradeoffPoint",
+    "energy_latency_curve",
+    "fit_power_law",
+    "stretch_exponent",
+    "energy_ratio_vs_original",
+    "expected_per_hop_latency",
+    "joules_per_update",
+    "joules_per_update_always_on",
+    "path_latency",
+    "path_latency_upper_bound",
+    "pbbf_active_time",
+    "pbbf_sleep_time",
+    "q_for_per_hop_latency",
+    "relative_energy_for_latency",
+    "relative_energy_original",
+    "relative_energy_pbbf",
+]

@@ -1,0 +1,94 @@
+"""Empirical path-stretch exponents (the Eq. 11 analysis).
+
+Equation 11 bounds broadcast latency by ``L * d**(5/4+o(1))`` via the
+loop-erased-random-walk scaling of uniform spanning trees (the paper's
+refs [4, 10]); Figures 9-10 then *observe* that at high reliability the
+effective exponent collapses to ~1.  This module measures that effective
+exponent from simulator output: fit ``log(hops) = alpha * log(d) + c``
+over the (distance, mean-hops-travelled) pairs of a campaign.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ideal.simulator import CampaignResult
+
+
+@dataclass(frozen=True)
+class ExponentFit:
+    """A fitted power law ``hops ~ distance**alpha``."""
+
+    alpha: float
+    intercept: float
+    n_points: int
+    r_squared: float
+
+    def predicted_hops(self, distance: float) -> float:
+        """Hops the fit predicts at ``distance``."""
+        return math.exp(self.intercept) * distance**self.alpha
+
+
+def fit_power_law(points: Sequence[Tuple[float, float]]) -> ExponentFit:
+    """Least-squares fit of ``log y = alpha log x + c``.
+
+    Points with non-positive coordinates are rejected (power laws live in
+    the positive quadrant).
+    """
+    if len(points) < 2:
+        raise ValueError(f"need at least 2 points to fit, got {len(points)}")
+    for x, y in points:
+        if x <= 0.0 or y <= 0.0:
+            raise ValueError(f"power-law fit needs positive data, got ({x}, {y})")
+    logs = [(math.log(x), math.log(y)) for x, y in points]
+    n = len(logs)
+    mean_x = sum(lx for lx, _ in logs) / n
+    mean_y = sum(ly for _, ly in logs) / n
+    sxx = sum((lx - mean_x) ** 2 for lx, _ in logs)
+    if sxx == 0.0:
+        raise ValueError("all x values identical; exponent is undefined")
+    sxy = sum((lx - mean_x) * (ly - mean_y) for lx, ly in logs)
+    alpha = sxy / sxx
+    intercept = mean_y - alpha * mean_x
+    ss_res = sum(
+        (ly - (alpha * lx + intercept)) ** 2 for lx, ly in logs
+    )
+    ss_tot = sum((ly - mean_y) ** 2 for _, ly in logs)
+    r_squared = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return ExponentFit(
+        alpha=alpha, intercept=intercept, n_points=n, r_squared=r_squared
+    )
+
+
+def stretch_exponent(
+    campaign: CampaignResult,
+    distances: Optional[Sequence[int]] = None,
+) -> ExponentFit:
+    """The effective hops-vs-distance exponent of one campaign.
+
+    Collects mean hops-travelled at each shortest distance (the Figures
+    9-10 metric) and fits the power law.  The paper's observation is that
+    this exponent sits near 1 at high reliability, well below the
+    ``5/4`` upper bound of Eq. 11 (:data:`LOOP_ERASED_WALK_EXPONENT`).
+
+    Parameters
+    ----------
+    campaign:
+        A finished :class:`~repro.ideal.simulator.CampaignResult`.
+    distances:
+        Distances to sample; defaults to every distance (>= 2) present in
+        the topology with at least one reached node.
+    """
+    if distances is None:
+        present = {
+            d for d in campaign.shortest_hops if d is not None and d >= 2
+        }
+        distances = sorted(present)
+    points: List[Tuple[float, float]] = []
+    for d in distances:
+        mean_hops = campaign.mean_hops_at_distance(d)
+        if mean_hops is not None:
+            points.append((float(d), mean_hops))
+    return fit_power_law(points)

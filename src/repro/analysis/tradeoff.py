@@ -1,0 +1,96 @@
+"""The Figure 12 energy-latency trade-off curve.
+
+Section 4.4's recipe: fix a reliability level (the paper uses 99%), walk p
+across (0, 1], pick for each p the *minimum* q that keeps
+``pedge = 1 - p*(1-q)`` at the critical bond probability (just across the
+reliability boundary), and evaluate the Eq. 8 energy and Eq. 9 latency at
+that operating point.  The resulting (latency, energy) pairs trace the
+inverse relationship the paper's title refers to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.equations import (
+    energy_ratio_vs_original,
+    expected_per_hop_latency,
+    joules_per_update,
+)
+from repro.core.reliability import edge_open_probability
+from repro.energy.model import MICA2, PowerProfile
+from repro.percolation.threshold import minimum_q_for_reliability
+from repro.util.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One operating point on the reliability frontier."""
+
+    p: float
+    q: float
+    edge_open_probability: float
+    per_hop_latency_s: float
+    energy_ratio: float
+    joules_per_update: float
+
+
+def energy_latency_curve(
+    critical_bond_fraction: float,
+    p_values: Sequence[float],
+    l1: float,
+    l2: float,
+    t_active: float,
+    t_sleep: float,
+    update_interval: float,
+    profile: Optional[PowerProfile] = None,
+    tx_seconds_per_update: float = 0.0,
+) -> List[TradeoffPoint]:
+    """Trace the Figure 12 curve for one reliability level.
+
+    Parameters
+    ----------
+    critical_bond_fraction:
+        The percolation threshold ``pc`` for the desired reliability level
+        (estimate it with
+        :func:`repro.percolation.threshold.estimate_critical_bond_fraction`).
+    p_values:
+        The p grid to walk.  Points whose minimum q is 0 collapse onto the
+        PSM corner and are still included (the flat start of the curve).
+    l1, l2:
+        Eq. 9's latency components (immediate-access time, next-window wait).
+    t_active, t_sleep:
+        The sleep schedule (Table 1: 1 s active, 9 s sleep).
+    update_interval:
+        Seconds between updates at the source (``1/lambda``; Table 1: 100 s).
+    profile:
+        Radio power profile (defaults to the Mica2 values).
+    tx_seconds_per_update:
+        Transmit airtime a node spends per update (small correction term).
+    """
+    pc = check_probability("critical_bond_fraction", critical_bond_fraction)
+    check_positive("t_active", t_active)
+    profile = profile if profile is not None else MICA2
+    points: List[TradeoffPoint] = []
+    for p in p_values:
+        p = check_probability("p", p)
+        q = minimum_q_for_reliability(p, pc)
+        points.append(
+            TradeoffPoint(
+                p=p,
+                q=q,
+                edge_open_probability=edge_open_probability(p, q),
+                per_hop_latency_s=expected_per_hop_latency(p, q, l1, l2),
+                energy_ratio=energy_ratio_vs_original(q, t_active, t_sleep),
+                joules_per_update=joules_per_update(
+                    q,
+                    t_active,
+                    t_sleep,
+                    update_interval,
+                    profile,
+                    tx_seconds_per_update,
+                ),
+            )
+        )
+    return points

@@ -1,0 +1,21 @@
+"""Application layer: the code-distribution workload and its metrics.
+
+Section 5 of the paper evaluates PBBF with a code-distribution application
+"implemented at the routing layer of ns-2": one source node generates
+updates at rate lambda and broadcasts packets carrying the ``k`` most
+recent updates; every other node wants every update.
+
+* :mod:`repro.apps.code_distribution` -- the update generator and
+  per-node reception bookkeeping;
+* :mod:`repro.apps.metrics` -- the derived quantities the figures plot
+  (updates-received fraction, latency by hop distance, reliability).
+"""
+
+from repro.apps.code_distribution import CodeDistributionApp, UpdateRecord
+from repro.apps.metrics import BroadcastMetrics
+
+__all__ = [
+    "BroadcastMetrics",
+    "CodeDistributionApp",
+    "UpdateRecord",
+]

@@ -1,0 +1,139 @@
+"""Derived metrics over a code-distribution run.
+
+Computes exactly the quantities plotted in the paper's Section 5 figures:
+
+* **energy** — average per-node joules per generated update (Fig 13);
+* **latency** — mean generation-to-first-reception delay at a given hop
+  distance from the source (Figs 14-15) and overall (Fig 17);
+* **delivery** — mean fraction of updates received per node (Figs 16, 18);
+* **reliability** — fraction of updates received by at least a target
+  fraction of nodes (the Section 4 metric, usable on detailed runs too).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.apps.code_distribution import CodeDistributionApp, UpdateRecord
+from repro.util.validation import check_probability
+
+
+class BroadcastMetrics:
+    """Figure-level metrics over one finished code-distribution run.
+
+    Parameters
+    ----------
+    app:
+        The finished application (updates + receptions).
+    shortest_hops:
+        BFS hop distance from the source for every node
+        (:meth:`repro.net.topology.Topology.hop_distances_from`).
+    node_joules:
+        Per-node consumed energy over the run.
+    """
+
+    def __init__(
+        self,
+        app: CodeDistributionApp,
+        shortest_hops: Sequence[Optional[int]],
+        node_joules: Sequence[float],
+    ) -> None:
+        if len(shortest_hops) != app.n_nodes or len(node_joules) != app.n_nodes:
+            raise ValueError(
+                "shortest_hops and node_joules must cover every node "
+                f"({len(shortest_hops)}, {len(node_joules)} vs {app.n_nodes})"
+            )
+        self._app = app
+        self._shortest = list(shortest_hops)
+        self._joules = list(node_joules)
+
+    # -- delivery ----------------------------------------------------------
+
+    def updates_received_fraction(self, node: int) -> float:
+        """Fraction of generated updates this node received."""
+        if self._app.n_updates == 0:
+            raise ValueError("no updates were generated")
+        return len(self._app.receptions[node]) / self._app.n_updates
+
+    def mean_updates_received_fraction(self) -> float:
+        """Average delivery fraction over all non-source nodes (Figs 16/18)."""
+        others = [
+            self.updates_received_fraction(node)
+            for node in range(self._app.n_nodes)
+            if node != self._app.source
+        ]
+        if not others:
+            raise ValueError("network has no non-source nodes")
+        return sum(others) / len(others)
+
+    def reliability(self, fraction: float) -> float:
+        """Fraction of updates that reached >= ``fraction`` of all nodes."""
+        check_probability("fraction", fraction)
+        if self._app.n_updates == 0:
+            raise ValueError("no updates were generated")
+        needed = fraction * self._app.n_nodes
+        hits = 0
+        for update in self._app.updates:
+            receivers = sum(
+                1
+                for node in range(self._app.n_nodes)
+                if update.update_id in self._app.receptions[node]
+            )
+            if receivers >= needed:
+                hits += 1
+        return hits / self._app.n_updates
+
+    # -- latency -------------------------------------------------------------
+
+    def latency(self, node: int, update: UpdateRecord) -> Optional[float]:
+        """Generation-to-first-reception delay, ``None`` if never received."""
+        t = self._app.receptions[node].get(update.update_id)
+        return None if t is None else t - update.generated_at
+
+    def latencies_at_distance(self, d: int) -> List[float]:
+        """All observed latencies at nodes exactly ``d`` hops from the source."""
+        nodes = [v for v, dist in enumerate(self._shortest) if dist == d]
+        values: List[float] = []
+        for update in self._app.updates:
+            for v in nodes:
+                latency = self.latency(v, update)
+                if latency is not None:
+                    values.append(latency)
+        return values
+
+    def mean_latency_at_distance(self, d: int) -> Optional[float]:
+        """Average latency at hop distance ``d`` (Figs 14-15); None if unseen."""
+        values = self.latencies_at_distance(d)
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def nodes_at_distance(self, d: int) -> List[int]:
+        """Node ids exactly ``d`` hops from the source."""
+        return [v for v, dist in enumerate(self._shortest) if dist == d]
+
+    def mean_update_latency(self) -> Optional[float]:
+        """Average latency over every (node, update) reception (Fig 17)."""
+        values: List[float] = []
+        for update in self._app.updates:
+            for node in range(self._app.n_nodes):
+                if node == self._app.source:
+                    continue
+                latency = self.latency(node, update)
+                if latency is not None:
+                    values.append(latency)
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    # -- energy ------------------------------------------------------------
+
+    def joules_per_update_per_node(self) -> float:
+        """Average per-node energy per generated update (Fig 13 y-axis)."""
+        if self._app.n_updates == 0:
+            raise ValueError("no updates were generated")
+        return (sum(self._joules) / len(self._joules)) / self._app.n_updates
+
+    def total_joules(self) -> float:
+        """Network-wide energy over the run."""
+        return sum(self._joules)

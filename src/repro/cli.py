@@ -1,0 +1,97 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    pbbf-experiments list
+    pbbf-experiments run fig08 [--scale fast|full]
+    pbbf-experiments run-all [--scale fast|full] [--out results.txt]
+
+(Equivalently: ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import Scale, all_experiment_ids, get_experiment
+
+
+def _scale_from_name(name: str) -> Scale:
+    if name == "full":
+        return Scale.full()
+    if name == "fast":
+        return Scale.fast()
+    raise argparse.ArgumentTypeError(f"unknown scale {name!r} (use fast or full)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pbbf-experiments",
+        description="Regenerate the tables and figures of the PBBF paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list every experiment id")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment_id", help="e.g. fig08, table1")
+    run.add_argument("--scale", type=_scale_from_name, default=Scale.fast(),
+                     help="fast (default) or full (paper scale)")
+    run.add_argument("--chart", action="store_true",
+                     help="also draw an ASCII chart of the series")
+
+    run_all = sub.add_parser("run-all", help="run every experiment")
+    run_all.add_argument("--scale", type=_scale_from_name, default=Scale.fast(),
+                         help="fast (default) or full (paper scale)")
+    run_all.add_argument("--out", default=None,
+                         help="also write the report to this file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in all_experiment_ids():
+            spec = get_experiment(experiment_id)
+            print(f"{experiment_id:8s}  [section {spec.section}]  {spec.title}")
+        return 0
+    if args.command == "run":
+        spec = get_experiment(args.experiment_id)
+        started = time.perf_counter()
+        result = spec.run(args.scale)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        if args.chart:
+            from repro.experiments.ascii_plot import render_ascii_chart
+
+            try:
+                print()
+                print(render_ascii_chart(result))
+            except ValueError as exc:
+                print(f"  (no chart: {exc})")
+        print(f"  ({elapsed:.1f}s at scale={args.scale.name})")
+        return 0
+    # run-all
+    chunks: List[str] = []
+    for experiment_id in all_experiment_ids():
+        spec = get_experiment(experiment_id)
+        started = time.perf_counter()
+        result = spec.run(args.scale)
+        elapsed = time.perf_counter() - started
+        text = result.render() + f"\n  ({elapsed:.1f}s at scale={args.scale.name})"
+        print(text)
+        print()
+        chunks.append(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(chunks) + "\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The paper's primary contribution: PBBF decision logic.
+
+PBBF (Probability-Based Broadcast Forwarding) adds two probabilistic knobs
+to any sleep-scheduling MAC:
+
+* ``p`` — on receiving a broadcast, forward it *immediately* (without
+  waiting to announce it in the next wake-up window) with probability p;
+* ``q`` — at each sleep decision point, stay awake through the sleep
+  period with probability q, so immediate broadcasts can be caught.
+
+This package is deliberately simulator-free.  The same
+:class:`~repro.core.pbbf.PBBFAgent` coin-flip logic drives the idealized
+Section 4 simulator, the detailed Section 5 simulator, and the adaptive
+extension, so the protocol has exactly one implementation of its brain.
+
+Modules
+-------
+* :mod:`repro.core.params` -- validated parameter bundles (PSM and
+  always-on appear as the corner cases ``p=q=0`` and ``p=q=1``);
+* :mod:`repro.core.pbbf` -- the Figure 3 pseudo-code
+  (``Sleep-Decision-Handler`` / ``Receive-Broadcast``) as testable logic;
+* :mod:`repro.core.reliability` -- the Remark 1 bond-percolation algebra
+  (``pedge = 1 - p*(1-q)``) and the feasible-region queries.
+"""
+
+from repro.core.params import PBBFParams
+from repro.core.pbbf import ForwardingDecision, PBBFAgent, SleepDecision
+from repro.core.reliability import (
+    edge_open_probability,
+    minimum_p_for_edge_probability,
+    minimum_q_for_edge_probability,
+    satisfies_reliability_threshold,
+)
+
+__all__ = [
+    "ForwardingDecision",
+    "PBBFAgent",
+    "PBBFParams",
+    "SleepDecision",
+    "edge_open_probability",
+    "minimum_p_for_edge_probability",
+    "minimum_q_for_edge_probability",
+    "satisfies_reliability_threshold",
+]

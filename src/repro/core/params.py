@@ -1,0 +1,66 @@
+"""Validated PBBF parameter bundles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_probability
+
+
+@dataclass(frozen=True)
+class PBBFParams:
+    """The (p, q) pair configuring PBBF.
+
+    Attributes
+    ----------
+    p:
+        Probability of forwarding a received broadcast immediately, in the
+        current active period, without ensuring neighbours are awake.
+    q:
+        Probability of staying awake through a sleep period the node's
+        schedule would normally spend sleeping.
+
+    The original sleep-scheduling protocol is the special case ``p=q=0``;
+    always-on operation is approximated by ``p=q=1`` (approximated, because
+    PBBF still pays the sleep protocol's beacon/ATIM overheads — the paper
+    makes the same caveat in Section 3).
+    """
+
+    p: float
+    q: float
+
+    def __post_init__(self) -> None:
+        check_probability("p", self.p)
+        check_probability("q", self.q)
+
+    @classmethod
+    def psm(cls) -> "PBBFParams":
+        """Plain sleep scheduling (no immediate forwards, no extra wake)."""
+        return cls(p=0.0, q=0.0)
+
+    @classmethod
+    def always_on(cls) -> "PBBFParams":
+        """The always-awake corner of the parameter space."""
+        return cls(p=1.0, q=1.0)
+
+    @property
+    def edge_open_probability(self) -> float:
+        """Remark 1's per-link delivery probability ``1 - p*(1-q)``.
+
+        A link carries a given broadcast unless the sender chose an
+        immediate forward (probability p) *and* the receiver was asleep for
+        it (probability 1-q).
+        """
+        return 1.0 - self.p * (1.0 - self.q)
+
+    def is_degenerate_psm(self) -> bool:
+        """True when these parameters reduce to the base sleep protocol."""
+        return self.p == 0.0 and self.q == 0.0
+
+    def label(self) -> str:
+        """Figure-legend label (paper style: "PBBF-<p>"; corners named)."""
+        if self.is_degenerate_psm():
+            return "PSM"
+        if self.p == 1.0 and self.q == 1.0:
+            return "ALWAYS-ON"
+        return f"PBBF-{self.p:g}"

@@ -1,0 +1,126 @@
+"""The PBBF decision procedures (Figure 3 of the paper).
+
+Two decision points, transcribed from the paper's pseudo-code:
+
+``Sleep-Decision-Handler`` (end of each active time)::
+
+    stayOn <- false
+    if DataToSend or DataToRecv: stayOn <- true
+    elif Uniform-Rand(0,1) < q:  stayOn <- true
+
+``Receive-Broadcast(pkt)`` (on each *new* broadcast reception)::
+
+    if Uniform-Rand(0,1) < p: Send(pkt)            # immediate forward
+    else: Enqueue(nextPktQueue, pkt)               # announce next window
+
+:class:`PBBFAgent` packages both coin flips around a dedicated random
+stream plus the duplicate suppression the paper assumes ("nodes drop a
+broadcast packet if they receive a duplicate"), so every simulator shares
+identical protocol behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Hashable, Optional, Set
+
+from repro.core.params import PBBFParams
+
+
+class ForwardingDecision(enum.Enum):
+    """What to do with a freshly received broadcast."""
+
+    IMMEDIATE = "immediate"  # forward now, whoever happens to be awake
+    NEXT_WINDOW = "next_window"  # queue for the next announced active time
+    DUPLICATE = "duplicate"  # already seen: drop silently
+
+
+class SleepDecision(enum.Enum):
+    """What to do at the end of an active period."""
+
+    STAY_AWAKE = "stay_awake"
+    SLEEP = "sleep"
+
+
+class PBBFAgent:
+    """Per-node PBBF state: coin flips plus duplicate suppression.
+
+    Parameters
+    ----------
+    params:
+        The (p, q) configuration.
+    rng:
+        Random stream for the two coins.  Pass a node-specific seeded
+        stream for reproducibility.
+    """
+
+    def __init__(self, params: PBBFParams, rng: Optional[random.Random] = None) -> None:
+        self.params = params
+        self._rng = rng if rng is not None else random.Random()
+        self._seen: Set[Hashable] = set()
+        # Diagnostics for tests and adaptive controllers.
+        self.immediate_forwards = 0
+        self.next_window_forwards = 0
+        self.duplicates_dropped = 0
+        self.stay_awake_decisions = 0
+        self.sleep_decisions = 0
+
+    def receive_broadcast(self, broadcast_id: Hashable) -> ForwardingDecision:
+        """Decide the fate of a received broadcast (Figure 3, bottom).
+
+        ``broadcast_id`` identifies the broadcast across copies — e.g. the
+        packet's ``(origin, seqno)`` pair — so that duplicates arriving via
+        other neighbours are dropped rather than re-forwarded.
+        """
+        if broadcast_id in self._seen:
+            self.duplicates_dropped += 1
+            return ForwardingDecision.DUPLICATE
+        self._seen.add(broadcast_id)
+        if self._rng.random() < self.params.p:
+            self.immediate_forwards += 1
+            return ForwardingDecision.IMMEDIATE
+        self.next_window_forwards += 1
+        return ForwardingDecision.NEXT_WINDOW
+
+    def sleep_decision(self, data_to_send: bool = False, data_to_recv: bool = False) -> SleepDecision:
+        """Decide whether to sleep at the end of an active time (Figure 3, top).
+
+        Pending traffic in either direction forces the node to stay awake
+        (that part is inherited from the base sleep protocol); otherwise
+        the q-coin decides.
+        """
+        if data_to_send or data_to_recv:
+            self.stay_awake_decisions += 1
+            return SleepDecision.STAY_AWAKE
+        if self._rng.random() < self.params.q:
+            self.stay_awake_decisions += 1
+            return SleepDecision.STAY_AWAKE
+        self.sleep_decisions += 1
+        return SleepDecision.SLEEP
+
+    def mark_seen(self, broadcast_id: Hashable) -> None:
+        """Record a broadcast as seen without a forwarding decision.
+
+        Used by the MAC for broadcasts this node *originates*: the node
+        must treat echoes of its own packet as duplicates, but no p-coin
+        is involved (origination always follows the announced path).
+        """
+        self._seen.add(broadcast_id)
+
+    def has_seen(self, broadcast_id: Hashable) -> bool:
+        """True when ``broadcast_id`` was already received."""
+        return broadcast_id in self._seen
+
+    def seen_count(self) -> int:
+        """Number of distinct broadcasts received so far."""
+        return len(self._seen)
+
+    def reset(self) -> None:
+        """Forget all seen broadcasts and statistics (fresh run)."""
+        self._seen.clear()
+        self.immediate_forwards = 0
+        self.next_window_forwards = 0
+        self.duplicates_dropped = 0
+        self.stay_awake_decisions = 0
+        self.sleep_decisions = 0

@@ -1,0 +1,60 @@
+"""Remark 1: the bond-percolation reliability algebra.
+
+For a node A that holds the broadcast and a neighbour B, the link A -> B
+delivers a copy with probability::
+
+    pedge = p*q + (1 - p) = 1 - p*(1 - q)
+
+(immediate forward caught because B stayed awake, plus the always-heard
+next-window forward).  The broadcast percolates — reaches a macroscopic
+fraction of the network — iff ``pedge`` is at or above the topology's
+critical bond probability ``pc`` (Remark 1).
+
+These functions are the pure algebra; critical probabilities themselves
+come from :mod:`repro.percolation`.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_probability
+
+
+def edge_open_probability(p: float, q: float) -> float:
+    """``pedge = 1 - p*(1-q)``, the per-link delivery probability."""
+    p = check_probability("p", p)
+    q = check_probability("q", q)
+    return 1.0 - p * (1.0 - q)
+
+
+def satisfies_reliability_threshold(p: float, q: float, critical_bond_probability: float) -> bool:
+    """Remark 1's condition: does (p, q) sit in the high-reliability region?"""
+    pc = check_probability("critical_bond_probability", critical_bond_probability)
+    return edge_open_probability(p, q) >= pc
+
+
+def minimum_q_for_edge_probability(p: float, pedge_target: float) -> float:
+    """Smallest q making ``edge_open_probability(p, q) >= pedge_target``.
+
+    Raises :class:`ValueError` when no q in [0, 1] can reach the target
+    (impossible only for ``pedge_target > 1``, excluded by validation).
+    """
+    p = check_probability("p", p)
+    target = check_probability("pedge_target", pedge_target)
+    if p == 0.0:
+        return 0.0  # pedge is already 1.0
+    # 1 - p*(1-q) >= target  <=>  q >= 1 - (1-target)/p
+    return max(0.0, 1.0 - (1.0 - target) / p)
+
+
+def minimum_p_for_edge_probability(q: float, pedge_target: float) -> float:
+    """Largest p keeping ``edge_open_probability(p, q) >= pedge_target``.
+
+    Note the inversion: pedge *decreases* in p, so the feasible set is
+    ``p <= result``.  Returns 1.0 when every p is feasible (q high enough).
+    """
+    q = check_probability("q", q)
+    target = check_probability("pedge_target", pedge_target)
+    if q == 1.0 or target == 0.0:
+        return 1.0
+    # 1 - p*(1-q) >= target  <=>  p <= (1-target)/(1-q)
+    return min(1.0, (1.0 - target) / (1.0 - q))

@@ -1,0 +1,26 @@
+"""The Section 5 detailed simulator (the reproduction's ns-2 stand-in).
+
+Assembles the full stack — random deployment, collision-modelling channel,
+CSMA/CA, 802.11 PSM with PBBF, code-distribution application, Mica2 energy
+accounting — and runs the paper's 500-second scenarios:
+
+* :class:`~repro.detailed.config.CodeDistributionParameters` -- Table 2's
+  values plus the shared Table 1 timing;
+* :class:`~repro.detailed.node.SensorNode` -- one node's radio + MAC
+  bundle, presented to the channel as a listener;
+* :class:`~repro.detailed.simulator.DetailedSimulator` -- builds a
+  scenario from a seed, runs it, and returns a
+  :class:`~repro.detailed.simulator.DetailedResult` exposing every
+  Figure 13-18 metric.
+"""
+
+from repro.detailed.config import CodeDistributionParameters
+from repro.detailed.node import SensorNode
+from repro.detailed.simulator import DetailedResult, DetailedSimulator
+
+__all__ = [
+    "CodeDistributionParameters",
+    "DetailedResult",
+    "DetailedSimulator",
+    "SensorNode",
+]

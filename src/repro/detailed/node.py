@@ -1,0 +1,44 @@
+"""One sensor node: radio + MAC, presented to the channel as a listener."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.energy.model import RadioEnergyModel
+from repro.mac.always_on import AlwaysOnMac
+from repro.mac.pbbf import PBBFMac
+from repro.mac.smac import SMacPBBF
+from repro.mac.tmac import TMacPBBF
+from repro.net.packet import Packet
+
+#: The MAC variants a node can run.
+AnyMac = Union[PBBFMac, AlwaysOnMac, SMacPBBF, TMacPBBF]
+
+
+class SensorNode:
+    """Thin composition of a radio and a MAC.
+
+    Implements the :class:`~repro.net.channel.ChannelListener` protocol by
+    delegation: the radio answers "could I hear this?", the MAC consumes
+    what was heard.
+    """
+
+    def __init__(self, node_id: int, radio: RadioEnergyModel, mac: AnyMac) -> None:
+        self.node_id = node_id
+        self.radio = radio
+        self.mac = mac
+
+    def is_listening_interval(self, start: float, end: float) -> bool:
+        """Was the radio continuously listening over ``[start, end]``?"""
+        return self.radio.is_listening_interval(start, end)
+
+    def on_receive(self, packet: Packet) -> None:
+        """Channel delivered a clean frame."""
+        self.mac.handle_receive(packet)
+
+    def on_collision(self, packet: Packet) -> None:
+        """Channel reported a corrupted frame."""
+        self.mac.handle_collision(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SensorNode({self.node_id}, mac={type(self.mac).__name__})"

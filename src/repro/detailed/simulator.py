@@ -1,0 +1,282 @@
+"""Scenario assembly and execution for the Section 5 study.
+
+A :class:`DetailedSimulator` is a pure function of ``(params, config,
+seed, mode)``: the same inputs rebuild the same deployment, the same
+traffic, and the same coin flips, which is what makes the paired
+protocol comparisons in Figures 13-18 meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.code_distribution import CodeDistributionApp
+from repro.apps.metrics import BroadcastMetrics
+from repro.core.params import PBBFParams
+from repro.core.pbbf import PBBFAgent
+from repro.detailed.config import CodeDistributionParameters
+from repro.detailed.node import AnyMac, SensorNode
+from repro.energy.model import RadioEnergyModel
+from repro.ideal.simulator import SchedulingMode
+from repro.mac.always_on import AlwaysOnMac
+from repro.mac.base import MacConfig, MacStats
+from repro.mac.csma import CsmaConfig
+from repro.mac.pbbf import PBBFMac
+from repro.mac.smac import SMacConfig, SMacPBBF
+from repro.mac.tmac import TMacConfig, TMacPBBF
+from repro.net.channel import Channel, ChannelStats
+from repro.net.propagation import LossModel
+from repro.net.topology import RandomTopology, Topology
+from repro.sim.engine import Engine
+from repro.util.rng import RandomStreams
+
+
+@dataclass
+class DetailedResult:
+    """Everything measured from one detailed run."""
+
+    params: PBBFParams
+    mode: SchedulingMode
+    config: CodeDistributionParameters
+    source: int
+    topology: Topology
+    metrics: BroadcastMetrics
+    channel_stats: ChannelStats
+    mac_stats: List[MacStats]
+    node_joules: List[float]
+
+    @property
+    def n_updates(self) -> int:
+        """Updates generated at the source during the run."""
+        return self.metrics._app.n_updates
+
+    def total_data_transmissions(self) -> int:
+        """Data frames put on the air across all nodes."""
+        return sum(stats.data_sent for stats in self.mac_stats)
+
+
+class DetailedSimulator:
+    """Builds and runs one code-distribution scenario.
+
+    Parameters
+    ----------
+    params:
+        PBBF's (p, q); use ``PBBFParams.psm()`` for the PSM baseline.
+    config:
+        Scenario parameters (Table 2 defaults).
+    seed:
+        Root seed; deployment, source choice, traffic and every coin flip
+        derive from it.
+    mode:
+        ``PSM_PBBF`` (default) or ``ALWAYS_ON`` (the "NO PSM" baseline,
+        where ``params`` is ignored).
+    topology:
+        Optional pre-built topology (tests use small deterministic ones);
+        by default a connected random deployment is sampled from the seed.
+    loss_probability:
+        Optional independent per-reception loss (failure injection).
+    scheduler:
+        Which sleep scheduler carries PBBF: ``"psm"`` (the paper's
+        802.11 PSM, default), ``"smac"`` or ``"tmac"`` (the extension
+        schedulers demonstrating PBBF's portability).  Ignored in
+        ``ALWAYS_ON`` mode.
+    agent_factory:
+        Optional ``factory(node_id, rng) -> PBBFAgent`` overriding the
+        default static agent — the hook the adaptive-PBBF extension
+        plugs into.
+    clock_skew_std:
+        Failure injection: per-node schedule offsets drawn from a
+        half-normal with this standard deviation (seconds).  The paper
+        assumes perfect synchronisation; non-zero skew desynchronises
+        ATIM windows (PSM scheduler only).
+    node_failures:
+        Failure injection: ``{node_id: fail_time_s}`` — each listed node
+        falls permanently silent at its time (radio off, queues dropped).
+    tracer:
+        Optional :class:`~repro.net.trace.PacketTracer` capturing every
+        MAC-level event of the run (the ns-2-style trace file).
+    mac_factory:
+        Escape hatch for custom MACs (e.g. the gossip baseline):
+        ``factory(node_id, engine, channel, radio, deliver, rng) -> mac``.
+        When given it overrides ``mode``/``scheduler`` entirely; the MAC
+        must satisfy :class:`~repro.mac.base.BroadcastMac`.
+    """
+
+    def __init__(
+        self,
+        params: PBBFParams,
+        config: Optional[CodeDistributionParameters] = None,
+        seed: int = 0,
+        mode: SchedulingMode = SchedulingMode.PSM_PBBF,
+        topology: Optional[Topology] = None,
+        loss_probability: float = 0.0,
+        scheduler: str = "psm",
+        agent_factory=None,
+        clock_skew_std: float = 0.0,
+        node_failures: Optional[Dict[int, float]] = None,
+        tracer=None,
+        mac_factory=None,
+    ) -> None:
+        if scheduler not in ("psm", "smac", "tmac"):
+            raise ValueError(
+                f"scheduler must be 'psm', 'smac' or 'tmac', got {scheduler!r}"
+            )
+        if clock_skew_std < 0.0:
+            raise ValueError(f"clock_skew_std must be >= 0, got {clock_skew_std}")
+        self.scheduler = scheduler
+        self._agent_factory = agent_factory
+        self._clock_skew_std = clock_skew_std
+        self._node_failures = dict(node_failures) if node_failures else {}
+        self._tracer = tracer
+        self._mac_factory = mac_factory
+        self.params = params
+        self.config = config if config is not None else CodeDistributionParameters()
+        self.mode = mode
+        self._streams = RandomStreams(seed)
+        if topology is None:
+            topology = RandomTopology.connected(
+                self.config.n_nodes,
+                self.config.radio_range,
+                self.config.density,
+                self._streams.stream("placement"),
+            )
+        self.topology = topology
+        # "One random node is chosen to be the broadcast and code
+        # distribution source for each scenario."
+        self.source = self._streams.stream("source").randrange(topology.n_nodes)
+        self._loss_probability = loss_probability
+
+    def run(self, duration: Optional[float] = None) -> DetailedResult:
+        """Execute the scenario and return its measurements."""
+        duration = duration if duration is not None else self.config.duration
+        cfg = self.config
+        engine = Engine()
+        channel = Channel(
+            engine,
+            self.topology,
+            cfg.bit_rate_bps,
+            loss_model=LossModel(
+                self._loss_probability, self._streams.stream("loss")
+            ),
+            tracer=self._tracer,
+        )
+        app = CodeDistributionApp(
+            engine,
+            source=self.source,
+            n_nodes=self.topology.n_nodes,
+            update_interval=cfg.update_interval,
+            k=cfg.k,
+            packet_size_bytes=cfg.total_packet_bytes,
+        )
+        mac_config = MacConfig(
+            beacon_interval=cfg.beacon_interval,
+            atim_window=cfg.atim_window,
+            bit_rate_bps=cfg.bit_rate_bps,
+            data_size_bytes=cfg.total_packet_bytes,
+        )
+        csma_config = CsmaConfig()
+        nodes: List[SensorNode] = []
+        n = self.topology.n_nodes
+        for node_id in range(n):
+            radio = RadioEnergyModel(cfg.power, start_time=engine.now)
+            deliver = app.delivery_callback(node_id)
+            backoff_rng = self._streams.stream(f"node.{node_id}.backoff")
+            mac: AnyMac
+            if self._mac_factory is not None:
+                mac = self._mac_factory(
+                    node_id, engine, channel, radio, deliver, backoff_rng
+                )
+            elif self.mode is SchedulingMode.ALWAYS_ON:
+                mac = AlwaysOnMac(
+                    engine, channel, node_id, radio, deliver, backoff_rng,
+                    csma_config=csma_config,
+                )
+            else:
+                agent_rng = self._streams.stream(f"node.{node_id}.pbbf")
+                if self._agent_factory is not None:
+                    agent = self._agent_factory(node_id, agent_rng)
+                else:
+                    agent = PBBFAgent(self.params, agent_rng)
+                if self.scheduler == "smac":
+                    mac = SMacPBBF(
+                        engine, channel, node_id, agent, radio, deliver,
+                        backoff_rng,
+                        config=SMacConfig(
+                            frame_time=cfg.beacon_interval,
+                            listen_time=cfg.atim_window,
+                        ),
+                        csma_config=csma_config,
+                    )
+                elif self.scheduler == "tmac":
+                    mac = TMacPBBF(
+                        engine, channel, node_id, agent, radio, deliver,
+                        backoff_rng,
+                        config=TMacConfig(frame_time=cfg.beacon_interval),
+                        csma_config=csma_config,
+                    )
+                else:
+                    offset = 0.0
+                    if self._clock_skew_std > 0.0:
+                        offset = abs(
+                            self._streams.stream(f"node.{node_id}.skew").gauss(
+                                0.0, self._clock_skew_std
+                            )
+                        )
+                    mac = PBBFMac(
+                        engine,
+                        channel,
+                        node_id,
+                        agent,
+                        radio,
+                        deliver,
+                        backoff_rng,
+                        config=mac_config,
+                        csma_config=csma_config,
+                        beacon_duty=_round_robin_beacon_duty(node_id, n),
+                        clock_offset=offset,
+                    )
+            node = SensorNode(node_id, radio, mac)
+            channel.attach(node_id, node)
+            nodes.append(node)
+        for node in nodes:
+            node.mac.start()
+        app.bind_source_mac(nodes[self.source].mac)
+        app.start(duration)
+        for node_id, fail_time in self._node_failures.items():
+            if not 0 <= node_id < n:
+                raise IndexError(f"failing node {node_id} outside topology")
+            mac = nodes[node_id].mac
+            if not hasattr(mac, "stop"):
+                raise ValueError(
+                    f"scheduler {type(mac).__name__} does not support "
+                    "node-failure injection"
+                )
+            engine.schedule_at(fail_time, mac.stop)
+        engine.run(until=duration)
+        node_joules = [node.radio.consumed_joules(duration) for node in nodes]
+        metrics = BroadcastMetrics(
+            app,
+            self.topology.hop_distances_from(self.source),
+            node_joules,
+        )
+        return DetailedResult(
+            params=self.params,
+            mode=self.mode,
+            config=cfg,
+            source=self.source,
+            topology=self.topology,
+            metrics=metrics,
+            channel_stats=channel.stats,
+            mac_stats=[node.mac.stats for node in nodes],
+            node_joules=node_joules,
+        )
+
+
+def _round_robin_beacon_duty(node_id: int, n_nodes: int):
+    """Each beacon interval gets exactly one beacon sender, round robin."""
+
+    def duty(bi_index: int) -> bool:
+        return bi_index % n_nodes == node_id
+
+    return duty

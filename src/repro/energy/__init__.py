@@ -1,0 +1,39 @@
+"""Radio energy accounting.
+
+The paper's energy results multiply radio-state residency times by the
+Mica2 Mote power draws of Table 1 (transmit 81 mW, receive/idle 30 mW,
+sleep 3 µW).  This package provides:
+
+* :class:`~repro.energy.model.PowerProfile` -- the per-state power levels,
+  with :data:`~repro.energy.model.MICA2` as the paper's values;
+* :class:`~repro.energy.model.RadioState` -- the radio state machine states;
+* :class:`~repro.energy.model.RadioEnergyModel` -- per-node state tracking
+  and joule integration, which doubles as the half-duplex/sleep gate the
+  channel consults when deciding whether a node can hear a packet.
+"""
+
+from repro.energy.lifetime import (
+    AA_PAIR_JOULES,
+    LifetimeEstimate,
+    lifetime_from_joules_per_update,
+    lifetime_from_power,
+)
+from repro.energy.model import (
+    MICA2,
+    ALWAYS_ON_PROFILE,
+    PowerProfile,
+    RadioEnergyModel,
+    RadioState,
+)
+
+__all__ = [
+    "AA_PAIR_JOULES",
+    "ALWAYS_ON_PROFILE",
+    "LifetimeEstimate",
+    "MICA2",
+    "PowerProfile",
+    "RadioEnergyModel",
+    "RadioState",
+    "lifetime_from_joules_per_update",
+    "lifetime_from_power",
+]

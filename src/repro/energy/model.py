@@ -1,0 +1,143 @@
+"""Radio state machine and energy integration.
+
+Energy is accounted exactly the way the paper computes it: the radio is in
+one state at a time (transmit / listen / sleep), each state has a constant
+power draw, and consumed energy is the time-integral of power.  The model
+also answers the channel's "was this node continuously listening over
+[start, end]?" query, which is what makes sleeping nodes deaf and gives the
+half-duplex behaviour (a transmitting radio cannot receive).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.util.validation import check_non_negative
+
+
+class RadioState(enum.Enum):
+    """Operating state of a node's radio."""
+
+    TX = "tx"
+    LISTEN = "listen"  # receive and idle draw the same power on a Mica2
+    SLEEP = "sleep"
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Per-state power draw in watts."""
+
+    tx_w: float
+    listen_w: float
+    sleep_w: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("tx_w", self.tx_w)
+        check_non_negative("listen_w", self.listen_w)
+        check_non_negative("sleep_w", self.sleep_w)
+
+    def power(self, state: RadioState) -> float:
+        """Power draw in watts for ``state``."""
+        if state is RadioState.TX:
+            return self.tx_w
+        if state is RadioState.LISTEN:
+            return self.listen_w
+        return self.sleep_w
+
+
+#: Mica2 Mote levels from Table 1: P_TX=81 mW, P_I=30 mW, P_S=3 uW.
+MICA2 = PowerProfile(tx_w=0.081, listen_w=0.030, sleep_w=0.000003)
+
+#: A degenerate profile where sleeping saves nothing; used in tests to
+#: isolate protocol behaviour from energy accounting.
+ALWAYS_ON_PROFILE = PowerProfile(tx_w=0.081, listen_w=0.030, sleep_w=0.030)
+
+
+class RadioEnergyModel:
+    """Tracks one radio's state over time and integrates consumed energy.
+
+    The owner (a node's MAC layer) calls :meth:`set_state` at every radio
+    transition, passing the current simulation time.  Queries:
+
+    * :meth:`consumed_joules` -- total energy up to ``now``;
+    * :meth:`is_listening_interval` -- the channel's reception gate;
+    * :meth:`time_in_state` -- per-state residency (used to validate the
+      duty-cycle algebra of Eqs. 3-8 in tests).
+    """
+
+    def __init__(self, profile: PowerProfile, start_time: float = 0.0, initial_state: RadioState = RadioState.LISTEN) -> None:
+        self.profile = profile
+        self._state = initial_state
+        self._state_since = start_time
+        self._last_time = start_time
+        self._joules = 0.0
+        self._residency: Dict[RadioState, float] = {state: 0.0 for state in RadioState}
+        # Most recent moment the radio was in a non-LISTEN state; receptions
+        # starting before this are necessarily truncated.
+        self._last_non_listen_exit = start_time if initial_state is RadioState.LISTEN else None
+
+    @property
+    def state(self) -> RadioState:
+        """Current radio state."""
+        return self._state
+
+    def set_state(self, state: RadioState, now: float) -> None:
+        """Transition the radio to ``state`` at simulation time ``now``."""
+        self._accumulate(now)
+        if state is self._state:
+            return
+        previous = self._state
+        self._state = state
+        self._state_since = now
+        if state is RadioState.LISTEN and previous is not RadioState.LISTEN:
+            self._last_non_listen_exit = now
+
+    def consumed_joules(self, now: float) -> float:
+        """Total energy consumed from start until ``now``."""
+        self._accumulate(now)
+        return self._joules
+
+    def time_in_state(self, state: RadioState, now: float) -> float:
+        """Cumulative seconds spent in ``state`` until ``now``."""
+        self._accumulate(now)
+        return self._residency[state]
+
+    def duty_cycle(self, now: float) -> float:
+        """Fraction of elapsed time the radio was *not* asleep."""
+        self._accumulate(now)
+        total = sum(self._residency.values())
+        if total <= 0.0:
+            return 1.0 if self._state is not RadioState.SLEEP else 0.0
+        awake = self._residency[RadioState.TX] + self._residency[RadioState.LISTEN]
+        return awake / total
+
+    def is_listening_interval(self, start: float, end: float) -> bool:
+        """True when the radio could receive continuously over [start, end].
+
+        Requires the radio to be in LISTEN *now* (i.e. at ``end``) and to
+        have been in LISTEN since before ``start``.
+        """
+        if end < start:
+            raise ValueError(f"interval end {end} before start {start}")
+        if self._state is not RadioState.LISTEN:
+            return False
+        return self._state_since <= start
+
+    def _accumulate(self, now: float) -> None:
+        if now < self._last_time:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_time} (energy model)"
+            )
+        elapsed = now - self._last_time
+        if elapsed > 0.0:
+            self._joules += self.profile.power(self._state) * elapsed
+            self._residency[self._state] += elapsed
+            self._last_time = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RadioEnergyModel(state={self._state.value}, "
+            f"joules={self._joules:.6f})"
+        )

@@ -1,0 +1,90 @@
+"""ASCII charts for experiment results.
+
+The figure tables in :mod:`repro.experiments.report` are the precise
+record; this module draws the same series as a terminal scatter chart so
+the *shape* — thresholds, crossovers, linearity — is visible at a glance
+without leaving the shell (``pbbf-experiments run fig04 --chart``).
+
+Each series gets a marker letter (``a``, ``b``, ...); overlapping points
+show ``*``.  Axes are linear, scaled to the data.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.spec import ExperimentResult
+from repro.util.validation import check_positive_int
+
+_MARKERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def render_ascii_chart(
+    result: ExperimentResult,
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Render every series of ``result`` into one scatter chart.
+
+    Results without plottable points (e.g. the table artifacts) raise
+    :class:`ValueError` — callers should fall back to the tabular render.
+    """
+    check_positive_int("width", width)
+    check_positive_int("height", height)
+    if width < 16 or height < 6:
+        raise ValueError(f"chart needs at least 16x6 cells, got {width}x{height}")
+    points = [
+        (series_index, x, y)
+        for series_index, series in enumerate(result.series)
+        for x, y in series.points
+        if y is not None
+    ]
+    if not points:
+        raise ValueError(f"{result.experiment_id} has no plottable points")
+
+    xs = [x for _, x, _ in points]
+    ys = [y for _, _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for series_index, x, y in points:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        row = height - 1 - row  # row 0 is the top of the chart
+        current = grid[row][col]
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        grid[row][col] = marker if current == " " else "*"
+
+    lines = [f"{result.experiment_id}: {result.title}"]
+    y_top = _format_tick(y_hi)
+    y_bottom = _format_tick(y_lo)
+    label_width = max(len(y_top), len(y_bottom))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_top.rjust(label_width)
+        elif row_index == height - 1:
+            label = y_bottom.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}|")
+    x_axis = f"{_format_tick(x_lo)}{' ' * (width - 12)}{_format_tick(x_hi):>6}"
+    lines.append(f"{' ' * label_width} +{'-' * width}+")
+    lines.append(f"{' ' * label_width}  {x_axis}   ({result.x_label})")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={series.label}"
+        for i, series in enumerate(result.series)
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    lines.append(f"{' ' * label_width}  y = {result.y_label}; * = overlap")
+    return "\n".join(lines)
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"

@@ -1,0 +1,137 @@
+"""Figures 6, 7, 12 — the percolation analysis artifacts.
+
+Figure 6 estimates the critical bond fraction per reliability level and
+grid size (Newman-Ziff sweeps); Figure 7 inverts Remark 1 into the minimum
+q per p on a fixed grid; Figure 12 walks that frontier at 99% reliability
+and evaluates the Eq. 8 energy and Eq. 9 latency at every point.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from typing import List
+
+from repro.analysis.tradeoff import energy_latency_curve
+from repro.experiments.scale import Scale
+from repro.experiments.spec import ExperimentResult, Series
+from repro.ideal.config import AnalysisParameters
+from repro.net.topology import GridTopology
+from repro.percolation.threshold import (
+    estimate_critical_bond_fraction,
+    minimum_q_for_reliability,
+)
+
+
+@lru_cache(maxsize=256)
+def _critical_fraction(
+    grid_side: int, reliability: float, runs: int, seed: int
+) -> float:
+    """Mean critical bond fraction for one (grid, reliability) pair."""
+    topology = GridTopology(grid_side)
+    rng = random.Random(seed)
+    thresholds = estimate_critical_bond_fraction(
+        topology, (reliability,), rng, runs=runs, grid_label=f"{grid_side}x{grid_side}"
+    )
+    return thresholds.threshold_for(reliability).mean
+
+
+def critical_fraction(scale: Scale, grid_side: int, reliability: float) -> float:
+    """Memoized Figure 6 estimate at ``scale``'s repetition count."""
+    seed = scale.seed_for("percolation", grid_side, reliability)
+    return _critical_fraction(grid_side, reliability, scale.percolation_runs, seed)
+
+
+def run_fig06(scale: Scale) -> ExperimentResult:
+    """Critical bond fraction vs grid size, one line per reliability level."""
+    series: List[Series] = []
+    for level in scale.reliability_levels:
+        points = tuple(
+            (float(size), critical_fraction(scale, size, level))
+            for size in scale.percolation_sizes
+        )
+        series.append(Series(label=f"{level:.0%} reliability", points=points))
+    return ExperimentResult(
+        experiment_id="fig06",
+        title="Critical bond fraction for grid topologies",
+        x_label="grid side (NxN)",
+        y_label="fraction of occupied bonds",
+        series=tuple(series),
+        expectation=(
+            "Higher reliability needs more occupied bonds at every size; "
+            "thresholds for partial coverage (80-99%) hover a little above "
+            "the infinite-lattice bond threshold 0.5 and drift down with "
+            "grid size, while 100% coverage stays well above it."
+        ),
+    )
+
+
+def run_fig07(scale: Scale) -> ExperimentResult:
+    """Minimum q vs p for each reliability level on the frontier grid."""
+    p_values = [round(0.05 * i, 2) for i in range(21)]
+    series: List[Series] = []
+    for level in scale.reliability_levels:
+        pc = critical_fraction(scale, scale.frontier_grid_side, level)
+        points = tuple(
+            (p, minimum_q_for_reliability(p, pc)) for p in p_values
+        )
+        series.append(Series(label=f"{level:.0%} reliability", points=points))
+    return ExperimentResult(
+        experiment_id="fig07",
+        title=(
+            f"p vs q for given reliability levels "
+            f"({scale.frontier_grid_side}x{scale.frontier_grid_side} grid)"
+        ),
+        x_label="p",
+        y_label="minimum q",
+        series=tuple(series),
+        expectation=(
+            "Each curve is flat at q=0 while p <= 1-pc, then rises "
+            "concavely to q=pc at p=1; higher reliability levels lie "
+            "strictly above lower ones.  Operating points above a curve "
+            "satisfy Remark 1 for that level."
+        ),
+    )
+
+
+def run_fig12(scale: Scale) -> ExperimentResult:
+    """Energy vs latency along the 99% reliability frontier."""
+    analysis = AnalysisParameters()
+    pc = critical_fraction(scale, scale.frontier_grid_side, 0.99)
+    # L2 is the extra sleep-induced wait of a normal broadcast; one full
+    # frame minus the access time reproduces the observed per-hop PSM
+    # latency of ~Tframe (see EXPERIMENTS.md's calibration note).
+    l2 = analysis.t_frame - analysis.l1
+    p_values = [round(0.05 * i, 2) for i in range(1, 21)]
+    points = energy_latency_curve(
+        critical_bond_fraction=pc,
+        p_values=p_values,
+        l1=analysis.l1,
+        l2=l2,
+        t_active=analysis.t_active,
+        t_sleep=analysis.t_sleep,
+        update_interval=analysis.update_interval,
+        profile=analysis.power,
+    )
+    curve = tuple(
+        (point.per_hop_latency_s, point.joules_per_update) for point in points
+    )
+    ordered = tuple(sorted(curve))
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Energy-latency trade-off at 99% reliability",
+        x_label="per-hop latency (s)",
+        y_label="joules consumed / update (per node)",
+        series=(Series(label="99% reliability frontier", points=ordered),),
+        expectation=(
+            "A monotonically decreasing curve: pushing per-hop latency "
+            "down from the PSM corner (~L1+L2) toward L1 requires more "
+            "always-awake time and therefore more energy per update — the "
+            "inverse energy-latency relationship of the paper's title."
+        ),
+        notes=(
+            f"critical bond fraction pc(99%) = {pc:.3f} on "
+            f"{scale.frontier_grid_side}x{scale.frontier_grid_side}",
+            f"L1 = {analysis.l1} s, L2 = {l2} s (Tframe - L1)",
+        ),
+    )

@@ -1,0 +1,153 @@
+"""The experiment registry: every table and figure by id."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments import detailed_figures, ideal_figures, percolation_figures, tables
+from repro.experiments.spec import ExperimentSpec
+
+_SPECS: Dict[str, ExperimentSpec] = {}
+
+
+def _register(spec: ExperimentSpec) -> None:
+    if spec.experiment_id in _SPECS:
+        raise ValueError(f"duplicate experiment id {spec.experiment_id}")
+    _SPECS[spec.experiment_id] = spec
+
+
+_register(ExperimentSpec(
+    experiment_id="table1",
+    title="Analysis parameter values",
+    section="4",
+    expectation="Defaults match the paper's Table 1.",
+    runner=tables.run_table1,
+))
+_register(ExperimentSpec(
+    experiment_id="table2",
+    title="Code distribution parameter values",
+    section="5",
+    expectation="Defaults match the paper's Table 2.",
+    runner=tables.run_table2,
+))
+_register(ExperimentSpec(
+    experiment_id="fig04",
+    title="Threshold behavior for 90% reliability",
+    section="4.1",
+    expectation="Sharp q-thresholds per p; PSM and NO PSM at 1.0.",
+    runner=ideal_figures.run_fig04,
+))
+_register(ExperimentSpec(
+    experiment_id="fig05",
+    title="Threshold behavior for 99% reliability",
+    section="4.1",
+    expectation="Like Fig 4 with thresholds shifted to larger q.",
+    runner=ideal_figures.run_fig05,
+))
+_register(ExperimentSpec(
+    experiment_id="fig06",
+    title="Critical bond fraction for grid sizes",
+    section="4.1",
+    expectation="More bonds needed for higher reliability levels.",
+    runner=percolation_figures.run_fig06,
+))
+_register(ExperimentSpec(
+    experiment_id="fig07",
+    title="p vs q reliability frontier (30x30 grid)",
+    section="4.1",
+    expectation="Minimum q rises with p; higher levels sit above.",
+    runner=percolation_figures.run_fig07,
+))
+_register(ExperimentSpec(
+    experiment_id="fig08",
+    title="Average energy consumption (ideal)",
+    section="4.2",
+    expectation="Energy linear in q, independent of p (Eq. 8).",
+    runner=ideal_figures.run_fig08,
+))
+_register(ExperimentSpec(
+    experiment_id="fig09",
+    title="Average hops travelled, near nodes",
+    section="4.3",
+    expectation="Path stretch near threshold, ~d at high reliability.",
+    runner=ideal_figures.run_fig09,
+))
+_register(ExperimentSpec(
+    experiment_id="fig10",
+    title="Average hops travelled, far nodes",
+    section="4.3",
+    expectation="Same as Fig 9, amplified with distance.",
+    runner=ideal_figures.run_fig10,
+))
+_register(ExperimentSpec(
+    experiment_id="fig11",
+    title="Average per-hop update latency (ideal)",
+    section="4.3",
+    expectation="PSM ~Tframe, NO PSM ~L1, PBBF between (Eq. 9).",
+    runner=ideal_figures.run_fig11,
+))
+_register(ExperimentSpec(
+    experiment_id="fig12",
+    title="Energy-latency trade-off at 99% reliability",
+    section="4.4",
+    expectation="Energy and latency inversely related on the frontier.",
+    runner=percolation_figures.run_fig12,
+))
+_register(ExperimentSpec(
+    experiment_id="fig13",
+    title="Average energy consumption (detailed)",
+    section="5.2",
+    expectation="PSM saves ~2 J/update vs NO PSM; linear in q; p-independent.",
+    runner=detailed_figures.run_fig13,
+))
+_register(ExperimentSpec(
+    experiment_id="fig14",
+    title="2-hop average update latency (detailed)",
+    section="5.2",
+    expectation="PSM ~AW+BI; PBBF crosses below it as p, q grow.",
+    runner=detailed_figures.run_fig14,
+))
+_register(ExperimentSpec(
+    experiment_id="fig15",
+    title="5-hop average update latency (detailed)",
+    section="5.2",
+    expectation="Crossover at lower q than the 2-hop case.",
+    runner=detailed_figures.run_fig15,
+))
+_register(ExperimentSpec(
+    experiment_id="fig16",
+    title="Average updates received (detailed)",
+    section="5.2",
+    expectation="p=0.5 degraded until q~0.5; small p nearly lossless.",
+    runner=detailed_figures.run_fig16,
+))
+_register(ExperimentSpec(
+    experiment_id="fig17",
+    title="Average update latency vs density (detailed)",
+    section="5.3",
+    expectation="Latency falls with density, most sharply for PSM/PBBF.",
+    runner=detailed_figures.run_fig17,
+))
+_register(ExperimentSpec(
+    experiment_id="fig18",
+    title="Average updates received vs density (detailed)",
+    section="5.3",
+    expectation="PBBF delivery improves with density.",
+    runner=detailed_figures.run_fig18,
+))
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment by id (e.g. ``"fig08"``, ``"table1"``)."""
+    try:
+        return _SPECS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(sorted(_SPECS))}"
+        ) from None
+
+
+def all_experiment_ids() -> List[str]:
+    """Every registered artifact id, tables first, then figures in order."""
+    return sorted(_SPECS, key=lambda eid: (not eid.startswith("table"), eid))

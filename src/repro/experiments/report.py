@@ -1,0 +1,56 @@
+"""Text rendering of experiment results.
+
+The reproduction compares *shapes* against the paper's plots, so results
+render as aligned text tables — one row per x value, one column per series
+— which diff cleanly and read directly in terminals and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.spec import ExperimentResult
+
+
+def _format_cell(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e6:
+        return f"{int(value)}"
+    return f"{value:.4g}"
+
+
+def render_result(result: ExperimentResult) -> str:
+    """Render a figure as a column-aligned table (or a table artifact as rows)."""
+    lines: List[str] = [f"== {result.experiment_id}: {result.title} =="]
+    if result.table_rows:
+        width = max(len(name) for name, _ in result.table_rows)
+        for name, value in result.table_rows:
+            lines.append(f"  {name.ljust(width)}  {value}")
+    else:
+        xs: List[float] = []
+        for series in result.series:
+            for x in series.xs():
+                if x not in xs:
+                    xs.append(x)
+        xs.sort()
+        header = [result.x_label] + [series.label for series in result.series]
+        rows = [
+            [_format_cell(x)] + [
+                _format_cell(series.y_at(x)) for series in result.series
+            ]
+            for x in xs
+        ]
+        widths = [
+            max(len(header[col]), *(len(row[col]) for row in rows)) if rows else len(header[col])
+            for col in range(len(header))
+        ]
+        lines.append("  " + "  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        for row in rows:
+            lines.append("  " + "  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        lines.append(f"  (y = {result.y_label})")
+    if result.notes:
+        for note in result.notes:
+            lines.append(f"  note: {note}")
+    lines.append(f"  paper: {result.expectation}")
+    return "\n".join(lines)

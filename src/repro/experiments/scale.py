@@ -1,0 +1,103 @@
+"""Experiment scale presets.
+
+Every knob that trades fidelity for runtime lives here, so "the paper's
+configuration" and "the CI configuration" are two frozen values rather
+than scattered magic numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Scale:
+    """All size/repetition knobs for the experiment harness.
+
+    Attributes mirror the paper's setup; :meth:`fast` shrinks sizes and
+    repetitions while keeping every qualitative effect visible.
+    """
+
+    name: str
+
+    # -- Section 4 (ideal simulator) ------------------------------------
+    grid_side: int
+    n_broadcasts: int
+    ideal_runs: int
+    ideal_p_values: Tuple[float, ...]
+    ideal_q_values: Tuple[float, ...]
+    hop_distance_near: int  # Figure 9's "20-hop nodes"
+    hop_distance_far: int   # Figure 10's "60-hop nodes"
+
+    # -- percolation (Figures 6, 7, 12) -----------------------------------
+    percolation_sizes: Tuple[int, ...]
+    percolation_runs: int
+    frontier_grid_side: int
+    reliability_levels: Tuple[float, ...]
+
+    # -- Section 5 (detailed simulator) -----------------------------------
+    detailed_runs: int
+    detailed_p_values: Tuple[float, ...]
+    detailed_q_values: Tuple[float, ...]
+    densities: Tuple[float, ...]
+    duration: float
+
+    #: Root seed from which every run's seed is derived.
+    base_seed: int = 20050610  # ICDCS 2005's opening day
+
+    @classmethod
+    def full(cls) -> "Scale":
+        """The paper's configuration (minutes per figure)."""
+        return cls(
+            name="full",
+            grid_side=75,
+            n_broadcasts=50,
+            ideal_runs=1,
+            ideal_p_values=(0.05, 0.25, 0.375, 0.5, 0.75),
+            ideal_q_values=tuple(round(0.1 * i, 1) for i in range(11)),
+            hop_distance_near=20,
+            hop_distance_far=60,
+            percolation_sizes=(10, 20, 30, 40),
+            percolation_runs=50,
+            frontier_grid_side=30,
+            reliability_levels=(0.8, 0.9, 0.99, 1.0),
+            detailed_runs=10,
+            detailed_p_values=(0.05, 0.1, 0.25, 0.5),
+            detailed_q_values=tuple(round(0.1 * i, 1) for i in range(11)),
+            densities=(8.0, 10.0, 12.0, 14.0, 16.0, 18.0),
+            duration=500.0,
+        )
+
+    @classmethod
+    def fast(cls) -> "Scale":
+        """Reduced-scale configuration (seconds per figure; CI/benches)."""
+        return cls(
+            name="fast",
+            grid_side=25,
+            n_broadcasts=12,
+            ideal_runs=1,
+            ideal_p_values=(0.05, 0.25, 0.5, 0.75),
+            ideal_q_values=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+            hop_distance_near=8,
+            hop_distance_far=16,
+            percolation_sizes=(10, 16, 22, 30),
+            percolation_runs=12,
+            frontier_grid_side=20,
+            reliability_levels=(0.8, 0.9, 0.99, 1.0),
+            detailed_runs=2,
+            detailed_p_values=(0.1, 0.5),
+            detailed_q_values=(0.0, 0.25, 0.5, 0.75, 1.0),
+            densities=(8.0, 12.0, 16.0),
+            duration=400.0,
+        )
+
+    def seed_for(self, *labels: object) -> int:
+        """A stable per-(experiment, point, run) seed."""
+        key = ":".join(str(label) for label in labels)
+        # Cheap deterministic string fold; quality is irrelevant because the
+        # value becomes the root of a hashed RandomStreams family.
+        acc = self.base_seed
+        for ch in key:
+            acc = (acc * 1000003 + ord(ch)) & 0x7FFFFFFFFFFFFFFF
+        return acc

@@ -1,0 +1,89 @@
+"""Experiment spec and result containers.
+
+An :class:`ExperimentSpec` binds a paper artifact (one table or figure) to
+the function that regenerates it.  Results are x/y *series* — exactly the
+lines of the paper's plot — rendered as aligned text tables, because the
+comparison we care about is shape and ordering, not pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.experiments.scale import Scale
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: a label and its (x, y) points.
+
+    ``y`` may be ``None`` where a metric is undefined (e.g. latency when
+    nothing was delivered); rendering shows a dash, mirroring how the
+    paper's plots simply have no sample there.
+    """
+
+    label: str
+    points: Tuple[Tuple[float, Optional[float]], ...]
+
+    def y_at(self, x: float) -> Optional[float]:
+        """The y value at ``x`` (exact match), or None."""
+        for px, py in self.points:
+            if px == x:
+                return py
+        return None
+
+    def xs(self) -> List[float]:
+        """X coordinates in plotting order."""
+        return [px for px, _ in self.points]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A regenerated table or figure."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Tuple[Series, ...]
+    #: What the paper's version of this artifact shows (for EXPERIMENTS.md).
+    expectation: str
+    #: Free-form notes recorded during the run (calibration values etc.).
+    notes: Tuple[str, ...] = ()
+    #: For table artifacts (Tables 1-2): (parameter, value) rows.  Table
+    #: results carry these instead of series.
+    table_rows: Tuple[Tuple[str, str], ...] = ()
+
+    def get_series(self, label: str) -> Series:
+        """Look up a series by its legend label."""
+        for entry in self.series:
+            if entry.label == label:
+                return entry
+        raise KeyError(
+            f"{self.experiment_id} has no series {label!r}; "
+            f"have {[s.label for s in self.series]}"
+        )
+
+    def render(self) -> str:
+        """Aligned text table: x column plus one column per series."""
+        from repro.experiments.report import render_result
+
+        return render_result(self)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Binds an artifact id ("fig08", "table1", ...) to its generator."""
+
+    experiment_id: str
+    title: str
+    #: Paper section the artifact comes from.
+    section: str
+    #: One-line statement of the result the paper reports.
+    expectation: str
+    runner: Callable[[Scale], ExperimentResult]
+
+    def run(self, scale: Optional[Scale] = None) -> ExperimentResult:
+        """Regenerate the artifact at ``scale`` (default: fast)."""
+        return self.runner(scale if scale is not None else Scale.fast())

@@ -1,0 +1,31 @@
+"""The Section 4 idealized simulator.
+
+The paper's analysis combines closed forms with simulations on an *ideal*
+MAC/PHY: no collisions, no interference, instantaneous reliable delivery to
+every awake in-range neighbour.  This package reproduces that simulator:
+
+* :class:`~repro.ideal.config.AnalysisParameters` -- Table 1's values
+  (75x75 grid, Mica2 powers, lambda = 0.01 updates/s, Tframe = 10 s,
+  Tactive = 1 s, L1 ~ 1.5 s);
+* :class:`~repro.ideal.simulator.IdealSimulator` -- earliest-arrival
+  broadcast propagation over a grid with PSM-style frames and PBBF's
+  coin flips, producing the Figure 4/5 reliability curves, the Figure 8
+  energy line, the Figure 9/10 hop-stretch plots, and the Figure 11
+  per-hop latency plot.
+"""
+
+from repro.ideal.config import AnalysisParameters
+from repro.ideal.simulator import (
+    BroadcastOutcome,
+    CampaignResult,
+    IdealSimulator,
+    SchedulingMode,
+)
+
+__all__ = [
+    "AnalysisParameters",
+    "BroadcastOutcome",
+    "CampaignResult",
+    "IdealSimulator",
+    "SchedulingMode",
+]

@@ -1,0 +1,88 @@
+"""Shared MAC interfaces and configuration.
+
+Every MAC in this package drives one node's radio over the shared
+:class:`~repro.net.channel.Channel` and reports fresh application data
+upward through a delivery callback.  The :class:`BroadcastMac` protocol is
+what the :class:`~repro.detailed.node.SensorNode` composes against, so PSM,
+PBBF, always-on, S-MAC and T-MAC are interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.net.packet import Packet
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MacConfig:
+    """Timing and framing shared by the 802.11-style MACs.
+
+    Defaults follow the paper: beacon interval and ATIM window sized from
+    Table 1 (``BI = Tframe = 10 s``, ``AW = Tactive = 1 s``), 19.2 kbps
+    radios, 64-byte data packets (Table 2), small control frames.
+    """
+
+    beacon_interval: float = 10.0
+    atim_window: float = 1.0
+    bit_rate_bps: float = 19200.0
+    data_size_bytes: int = 64
+    atim_size_bytes: int = 28
+    beacon_size_bytes: int = 28
+    #: Emit one synchronisation beacon per beacon interval (byte overhead
+    #: of the sleep schedule; the paper keeps it even at p=q=1).
+    send_beacons: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("beacon_interval", self.beacon_interval)
+        check_positive("atim_window", self.atim_window)
+        check_positive("bit_rate_bps", self.bit_rate_bps)
+        if self.atim_window >= self.beacon_interval:
+            raise ValueError(
+                f"atim_window ({self.atim_window}) must be < "
+                f"beacon_interval ({self.beacon_interval})"
+            )
+
+    @property
+    def sleep_time(self) -> float:
+        """Seconds per beacon interval outside the ATIM window."""
+        return self.beacon_interval - self.atim_window
+
+
+@dataclass
+class MacStats:
+    """Per-node MAC counters (diagnostics and test assertions)."""
+
+    data_sent: int = 0
+    data_received: int = 0
+    duplicates_dropped: int = 0
+    atims_sent: int = 0
+    atims_received: int = 0
+    beacons_sent: int = 0
+    collisions_heard: int = 0
+    immediate_sends: int = 0
+    normal_sends: int = 0
+
+
+class BroadcastMac(Protocol):
+    """The node-facing MAC interface."""
+
+    stats: MacStats
+
+    def start(self) -> None:
+        """Begin operating (schedule the first beacon interval)."""
+
+    def broadcast(self, packet: Packet) -> None:
+        """Accept an application-originated broadcast for transmission."""
+
+    def handle_receive(self, packet: Packet) -> None:
+        """Process a cleanly received frame (called by the node)."""
+
+    def handle_collision(self, packet: Packet) -> None:
+        """Note a corrupted frame (called by the node)."""
+
+
+#: Signature of the upward delivery callback: (packet, receive_time).
+DeliveryCallback = Callable[[Packet, float], None]

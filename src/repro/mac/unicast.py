@@ -1,0 +1,325 @@
+"""Unicast 802.11 PSM traffic with PBBF integration.
+
+The paper's closing sentence lists "integrating PBBF with unicast power
+save protocols" as worthwhile future work.  This module implements that
+integration on top of :class:`~repro.mac.pbbf.PBBFMac`:
+
+**Standard unicast PSM** (IEEE 802.11 §11.2):
+
+1. a node with pending unicast data sends a *directed ATIM* to the
+   destination inside the ATIM window;
+2. the destination replies with an ATIM-ACK and stays awake for the rest
+   of the beacon interval;
+3. the data frame goes out after the window and is acknowledged with a
+   MAC-level ACK; missing ACKs trigger bounded retries.
+
+**PBBF's p-knob for unicast** (this module's contribution, mirroring the
+broadcast design): with probability p the sender *skips the announcement*
+and transmits the data frame right away — if the destination happens to be
+awake (its q-coin, residual activity) the exchange completes a beacon
+interval early; if the ACK times out, the packet falls back to the
+announced path, so reliability is never sacrificed, only the latency
+distribution shifts.  The q-knob needs no unicast-specific work at all:
+PBBF's Sleep-Decision-Handler already keeps receivers awake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.pbbf import ForwardingDecision
+from repro.energy.model import RadioState
+from repro.net.packet import Packet, PacketKind
+from repro.mac.pbbf import PBBFMac
+from repro.sim.engine import EventHandle
+from repro.util.validation import check_non_negative_int
+
+#: Short interframe space: ACK-class frames pre-empt contention (802.11).
+SIFS = 0.001
+
+#: On-air size of control acknowledgements.
+ACK_SIZE_BYTES = 14
+
+#: Delivery callback for completed unicast sends: (packet, delivered).
+UnicastCallback = Callable[[Packet, bool], None]
+
+
+@dataclass
+class _PendingUnicast:
+    packet: Packet
+    retries_left: int
+    announced: bool  # False while still eligible for the immediate path
+    on_done: Optional[UnicastCallback] = None
+    ack_timer: Optional[EventHandle] = None
+    #: Announcement rounds consumed (beacon intervals spent trying).
+    rounds: int = 0
+
+
+@dataclass
+class UnicastStats:
+    """Counters for the unicast extension."""
+
+    queued: int = 0
+    delivered: int = 0
+    failed: int = 0
+    immediate_attempts: int = 0
+    immediate_successes: int = 0
+    atim_acks_sent: int = 0
+    data_acks_sent: int = 0
+    retries: int = 0
+
+
+class UnicastPSMMac(PBBFMac):
+    """:class:`PBBFMac` plus directed-ATIM unicast exchanges.
+
+    All broadcast behaviour is inherited unchanged; unicast adds per-frame
+    state keyed by destination.  ``retry_limit`` bounds data retries per
+    announcement round (a packet that exhausts them re-announces in the
+    next beacon interval, up to ``max_rounds`` rounds before being
+    reported failed).
+    """
+
+    def __init__(self, *args, retry_limit: int = 3, max_rounds: int = 4, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        check_non_negative_int("retry_limit", retry_limit)
+        check_non_negative_int("max_rounds", max_rounds)
+        self.retry_limit = retry_limit
+        self.max_rounds = max_rounds
+        self.unicast_stats = UnicastStats()
+        #: Unicast packets awaiting an announcement round, per destination.
+        self._unicast_queue: List[_PendingUnicast] = []
+        #: Destinations that ATIM-ACKed us in the current beacon interval.
+        self._cleared: set = set()
+        #: The exchange currently in flight (one at a time, like the
+        #: broadcast path's single CSMA head-of-line frame).
+        self._in_flight: Optional[_PendingUnicast] = None
+
+    # -- public API -------------------------------------------------------------
+
+    def send_unicast(
+        self, packet: Packet, on_done: Optional[UnicastCallback] = None
+    ) -> None:
+        """Queue ``packet`` for reliable unicast delivery.
+
+        ``packet.destination`` must name a neighbour.  ``on_done`` fires
+        once, with ``delivered=True`` on ACK or ``False`` after every
+        retry round is exhausted.
+        """
+        if self._stopped:
+            return
+        if packet.destination is None:
+            raise ValueError("send_unicast() needs a packet with a destination")
+        entry = _PendingUnicast(
+            packet=packet,
+            retries_left=self.retry_limit,
+            announced=False,
+            on_done=on_done,
+        )
+        self.unicast_stats.queued += 1
+        # The PBBF immediate path: skip the announcement with probability p
+        # and try the data frame right away (fall back on ACK timeout).
+        if self.agent.params.p > 0.0 and self._p_coin():
+            self.unicast_stats.immediate_attempts += 1
+            self._transmit_data(entry)
+            return
+        self._unicast_queue.append(entry)
+        if self.in_atim_window():
+            self._announce_unicasts()
+
+    # -- beacon interval hooks ----------------------------------------------------
+
+    def _on_bi_start(self) -> None:
+        if self._stopped:
+            return
+        self._cleared.clear()
+        super()._on_bi_start()
+        # Each beacon interval spent waiting is one announcement round;
+        # entries whose destination never responds eventually fail (dead
+        # or partitioned peers must not be retried forever).
+        expired = [
+            entry for entry in self._unicast_queue
+            if entry.rounds >= self.max_rounds
+        ]
+        for entry in expired:
+            self._unicast_queue.remove(entry)
+            self._fail(entry)
+        for entry in self._unicast_queue:
+            entry.rounds += 1
+        if self._unicast_queue:
+            self._announce_unicasts()
+
+    def _announce_unicasts(self) -> None:
+        """Send one directed ATIM per distinct pending destination."""
+        destinations = []
+        for entry in self._unicast_queue:
+            dest = entry.packet.destination
+            if dest not in destinations and dest not in self._cleared:
+                destinations.append(dest)
+        for dest in destinations:
+            atim = Packet(
+                kind=PacketKind.ATIM,
+                origin=self.node_id,
+                sender=self.node_id,
+                seqno=self._bi_index,
+                size_bytes=self.config.atim_size_bytes,
+                destination=dest,
+            )
+            self._csma.enqueue(atim, on_sent=self._count_atim)
+            self._announced_tx = True
+
+    # -- receive path ----------------------------------------------------------
+
+    def handle_receive(self, packet: Packet) -> None:
+        if self._stopped:
+            return
+        if packet.kind is PacketKind.ATIM and packet.destination is not None:
+            if packet.destination != self.node_id:
+                return  # someone else's announcement: no need to stay up
+            # Directed announcement: ACK it and stay awake this interval.
+            self.stats.atims_received += 1
+            self._announced_rx = True
+            reply = Packet(
+                kind=PacketKind.ATIM_ACK,
+                origin=self.node_id,
+                sender=self.node_id,
+                seqno=packet.seqno,
+                size_bytes=ACK_SIZE_BYTES,
+                destination=packet.sender,
+            )
+            self.unicast_stats.atim_acks_sent += 1
+            self._transmit_control(reply)
+            return
+        if packet.kind is PacketKind.ATIM_ACK:
+            if packet.destination == self.node_id:
+                self._cleared.add(packet.sender)
+                self._launch_cleared()
+            return
+        if packet.kind is PacketKind.ACK:
+            if packet.destination == self.node_id:
+                self._on_data_ack(packet)
+            return
+        if packet.kind is PacketKind.DATA and packet.destination == self.node_id:
+            # Unicast data for us: deliver upward once, always ACK (the
+            # sender may have missed our previous ACK).
+            decision = self.agent.receive_broadcast(packet.broadcast_id)
+            if decision is not ForwardingDecision.DUPLICATE:
+                self.stats.data_received += 1
+                self._deliver(packet, self._engine.now)
+            ack = Packet(
+                kind=PacketKind.ACK,
+                origin=self.node_id,
+                sender=self.node_id,
+                seqno=packet.seqno,
+                size_bytes=ACK_SIZE_BYTES,
+                destination=packet.sender,
+            )
+            self.unicast_stats.data_acks_sent += 1
+            self._transmit_control(ack)
+            return
+        if packet.kind is PacketKind.DATA and packet.destination is not None:
+            return  # someone else's unicast: overheard, ignored
+        super().handle_receive(packet)
+
+    # -- unicast data machinery --------------------------------------------------
+
+    def _launch_cleared(self) -> None:
+        """Move the first queued packet for a cleared destination on air."""
+        if self._in_flight is not None:
+            return
+        for index, entry in enumerate(self._unicast_queue):
+            if entry.packet.destination in self._cleared:
+                del self._unicast_queue[index]
+                entry.announced = True
+                self._transmit_data(entry)
+                return
+
+    def _transmit_data(self, entry: _PendingUnicast) -> None:
+        self._in_flight = entry
+        self._csma.enqueue(
+            entry.packet,
+            gate=self._data_gate,
+            on_sent=lambda pkt, entry=entry: self._arm_ack_timeout(entry),
+        )
+
+    def _arm_ack_timeout(self, entry: _PendingUnicast) -> None:
+        self.stats.data_sent += 1
+        timeout = (
+            SIFS
+            + Packet(
+                kind=PacketKind.ACK,
+                origin=0,
+                sender=0,
+                seqno=0,
+                size_bytes=ACK_SIZE_BYTES,
+            ).duration(self._channel.bit_rate_bps)
+            + 0.05  # scheduling slack
+        )
+        entry.ack_timer = self._engine.schedule(
+            timeout, lambda: self._on_ack_timeout(entry)
+        )
+
+    def _on_data_ack(self, ack: Packet) -> None:
+        entry = self._in_flight
+        if entry is None or entry.packet.seqno != ack.seqno:
+            return
+        if entry.ack_timer is not None:
+            entry.ack_timer.cancel()
+        self._in_flight = None
+        self.unicast_stats.delivered += 1
+        if not entry.announced:
+            self.unicast_stats.immediate_successes += 1
+        if entry.on_done is not None:
+            entry.on_done(entry.packet, True)
+        self._launch_cleared()
+
+    def _on_ack_timeout(self, entry: _PendingUnicast) -> None:
+        if self._in_flight is not entry:
+            return  # stale timer (ACK arrived concurrently)
+        self._in_flight = None
+        if entry.announced and entry.retries_left > 0:
+            entry.retries_left -= 1
+            self.unicast_stats.retries += 1
+            self._transmit_data(entry)
+            return
+        # Immediate attempt missed, or retries exhausted: fall back to an
+        # announcement in a later beacon interval (bounded by max_rounds).
+        entry.rounds += 1
+        if entry.rounds >= self.max_rounds:
+            self._fail(entry)
+            return
+        entry.announced = False
+        entry.retries_left = self.retry_limit
+        self._cleared.discard(entry.packet.destination)
+        self._unicast_queue.append(entry)
+        if self.in_atim_window():
+            self._announce_unicasts()
+
+    def _fail(self, entry: _PendingUnicast) -> None:
+        self.unicast_stats.failed += 1
+        if entry.on_done is not None:
+            entry.on_done(entry.packet, False)
+
+    # -- control frames -----------------------------------------------------------
+
+    def _transmit_control(self, packet: Packet) -> None:
+        """Send an ACK-class frame after SIFS, bypassing contention.
+
+        802.11 gives acknowledgements SIFS priority; modelling that as a
+        short fixed delay (no backoff) keeps the exchange atomic enough
+        for the retry logic while still occupying the channel.
+        """
+        def fire() -> None:
+            if self._stopped:
+                return
+            self.radio.set_state(RadioState.TX, self._engine.now)
+            transmission = self._channel.transmit(self.node_id, packet)
+            self._engine.schedule(
+                transmission.end - transmission.start, self._end_tx
+            )
+
+        self._engine.schedule(SIFS, fire)
+
+    def _p_coin(self) -> bool:
+        """An extra p-draw for the unicast immediate path."""
+        return self.agent._rng.random() < self.agent.params.p

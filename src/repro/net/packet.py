@@ -1,0 +1,110 @@
+"""Packet and frame definitions.
+
+The detailed simulator exchanges three frame kinds, mirroring the paper's
+IEEE 802.11 PSM setting (Figures 1-2):
+
+* ``BEACON`` -- the synchronisation beacon opening each beacon interval;
+* ``ATIM`` -- Ad-hoc Traffic Indication Message announcing a pending
+  broadcast inside the ATIM window;
+* ``DATA`` -- the broadcast payload itself.  For the code-distribution
+  application each data packet carries the ``k`` most recent updates
+  generated at the source (Table 2 uses 64-byte packets with a 30-byte
+  payload).
+
+Transmission duration is ``size_bytes * 8 / bit_rate`` — at the paper's
+19.2 kbps a 64-byte packet occupies the channel for ~26.7 ms.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.util.validation import check_positive
+
+_uid_counter = itertools.count()
+
+
+class PacketKind(enum.Enum):
+    """Frame type on the air."""
+
+    DATA = "data"
+    BEACON = "beacon"
+    ATIM = "atim"
+    ATIM_ACK = "atim_ack"  # unicast PSM: announcement acknowledgement
+    ACK = "ack"            # unicast PSM: data acknowledgement
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An immutable frame.
+
+    Attributes
+    ----------
+    kind:
+        Frame type (data / beacon / ATIM).
+    origin:
+        Node id that originally generated the broadcast (the source for
+        data packets; the transmitter itself for beacons and ATIMs).
+    sender:
+        Node id of the current transmitter (changes hop by hop).
+    seqno:
+        Source-assigned sequence number identifying the broadcast.  Nodes
+        suppress duplicates on ``(origin, seqno)``.
+    size_bytes:
+        On-air size, including headers.
+    updates:
+        For code-distribution data packets: tuple of update ids carried
+        (the ``k`` most recent at the source when the packet was built).
+    hops:
+        Number of MAC hops this copy has travelled from the origin.
+    destination:
+        Unicast destination node id; ``None`` for broadcast frames.  The
+        channel delivers to every in-range listener either way (radio is
+        physically broadcast); MACs filter on this field.
+    uid:
+        Globally unique per-transmission identifier (diagnostics only).
+    """
+
+    kind: PacketKind
+    origin: int
+    sender: int
+    seqno: int
+    size_bytes: int
+    updates: Tuple[int, ...] = ()
+    hops: int = 0
+    destination: Optional[int] = None
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+
+    def __post_init__(self) -> None:
+        check_positive("size_bytes", self.size_bytes)
+
+    @property
+    def broadcast_id(self) -> Tuple[int, int]:
+        """The duplicate-suppression key ``(origin, seqno)``."""
+        return (self.origin, self.seqno)
+
+    def duration(self, bit_rate_bps: float) -> float:
+        """On-air time in seconds at ``bit_rate_bps``."""
+        check_positive("bit_rate_bps", bit_rate_bps)
+        return self.size_bytes * 8.0 / bit_rate_bps
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True when the frame has no unicast destination."""
+        return self.destination is None
+
+    def forwarded_by(self, sender: int) -> "Packet":
+        """A copy of this packet re-sent by ``sender``, one hop further."""
+        return Packet(
+            kind=self.kind,
+            origin=self.origin,
+            sender=sender,
+            seqno=self.seqno,
+            size_bytes=self.size_bytes,
+            updates=self.updates,
+            hops=self.hops + 1,
+            destination=self.destination,
+        )

@@ -1,0 +1,83 @@
+"""Radio propagation and link-loss models.
+
+The paper's ns-2 study uses a fixed transmission range (the R in Eq. 13);
+we reproduce that with a unit-disk model: a transmission is audible at
+exactly the receivers within ``radio_range`` of the sender.  Interference
+and collisions are handled by :mod:`repro.net.channel` on top of this.
+
+:class:`LossModel` adds optional independent per-reception loss, used by the
+test suite's failure-injection scenarios (it defaults to lossless, matching
+the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.util.validation import check_positive, check_probability
+
+Position = Tuple[float, float]
+
+
+class UnitDiskPropagation:
+    """Deterministic disk-range propagation.
+
+    A receiver hears a transmission iff it lies within ``radio_range`` of
+    the transmitter.  ``carrier_sense_range`` (>= radio_range) governs how
+    far away a transmission still holds the medium busy for CSMA; the
+    default equals the radio range, the common simplification the paper's
+    grid/density analysis relies on.
+    """
+
+    def __init__(
+        self,
+        radio_range: float,
+        carrier_sense_range: Optional[float] = None,
+    ) -> None:
+        check_positive("radio_range", radio_range)
+        if carrier_sense_range is None:
+            carrier_sense_range = radio_range
+        check_positive("carrier_sense_range", carrier_sense_range)
+        if carrier_sense_range < radio_range:
+            raise ValueError(
+                "carrier_sense_range must be >= radio_range "
+                f"({carrier_sense_range} < {radio_range})"
+            )
+        self.radio_range = radio_range
+        self.carrier_sense_range = carrier_sense_range
+
+    def in_reception_range(self, a: Position, b: Position) -> bool:
+        """True when a transmission at ``a`` is decodable at ``b``."""
+        return _distance_sq(a, b) <= self.radio_range**2
+
+    def in_carrier_sense_range(self, a: Position, b: Position) -> bool:
+        """True when a transmission at ``a`` is *audible* (busy medium) at ``b``."""
+        return _distance_sq(a, b) <= self.carrier_sense_range**2
+
+
+class LossModel:
+    """Independent per-reception packet loss (failure injection).
+
+    Each delivery attempt independently fails with ``loss_probability``.
+    The default 0.0 reproduces the paper's setting where losses come only
+    from collisions and sleeping receivers.
+    """
+
+    def __init__(
+        self,
+        loss_probability: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.loss_probability = check_probability("loss_probability", loss_probability)
+        self._rng = rng if rng is not None else random.Random()
+
+    def delivers(self) -> bool:
+        """Sample whether one reception survives the loss process."""
+        if self.loss_probability == 0.0:
+            return True
+        return self._rng.random() >= self.loss_probability
+
+
+def _distance_sq(a: Position, b: Position) -> float:
+    return (a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2

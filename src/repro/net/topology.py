@@ -1,0 +1,327 @@
+"""Node placement and connectivity.
+
+Two topology families reproduce the paper's settings:
+
+* :class:`GridTopology` -- a square lattice with 4-neighbour connectivity
+  and no wrap-around, used throughout the Section 4 analysis (75x75 for the
+  simulated analysis, 10x10 .. 40x40 for the percolation study).
+* :class:`RandomTopology` -- N nodes placed uniformly at random in a square
+  deployment area, connected by radio range R.  Density follows Eq. 13:
+  ``delta = pi * R^2 * N / A``; like the paper we fix N and R and derive the
+  area A from the requested density.
+
+Both expose the same interface (:class:`Topology`): neighbour lists,
+positions, BFS hop distances, and connectivity queries, so the simulators
+and percolation machinery are topology-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.util.validation import check_positive, check_positive_int
+
+Position = Tuple[float, float]
+
+
+def area_for_density(delta: float, n_nodes: int, radio_range: float) -> float:
+    """Deployment area A satisfying Eq. 13 for the requested density.
+
+    ``delta = pi * R^2 * N / A``  =>  ``A = pi * R^2 * N / delta``.
+    """
+    check_positive("delta", delta)
+    check_positive_int("n_nodes", n_nodes)
+    check_positive("radio_range", radio_range)
+    return math.pi * radio_range**2 * n_nodes / delta
+
+
+def density_for_area(area: float, n_nodes: int, radio_range: float) -> float:
+    """Density ``delta`` of ``n_nodes`` with range ``radio_range`` in ``area``."""
+    check_positive("area", area)
+    check_positive_int("n_nodes", n_nodes)
+    check_positive("radio_range", radio_range)
+    return math.pi * radio_range**2 * n_nodes / area
+
+
+class Topology:
+    """An immutable undirected connectivity graph with node positions.
+
+    Node ids are the integers ``0 .. n-1``.  Subclasses populate the
+    adjacency structure; all queries (BFS distances, components, degree
+    statistics) live here.
+    """
+
+    def __init__(self, positions: Sequence[Position], adjacency: Sequence[Iterable[int]]) -> None:
+        if len(positions) != len(adjacency):
+            raise ValueError(
+                f"positions ({len(positions)}) and adjacency ({len(adjacency)}) "
+                "must have the same length"
+            )
+        self._positions: List[Position] = [tuple(p) for p in positions]  # type: ignore[misc]
+        self._neighbors: List[Tuple[int, ...]] = [
+            tuple(sorted(set(nbrs))) for nbrs in adjacency
+        ]
+        for node, nbrs in enumerate(self._neighbors):
+            for nbr in nbrs:
+                if not 0 <= nbr < len(self._neighbors):
+                    raise ValueError(f"node {node} lists out-of-range neighbor {nbr}")
+                if nbr == node:
+                    raise ValueError(f"node {node} lists itself as a neighbor")
+                if node not in self._neighbors[nbr]:
+                    raise ValueError(
+                        f"adjacency is not symmetric: {node} -> {nbr} but not back"
+                    )
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._positions)
+
+    def nodes(self) -> range:
+        """Iterable of all node ids."""
+        return range(self.n_nodes)
+
+    def position(self, node: int) -> Position:
+        """(x, y) coordinates of ``node``."""
+        return self._positions[node]
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """Sorted tuple of ``node``'s one-hop neighbours."""
+        return self._neighbors[node]
+
+    def degree(self, node: int) -> int:
+        """Number of one-hop neighbours of ``node``."""
+        return len(self._neighbors[node])
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All undirected edges as ``(u, v)`` pairs with ``u < v``."""
+        result = []
+        for node, nbrs in enumerate(self._neighbors):
+            for nbr in nbrs:
+                if node < nbr:
+                    result.append((node, nbr))
+        return result
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._neighbors) // 2
+
+    def average_degree(self) -> float:
+        """Mean node degree (the paper's expected one-hop neighbour count)."""
+        if self.n_nodes == 0:
+            return 0.0
+        return sum(len(nbrs) for nbrs in self._neighbors) / self.n_nodes
+
+    def hop_distances_from(self, source: int) -> List[Optional[int]]:
+        """BFS hop count from ``source`` to every node.
+
+        Unreachable nodes get ``None``.  This is the paper's "d", the
+        shortest distance used to bucket nodes for the latency figures
+        (2-hop, 5-hop, 20-hop, 60-hop).
+        """
+        self._check_node(source)
+        distances: List[Optional[int]] = [None] * self.n_nodes
+        distances[source] = 0
+        frontier = deque([source])
+        while frontier:
+            node = frontier.popleft()
+            next_hop = distances[node] + 1  # type: ignore[operator]
+            for nbr in self._neighbors[node]:
+                if distances[nbr] is None:
+                    distances[nbr] = next_hop
+                    frontier.append(nbr)
+        return distances
+
+    def nodes_at_hop_distance(self, source: int, d: int) -> List[int]:
+        """Node ids exactly ``d`` hops from ``source``."""
+        return [
+            node
+            for node, dist in enumerate(self.hop_distances_from(source))
+            if dist == d
+        ]
+
+    def is_connected(self) -> bool:
+        """True when every node is reachable from node 0."""
+        if self.n_nodes == 0:
+            return True
+        return all(d is not None for d in self.hop_distances_from(0))
+
+    def largest_component(self) -> List[int]:
+        """Node ids of the largest connected component."""
+        seen = [False] * self.n_nodes
+        best: List[int] = []
+        for start in range(self.n_nodes):
+            if seen[start]:
+                continue
+            component = [start]
+            seen[start] = True
+            frontier = deque([start])
+            while frontier:
+                node = frontier.popleft()
+                for nbr in self._neighbors[node]:
+                    if not seen[nbr]:
+                        seen[nbr] = True
+                        component.append(nbr)
+                        frontier.append(nbr)
+            if len(component) > len(best):
+                best = component
+        return best
+
+    def euclidean_distance(self, a: int, b: int) -> float:
+        """Straight-line distance between nodes ``a`` and ``b``."""
+        (xa, ya), (xb, yb) = self._positions[a], self._positions[b]
+        return math.hypot(xa - xb, ya - yb)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise IndexError(f"node {node} out of range [0, {self.n_nodes})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n_nodes={self.n_nodes}, n_edges={self.n_edges})"
+
+
+class GridTopology(Topology):
+    """Square lattice with 4-neighbour connectivity and no wrap-around.
+
+    Node ``(row, col)`` has id ``row * cols + col`` and unit spacing, so
+    Euclidean and Manhattan geometry line up with hop counts.
+    """
+
+    def __init__(self, rows: int, cols: Optional[int] = None) -> None:
+        check_positive_int("rows", rows)
+        if cols is None:
+            cols = rows
+        check_positive_int("cols", cols)
+        self.rows = rows
+        self.cols = cols
+        positions: List[Position] = []
+        adjacency: List[List[int]] = []
+        for row in range(rows):
+            for col in range(cols):
+                positions.append((float(col), float(row)))
+                nbrs: List[int] = []
+                if row > 0:
+                    nbrs.append((row - 1) * cols + col)
+                if row < rows - 1:
+                    nbrs.append((row + 1) * cols + col)
+                if col > 0:
+                    nbrs.append(row * cols + col - 1)
+                if col < cols - 1:
+                    nbrs.append(row * cols + col + 1)
+                adjacency.append(nbrs)
+        super().__init__(positions, adjacency)
+
+    def node_id(self, row: int, col: int) -> int:
+        """Node id of grid coordinate ``(row, col)``."""
+        if not 0 <= row < self.rows or not 0 <= col < self.cols:
+            raise IndexError(f"({row}, {col}) outside {self.rows}x{self.cols} grid")
+        return row * self.cols + col
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        """Grid coordinate ``(row, col)`` of ``node``."""
+        self._check_node(node)
+        return divmod(node, self.cols)
+
+    def center_node(self) -> int:
+        """The node nearest the grid centre (the paper's broadcast source)."""
+        return self.node_id(self.rows // 2, self.cols // 2)
+
+
+class RandomTopology(Topology):
+    """Uniform-random deployment in a square, unit-disk connectivity.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes (the paper fixes N = 50).
+    radio_range:
+        Transmission range R; any pair within R is connected.
+    density:
+        Target density ``delta`` from Eq. 13.  The deployment area is
+        derived as ``A = pi R^2 N / delta`` (the paper's procedure: "we
+        fixed N and changed A to get the desired delta").
+    rng:
+        Source of placement randomness (pass a seeded ``random.Random``).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        radio_range: float,
+        density: float,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        check_positive_int("n_nodes", n_nodes)
+        check_positive("radio_range", radio_range)
+        check_positive("density", density)
+        rng = rng if rng is not None else random.Random()
+        self.radio_range = radio_range
+        self.density = density
+        self.area = area_for_density(density, n_nodes, radio_range)
+        self.side = math.sqrt(self.area)
+        positions = [
+            (rng.uniform(0.0, self.side), rng.uniform(0.0, self.side))
+            for _ in range(n_nodes)
+        ]
+        adjacency = _disk_adjacency(positions, radio_range)
+        super().__init__(positions, adjacency)
+
+    @classmethod
+    def connected(
+        cls,
+        n_nodes: int,
+        radio_range: float,
+        density: float,
+        rng: random.Random,
+        max_attempts: int = 200,
+    ) -> "RandomTopology":
+        """Sample deployments until one is fully connected.
+
+        Low densities occasionally yield partitioned deployments; the paper
+        implicitly studies connected scenarios (latency and reliability are
+        measured to reachable nodes).  Raises :class:`RuntimeError` after
+        ``max_attempts`` failures so pathological parameters fail loudly.
+        """
+        for _ in range(max_attempts):
+            topology = cls(n_nodes, radio_range, density, rng)
+            if topology.is_connected():
+                return topology
+        raise RuntimeError(
+            f"no connected deployment found in {max_attempts} attempts "
+            f"(n={n_nodes}, range={radio_range}, density={density})"
+        )
+
+
+def _disk_adjacency(
+    positions: Sequence[Position], radio_range: float
+) -> List[List[int]]:
+    """Adjacency lists for the unit-disk graph over ``positions``.
+
+    Uses a uniform spatial hash so construction is O(n) for the sparse
+    deployments we simulate rather than O(n^2).
+    """
+    cell = radio_range
+    buckets: Dict[Tuple[int, int], List[int]] = {}
+    for idx, (x, y) in enumerate(positions):
+        buckets.setdefault((int(x // cell), int(y // cell)), []).append(idx)
+    range_sq = radio_range * radio_range
+    adjacency: List[List[int]] = [[] for _ in positions]
+    for (cx, cy), members in buckets.items():
+        neighbor_cells = [
+            (cx + dx, cy + dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)
+        ]
+        for idx in members:
+            x, y = positions[idx]
+            for cell_key in neighbor_cells:
+                for other in buckets.get(cell_key, ()):
+                    if other <= idx:
+                        continue
+                    ox, oy = positions[other]
+                    if (x - ox) ** 2 + (y - oy) ** 2 <= range_sq:
+                        adjacency[idx].append(other)
+                        adjacency[other].append(idx)
+    return adjacency

@@ -1,0 +1,112 @@
+"""Packet-level tracing (the reproduction's ns-2 trace file).
+
+ns-2 debugging workflows revolve around the trace file: one line per
+MAC-level event.  :class:`PacketTracer` provides the same capability for
+the detailed simulator — attach one to a
+:class:`~repro.net.channel.Channel` and every transmission, clean
+reception, collision and asleep-miss is recorded with its packet identity,
+then query or dump it after the run.
+
+Events
+------
+``TX``    a frame started transmitting;
+``RX``    a frame was cleanly received;
+``COLL``  a frame was corrupted by overlap at this receiver;
+``MISS``  a frame found this receiver asleep/deaf;
+``DROP``  a frame was lost to the injected random-loss process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One MAC-level event."""
+
+    time: float
+    event: str  # TX / RX / COLL / MISS / DROP
+    node: int   # transmitter for TX, receiver otherwise
+    kind: str   # data / atim / beacon
+    origin: int
+    seqno: int
+    sender: int
+    uid: int
+
+    def format(self) -> str:
+        """ns-2-style single-line rendering."""
+        return (
+            f"{self.time:.6f} {self.event:<4} node={self.node} "
+            f"{self.kind} origin={self.origin} seq={self.seqno} "
+            f"from={self.sender} uid={self.uid}"
+        )
+
+
+class PacketTracer:
+    """Accumulates :class:`TraceRecord` entries during a run.
+
+    Parameters
+    ----------
+    max_records:
+        Hard cap guarding against unbounded memory in long simulations;
+        recording silently stops at the cap and :attr:`truncated` reports
+        it (a trace that silently drops its *beginning* would be worse).
+    """
+
+    def __init__(self, max_records: int = 1_000_000) -> None:
+        if max_records <= 0:
+            raise ValueError(f"max_records must be > 0, got {max_records}")
+        self._records: List[TraceRecord] = []
+        self._max_records = max_records
+        self.truncated = False
+
+    def record(self, time: float, event: str, node: int, packet: Packet) -> None:
+        """Append one event (called by the channel)."""
+        if len(self._records) >= self._max_records:
+            self.truncated = True
+            return
+        self._records.append(
+            TraceRecord(
+                time=time,
+                event=event,
+                node=node,
+                kind=packet.kind.value,
+                origin=packet.origin,
+                seqno=packet.seqno,
+                sender=packet.sender,
+                uid=packet.uid,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> Tuple[TraceRecord, ...]:
+        """All records in event order."""
+        return tuple(self._records)
+
+    def by_event(self, event: str) -> List[TraceRecord]:
+        """All records of one event type (``"TX"``, ``"RX"``, ...)."""
+        return [r for r in self._records if r.event == event]
+
+    def by_node(self, node: int) -> List[TraceRecord]:
+        """Everything seen or sent by one node."""
+        return [r for r in self._records if r.node == node]
+
+    def by_broadcast(self, origin: int, seqno: int) -> List[TraceRecord]:
+        """The life of one broadcast across the whole network."""
+        return [
+            r for r in self._records if r.origin == origin and r.seqno == seqno
+        ]
+
+    def lines(self) -> Iterator[str]:
+        """Formatted trace lines, one per event."""
+        return (record.format() for record in self._records)
+
+    def dump(self) -> str:
+        """The whole trace as one string (tests, small runs)."""
+        return "\n".join(self.lines())

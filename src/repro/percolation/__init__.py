@@ -1,0 +1,47 @@
+"""Percolation machinery for PBBF's reliability analysis.
+
+The paper characterizes PBBF reliability as a *bond* percolation problem:
+every directed link of the network delivers a given broadcast with
+probability ``pedge = 1 - p*(1-q)``, and the broadcast blankets the network
+iff ``pedge`` exceeds the topology's critical bond probability (Remark 1).
+Gossip-style protocols, by contrast, are *site* percolation (a node either
+relays to all neighbours or to none).
+
+This package re-implements the cited Newman-Ziff fast Monte Carlo
+algorithm [9]: bonds (or sites) are activated in a random permutation, each
+activation is a near-O(1) union-find merge, and every statistic of interest
+is read off incrementally — one sweep yields the entire occupation curve.
+
+Modules
+-------
+* :mod:`repro.percolation.bond` -- bond sweeps and coverage thresholds;
+* :mod:`repro.percolation.site` -- site sweeps (gossip baseline);
+* :mod:`repro.percolation.threshold` -- the reliability-level thresholds of
+  Figure 6 and the p-q feasibility frontier of Figure 7.
+"""
+
+from repro.percolation.bond import (
+    BondSweepResult,
+    bond_sweep,
+    coverage_bond_fraction,
+)
+from repro.percolation.site import SiteSweepResult, coverage_site_fraction, site_sweep
+from repro.percolation.threshold import (
+    ReliabilityThresholds,
+    estimate_critical_bond_fraction,
+    minimum_q_frontier,
+    minimum_q_for_reliability,
+)
+
+__all__ = [
+    "BondSweepResult",
+    "ReliabilityThresholds",
+    "SiteSweepResult",
+    "bond_sweep",
+    "coverage_bond_fraction",
+    "coverage_site_fraction",
+    "estimate_critical_bond_fraction",
+    "minimum_q_frontier",
+    "minimum_q_for_reliability",
+    "site_sweep",
+]

@@ -1,0 +1,187 @@
+"""The discrete-event engine.
+
+Semantics
+---------
+* Time is a float starting at 0.0 and only moves forward.
+* Events scheduled for the same timestamp fire in (priority, insertion)
+  order, so behaviour is fully deterministic for a fixed seed.
+* Cancelling an event is O(1): the handle is flagged and skipped when it
+  reaches the top of the heap (lazy deletion).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine operations (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Returned by :meth:`Engine.schedule`; hold on to it only if the event may
+    need to be cancelled (e.g. a MAC timeout that a reception pre-empts).
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        self.callback = None  # release closure references promptly
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still due to fire."""
+        return not self.cancelled and self.callback is not None
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, prio={self.priority}, {state})"
+
+
+class Engine:
+    """Heap-based discrete-event scheduler with a monotone clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[EventHandle] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of callbacks executed so far (diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        ``priority`` breaks ties between simultaneous events: lower fires
+        first.  Returns a cancellable :class:`EventHandle`.
+        """
+        if not callable(callback):
+            raise TypeError(f"callback must be callable, got {callback!r}")
+        if math.isnan(delay) or delay < 0.0:
+            raise SimulationError(f"cannot schedule {delay} seconds in the past")
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation ``time``."""
+        if not callable(callback):
+            raise TypeError(f"callback must be callable, got {callback!r}")
+        if math.isnan(time) or time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        event = EventHandle(time, priority, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events in order until the queue drains or limits are hit.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time; the clock is advanced
+            to exactly ``until``.  ``None`` runs to queue exhaustion.
+        max_events:
+            Safety valve for runaway simulations; raises
+            :class:`SimulationError` when exceeded.
+
+        Returns the simulation time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is before current time {self._now}")
+        self._running = True
+        self._stopped = False
+        fired_this_run = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                callback = event.callback
+                event.callback = None
+                self._events_fired += 1
+                fired_this_run += 1
+                if max_events is not None and fired_this_run > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+                callback()  # type: ignore[misc]  # pending events always hold one
+                if self._stopped:
+                    break
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight callback returns."""
+        self._stopped = True
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock keeps its value)."""
+        for event in self._queue:
+            event.cancel()
+        self._queue.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Engine(now={self._now:.6f}, pending={self.pending_count})"

@@ -1,0 +1,185 @@
+"""Generator-based coroutine processes over the event engine.
+
+A :class:`Process` wraps a Python generator.  The generator expresses a
+node's behaviour as straight-line code and yields whenever it needs to wait:
+
+* ``yield <float>`` — sleep for that many simulated seconds;
+* ``yield <Signal>`` — park until the signal fires, receiving the value it
+  was fired with;
+* ``return`` / ``StopIteration`` — the process completes.
+
+Processes may be interrupted (:meth:`Process.interrupt`), which raises
+:class:`Interrupt` inside the generator at its current wait point — the
+mechanism used, for instance, to cut a sleep period short when a node's
+q-coin says to stay awake and traffic arrives.
+
+Example
+-------
+>>> from repro.sim import Engine, Process
+>>> engine = Engine()
+>>> log = []
+>>> def beacon_loop():
+...     while True:
+...         log.append(engine.now)
+...         yield 10.0
+>>> _ = Process(engine, beacon_loop())
+>>> _ = engine.run(until=25.0)
+>>> log
+[0.0, 10.0, 20.0]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.sim.engine import Engine, EventHandle, SimulationError
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    The ``cause`` attribute carries whatever the interrupter passed in.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Signal:
+    """A broadcastable condition that processes can wait on.
+
+    Each :meth:`fire` wakes *all* currently-waiting processes, delivering
+    ``value`` as the result of their ``yield``.  Signals are reusable: a
+    process may loop and wait on the same signal repeatedly.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: List["Process"] = []
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of processes currently parked on this signal."""
+        return len(self._waiters)
+
+    def fire(self, value: Any = None) -> int:
+        """Wake every waiting process; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process._resume(value)
+        return len(waiters)
+
+    def _park(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def _unpark(self, process: "Process") -> None:
+        if process in self._waiters:
+            self._waiters.remove(process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Process:
+    """Drives a generator as a simulation process.
+
+    The process starts immediately: its first segment runs synchronously at
+    construction time (at the engine's current clock), up to its first
+    ``yield``.
+    """
+
+    def __init__(self, engine: Engine, generator: Generator[Any, Any, Any], name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"expected a generator, got {generator!r}")
+        self._engine = engine
+        self._generator = generator
+        self.name = name
+        self._alive = True
+        self._timer: Optional[EventHandle] = None
+        self._waiting_on: Optional[Signal] = None
+        self._step(None)
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished or been killed."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its wait point.
+
+        No-op on a dead process.
+        """
+        if not self._alive:
+            return
+        self._cancel_wait()
+        self._throw(Interrupt(cause))
+
+    def kill(self) -> None:
+        """Terminate the process without running any more of its code."""
+        if not self._alive:
+            return
+        self._cancel_wait()
+        self._alive = False
+        self._generator.close()
+
+    # -- internal machinery -------------------------------------------------
+
+    def _resume(self, value: Any) -> None:
+        """Called by timers and signals to continue the generator."""
+        if not self._alive:
+            return
+        self._timer = None
+        self._waiting_on = None
+        self._step(value)
+
+    def _step(self, value: Any) -> None:
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration:
+            self._alive = False
+            return
+        self._wait_on(yielded)
+
+    def _throw(self, exc: BaseException) -> None:
+        try:
+            yielded = self._generator.throw(exc)
+        except StopIteration:
+            self._alive = False
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt: it dies quietly.
+            self._alive = False
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, Signal):
+            self._waiting_on = yielded
+            yielded._park(self)
+            return
+        if isinstance(yielded, (int, float)):
+            delay = float(yielded)
+            if delay < 0.0:
+                self._alive = False
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative delay: {delay}"
+                )
+            self._timer = self._engine.schedule(delay, lambda: self._resume(None))
+            return
+        self._alive = False
+        raise SimulationError(
+            f"process {self.name!r} yielded {yielded!r}; expected a delay or Signal"
+        )
+
+    def _cancel_wait(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._waiting_on is not None:
+            self._waiting_on._unpark(self)
+            self._waiting_on = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self._alive else "done"
+        return f"Process({self.name!r}, {state})"

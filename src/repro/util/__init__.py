@@ -1,0 +1,46 @@
+"""Shared low-level utilities for the PBBF reproduction.
+
+This package holds the pieces that every other layer leans on but that have
+no sensor-network semantics of their own:
+
+* :mod:`repro.util.validation` -- argument checking helpers that raise
+  uniform, descriptive errors.
+* :mod:`repro.util.rng` -- named, independently-seeded random streams so
+  that simulations are reproducible and individual noise sources can be
+  replayed in isolation.
+* :mod:`repro.util.stats` -- tiny summary-statistics helpers (mean,
+  confidence intervals, series aggregation) used by the experiment harness.
+* :mod:`repro.util.union_find` -- disjoint-set forest used by the
+  Newman-Ziff percolation sweep.
+"""
+
+from repro.util.rng import RandomStreams, hash_to_unit_interval
+from repro.util.stats import (
+    SeriesAccumulator,
+    Summary,
+    confidence_interval_95,
+    mean,
+    summarize,
+)
+from repro.util.union_find import UnionFind
+from repro.util.validation import (
+    check_in_closed_unit_interval,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RandomStreams",
+    "SeriesAccumulator",
+    "Summary",
+    "UnionFind",
+    "check_in_closed_unit_interval",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "confidence_interval_95",
+    "hash_to_unit_interval",
+    "mean",
+    "summarize",
+]

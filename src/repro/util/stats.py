@@ -1,0 +1,135 @@
+"""Summary statistics for experiment aggregation.
+
+The experiment harness repeats every simulation point over several seeds and
+reports mean plus a 95% confidence interval, matching the paper's
+"each data point is averaged over ten runs" methodology.  These helpers are
+deliberately dependency-light (no scipy import at module scope) so that the
+core library stays importable in minimal environments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: Two-sided 97.5% standard-normal quantile, used for large-sample CIs.
+_Z_95 = 1.959963984540054
+
+#: Two-sided 97.5% Student-t quantiles for small sample sizes (df 1..30).
+_T_95 = {
+    1: 12.7062, 2: 4.3027, 3: 3.1824, 4: 2.7764, 5: 2.5706,
+    6: 2.4469, 7: 2.3646, 8: 2.3060, 9: 2.2622, 10: 2.2281,
+    11: 2.2010, 12: 2.1788, 13: 2.1604, 14: 2.1448, 15: 2.1314,
+    16: 2.1199, 17: 2.1098, 18: 2.1009, 19: 2.0930, 20: 2.0860,
+    21: 2.0796, 22: 2.0739, 23: 2.0687, 24: 2.0639, 25: 2.0595,
+    26: 2.0555, 27: 2.0518, 28: 2.0484, 29: 2.0452, 30: 2.0423,
+}
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean() of an empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Sample (n-1) standard deviation; 0.0 for sequences of length 1."""
+    values = list(values)
+    if not values:
+        raise ValueError("sample_std() of an empty sequence")
+    if len(values) == 1:
+        return 0.0
+    centre = mean(values)
+    variance = sum((v - centre) ** 2 for v in values) / (len(values) - 1)
+    return math.sqrt(variance)
+
+
+def confidence_interval_95(values: Sequence[float]) -> float:
+    """Half-width of the two-sided 95% CI for the mean of ``values``.
+
+    Uses Student-t quantiles for n <= 31 and the normal quantile beyond.
+    Returns 0.0 for single observations.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("confidence_interval_95() of an empty sequence")
+    n = len(values)
+    if n == 1:
+        return 0.0
+    quantile = _T_95.get(n - 1, _Z_95)
+    return quantile * sample_std(values) / math.sqrt(n)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread summary for one aggregated measurement."""
+
+    mean: float
+    ci95: float
+    n: int
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.ci95:.2g} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary` from raw per-run observations."""
+    values = list(values)
+    if not values:
+        raise ValueError("summarize() of an empty sequence")
+    return Summary(
+        mean=mean(values),
+        ci95=confidence_interval_95(values),
+        n=len(values),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+class SeriesAccumulator:
+    """Accumulates ``(x, value)`` observations into per-x summaries.
+
+    The figure harness sweeps an x-axis (q, Δ, grid size, ...) over several
+    seeds; this class groups the repeated observations and produces the
+    plotted series.
+
+    Examples
+    --------
+    >>> acc = SeriesAccumulator()
+    >>> acc.add(0.1, 2.0)
+    >>> acc.add(0.1, 4.0)
+    >>> acc.add(0.2, 5.0)
+    >>> [(x, s.mean) for x, s in acc.series()]
+    [(0.1, 3.0), (0.2, 5.0)]
+    """
+
+    def __init__(self) -> None:
+        self._observations: Dict[float, List[float]] = {}
+
+    def add(self, x: float, value: float) -> None:
+        """Record one observation of ``value`` at x-coordinate ``x``."""
+        if math.isnan(value):
+            raise ValueError(f"refusing to accumulate NaN at x={x}")
+        self._observations.setdefault(x, []).append(value)
+
+    def extend(self, x: float, values: Iterable[float]) -> None:
+        """Record several observations at the same x-coordinate."""
+        for value in values:
+            self.add(x, value)
+
+    def series(self) -> List[Tuple[float, Summary]]:
+        """Return ``(x, Summary)`` pairs sorted by x."""
+        return [(x, summarize(vals)) for x, vals in sorted(self._observations.items())]
+
+    def xs(self) -> List[float]:
+        """Sorted x-coordinates observed so far."""
+        return sorted(self._observations)
+
+    def is_empty(self) -> bool:
+        """True when nothing has been accumulated yet."""
+        return not self._observations

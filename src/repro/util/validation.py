@@ -1,0 +1,73 @@
+"""Uniform argument validation helpers.
+
+Every public constructor in the library validates its inputs through these
+functions so that a bad parameter fails fast with a message naming the
+offending argument, rather than surfacing later as a confusing simulation
+artifact (e.g. a negative sleep time silently producing negative energy).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def _check_real(name: str, value: Any) -> float:
+    """Return ``value`` as a float, rejecting non-numeric and NaN inputs."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a real number, got {value!r}")
+    result = float(value)
+    if math.isnan(result):
+        raise ValueError(f"{name} must not be NaN")
+    return result
+
+
+def check_probability(name: str, value: Any) -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]``.
+
+    Returns the value as a ``float``.  Raises :class:`ValueError` (range) or
+    :class:`TypeError` (type) otherwise.
+    """
+    result = _check_real(name, value)
+    if not 0.0 <= result <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {result}")
+    return result
+
+
+def check_in_closed_unit_interval(name: str, value: Any) -> float:
+    """Alias of :func:`check_probability` for non-probability fractions."""
+    return check_probability(name, value)
+
+
+def check_positive(name: str, value: Any) -> float:
+    """Validate that ``value`` is a strictly positive real number."""
+    result = _check_real(name, value)
+    if not result > 0.0:
+        raise ValueError(f"{name} must be > 0, got {result}")
+    return result
+
+
+def check_non_negative(name: str, value: Any) -> float:
+    """Validate that ``value`` is a real number >= 0."""
+    result = _check_real(name, value)
+    if result < 0.0:
+        raise ValueError(f"{name} must be >= 0, got {result}")
+    return result
+
+
+def check_positive_int(name: str, value: Any) -> int:
+    """Validate that ``value`` is a strictly positive integer."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {value!r}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_non_negative_int(name: str, value: Any) -> int:
+    """Validate that ``value`` is an integer >= 0."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {value!r}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value

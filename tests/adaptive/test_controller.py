@@ -1,0 +1,146 @@
+"""Tests for the adaptive PBBF controller."""
+
+import random
+
+import pytest
+
+from repro.adaptive.controller import AdaptivePBBFAgent, AdaptivePolicy
+from repro.core.params import PBBFParams
+from repro.core.pbbf import ForwardingDecision, SleepDecision
+
+
+def _agent(p=0.3, q=0.3, policy=None, seed=1):
+    return AdaptivePBBFAgent(
+        PBBFParams(p=p, q=q), random.Random(seed), policy=policy
+    )
+
+
+class TestActivityHeuristic:
+    def test_high_activity_raises_p(self):
+        agent = _agent(p=0.3)
+        for seqno in range(5):  # five frames heard in one window
+            agent.receive_broadcast(("src", seqno))
+        agent.sleep_decision()
+        assert agent.params.p > 0.3
+
+    def test_silence_lowers_p(self):
+        agent = _agent(p=0.3)
+        agent.sleep_decision()  # empty window
+        assert agent.params.p < 0.3
+
+    def test_duplicates_count_as_activity(self):
+        # Hearing the same broadcast from many neighbours signals a busy,
+        # awake neighbourhood — exactly when immediate forwards pay off.
+        agent = _agent(p=0.3)
+        for _ in range(5):
+            agent.receive_broadcast(("src", 0))
+        agent.sleep_decision()
+        assert agent.params.p > 0.3
+
+    def test_p_respects_bounds(self):
+        policy = AdaptivePolicy(p_max=0.4, p_step=0.5)
+        agent = _agent(p=0.3, policy=policy)
+        for seqno in range(5):
+            agent.receive_broadcast(("src", seqno))
+        agent.sleep_decision()
+        assert agent.params.p == 0.4
+
+        policy = AdaptivePolicy(p_min=0.25, p_step=0.5)
+        agent = _agent(p=0.3, policy=policy)
+        agent.sleep_decision()
+        assert agent.params.p == 0.25
+
+
+class TestMissHeuristic:
+    def test_detected_gaps_raise_q(self):
+        agent = _agent(q=0.2)
+        agent.receive_broadcast(("src", 0))
+        agent.receive_broadcast(("src", 5))  # seqnos 1-4 missed
+        agent.sleep_decision()
+        assert agent.params.q > 0.2
+
+    def test_loss_free_window_decays_q(self):
+        agent = _agent(q=0.5)
+        agent.receive_broadcast(("src", 0))
+        agent.receive_broadcast(("src", 1))
+        agent.sleep_decision()
+        assert agent.params.q < 0.5
+
+    def test_no_observations_leave_q_unchanged(self):
+        agent = _agent(q=0.5)
+        agent.sleep_decision()  # nothing heard: no miss evidence either way
+        assert agent.params.q == 0.5
+
+    def test_q_respects_bounds(self):
+        policy = AdaptivePolicy(q_max=0.6, q_step=0.9)
+        agent = _agent(q=0.5, policy=policy)
+        agent.receive_broadcast(("src", 0))
+        agent.receive_broadcast(("src", 9))
+        agent.sleep_decision()
+        assert agent.params.q == 0.6
+
+    def test_gap_tracking_per_origin(self):
+        # Gaps are measured per source: interleaved streams must not
+        # create phantom misses.
+        agent = _agent(q=0.2)
+        agent.receive_broadcast(("a", 0))
+        agent.receive_broadcast(("b", 0))
+        agent.receive_broadcast(("a", 1))
+        agent.receive_broadcast(("b", 1))
+        agent.sleep_decision()
+        assert agent.params.q < 0.2  # no misses detected
+
+
+class TestControllerMechanics:
+    def test_decisions_still_flow_through_base_agent(self):
+        agent = _agent(p=1.0)
+        assert (
+            agent.receive_broadcast(("src", 0)) is ForwardingDecision.IMMEDIATE
+        )
+        assert (
+            agent.receive_broadcast(("src", 0)) is ForwardingDecision.DUPLICATE
+        )
+
+    def test_forced_stay_awake_still_works(self):
+        agent = _agent(q=0.0)
+        assert agent.sleep_decision(data_to_send=True) is SleepDecision.STAY_AWAKE
+
+    def test_trajectory_recorded(self):
+        agent = _agent()
+        agent.sleep_decision()
+        agent.sleep_decision()
+        assert len(agent.trajectory) == 2
+
+    def test_window_counters_reset(self):
+        agent = _agent(p=0.3)
+        for seqno in range(5):
+            agent.receive_broadcast(("src", seqno))
+        agent.sleep_decision()
+        p_after_busy = agent.params.p
+        agent.sleep_decision()  # empty window: p must fall again
+        assert agent.params.p < p_after_busy
+
+    def test_convergence_under_stationary_conditions(self):
+        # Paper future work: "in what settings p and q converge" — under a
+        # loss-free, moderately busy stationary stream, p pins to p_max and
+        # q decays to q_min.
+        agent = _agent(p=0.3, q=0.5)
+        seqno = 0
+        for _ in range(60):
+            for _ in range(3):
+                agent.receive_broadcast(("src", seqno))
+                seqno += 1
+            agent.sleep_decision()
+        assert agent.params.p == agent.policy.p_max
+        assert agent.params.q == agent.policy.q_min
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdaptivePolicy(p_min=0.9, p_max=0.1)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(q_min=0.9, q_max=0.1)
+
+    def test_non_standard_broadcast_ids_tolerated(self):
+        agent = _agent()
+        agent.receive_broadcast("opaque-id")
+        agent.sleep_decision()  # must not raise

@@ -1,0 +1,83 @@
+"""Tests for path-stretch exponent estimation (Eq. 11 analysis)."""
+
+import math
+
+import pytest
+
+from repro.analysis.stretch import fit_power_law, stretch_exponent
+from repro.core.params import PBBFParams
+from repro.ideal.config import AnalysisParameters
+from repro.ideal.simulator import IdealSimulator
+from repro.net.topology import GridTopology
+
+
+class TestFitPowerLaw:
+    def test_exact_linear_data(self):
+        points = [(d, 3.0 * d) for d in (1.0, 2.0, 4.0, 8.0)]
+        fit = fit_power_law(points)
+        assert fit.alpha == pytest.approx(1.0)
+        assert math.exp(fit.intercept) == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_five_fourths_data(self):
+        points = [(d, d**1.25) for d in (2.0, 4.0, 8.0, 16.0)]
+        fit = fit_power_law(points)
+        assert fit.alpha == pytest.approx(1.25)
+
+    def test_predicted_hops_roundtrip(self):
+        points = [(d, 2.0 * d**1.1) for d in (2.0, 4.0, 8.0)]
+        fit = fit_power_law(points)
+        assert fit.predicted_hops(6.0) == pytest.approx(2.0 * 6.0**1.1, rel=1e-6)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_power_law([(1.0, 1.0)])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([(0.0, 1.0), (2.0, 2.0)])
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law([(2.0, 1.0), (2.0, 3.0)])
+
+    def test_noisy_data_r_squared_below_one(self):
+        points = [(2.0, 2.1), (4.0, 3.7), (8.0, 8.6), (16.0, 15.1)]
+        fit = fit_power_law(points)
+        assert 0.9 < fit.r_squared < 1.0
+
+
+class TestStretchExponent:
+    GRID = GridTopology(15)
+    CONFIG = AnalysisParameters(grid_side=15)
+
+    def _campaign(self, p, q, seed=1):
+        sim = IdealSimulator(
+            self.GRID, PBBFParams(p=p, q=q), self.CONFIG, seed=seed
+        )
+        return sim.run_campaign(6)
+
+    def test_psm_exponent_is_one(self):
+        # PSM follows shortest paths exactly: hops == distance.
+        fit = stretch_exponent(self._campaign(0.0, 0.0))
+        assert fit.alpha == pytest.approx(1.0, abs=1e-6)
+
+    def test_high_reliability_exponent_near_one(self):
+        # The Figures 9-10 observation: at high reliability the effective
+        # exponent collapses toward 1, below Eq. 11's 5/4 bound.
+        fit = stretch_exponent(self._campaign(0.5, 0.9))
+        assert 0.95 < fit.alpha < 1.15
+
+    def test_near_threshold_paths_longer_than_high_reliability(self):
+        # At a 15x15 scale the near-threshold stretch shows up mostly as a
+        # multiplicative factor (the fit's intercept) rather than a clean
+        # exponent, so compare the fits' *predictions* at a reference
+        # distance: tortuous propagation must predict more hops.
+        near = stretch_exponent(self._campaign(0.5, 0.35, seed=3))
+        high = stretch_exponent(self._campaign(0.5, 1.0, seed=3))
+        assert near.predicted_hops(10.0) > high.predicted_hops(10.0)
+
+    def test_explicit_distance_selection(self):
+        campaign = self._campaign(0.0, 0.0)
+        fit = stretch_exponent(campaign, distances=(2, 4, 6))
+        assert fit.n_points == 3

@@ -1,0 +1,60 @@
+"""Tests for the Figure 12 trade-off curve builder."""
+
+import pytest
+
+from repro.analysis.equations import expected_per_hop_latency
+from repro.analysis.tradeoff import energy_latency_curve
+from repro.energy.model import MICA2
+
+ARGS = dict(
+    l1=1.5,
+    l2=8.5,
+    t_active=1.0,
+    t_sleep=9.0,
+    update_interval=100.0,
+    profile=MICA2,
+)
+
+
+class TestEnergyLatencyCurve:
+    def test_every_point_meets_threshold(self):
+        points = energy_latency_curve(0.75, [0.2, 0.5, 0.8, 1.0], **ARGS)
+        for point in points:
+            assert point.edge_open_probability >= 0.75 - 1e-12
+
+    def test_q_is_minimal(self):
+        # Just below the chosen q the threshold must fail (when q > 0).
+        points = energy_latency_curve(0.75, [0.5, 0.8, 1.0], **ARGS)
+        for point in points:
+            if point.q > 0.0:
+                slack = 1.0 - point.p * (1.0 - (point.q - 1e-6))
+                assert slack < 0.75
+
+    def test_latency_matches_eq9(self):
+        points = energy_latency_curve(0.7, [0.3, 0.6, 0.9], **ARGS)
+        for point in points:
+            assert point.per_hop_latency_s == pytest.approx(
+                expected_per_hop_latency(point.p, point.q, 1.5, 8.5)
+            )
+
+    def test_inverse_relation_along_frontier(self):
+        # Walking p upward along the frontier: latency falls, energy rises
+        # (once q becomes binding) — the Figure 12 shape.
+        points = energy_latency_curve(
+            0.75, [round(0.1 * i, 1) for i in range(3, 11)], **ARGS
+        )
+        latencies = [point.per_hop_latency_s for point in points]
+        energies = [point.joules_per_update for point in points]
+        assert latencies == sorted(latencies, reverse=True)
+        assert energies == sorted(energies)
+
+    def test_flat_region_costs_psm_energy(self):
+        # For p <= 1 - pc the minimum q is 0 and energy sits at the PSM floor.
+        points = energy_latency_curve(0.6, [0.1, 0.3], **ARGS)
+        for point in points:
+            assert point.q == 0.0
+            assert point.joules_per_update == pytest.approx(0.30, rel=0.02)
+
+    def test_validates_pc(self):
+        with pytest.raises(ValueError):
+            energy_latency_curve(1.5, [0.5], **ARGS)

@@ -1,0 +1,113 @@
+"""Tests for the code-distribution application."""
+
+from typing import List
+
+import pytest
+
+from repro.apps.code_distribution import CodeDistributionApp
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import Engine
+
+
+class RecordingMac:
+    """Captures broadcast() calls without any radio behaviour."""
+
+    def __init__(self):
+        self.packets: List[Packet] = []
+
+    def broadcast(self, packet: Packet) -> None:
+        self.packets.append(packet)
+
+
+def _app(engine, k=1, interval=100.0, n_nodes=5):
+    app = CodeDistributionApp(
+        engine, source=0, n_nodes=n_nodes, update_interval=interval, k=k
+    )
+    mac = RecordingMac()
+    app.bind_source_mac(mac)
+    return app, mac
+
+
+class TestGeneration:
+    def test_update_count_over_duration(self, engine):
+        app, mac = _app(engine)
+        app.start(500.0)
+        engine.run()
+        assert app.n_updates == 5
+        assert len(mac.packets) == 5
+
+    def test_update_ids_sequential(self, engine):
+        app, mac = _app(engine)
+        app.start(300.0)
+        engine.run()
+        assert [u.update_id for u in app.updates] == [0, 1, 2]
+
+    def test_generation_times_spaced_by_interval(self, engine):
+        app, _ = _app(engine)
+        app.start(300.0)
+        engine.run()
+        times = [u.generated_at for u in app.updates]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(gap == pytest.approx(100.0) for gap in gaps)
+
+    def test_packets_carry_k_recent_updates(self, engine):
+        app, mac = _app(engine, k=3)
+        app.start(500.0)
+        engine.run()
+        assert mac.packets[0].updates == (0,)
+        assert mac.packets[1].updates == (0, 1)
+        assert mac.packets[4].updates == (2, 3, 4)
+
+    def test_k1_packets_carry_only_newest(self, engine):
+        app, mac = _app(engine, k=1)
+        app.start(500.0)
+        engine.run()
+        assert all(len(p.updates) == 1 for p in mac.packets)
+
+    def test_packets_are_data_kind_from_source(self, engine):
+        app, mac = _app(engine)
+        app.start(200.0)
+        engine.run()
+        packet = mac.packets[0]
+        assert packet.kind is PacketKind.DATA
+        assert packet.origin == 0
+        assert packet.size_bytes == 64
+
+    def test_source_records_own_updates(self, engine):
+        app, _ = _app(engine)
+        app.start(200.0)
+        engine.run()
+        assert set(app.receptions[0]) == {0, 1}
+
+    def test_start_requires_bound_mac(self, engine):
+        app = CodeDistributionApp(engine, source=0, n_nodes=3)
+        with pytest.raises(RuntimeError):
+            app.start(100.0)
+
+
+class TestDeliveryCallback:
+    def test_records_first_reception_time(self, engine):
+        app, mac = _app(engine)
+        app.start(100.0)
+        engine.run()
+        deliver = app.delivery_callback(2)
+        deliver(mac.packets[0], 42.0)
+        assert app.receptions[2][0] == 42.0
+
+    def test_keeps_earliest_time(self, engine):
+        app, mac = _app(engine)
+        app.start(100.0)
+        engine.run()
+        deliver = app.delivery_callback(2)
+        deliver(mac.packets[0], 42.0)
+        deliver(mac.packets[0], 50.0)
+        assert app.receptions[2][0] == 42.0
+
+    def test_k_greater_one_recovers_missed_update(self, engine):
+        # A node missing update 0 still gets it from the next packet.
+        app, mac = _app(engine, k=2)
+        app.start(200.0)
+        engine.run()
+        deliver = app.delivery_callback(3)
+        deliver(mac.packets[1], 150.0)  # carries (0, 1)
+        assert set(app.receptions[3]) == {0, 1}

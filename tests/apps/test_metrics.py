@@ -1,0 +1,106 @@
+"""Tests for BroadcastMetrics."""
+
+import pytest
+
+from repro.apps.code_distribution import CodeDistributionApp, UpdateRecord
+from repro.apps.metrics import BroadcastMetrics
+from repro.sim.engine import Engine
+
+
+def _fixture(n_nodes=4):
+    """An app with two updates and hand-written receptions.
+
+    Topology fiction: node 0 is the source; node i is i hops away.
+    Update 0 reached everyone; update 1 reached only node 1.
+    """
+    engine = Engine()
+    app = CodeDistributionApp(engine, source=0, n_nodes=n_nodes)
+    app.updates.extend(
+        [UpdateRecord(0, 0.0), UpdateRecord(1, 100.0)]
+    )
+    app.receptions[0] = {0: 0.0, 1: 100.0}
+    app.receptions[1] = {0: 11.0, 1: 112.0}
+    app.receptions[2] = {0: 21.0}
+    app.receptions[3] = {0: 31.5}
+    shortest = [0, 1, 2, 3]
+    joules = [2.0, 1.0, 1.0, 4.0]
+    return BroadcastMetrics(app, shortest, joules)
+
+
+class TestDelivery:
+    def test_per_node_fraction(self):
+        metrics = _fixture()
+        assert metrics.updates_received_fraction(1) == 1.0
+        assert metrics.updates_received_fraction(2) == 0.5
+
+    def test_mean_excludes_source(self):
+        metrics = _fixture()
+        # Nodes 1-3: fractions 1.0, 0.5, 0.5.
+        assert metrics.mean_updates_received_fraction() == pytest.approx(2.0 / 3)
+
+    def test_reliability(self):
+        metrics = _fixture()
+        # Update 0 reached 4/4 nodes; update 1 reached 2/4.
+        assert metrics.reliability(0.9) == 0.5
+        assert metrics.reliability(0.5) == 1.0
+
+
+class TestLatency:
+    def test_latency_computed_from_generation(self):
+        metrics = _fixture()
+        update0 = metrics._app.updates[0]
+        assert metrics.latency(2, update0) == 21.0
+        update1 = metrics._app.updates[1]
+        assert metrics.latency(1, update1) == 12.0
+
+    def test_latency_none_for_missed(self):
+        metrics = _fixture()
+        update1 = metrics._app.updates[1]
+        assert metrics.latency(3, update1) is None
+
+    def test_mean_latency_at_distance(self):
+        metrics = _fixture()
+        assert metrics.mean_latency_at_distance(1) == pytest.approx(
+            (11.0 + 12.0) / 2
+        )
+        assert metrics.mean_latency_at_distance(3) == pytest.approx(31.5)
+
+    def test_mean_latency_at_unpopulated_distance(self):
+        metrics = _fixture()
+        assert metrics.mean_latency_at_distance(9) is None
+
+    def test_mean_update_latency_over_all_receptions(self):
+        metrics = _fixture()
+        # Non-source receptions: 11, 12, 21, 31.5.
+        assert metrics.mean_update_latency() == pytest.approx(
+            (11.0 + 12.0 + 21.0 + 31.5) / 4
+        )
+
+    def test_nodes_at_distance(self):
+        metrics = _fixture()
+        assert metrics.nodes_at_distance(2) == [2]
+
+
+class TestEnergy:
+    def test_joules_per_update_per_node(self):
+        metrics = _fixture()
+        # Mean joules = 2.0; two updates -> 1.0 J per update per node.
+        assert metrics.joules_per_update_per_node() == pytest.approx(1.0)
+
+    def test_total_joules(self):
+        assert _fixture().total_joules() == pytest.approx(8.0)
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        engine = Engine()
+        app = CodeDistributionApp(engine, source=0, n_nodes=3)
+        with pytest.raises(ValueError):
+            BroadcastMetrics(app, [0, 1], [1.0, 1.0, 1.0])
+
+    def test_no_updates_raises_on_fractions(self):
+        engine = Engine()
+        app = CodeDistributionApp(engine, source=0, n_nodes=2)
+        metrics = BroadcastMetrics(app, [0, 1], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            metrics.updates_received_fraction(1)

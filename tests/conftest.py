@@ -1,0 +1,55 @@
+"""Shared fixtures for the PBBF reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import PBBFParams
+from repro.detailed.config import CodeDistributionParameters
+from repro.ideal.config import AnalysisParameters
+from repro.net.topology import GridTopology
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh event engine at t=0."""
+    return Engine()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A seeded random stream (per-test determinism)."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_grid() -> GridTopology:
+    """A 5x5 grid: big enough for multi-hop, small enough to enumerate."""
+    return GridTopology(5)
+
+
+@pytest.fixture
+def medium_grid() -> GridTopology:
+    """An 11x11 grid for statistical assertions."""
+    return GridTopology(11)
+
+
+@pytest.fixture
+def fast_analysis() -> AnalysisParameters:
+    """Table 1 timing on a small grid (tests never need 75x75)."""
+    return AnalysisParameters(grid_side=9)
+
+
+@pytest.fixture
+def tiny_scenario() -> CodeDistributionParameters:
+    """A short, small detailed-simulator scenario for integration tests."""
+    return CodeDistributionParameters(n_nodes=16, density=9.0, duration=150.0)
+
+
+@pytest.fixture
+def psm_params() -> PBBFParams:
+    """Plain PSM (p=q=0)."""
+    return PBBFParams.psm()

@@ -1,0 +1,71 @@
+"""Tests for PBBFParams."""
+
+import pytest
+
+from repro.core.params import PBBFParams
+
+
+class TestValidation:
+    def test_valid_pair(self):
+        params = PBBFParams(p=0.3, q=0.7)
+        assert params.p == 0.3
+        assert params.q == 0.7
+
+    def test_rejects_p_out_of_range(self):
+        with pytest.raises(ValueError):
+            PBBFParams(p=1.2, q=0.5)
+
+    def test_rejects_q_out_of_range(self):
+        with pytest.raises(ValueError):
+            PBBFParams(p=0.5, q=-0.1)
+
+    def test_frozen(self):
+        params = PBBFParams(p=0.1, q=0.1)
+        with pytest.raises(AttributeError):
+            params.p = 0.9  # type: ignore[misc]
+
+    def test_hashable(self):
+        assert len({PBBFParams(0.1, 0.2), PBBFParams(0.1, 0.2)}) == 1
+
+
+class TestCorners:
+    def test_psm_corner(self):
+        params = PBBFParams.psm()
+        assert params.p == 0.0 and params.q == 0.0
+        assert params.is_degenerate_psm()
+
+    def test_always_on_corner(self):
+        params = PBBFParams.always_on()
+        assert params.p == 1.0 and params.q == 1.0
+        assert not params.is_degenerate_psm()
+
+
+class TestEdgeOpenProbability:
+    def test_formula(self):
+        # pedge = 1 - p(1-q)
+        assert PBBFParams(0.5, 0.4).edge_open_probability == pytest.approx(0.7)
+
+    def test_psm_has_certain_edges(self):
+        # p=0: every broadcast goes via the announced path -> pedge = 1.
+        assert PBBFParams.psm().edge_open_probability == 1.0
+
+    def test_always_on_has_certain_edges(self):
+        assert PBBFParams.always_on().edge_open_probability == 1.0
+
+    def test_worst_case(self):
+        # All forwards immediate, nobody stays awake: links never deliver.
+        assert PBBFParams(p=1.0, q=0.0).edge_open_probability == 0.0
+
+
+class TestLabel:
+    def test_psm_label(self):
+        assert PBBFParams.psm().label() == "PSM"
+
+    def test_always_on_label(self):
+        assert PBBFParams.always_on().label() == "ALWAYS-ON"
+
+    def test_pbbf_label_uses_p(self):
+        assert PBBFParams(0.25, 0.6).label() == "PBBF-0.25"
+
+    def test_label_trims_trailing_zeros(self):
+        assert PBBFParams(0.5, 0.0).label() == "PBBF-0.5"

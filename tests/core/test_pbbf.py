@@ -1,0 +1,119 @@
+"""Tests for the PBBF decision logic (Figure 3)."""
+
+import random
+
+import pytest
+
+from repro.core.params import PBBFParams
+from repro.core.pbbf import ForwardingDecision, PBBFAgent, SleepDecision
+
+
+def _agent(p: float, q: float, seed: int = 1) -> PBBFAgent:
+    return PBBFAgent(PBBFParams(p=p, q=q), random.Random(seed))
+
+
+class TestReceiveBroadcast:
+    def test_p_zero_always_queues(self):
+        agent = _agent(p=0.0, q=0.0)
+        decisions = {agent.receive_broadcast(i) for i in range(50)}
+        assert decisions == {ForwardingDecision.NEXT_WINDOW}
+
+    def test_p_one_always_immediate(self):
+        agent = _agent(p=1.0, q=0.0)
+        decisions = {agent.receive_broadcast(i) for i in range(50)}
+        assert decisions == {ForwardingDecision.IMMEDIATE}
+
+    def test_duplicate_detected(self):
+        agent = _agent(p=0.5, q=0.5)
+        agent.receive_broadcast(("src", 1))
+        assert agent.receive_broadcast(("src", 1)) is ForwardingDecision.DUPLICATE
+
+    def test_duplicate_never_reflips_coin(self):
+        # A duplicate must not consume randomness (event-order stability).
+        agent_a = _agent(p=0.5, q=0.5, seed=3)
+        agent_a.receive_broadcast(0)
+        agent_a.receive_broadcast(0)  # duplicate
+        followup_a = agent_a.receive_broadcast(1)
+        agent_b = _agent(p=0.5, q=0.5, seed=3)
+        agent_b.receive_broadcast(0)
+        followup_b = agent_b.receive_broadcast(1)
+        assert followup_a == followup_b
+
+    def test_intermediate_p_rate(self):
+        agent = _agent(p=0.3, q=0.0, seed=7)
+        immediate = sum(
+            agent.receive_broadcast(i) is ForwardingDecision.IMMEDIATE
+            for i in range(4000)
+        )
+        assert 0.27 < immediate / 4000 < 0.33
+
+    def test_counters(self):
+        agent = _agent(p=1.0, q=0.0)
+        agent.receive_broadcast(1)
+        agent.receive_broadcast(1)
+        agent.receive_broadcast(2)
+        assert agent.immediate_forwards == 2
+        assert agent.duplicates_dropped == 1
+        assert agent.seen_count() == 2
+
+    def test_has_seen(self):
+        agent = _agent(p=0.5, q=0.5)
+        assert not agent.has_seen("x")
+        agent.receive_broadcast("x")
+        assert agent.has_seen("x")
+
+
+class TestSleepDecision:
+    def test_q_zero_always_sleeps_when_idle(self):
+        agent = _agent(p=0.0, q=0.0)
+        decisions = {agent.sleep_decision() for _ in range(50)}
+        assert decisions == {SleepDecision.SLEEP}
+
+    def test_q_one_always_stays_awake(self):
+        agent = _agent(p=0.0, q=1.0)
+        decisions = {agent.sleep_decision() for _ in range(50)}
+        assert decisions == {SleepDecision.STAY_AWAKE}
+
+    def test_pending_tx_forces_awake(self):
+        # Figure 3 line 5: DataToSend overrides the coin, even at q=0.
+        agent = _agent(p=0.0, q=0.0)
+        assert agent.sleep_decision(data_to_send=True) is SleepDecision.STAY_AWAKE
+
+    def test_pending_rx_forces_awake(self):
+        agent = _agent(p=0.0, q=0.0)
+        assert agent.sleep_decision(data_to_recv=True) is SleepDecision.STAY_AWAKE
+
+    def test_forced_awake_consumes_no_randomness(self):
+        agent_a = _agent(p=0.0, q=0.5, seed=5)
+        agent_a.sleep_decision(data_to_send=True)
+        next_a = agent_a.sleep_decision()
+        agent_b = _agent(p=0.0, q=0.5, seed=5)
+        next_b = agent_b.sleep_decision()
+        assert next_a == next_b
+
+    def test_intermediate_q_rate(self):
+        agent = _agent(p=0.0, q=0.25, seed=11)
+        awake = sum(
+            agent.sleep_decision() is SleepDecision.STAY_AWAKE
+            for _ in range(4000)
+        )
+        assert 0.22 < awake / 4000 < 0.28
+
+    def test_counters(self):
+        agent = _agent(p=0.0, q=1.0)
+        agent.sleep_decision()
+        agent.sleep_decision(data_to_send=True)
+        assert agent.stay_awake_decisions == 2
+        assert agent.sleep_decisions == 0
+
+
+class TestReset:
+    def test_reset_clears_seen_and_counters(self):
+        agent = _agent(p=1.0, q=1.0)
+        agent.receive_broadcast(1)
+        agent.sleep_decision()
+        agent.reset()
+        assert agent.seen_count() == 0
+        assert agent.immediate_forwards == 0
+        assert agent.stay_awake_decisions == 0
+        assert agent.receive_broadcast(1) is ForwardingDecision.IMMEDIATE

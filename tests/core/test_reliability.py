@@ -1,0 +1,91 @@
+"""Tests for the Remark 1 reliability algebra."""
+
+import pytest
+
+from repro.core.reliability import (
+    edge_open_probability,
+    minimum_p_for_edge_probability,
+    minimum_q_for_edge_probability,
+    satisfies_reliability_threshold,
+)
+
+
+class TestEdgeOpenProbability:
+    def test_formula_cases(self):
+        assert edge_open_probability(0.0, 0.0) == 1.0
+        assert edge_open_probability(1.0, 0.0) == 0.0
+        assert edge_open_probability(1.0, 1.0) == 1.0
+        assert edge_open_probability(0.5, 0.5) == pytest.approx(0.75)
+
+    def test_matches_paper_decomposition(self):
+        # pedge = p*q + (1-p): the immediate-and-awake path plus the
+        # always-heard normal path.
+        p, q = 0.3, 0.8
+        assert edge_open_probability(p, q) == pytest.approx(p * q + (1 - p))
+
+    def test_decreasing_in_p(self):
+        values = [edge_open_probability(p, 0.3) for p in (0.0, 0.25, 0.5, 1.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_increasing_in_q(self):
+        values = [edge_open_probability(0.6, q) for q in (0.0, 0.25, 0.5, 1.0)]
+        assert values == sorted(values)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            edge_open_probability(1.5, 0.0)
+
+
+class TestThresholdCheck:
+    def test_psm_always_satisfies(self):
+        assert satisfies_reliability_threshold(0.0, 0.0, 0.99)
+
+    def test_below_threshold(self):
+        # pedge = 0.5 < pc = 0.6.
+        assert not satisfies_reliability_threshold(1.0, 0.5, 0.6)
+
+    def test_exactly_at_threshold(self):
+        assert satisfies_reliability_threshold(0.5, 0.0, 0.5)
+
+
+class TestMinimumQ:
+    def test_zero_when_p_small(self):
+        # p <= 1 - pc: normal forwards alone exceed the threshold.
+        assert minimum_q_for_edge_probability(0.3, 0.5) == 0.0
+
+    def test_formula_when_binding(self):
+        # q = 1 - (1-pc)/p; p=0.8, pc=0.6 -> q = 1 - 0.5 = 0.5.
+        assert minimum_q_for_edge_probability(0.8, 0.6) == pytest.approx(0.5)
+
+    def test_p_zero_needs_nothing(self):
+        assert minimum_q_for_edge_probability(0.0, 0.99) == 0.0
+
+    def test_p_one_needs_q_equal_pc(self):
+        assert minimum_q_for_edge_probability(1.0, 0.7) == pytest.approx(0.7)
+
+    def test_result_achieves_target(self):
+        for p in (0.2, 0.5, 0.8, 1.0):
+            for target in (0.5, 0.75, 0.99):
+                q = minimum_q_for_edge_probability(p, target)
+                assert edge_open_probability(p, q) >= target - 1e-12
+
+    def test_monotone_in_p(self):
+        target = 0.8
+        qs = [minimum_q_for_edge_probability(p, target) for p in (0.2, 0.5, 0.9)]
+        assert qs == sorted(qs)
+
+
+class TestMinimumP:
+    def test_everything_feasible_at_q_one(self):
+        assert minimum_p_for_edge_probability(1.0, 0.99) == 1.0
+
+    def test_formula_when_binding(self):
+        # p <= (1-pc)/(1-q); q=0.5, pc=0.8 -> p <= 0.4.
+        assert minimum_p_for_edge_probability(0.5, 0.8) == pytest.approx(0.4)
+
+    def test_result_is_feasible_boundary(self):
+        q, target = 0.25, 0.9
+        p_max = minimum_p_for_edge_probability(q, target)
+        assert edge_open_probability(p_max, q) >= target - 1e-12
+        if p_max < 1.0:
+            assert edge_open_probability(p_max + 0.01, q) < target

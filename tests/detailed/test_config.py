@@ -1,0 +1,54 @@
+"""Tests for CodeDistributionParameters (Table 2)."""
+
+import pytest
+
+from repro.detailed.config import CodeDistributionParameters
+
+
+class TestDefaultsMatchTable2:
+    def test_network(self):
+        config = CodeDistributionParameters()
+        assert config.n_nodes == 50
+        assert config.density == 10.0
+
+    def test_packets(self):
+        config = CodeDistributionParameters()
+        assert config.total_packet_bytes == 64
+        assert config.payload_bytes == 30
+        assert config.k == 1
+
+    def test_timing(self):
+        config = CodeDistributionParameters()
+        assert config.beacon_interval == 10.0
+        assert config.atim_window == 1.0
+        assert config.bit_rate_bps == 19200.0
+        assert config.duration == 500.0
+
+    def test_update_interval(self):
+        assert CodeDistributionParameters().update_interval == 100.0
+
+    def test_expected_updates(self):
+        assert CodeDistributionParameters().expected_updates == 5
+
+
+class TestTableRows:
+    def test_contains_paper_rows(self):
+        rows = dict(CodeDistributionParameters().table_rows())
+        assert rows["N"] == "50"
+        assert rows["Delta"] == "10"
+        assert rows["Total Packet Size"] == "64 bytes"
+        assert rows["Data Packet Payload"] == "30 bytes"
+
+
+class TestValidation:
+    def test_payload_must_fit(self):
+        with pytest.raises(ValueError):
+            CodeDistributionParameters(total_packet_bytes=64, payload_bytes=64)
+
+    def test_atim_window_must_fit(self):
+        with pytest.raises(ValueError):
+            CodeDistributionParameters(beacon_interval=1.0, atim_window=1.0)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            CodeDistributionParameters(n_nodes=0)

@@ -1,0 +1,142 @@
+"""Tests for the detailed (Section 5) simulator."""
+
+import pytest
+
+from repro.core.params import PBBFParams
+from repro.detailed.config import CodeDistributionParameters
+from repro.detailed.simulator import DetailedSimulator
+from repro.ideal.simulator import SchedulingMode
+from repro.net.topology import GridTopology
+
+CONFIG = CodeDistributionParameters(n_nodes=16, density=9.0, duration=150.0)
+
+
+def _run(p, q, seed=1, mode=SchedulingMode.PSM_PBBF, **kwargs):
+    return DetailedSimulator(
+        PBBFParams(p=p, q=q), CONFIG, seed=seed, mode=mode, **kwargs
+    ).run()
+
+
+class TestScenarioConstruction:
+    def test_topology_connected(self):
+        sim = DetailedSimulator(PBBFParams.psm(), CONFIG, seed=1)
+        assert sim.topology.is_connected()
+
+    def test_source_inside_network(self):
+        sim = DetailedSimulator(PBBFParams.psm(), CONFIG, seed=2)
+        assert 0 <= sim.source < CONFIG.n_nodes
+
+    def test_same_seed_same_scenario(self):
+        a = DetailedSimulator(PBBFParams.psm(), CONFIG, seed=3)
+        b = DetailedSimulator(PBBFParams.psm(), CONFIG, seed=3)
+        assert a.source == b.source
+        assert [a.topology.position(i) for i in a.topology.nodes()] == [
+            b.topology.position(i) for i in b.topology.nodes()
+        ]
+
+    def test_different_seed_different_deployment(self):
+        a = DetailedSimulator(PBBFParams.psm(), CONFIG, seed=4)
+        b = DetailedSimulator(PBBFParams.psm(), CONFIG, seed=5)
+        assert [a.topology.position(i) for i in a.topology.nodes()] != [
+            b.topology.position(i) for i in b.topology.nodes()
+        ]
+
+    def test_explicit_topology_honoured(self):
+        grid = GridTopology(4)
+        sim = DetailedSimulator(PBBFParams.psm(), CONFIG, seed=1, topology=grid)
+        assert sim.topology is grid
+
+
+class TestPsmRun:
+    def test_full_delivery(self):
+        result = _run(0.0, 0.0)
+        assert result.metrics.mean_updates_received_fraction() == pytest.approx(1.0)
+
+    def test_update_count(self):
+        result = _run(0.0, 0.0)
+        assert result.n_updates == 2  # 150 s at lambda = 0.01/s
+
+    def test_psm_latency_at_two_hops_spans_one_interval(self):
+        result = _run(0.0, 0.0)
+        latency = result.metrics.mean_latency_at_distance(2)
+        if latency is not None:  # depends on sampled deployment
+            assert 10.0 < latency < 14.0
+
+    def test_data_transmissions_bounded_by_flooding(self):
+        result = _run(0.0, 0.0)
+        # Each node forwards each update at most once.
+        assert (
+            result.total_data_transmissions()
+            <= result.n_updates * CONFIG.n_nodes
+        )
+
+    def test_energy_between_psm_floor_and_always_on(self):
+        result = _run(0.0, 0.0)
+        joules = result.metrics.joules_per_update_per_node()
+        assert 0.25 < joules < 3.1
+
+
+class TestAlwaysOnRun:
+    def test_full_delivery_fast(self):
+        result = _run(1.0, 1.0, mode=SchedulingMode.ALWAYS_ON)
+        assert result.metrics.mean_updates_received_fraction() == pytest.approx(1.0)
+        latency = result.metrics.mean_update_latency()
+        assert latency is not None and latency < 1.0
+
+    def test_energy_is_continuous_listen(self):
+        result = _run(1.0, 1.0, mode=SchedulingMode.ALWAYS_ON)
+        # duration * P_listen / n_updates, plus a sliver of TX premium.
+        expected = CONFIG.duration * 0.030 / result.n_updates
+        assert result.metrics.joules_per_update_per_node() == pytest.approx(
+            expected, rel=0.05
+        )
+
+    def test_no_beacons_or_atims(self):
+        result = _run(1.0, 1.0, mode=SchedulingMode.ALWAYS_ON)
+        assert result.channel_stats.by_kind.get("beacon", 0) == 0
+        assert result.channel_stats.by_kind.get("atim", 0) == 0
+
+
+class TestPbbfTrends:
+    def test_energy_increases_with_q(self):
+        low = _run(0.25, 0.1).metrics.joules_per_update_per_node()
+        high = _run(0.25, 0.9).metrics.joules_per_update_per_node()
+        assert high > low
+
+    def test_latency_drops_with_high_p_and_q(self):
+        psm = _run(0.0, 0.0).metrics.mean_update_latency()
+        pbbf = _run(0.75, 0.9).metrics.mean_update_latency()
+        assert pbbf < psm
+
+    def test_deterministic_given_seed(self):
+        a = _run(0.5, 0.5, seed=7)
+        b = _run(0.5, 0.5, seed=7)
+        assert a.node_joules == b.node_joules
+        assert (
+            a.metrics.mean_updates_received_fraction()
+            == b.metrics.mean_updates_received_fraction()
+        )
+
+    def test_beacons_sent_once_per_interval(self):
+        result = _run(0.0, 0.0)
+        total_beacons = sum(stats.beacons_sent for stats in result.mac_stats)
+        assert total_beacons == pytest.approx(150 / 10, abs=1)
+
+
+class TestFailureInjection:
+    def test_total_loss_blocks_everything(self):
+        result = DetailedSimulator(
+            PBBFParams.psm(), CONFIG, seed=1, loss_probability=1.0
+        ).run()
+        assert result.metrics.mean_updates_received_fraction() == 0.0
+
+    def test_partial_loss_degrades_psm(self):
+        # With k=1 and per-reception loss, some updates never recover.
+        lossless = DetailedSimulator(PBBFParams.psm(), CONFIG, seed=2).run()
+        lossy = DetailedSimulator(
+            PBBFParams.psm(), CONFIG, seed=2, loss_probability=0.6
+        ).run()
+        assert (
+            lossy.metrics.mean_updates_received_fraction()
+            < lossless.metrics.mean_updates_received_fraction()
+        )

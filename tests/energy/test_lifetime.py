@@ -1,0 +1,67 @@
+"""Tests for battery-lifetime estimation."""
+
+import pytest
+
+from repro.energy.lifetime import (
+    AA_PAIR_JOULES,
+    lifetime_from_joules_per_update,
+    lifetime_from_power,
+)
+from repro.energy.model import MICA2
+
+
+class TestLifetimeFromPower:
+    def test_simple_division(self):
+        estimate = lifetime_from_power(1.0, battery_joules=86_400.0)
+        assert estimate.seconds == pytest.approx(86_400.0)
+        assert estimate.days == pytest.approx(1.0)
+
+    def test_weeks(self):
+        estimate = lifetime_from_power(1.0, battery_joules=7 * 86_400.0)
+        assert estimate.weeks == pytest.approx(1.0)
+
+    def test_always_on_mote_lasts_about_a_week(self):
+        # The paper's opening claim: an always-listening Mote on a pair of
+        # AAs lives "a few weeks" at best.  At 30 mW idle draw:
+        estimate = lifetime_from_power(MICA2.listen_w)
+        assert 0.5 < estimate.weeks < 4.0
+
+    def test_psm_extends_lifetime_by_duty_cycle(self):
+        always_on = lifetime_from_power(MICA2.listen_w)
+        # 10% duty cycle power: 0.1*30 mW + 0.9*3 uW.
+        psm_power = 0.1 * MICA2.listen_w + 0.9 * MICA2.sleep_w
+        psm = lifetime_from_power(psm_power)
+        assert psm.days == pytest.approx(always_on.days * 9.99, rel=0.01)
+
+    def test_rejects_zero_power(self):
+        with pytest.raises(ValueError):
+            lifetime_from_power(0.0)
+
+    def test_str_mentions_days(self):
+        assert "days" in str(lifetime_from_power(0.030))
+
+
+class TestLifetimeFromJoulesPerUpdate:
+    def test_recovers_average_power(self):
+        # 3 J per update at one update per 100 s = 30 mW.
+        estimate = lifetime_from_joules_per_update(3.0, 100.0)
+        assert estimate.average_power_w == pytest.approx(0.030)
+
+    def test_matches_power_path(self):
+        via_updates = lifetime_from_joules_per_update(0.3, 100.0)
+        via_power = lifetime_from_power(0.003)
+        assert via_updates.days == pytest.approx(via_power.days)
+
+    def test_q_sweep_orders_lifetimes(self):
+        from repro.analysis.equations import joules_per_update
+
+        lifetimes = [
+            lifetime_from_joules_per_update(
+                joules_per_update(q, 1.0, 9.0, 100.0, MICA2), 100.0
+            ).days
+            for q in (0.0, 0.5, 1.0)
+        ]
+        assert lifetimes[0] > lifetimes[1] > lifetimes[2]
+
+    def test_default_battery_constant(self):
+        assert AA_PAIR_JOULES == pytest.approx(20_000.0)

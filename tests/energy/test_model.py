@@ -1,0 +1,128 @@
+"""Tests for the radio energy model."""
+
+import pytest
+
+from repro.energy.model import (
+    ALWAYS_ON_PROFILE,
+    MICA2,
+    PowerProfile,
+    RadioEnergyModel,
+    RadioState,
+)
+
+
+class TestPowerProfile:
+    def test_mica2_matches_table1(self):
+        assert MICA2.tx_w == pytest.approx(0.081)
+        assert MICA2.listen_w == pytest.approx(0.030)
+        assert MICA2.sleep_w == pytest.approx(3e-6)
+
+    def test_power_lookup(self):
+        assert MICA2.power(RadioState.TX) == MICA2.tx_w
+        assert MICA2.power(RadioState.LISTEN) == MICA2.listen_w
+        assert MICA2.power(RadioState.SLEEP) == MICA2.sleep_w
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            PowerProfile(tx_w=-1.0, listen_w=0.0, sleep_w=0.0)
+
+    def test_always_on_profile_never_saves(self):
+        assert ALWAYS_ON_PROFILE.sleep_w == ALWAYS_ON_PROFILE.listen_w
+
+
+class TestEnergyIntegration:
+    def test_pure_listening(self):
+        radio = RadioEnergyModel(MICA2)
+        assert radio.consumed_joules(100.0) == pytest.approx(100 * 0.030)
+
+    def test_pure_sleep(self):
+        radio = RadioEnergyModel(MICA2, initial_state=RadioState.SLEEP)
+        assert radio.consumed_joules(100.0) == pytest.approx(100 * 3e-6)
+
+    def test_mixed_states(self):
+        radio = RadioEnergyModel(MICA2)
+        radio.set_state(RadioState.TX, 10.0)     # 10 s listen
+        radio.set_state(RadioState.SLEEP, 11.0)  # 1 s tx
+        expected = 10 * 0.030 + 1 * 0.081 + 9 * 3e-6
+        assert radio.consumed_joules(20.0) == pytest.approx(expected)
+
+    def test_psm_duty_cycle_energy_matches_eq3(self):
+        # One Table 1 frame: 1 s active, 9 s sleep -> Eq. 3's 10% duty cycle.
+        radio = RadioEnergyModel(MICA2)
+        radio.set_state(RadioState.SLEEP, 1.0)
+        joules = radio.consumed_joules(10.0)
+        assert joules == pytest.approx(1 * 0.030 + 9 * 3e-6)
+        assert radio.duty_cycle(10.0) == pytest.approx(0.1)
+
+    def test_time_in_state(self):
+        radio = RadioEnergyModel(MICA2)
+        radio.set_state(RadioState.SLEEP, 4.0)
+        radio.set_state(RadioState.LISTEN, 6.0)
+        assert radio.time_in_state(RadioState.LISTEN, 10.0) == pytest.approx(8.0)
+        assert radio.time_in_state(RadioState.SLEEP, 10.0) == pytest.approx(2.0)
+
+    def test_redundant_set_state_harmless(self):
+        radio = RadioEnergyModel(MICA2)
+        radio.set_state(RadioState.LISTEN, 5.0)
+        assert radio.consumed_joules(10.0) == pytest.approx(10 * 0.030)
+
+    def test_time_backwards_rejected(self):
+        radio = RadioEnergyModel(MICA2)
+        radio.set_state(RadioState.TX, 5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            radio.set_state(RadioState.SLEEP, 4.0)
+
+    def test_nonzero_start_time(self):
+        radio = RadioEnergyModel(MICA2, start_time=100.0)
+        assert radio.consumed_joules(110.0) == pytest.approx(10 * 0.030)
+
+
+class TestListeningInterval:
+    def test_listening_from_start(self):
+        radio = RadioEnergyModel(MICA2)
+        assert radio.is_listening_interval(0.0, 5.0)
+
+    def test_sleeping_radio_not_listening(self):
+        radio = RadioEnergyModel(MICA2)
+        radio.set_state(RadioState.SLEEP, 1.0)
+        assert not radio.is_listening_interval(2.0, 3.0)
+
+    def test_reception_spanning_wakeup_fails(self):
+        # Woke at t=5; a packet that started at t=4 is truncated.
+        radio = RadioEnergyModel(MICA2, initial_state=RadioState.SLEEP)
+        radio.set_state(RadioState.LISTEN, 5.0)
+        assert not radio.is_listening_interval(4.0, 6.0)
+        assert radio.is_listening_interval(5.0, 6.0)
+
+    def test_transmitting_radio_is_deaf(self):
+        radio = RadioEnergyModel(MICA2)
+        radio.set_state(RadioState.TX, 1.0)
+        assert not radio.is_listening_interval(1.0, 2.0)
+
+    def test_reception_spanning_tx_fails(self):
+        # Listen -> TX -> listen: a packet overlapping the TX burst is lost.
+        radio = RadioEnergyModel(MICA2)
+        radio.set_state(RadioState.TX, 2.0)
+        radio.set_state(RadioState.LISTEN, 3.0)
+        assert not radio.is_listening_interval(2.5, 4.0)
+        assert radio.is_listening_interval(3.0, 4.0)
+
+    def test_reversed_interval_rejected(self):
+        radio = RadioEnergyModel(MICA2)
+        with pytest.raises(ValueError):
+            radio.is_listening_interval(5.0, 4.0)
+
+
+class TestDutyCycle:
+    def test_always_listening_is_one(self):
+        radio = RadioEnergyModel(MICA2)
+        assert radio.duty_cycle(10.0) == 1.0
+
+    def test_always_sleeping_is_zero(self):
+        radio = RadioEnergyModel(MICA2, initial_state=RadioState.SLEEP)
+        assert radio.duty_cycle(10.0) == 0.0
+
+    def test_tx_counts_as_awake(self):
+        radio = RadioEnergyModel(MICA2)
+        radio.set_state(RadioState.TX, 5.0)
+        assert radio.duty_cycle(10.0) == 1.0

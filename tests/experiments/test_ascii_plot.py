@@ -1,0 +1,94 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.ascii_plot import render_ascii_chart
+from repro.experiments.spec import ExperimentResult, Series
+
+
+def _result(series, **overrides):
+    defaults = dict(
+        experiment_id="figXX",
+        title="Demo",
+        x_label="q",
+        y_label="metric",
+        series=series,
+        expectation="shape",
+    )
+    defaults.update(overrides)
+    return ExperimentResult(**defaults)
+
+
+class TestRenderAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = render_ascii_chart(
+            _result((
+                Series("first", ((0.0, 0.0), (1.0, 1.0))),
+                Series("second", ((0.0, 1.0), (1.0, 0.0))),
+            ))
+        )
+        assert "a=first" in chart
+        assert "b=second" in chart
+        assert "a" in chart and "b" in chart
+
+    def test_extremes_land_in_corners(self):
+        chart = render_ascii_chart(
+            _result((Series("line", ((0.0, 0.0), (1.0, 1.0))),)),
+            width=20,
+            height=8,
+        )
+        rows = [
+            line.split("|")[1]
+            for line in chart.splitlines()
+            if line.count("|") == 2
+        ]
+        assert rows[0].rstrip().endswith("a")  # max y at top right
+        assert rows[-1].lstrip().startswith("a")  # min y at bottom left
+
+    def test_overlap_marked_with_star(self):
+        chart = render_ascii_chart(
+            _result((
+                Series("one", ((0.0, 0.0), (1.0, 1.0))),
+                Series("two", ((0.0, 0.0), (1.0, 1.0))),
+            ))
+        )
+        assert "*" in chart
+
+    def test_none_points_skipped(self):
+        chart = render_ascii_chart(
+            _result((Series("gap", ((0.0, 1.0), (0.5, None), (1.0, 2.0))),))
+        )
+        assert "figXX" in chart
+
+    def test_axis_labels_present(self):
+        chart = render_ascii_chart(
+            _result((Series("s", ((0.0, 1.0), (1.0, 2.0))),))
+        )
+        assert "(q)" in chart
+        assert "y = metric" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = render_ascii_chart(
+            _result((Series("flat", ((0.0, 5.0), (1.0, 5.0))),))
+        )
+        assert "flat" in chart
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ValueError, match="no plottable"):
+            render_ascii_chart(_result(()))
+
+    def test_tiny_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            render_ascii_chart(
+                _result((Series("s", ((0.0, 1.0), (1.0, 2.0))),)),
+                width=5,
+                height=3,
+            )
+
+    def test_real_experiment_renders(self):
+        from repro.experiments.registry import get_experiment
+        from tests.experiments.test_figures_smoke import TINY
+
+        result = get_experiment("fig07").run(TINY)
+        chart = render_ascii_chart(result)
+        assert "fig07" in chart

@@ -1,0 +1,45 @@
+"""Unit tests for the detailed-figure harness plumbing."""
+
+from repro.experiments.detailed_figures import (
+    DetailedPointMetrics,
+    _detailed_run,
+    run_fig13,
+    run_fig17,
+)
+from tests.experiments.test_figures_smoke import TINY
+
+
+class TestDetailedRunMemoization:
+    def test_cache_hit_on_repeat(self):
+        _detailed_run.cache_clear()
+        args = (0.5, 0.5, 9.0, "psm_pbbf", 150.0, 42)
+        first = _detailed_run(*args)
+        misses = _detailed_run.cache_info().misses
+        second = _detailed_run(*args)
+        assert _detailed_run.cache_info().misses == misses
+        assert first == second
+
+    def test_returns_metrics_bundle(self):
+        point = _detailed_run(0.5, 0.5, 9.0, "psm_pbbf", 150.0, 7)
+        assert isinstance(point, DetailedPointMetrics)
+        assert 0.0 <= point.updates_received_fraction <= 1.0
+        assert point.joules_per_update_per_node > 0.0
+
+
+class TestFigureLayouts:
+    def test_fig13_has_baselines_and_q_axis(self):
+        result = run_fig13(TINY)
+        labels = [series.label for series in result.series]
+        assert labels[-2:] == ["PSM", "NO PSM"]
+        for series in result.series:
+            assert series.xs() == list(TINY.detailed_q_values)
+
+    def test_fig17_uses_density_axis(self):
+        result = run_fig17(TINY)
+        for series in result.series:
+            assert series.xs() == list(TINY.densities)
+
+    def test_baselines_constant_across_axis(self):
+        result = run_fig13(TINY)
+        psm_values = {y for _, y in result.get_series("PSM").points}
+        assert len(psm_values) == 1

@@ -1,0 +1,86 @@
+"""Smoke runs of every figure generator at a miniature scale.
+
+These are integration tests for the harness plumbing: each artifact must
+regenerate without error and carry the structural features (series labels,
+baselines, orderings) that the shape comparison relies on.  The paper-shape
+assertions at meaningful scale live in tests/integration/.
+"""
+
+import pytest
+
+from repro.experiments.registry import all_experiment_ids, get_experiment
+from repro.experiments.scale import Scale
+
+#: A scale even smaller than "fast": single-digit seconds for ALL artifacts.
+TINY = Scale(
+    name="tiny",
+    grid_side=11,
+    n_broadcasts=4,
+    ideal_runs=1,
+    ideal_p_values=(0.25, 0.75),
+    ideal_q_values=(0.0, 0.5, 1.0),
+    hop_distance_near=3,
+    hop_distance_far=6,
+    percolation_sizes=(8, 12),
+    percolation_runs=4,
+    frontier_grid_side=10,
+    reliability_levels=(0.8, 0.99),
+    detailed_runs=1,
+    detailed_p_values=(0.5,),
+    detailed_q_values=(0.0, 1.0),
+    densities=(9.0, 12.0),
+    duration=150.0,
+)
+
+
+@pytest.mark.parametrize("experiment_id", all_experiment_ids())
+def test_every_artifact_regenerates(experiment_id):
+    result = get_experiment(experiment_id).run(TINY)
+    assert result.experiment_id == experiment_id
+    assert result.expectation
+    rendered = result.render()
+    assert experiment_id in rendered
+
+
+class TestFigureStructure:
+    def test_ideal_figures_have_baselines(self):
+        result = get_experiment("fig04").run(TINY)
+        labels = {series.label for series in result.series}
+        assert "PSM" in labels and "NO PSM" in labels
+        assert "PBBF-0.25" in labels and "PBBF-0.75" in labels
+
+    def test_fig04_baselines_at_one(self):
+        result = get_experiment("fig04").run(TINY)
+        assert all(y == 1.0 for _, y in result.get_series("PSM").points)
+        assert all(y == 1.0 for _, y in result.get_series("NO PSM").points)
+
+    def test_fig06_series_per_reliability_level(self):
+        result = get_experiment("fig06").run(TINY)
+        assert len(result.series) == len(TINY.reliability_levels)
+
+    def test_fig07_higher_reliability_dominates(self):
+        result = get_experiment("fig07").run(TINY)
+        low = dict(result.get_series("80% reliability").points)
+        high = dict(result.get_series("99% reliability").points)
+        assert all(high[p] >= low[p] for p in low)
+
+    def test_fig08_psm_floor_below_no_psm(self):
+        result = get_experiment("fig08").run(TINY)
+        psm = result.get_series("PSM").points[0][1]
+        no_psm = result.get_series("NO PSM").points[0][1]
+        assert psm < no_psm
+
+    def test_fig12_single_decreasing_curve(self):
+        result = get_experiment("fig12").run(TINY)
+        (series,) = result.series
+        ys = [y for _, y in series.points]
+        assert ys == sorted(ys, reverse=True)
+
+    def test_detailed_figures_have_baselines(self):
+        result = get_experiment("fig13").run(TINY)
+        labels = {series.label for series in result.series}
+        assert {"PSM", "NO PSM", "PBBF-0.5"} <= labels
+
+    def test_density_figures_use_density_axis(self):
+        result = get_experiment("fig17").run(TINY)
+        assert result.get_series("PSM").xs() == list(TINY.densities)

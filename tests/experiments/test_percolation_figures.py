@@ -1,0 +1,53 @@
+"""Unit tests for the percolation-figure harness plumbing."""
+
+import pytest
+
+from repro.experiments.percolation_figures import (
+    _critical_fraction,
+    critical_fraction,
+    run_fig06,
+    run_fig07,
+    run_fig12,
+)
+from tests.experiments.test_figures_smoke import TINY
+
+
+class TestCriticalFraction:
+    def test_memoized(self):
+        _critical_fraction.cache_clear()
+        critical_fraction(TINY, 8, 0.9)
+        misses = _critical_fraction.cache_info().misses
+        critical_fraction(TINY, 8, 0.9)
+        assert _critical_fraction.cache_info().misses == misses
+
+    def test_value_in_sensible_range(self):
+        value = critical_fraction(TINY, 10, 0.9)
+        assert 0.4 < value < 0.9
+
+    def test_full_coverage_costs_more(self):
+        partial = critical_fraction(TINY, 10, 0.8)
+        full = critical_fraction(TINY, 10, 1.0)
+        assert full > partial
+
+
+class TestFigureConsistency:
+    def test_fig07_endpoints_match_fig06_thresholds(self):
+        # At p=1 the frontier's q equals the critical bond fraction for
+        # the frontier grid — the two figures must agree by construction.
+        fig07 = run_fig07(TINY)
+        for level in TINY.reliability_levels:
+            pc = critical_fraction(TINY, TINY.frontier_grid_side, level)
+            frontier_at_p1 = fig07.get_series(f"{level:.0%} reliability").y_at(1.0)
+            assert frontier_at_p1 == pytest.approx(pc)
+
+    def test_fig12_notes_record_calibration(self):
+        result = run_fig12(TINY)
+        notes = " ".join(result.notes)
+        assert "critical bond fraction" in notes
+        assert "L1" in notes and "L2" in notes
+
+    def test_fig06_series_one_per_level(self):
+        result = run_fig06(TINY)
+        assert len(result.series) == len(TINY.reliability_levels)
+        for series in result.series:
+            assert series.xs() == [float(s) for s in TINY.percolation_sizes]

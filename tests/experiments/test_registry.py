@@ -1,0 +1,31 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.experiments.registry import all_experiment_ids, get_experiment
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        ids = all_experiment_ids()
+        expected = {"table1", "table2"} | {f"fig{n:02d}" for n in range(4, 19)}
+        assert set(ids) == expected
+
+    def test_tables_listed_first(self):
+        ids = all_experiment_ids()
+        assert ids[0].startswith("table")
+        assert ids[1].startswith("table")
+
+    def test_lookup_returns_matching_spec(self):
+        spec = get_experiment("fig08")
+        assert spec.experiment_id == "fig08"
+
+    def test_unknown_id_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="fig08"):
+            get_experiment("fig99")
+
+    def test_every_spec_has_expectation_and_section(self):
+        for experiment_id in all_experiment_ids():
+            spec = get_experiment(experiment_id)
+            assert spec.expectation
+            assert spec.section

@@ -1,0 +1,53 @@
+"""Tests for experiment scale presets."""
+
+from repro.experiments.scale import Scale
+
+
+class TestFullScale:
+    def test_matches_paper_parameters(self):
+        scale = Scale.full()
+        assert scale.grid_side == 75
+        assert scale.percolation_sizes == (10, 20, 30, 40)
+        assert scale.frontier_grid_side == 30
+        assert scale.hop_distance_near == 20
+        assert scale.hop_distance_far == 60
+        assert scale.detailed_runs == 10
+        assert scale.duration == 500.0
+        assert scale.densities[0] == 8.0 and scale.densities[-1] == 18.0
+
+    def test_paper_p_values(self):
+        assert Scale.full().ideal_p_values == (0.05, 0.25, 0.375, 0.5, 0.75)
+
+    def test_reliability_levels(self):
+        assert Scale.full().reliability_levels == (0.8, 0.9, 0.99, 1.0)
+
+
+class TestFastScale:
+    def test_strictly_smaller_than_full(self):
+        fast, full = Scale.fast(), Scale.full()
+        assert fast.grid_side < full.grid_side
+        assert fast.n_broadcasts < full.n_broadcasts
+        assert fast.detailed_runs < full.detailed_runs
+        assert fast.duration <= full.duration
+
+    def test_hop_distances_fit_grid(self):
+        fast = Scale.fast()
+        # Both bucket distances must exist on the fast grid (max lattice
+        # distance from the centre is 2 * (side // 2)).
+        max_distance = 2 * (fast.grid_side // 2)
+        assert fast.hop_distance_far <= max_distance
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert Scale.fast().seed_for("a", 1) == Scale.fast().seed_for("a", 1)
+
+    def test_labels_distinguish(self):
+        scale = Scale.fast()
+        assert scale.seed_for("a", 1) != scale.seed_for("a", 2)
+        assert scale.seed_for("a") != scale.seed_for("b")
+
+    def test_scales_share_base_seed_semantics(self):
+        # Same labels at different scales give the same seed (scales only
+        # differ in sizing, not randomness).
+        assert Scale.fast().seed_for("x") == Scale.full().seed_for("x")

@@ -1,0 +1,100 @@
+"""Tests for experiment result containers and rendering."""
+
+import pytest
+
+from repro.experiments.report import render_result
+from repro.experiments.spec import ExperimentResult, ExperimentSpec, Series
+from repro.experiments.scale import Scale
+
+
+def _result(**overrides):
+    defaults = dict(
+        experiment_id="figXX",
+        title="Demo",
+        x_label="q",
+        y_label="metric",
+        series=(
+            Series("A", ((0.0, 1.0), (0.5, 2.0))),
+            Series("B", ((0.0, 3.0), (0.5, None))),
+        ),
+        expectation="something",
+    )
+    defaults.update(overrides)
+    return ExperimentResult(**defaults)
+
+
+class TestSeries:
+    def test_y_at_exact_match(self):
+        series = Series("A", ((0.0, 1.0), (0.5, 2.0)))
+        assert series.y_at(0.5) == 2.0
+
+    def test_y_at_missing_returns_none(self):
+        series = Series("A", ((0.0, 1.0),))
+        assert series.y_at(0.7) is None
+
+    def test_xs_order_preserved(self):
+        series = Series("A", ((0.5, 1.0), (0.0, 2.0)))
+        assert series.xs() == [0.5, 0.0]
+
+
+class TestExperimentResult:
+    def test_get_series(self):
+        result = _result()
+        assert result.get_series("B").label == "B"
+
+    def test_get_series_unknown_raises(self):
+        with pytest.raises(KeyError, match="figXX"):
+            _result().get_series("missing")
+
+
+class TestRendering:
+    def test_render_contains_labels_and_values(self):
+        text = render_result(_result())
+        assert "figXX" in text
+        assert "A" in text and "B" in text
+        assert "q" in text
+        assert "metric" in text
+
+    def test_none_rendered_as_dash(self):
+        text = render_result(_result())
+        rows = [line for line in text.splitlines() if line.strip().startswith("0.5")]
+        assert rows and rows[0].rstrip().endswith("-")
+
+    def test_expectation_included(self):
+        assert "something" in render_result(_result())
+
+    def test_table_rows_rendering(self):
+        result = _result(series=(), table_rows=(("N", "50"), ("Delta", "10")))
+        text = render_result(result)
+        assert "N" in text and "50" in text and "Delta" in text
+
+    def test_notes_rendered(self):
+        result = _result(notes=("calibrated L2 = 8.5 s",))
+        assert "calibrated L2" in render_result(result)
+
+    def test_render_method_delegates(self):
+        assert _result().render() == render_result(_result())
+
+
+class TestExperimentSpec:
+    def test_run_defaults_to_fast_scale(self):
+        captured = {}
+
+        def runner(scale):
+            captured["scale"] = scale
+            return _result()
+
+        spec = ExperimentSpec("figXX", "demo", "4", "exp", runner)
+        spec.run()
+        assert captured["scale"].name == "fast"
+
+    def test_run_with_explicit_scale(self):
+        captured = {}
+
+        def runner(scale):
+            captured["scale"] = scale
+            return _result()
+
+        spec = ExperimentSpec("figXX", "demo", "4", "exp", runner)
+        spec.run(Scale.full())
+        assert captured["scale"].name == "full"

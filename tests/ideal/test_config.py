@@ -1,0 +1,65 @@
+"""Tests for AnalysisParameters (Table 1)."""
+
+import pytest
+
+from repro.ideal.config import AnalysisParameters
+
+
+class TestDefaultsMatchTable1:
+    def test_grid(self):
+        config = AnalysisParameters()
+        assert config.grid_side == 75
+        assert config.n_nodes == 5625
+
+    def test_powers(self):
+        config = AnalysisParameters()
+        assert config.power.tx_w == pytest.approx(0.081)
+        assert config.power.listen_w == pytest.approx(0.030)
+        assert config.power.sleep_w == pytest.approx(3e-6)
+
+    def test_rate_and_latency(self):
+        config = AnalysisParameters()
+        assert config.update_rate == 0.01
+        assert config.update_interval == 100.0
+        assert config.l1 == 1.5
+
+    def test_frame_timing(self):
+        config = AnalysisParameters()
+        assert config.t_frame == 10.0
+        assert config.t_active == 1.0
+        assert config.t_sleep == 9.0
+
+    def test_packet_airtime(self):
+        config = AnalysisParameters()
+        assert config.packet_airtime == pytest.approx(64 * 8 / 19200)
+
+
+class TestTableRows:
+    def test_row_count(self):
+        assert len(AnalysisParameters().table_rows()) == 8
+
+    def test_rows_contain_paper_values(self):
+        text = dict(AnalysisParameters().table_rows())
+        assert text["N"] == "5625 (75 x 75)"
+        assert text["PTX"] == "81 mW"
+        assert text["PI"] == "30 mW"
+        assert text["PS"] == "3 uW"
+        assert text["Tframe"] == "10 s"
+
+
+class TestValidation:
+    def test_active_must_fit_in_frame(self):
+        with pytest.raises(ValueError):
+            AnalysisParameters(t_active=10.0, t_frame=10.0)
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            AnalysisParameters(update_rate=0.0)
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            AnalysisParameters(grid_side=0)
+
+    def test_custom_small_grid(self):
+        config = AnalysisParameters(grid_side=9)
+        assert config.n_nodes == 81

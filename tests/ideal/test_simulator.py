@@ -1,0 +1,267 @@
+"""Tests for the Section 4 ideal simulator."""
+
+import pytest
+
+from repro.core.params import PBBFParams
+from repro.ideal.config import AnalysisParameters
+from repro.ideal.simulator import IdealSimulator, SchedulingMode
+from repro.net.topology import GridTopology
+
+
+def _sim(p, q, grid=9, seed=0, mode=SchedulingMode.PSM_PBBF):
+    return IdealSimulator(
+        GridTopology(grid),
+        PBBFParams(p=p, q=q),
+        AnalysisParameters(grid_side=grid),
+        seed=seed,
+        mode=mode,
+    )
+
+
+class TestScheduleGeometry:
+    def test_frame_of(self):
+        sim = _sim(0.0, 0.0)
+        assert sim.frame_of(0.0) == 0
+        assert sim.frame_of(9.99) == 0
+        assert sim.frame_of(10.0) == 1
+
+    def test_active_window_boundaries(self):
+        sim = _sim(0.0, 0.0)
+        assert sim.in_active_window(0.0)
+        assert sim.in_active_window(0.999)
+        assert not sim.in_active_window(1.0)
+        assert sim.in_active_window(10.5)
+
+    def test_everyone_awake_in_window(self):
+        sim = _sim(0.5, 0.0)
+        assert all(sim.is_awake(v, 10.5) for v in range(20))
+
+    def test_q_zero_sleeps_outside_window(self):
+        sim = _sim(0.5, 0.0)
+        assert not any(sim.is_awake(v, 5.0) for v in range(20))
+
+    def test_q_one_always_awake(self):
+        sim = _sim(0.5, 1.0)
+        assert all(sim.is_awake(v, 5.0) for v in range(20))
+
+    def test_awake_coin_deterministic(self):
+        sim = _sim(0.5, 0.5, seed=42)
+        first = [sim.is_awake(v, 5.0) for v in range(50)]
+        second = [sim.is_awake(v, 5.0) for v in range(50)]
+        assert first == second
+
+    def test_awake_coin_varies_by_frame(self):
+        sim = _sim(0.5, 0.5, seed=42)
+        frame_a = [sim.is_awake(v, 5.0) for v in range(100)]
+        frame_b = [sim.is_awake(v, 15.0) for v in range(100)]
+        assert frame_a != frame_b
+
+    def test_defer_out_of_window(self):
+        sim = _sim(0.5, 0.5)
+        assert sim._defer_out_of_window(10.5) == 11.0  # mid-window -> end
+        assert sim._defer_out_of_window(15.0) == 15.0  # sleep period: as-is
+
+    def test_next_window_send_time(self):
+        sim = _sim(0.0, 0.0)
+        # Queued at t=12.3 -> announced in frame 2's window, sent at
+        # 20 + Tactive + L1 = 22.5.
+        assert sim._next_window_send_time(12.3) == pytest.approx(22.5)
+
+
+class TestPsmBehaviour:
+    def test_full_coverage(self):
+        outcome = _sim(0.0, 0.0).run_broadcast(0)
+        assert outcome.coverage == 1.0
+
+    def test_hops_equal_lattice_distance(self):
+        sim = _sim(0.0, 0.0)
+        outcome = sim.run_broadcast(0)
+        distances = sim.topology.hop_distances_from(sim.source)
+        assert list(outcome.hops) == distances
+
+    def test_per_hop_latency_is_one_frame_beyond_first(self):
+        # Relays receive at x.5 into a frame and retransmit the next frame:
+        # consecutive hop distances differ by exactly Tframe.
+        sim = _sim(0.0, 0.0)
+        outcome = sim.run_broadcast(0)
+        distances = sim.topology.hop_distances_from(sim.source)
+        by_distance = {}
+        for node, (t, d) in enumerate(zip(outcome.receive_times, distances)):
+            by_distance.setdefault(d, set()).add(t)
+        # All nodes at the same distance hear the same (synchronized) send.
+        assert all(len(times) == 1 for times in by_distance.values())
+        latencies = sorted(
+            (d, times.pop() - outcome.t_generated)
+            for d, times in by_distance.items()
+            if d > 0
+        )
+        gaps = [
+            b_latency - a_latency
+            for (_, a_latency), (_, b_latency) in zip(latencies, latencies[1:])
+        ]
+        assert all(gap == pytest.approx(10.0) for gap in gaps)
+
+    def test_first_hop_latency_is_window_plus_l1(self):
+        sim = _sim(0.0, 0.0)
+        outcome = sim.run_broadcast(0)
+        one_hop = sim.topology.neighbors(sim.source)[0]
+        latency = outcome.latency(one_hop)
+        # Tactive + L1 + airtime after generation at the window start.
+        assert latency == pytest.approx(1.0 + 1.5 + 64 * 8 / 19200)
+
+    def test_transmission_count_equals_node_count(self):
+        # Every node forwards exactly once under duplicate suppression.
+        sim = _sim(0.0, 0.0)
+        outcome = sim.run_broadcast(0)
+        assert outcome.n_transmissions == sim.topology.n_nodes
+
+
+class TestAlwaysOn:
+    def test_full_coverage(self):
+        outcome = _sim(1.0, 1.0, mode=SchedulingMode.ALWAYS_ON).run_broadcast(0)
+        assert outcome.coverage == 1.0
+
+    def test_per_hop_latency_is_l1(self):
+        sim = _sim(1.0, 1.0, mode=SchedulingMode.ALWAYS_ON)
+        campaign = sim.run_campaign(3)
+        airtime = 64 * 8 / 19200
+        assert campaign.mean_per_hop_latency() == pytest.approx(
+            1.5 + airtime, rel=0.01
+        )
+
+    def test_everyone_always_awake(self):
+        sim = _sim(0.0, 0.0, mode=SchedulingMode.ALWAYS_ON)
+        assert sim.is_awake(3, 123.456)
+
+
+class TestPbbfPropagation:
+    def test_p1_q0_reaches_only_first_ring(self):
+        # The source's initial send is a normal broadcast (all neighbours
+        # hear it); after that every forward is immediate and nobody is
+        # awake, so propagation dies at distance 1.
+        sim = _sim(1.0, 0.0)
+        outcome = sim.run_broadcast(0)
+        assert outcome.n_received == 1 + len(sim.topology.neighbors(sim.source))
+
+    def test_coverage_increases_with_q_statistically(self):
+        grid = 11
+        low = sum(
+            _sim(0.5, 0.1, grid=grid, seed=s).run_broadcast(0).coverage
+            for s in range(8)
+        )
+        high = sum(
+            _sim(0.5, 0.9, grid=grid, seed=s).run_broadcast(0).coverage
+            for s in range(8)
+        )
+        assert high > low
+
+    def test_latency_decreases_with_q(self):
+        low_q = _sim(0.5, 0.2, grid=11, seed=1).run_campaign(5)
+        high_q = _sim(0.5, 1.0, grid=11, seed=1).run_campaign(5)
+        assert (
+            high_q.mean_per_hop_latency() < low_q.mean_per_hop_latency()
+        )
+
+    def test_hops_never_below_lattice_distance(self):
+        sim = _sim(0.5, 0.5, grid=11, seed=3)
+        outcome = sim.run_broadcast(0)
+        distances = sim.topology.hop_distances_from(sim.source)
+        for hops, distance in zip(outcome.hops, distances):
+            if hops is not None:
+                assert hops >= distance
+
+    def test_deterministic_for_seed(self):
+        a = _sim(0.5, 0.5, seed=9).run_broadcast(0)
+        b = _sim(0.5, 0.5, seed=9).run_broadcast(0)
+        assert a.receive_times == b.receive_times
+
+    def test_seed_changes_outcome(self):
+        a = _sim(0.5, 0.4, grid=11, seed=1).run_broadcast(0)
+        b = _sim(0.5, 0.4, grid=11, seed=2).run_broadcast(0)
+        assert a.receive_times != b.receive_times
+
+
+class TestBroadcastOutcome:
+    def test_source_fields(self):
+        sim = _sim(0.0, 0.0)
+        outcome = sim.run_broadcast(0)
+        assert outcome.hops[sim.source] == 0
+        assert outcome.receive_times[sim.source] == outcome.t_generated
+
+    def test_reached_fraction(self):
+        outcome = _sim(0.0, 0.0).run_broadcast(0)
+        assert outcome.reached_fraction(1.0)
+        assert outcome.reached_fraction(0.5)
+
+    def test_latency_none_for_missed(self):
+        sim = _sim(1.0, 0.0)
+        outcome = sim.run_broadcast(0)
+        far_node = 0  # corner: not a neighbour of the centre on a 9x9 grid
+        assert outcome.latency(far_node) is None
+
+    def test_per_hop_latencies_exclude_source(self):
+        sim = _sim(0.0, 0.0)
+        outcome = sim.run_broadcast(0)
+        assert len(outcome.per_hop_latencies()) == sim.topology.n_nodes - 1
+
+
+class TestCampaign:
+    def test_reliability_psm_is_one(self):
+        campaign = _sim(0.0, 0.0).run_campaign(5)
+        assert campaign.reliability(0.99) == 1.0
+
+    def test_reliability_counts_threshold_crossings(self):
+        campaign = _sim(0.5, 0.3, grid=11, seed=5).run_campaign(10)
+        reliability = campaign.reliability(0.9)
+        coverage_hits = sum(o.reached_fraction(0.9) for o in campaign.outcomes)
+        assert reliability == coverage_hits / 10
+
+    def test_energy_linear_in_q(self):
+        e = {}
+        for q in (0.0, 0.5, 1.0):
+            e[q] = _sim(0.25, q).run_campaign(3).joules_per_update_per_node()
+        assert e[0.5] - e[0.0] == pytest.approx(e[1.0] - e[0.5], rel=0.02)
+
+    def test_energy_nearly_independent_of_p(self):
+        a = _sim(0.05, 0.5, seed=1).run_campaign(3).joules_per_update_per_node()
+        b = _sim(0.75, 0.5, seed=1).run_campaign(3).joules_per_update_per_node()
+        assert a == pytest.approx(b, rel=0.02)
+
+    def test_psm_energy_near_paper_floor(self):
+        campaign = _sim(0.0, 0.0).run_campaign(3)
+        assert campaign.joules_per_update_per_node() == pytest.approx(0.30, rel=0.05)
+
+    def test_always_on_energy_near_paper_ceiling(self):
+        campaign = _sim(1.0, 1.0, mode=SchedulingMode.ALWAYS_ON).run_campaign(3)
+        assert campaign.joules_per_update_per_node() == pytest.approx(3.0, rel=0.05)
+
+    def test_mean_hops_at_distance(self):
+        campaign = _sim(0.0, 0.0).run_campaign(2)
+        assert campaign.mean_hops_at_distance(3) == pytest.approx(3.0)
+
+    def test_mean_latency_at_distance_monotone_for_psm(self):
+        campaign = _sim(0.0, 0.0).run_campaign(2)
+        l2 = campaign.mean_latency_at_distance(2)
+        l4 = campaign.mean_latency_at_distance(4)
+        assert l4 > l2
+
+    def test_rejects_zero_broadcasts(self):
+        with pytest.raises(ValueError):
+            _sim(0.0, 0.0).run_campaign(0)
+
+    def test_nodes_at_distance(self):
+        campaign = _sim(0.0, 0.0).run_campaign(1)
+        assert len(campaign.nodes_at_distance(1)) == 4
+
+
+class TestValidation:
+    def test_source_bounds_checked(self):
+        with pytest.raises(IndexError):
+            IdealSimulator(
+                GridTopology(5), PBBFParams(0.1, 0.1), source=999
+            )
+
+    def test_default_source_is_center(self):
+        sim = _sim(0.0, 0.0, grid=9)
+        grid = sim.topology
+        assert sim.source == grid.center_node()

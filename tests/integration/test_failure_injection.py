@@ -1,0 +1,80 @@
+"""Failure-injection scenarios across the detailed stack."""
+
+import pytest
+
+from repro.core.params import PBBFParams
+from repro.detailed.config import CodeDistributionParameters
+from repro.detailed.simulator import DetailedSimulator
+
+CONFIG = CodeDistributionParameters(n_nodes=20, density=10.0, duration=300.0)
+
+
+class TestRandomLoss:
+    def test_delivery_monotone_in_loss(self):
+        fractions = []
+        for loss in (0.0, 0.4, 0.8):
+            result = DetailedSimulator(
+                PBBFParams.psm(), CONFIG, seed=3, loss_probability=loss
+            ).run()
+            fractions.append(result.metrics.mean_updates_received_fraction())
+        assert fractions[0] >= fractions[1] >= fractions[2]
+        assert fractions[0] > fractions[2]  # strict somewhere
+
+    def test_k_redundancy_recovers_losses(self):
+        lossy = dict(seed=5, loss_probability=0.4)
+        k1 = DetailedSimulator(
+            PBBFParams.psm(),
+            CodeDistributionParameters(
+                n_nodes=20, density=10.0, duration=400.0, k=1
+            ),
+            **lossy,
+        ).run()
+        k4 = DetailedSimulator(
+            PBBFParams.psm(),
+            CodeDistributionParameters(
+                n_nodes=20, density=10.0, duration=400.0, k=4
+            ),
+            **lossy,
+        ).run()
+        assert (
+            k4.metrics.mean_updates_received_fraction()
+            >= k1.metrics.mean_updates_received_fraction()
+        )
+
+    def test_higher_q_softens_loss_for_pbbf(self):
+        # More awake time means more chances to catch a redundant copy.
+        low = DetailedSimulator(
+            PBBFParams(0.5, 0.1), CONFIG, seed=7, loss_probability=0.3
+        ).run()
+        high = DetailedSimulator(
+            PBBFParams(0.5, 0.9), CONFIG, seed=7, loss_probability=0.3
+        ).run()
+        assert (
+            high.metrics.mean_updates_received_fraction()
+            >= low.metrics.mean_updates_received_fraction()
+        )
+
+
+class TestDegenerateScenarios:
+    def test_single_hop_network(self):
+        # Density high enough that everyone is a neighbour of the source.
+        config = CodeDistributionParameters(
+            n_nodes=8, density=7.9, duration=200.0
+        )
+        result = DetailedSimulator(PBBFParams.psm(), config, seed=2).run()
+        assert result.metrics.mean_updates_received_fraction() > 0.9
+
+    def test_short_run_with_single_update(self):
+        config = CodeDistributionParameters(
+            n_nodes=12, density=9.0, duration=60.0
+        )
+        result = DetailedSimulator(PBBFParams.psm(), config, seed=2).run()
+        assert result.n_updates == 1
+        assert result.metrics.mean_updates_received_fraction() == 1.0
+
+    def test_zero_capable_worst_corner_still_terminates(self):
+        # p=1, q=0: almost everything is lost; the run must terminate and
+        # report honestly rather than hang or divide by zero.
+        result = DetailedSimulator(PBBFParams(1.0, 0.0), CONFIG, seed=2).run()
+        fraction = result.metrics.mean_updates_received_fraction()
+        assert 0.0 <= fraction < 1.0

@@ -1,0 +1,143 @@
+"""Integration tests: the paper's headline shapes, end to end.
+
+Each test regenerates (a reduced-scale version of) a paper claim and
+asserts the *qualitative* result — who wins, what is monotone, where the
+structure sits — which is the reproduction's success criterion.
+"""
+
+import pytest
+
+from repro.core.params import PBBFParams
+from repro.detailed.config import CodeDistributionParameters
+from repro.detailed.simulator import DetailedSimulator
+from repro.ideal.config import AnalysisParameters
+from repro.ideal.simulator import IdealSimulator, SchedulingMode
+from repro.net.topology import GridTopology
+
+GRID = GridTopology(15)
+CONFIG = AnalysisParameters(grid_side=15)
+
+
+def _campaign(p, q, seed=0, mode=SchedulingMode.PSM_PBBF, n=8):
+    simulator = IdealSimulator(GRID, PBBFParams(p=p, q=q), CONFIG, seed=seed, mode=mode)
+    return simulator.run_campaign(n)
+
+
+class TestThresholdBehaviour:
+    """Figures 4-5: reliability jumps from ~0 to ~1 at a q threshold."""
+
+    def test_pbbf_half_has_threshold_in_q(self):
+        low = _campaign(0.5, 0.0).reliability(0.9)
+        high = _campaign(0.5, 0.9).reliability(0.9)
+        assert low < 0.3
+        assert high == 1.0
+
+    def test_threshold_shifts_right_with_p(self):
+        # At q=0.4: p=0.25 is comfortably above threshold, p=0.75 below.
+        assert _campaign(0.25, 0.4).reliability(0.9) == 1.0
+        assert _campaign(0.75, 0.4).reliability(0.9) < 0.5
+
+    def test_99_needs_more_q_than_90(self):
+        campaign = _campaign(0.5, 0.45, seed=3)
+        assert campaign.reliability(0.99) <= campaign.reliability(0.90)
+
+
+class TestEnergyLaw:
+    """Figure 8 / Eq. 8: linear in q, independent of p."""
+
+    def test_linear_in_q(self):
+        e = {q: _campaign(0.25, q).joules_per_update_per_node() for q in (0.0, 0.5, 1.0)}
+        assert e[0.5] == pytest.approx((e[0.0] + e[1.0]) / 2, rel=0.02)
+
+    def test_independent_of_p(self):
+        values = [
+            _campaign(p, 0.6, seed=1).joules_per_update_per_node()
+            for p in (0.05, 0.375, 0.75)
+        ]
+        assert max(values) - min(values) < 0.05 * values[0]
+
+    def test_psm_floor_and_always_on_ceiling(self):
+        psm = _campaign(0.0, 0.0).joules_per_update_per_node()
+        on = _campaign(1.0, 1.0, mode=SchedulingMode.ALWAYS_ON).joules_per_update_per_node()
+        assert psm == pytest.approx(0.30, rel=0.05)
+        assert on == pytest.approx(3.0, rel=0.05)
+        assert 2.5 < on - psm < 2.9  # "saves almost 3 Joules per update"
+
+
+class TestLatencyLaw:
+    """Figure 11 / Eq. 9: per-hop latency between L1 and ~Tframe."""
+
+    def test_psm_per_hop_near_frame_length(self):
+        per_hop = _campaign(0.0, 0.0).mean_per_hop_latency()
+        # First hop is cheaper (AW + L1), so the mean sits below Tframe
+        # but well above half of it on a 15x15 grid.
+        assert 6.0 < per_hop < 10.5
+
+    def test_always_on_per_hop_near_l1(self):
+        per_hop = _campaign(1.0, 1.0, mode=SchedulingMode.ALWAYS_ON).mean_per_hop_latency()
+        assert per_hop == pytest.approx(1.5, rel=0.05)
+
+    def test_high_pq_beats_psm(self):
+        psm = _campaign(0.0, 0.0).mean_per_hop_latency()
+        pbbf = _campaign(0.75, 0.9).mean_per_hop_latency()
+        assert pbbf < psm
+
+    def test_latency_decreasing_in_q_at_fixed_p(self):
+        values = [
+            _campaign(0.5, q, seed=2).mean_per_hop_latency()
+            for q in (0.3, 0.6, 1.0)
+        ]
+        assert values[0] > values[1] > values[2]
+
+
+class TestPathStretch:
+    """Figures 9-10: tortuous paths near threshold, direct at high q."""
+
+    def test_stretch_near_threshold(self):
+        # Near the threshold the broadcast worms along long paths; at high
+        # q it tightens to just above the lattice distance (earliest-arrival
+        # can still prefer a longer chain of fast immediate hops over a
+        # shortest path that waits out a beacon interval, so a small
+        # residual stretch remains — visible in the paper's Figure 9 too).
+        d = 5
+        near = _campaign(0.5, 0.35, seed=4).mean_hops_at_distance(d)
+        high = _campaign(0.5, 1.0, seed=4).mean_hops_at_distance(d)
+        assert near > d * 1.2
+        assert high < d * 1.15
+        assert high < near
+
+    def test_psm_paths_are_shortest(self):
+        d = 6
+        assert _campaign(0.0, 0.0).mean_hops_at_distance(d) == pytest.approx(d)
+
+
+class TestDetailedStudy:
+    """Figures 13-16 headline orderings on the detailed stack."""
+
+    CONFIG = CodeDistributionParameters(n_nodes=30, density=10.0, duration=300.0)
+
+    def _run(self, p, q, seed=11, mode=SchedulingMode.PSM_PBBF):
+        return DetailedSimulator(
+            PBBFParams(p=p, q=q), self.CONFIG, seed=seed, mode=mode
+        ).run()
+
+    def test_energy_ordering_psm_pbbf_alwayson(self):
+        psm = self._run(0.0, 0.0).metrics.joules_per_update_per_node()
+        pbbf = self._run(0.25, 0.5).metrics.joules_per_update_per_node()
+        on = self._run(1.0, 1.0, mode=SchedulingMode.ALWAYS_ON).metrics.joules_per_update_per_node()
+        assert psm < pbbf < on
+
+    def test_latency_ordering_alwayson_pbbf_psm(self):
+        psm = self._run(0.0, 0.0).metrics.mean_update_latency()
+        pbbf = self._run(0.5, 0.9).metrics.mean_update_latency()
+        on = self._run(1.0, 1.0, mode=SchedulingMode.ALWAYS_ON).metrics.mean_update_latency()
+        assert on < pbbf < psm
+
+    def test_delivery_degrades_at_high_p_low_q(self):
+        degraded = self._run(0.5, 0.1).metrics.mean_updates_received_fraction()
+        recovered = self._run(0.5, 0.9).metrics.mean_updates_received_fraction()
+        assert degraded < recovered
+
+    def test_psm_delivers_everything(self):
+        fraction = self._run(0.0, 0.0).metrics.mean_updates_received_fraction()
+        assert fraction == pytest.approx(1.0)

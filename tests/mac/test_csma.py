@@ -1,0 +1,183 @@
+"""Tests for the CSMA/CA broadcast transmitter."""
+
+import random
+from typing import List
+
+import pytest
+
+from repro.mac.csma import CsmaConfig, CsmaTransmitter
+from repro.net.channel import Channel
+from repro.net.packet import Packet, PacketKind
+from repro.net.topology import Topology
+from repro.sim.engine import Engine
+
+BIT_RATE = 19200.0
+
+
+class AlwaysListening:
+    def __init__(self):
+        self.received: List[Packet] = []
+        self.collided: List[Packet] = []
+
+    def is_listening_interval(self, start, end):
+        return True
+
+    def on_receive(self, packet):
+        self.received.append(packet)
+
+    def on_collision(self, packet):
+        self.collided.append(packet)
+
+
+def _clique(n: int) -> Topology:
+    return Topology(
+        [(float(i), 0.0) for i in range(n)],
+        [[j for j in range(n) if j != i] for i in range(n)],
+    )
+
+
+def _packet(sender, seqno=0):
+    return Packet(
+        kind=PacketKind.DATA, origin=sender, sender=sender, seqno=seqno,
+        size_bytes=64,
+    )
+
+
+def _make(n=2, seed=1):
+    engine = Engine()
+    channel = Channel(engine, _clique(n), BIT_RATE)
+    listeners = [AlwaysListening() for _ in range(n)]
+    for i, listener in enumerate(listeners):
+        channel.attach(i, listener)
+    tx_log = []
+    transmitters = [
+        CsmaTransmitter(
+            engine, channel, i, random.Random(seed + i),
+            begin_tx=lambda i=i: tx_log.append(("begin", i)),
+            end_tx=lambda i=i: tx_log.append(("end", i)),
+        )
+        for i in range(n)
+    ]
+    return engine, channel, listeners, transmitters, tx_log
+
+
+class TestBasicTransmission:
+    def test_single_frame_delivered(self):
+        engine, _, listeners, txs, _ = _make()
+        txs[0].enqueue(_packet(0))
+        engine.run()
+        assert len(listeners[1].received) == 1
+
+    def test_backoff_precedes_transmission(self):
+        engine, channel, _, txs, _ = _make()
+        txs[0].enqueue(_packet(0))
+        engine.run()
+        airtime = 64 * 8 / BIT_RATE
+        # Total time = DIFS + slots*slot_time + airtime >= DIFS + airtime.
+        assert engine.now >= CsmaConfig().difs + airtime
+
+    def test_radio_hooks_called_in_order(self):
+        engine, _, _, txs, tx_log = _make()
+        txs[0].enqueue(_packet(0))
+        engine.run()
+        assert tx_log == [("begin", 0), ("end", 0)]
+
+    def test_fifo_queue(self):
+        engine, _, listeners, txs, _ = _make()
+        txs[0].enqueue(_packet(0, seqno=0))
+        txs[0].enqueue(_packet(0, seqno=1))
+        engine.run()
+        seqnos = [p.seqno for p in listeners[1].received]
+        assert seqnos == [0, 1]
+
+    def test_has_pending_lifecycle(self):
+        engine, _, _, txs, _ = _make()
+        assert not txs[0].has_pending()
+        txs[0].enqueue(_packet(0))
+        assert txs[0].has_pending()
+        engine.run()
+        assert not txs[0].has_pending()
+
+    def test_on_sent_callback(self):
+        engine, _, _, txs, _ = _make()
+        sent = []
+        txs[0].enqueue(_packet(0), on_sent=sent.append)
+        engine.run()
+        assert len(sent) == 1
+
+    def test_frames_sent_counter(self):
+        engine, _, _, txs, _ = _make()
+        txs[0].enqueue(_packet(0, 0))
+        txs[0].enqueue(_packet(0, 1))
+        engine.run()
+        assert txs[0].frames_sent == 2
+
+
+class TestCarrierSensing:
+    def test_second_sender_defers(self):
+        # Both want to send; the later starter must hear the first and
+        # defer, so both frames are delivered without collision.
+        engine, channel, listeners, txs, _ = _make(3)
+        txs[0].enqueue(_packet(0, 0))
+        txs[1].enqueue(_packet(1, 1))
+        engine.run()
+        # Node 2 hears both cleanly (contention resolved by CSMA).
+        received = {p.seqno for p in listeners[2].received}
+        collided = len(listeners[2].collided)
+        # With distinct backoff draws, both usually deliver; at minimum the
+        # channel must not deadlock and at least one frame must survive.
+        assert received or collided
+        assert not txs[0].has_pending()
+        assert not txs[1].has_pending()
+
+    def test_busy_channel_postpones_attempt(self):
+        engine, channel, listeners, txs, _ = _make(2)
+        # Occupy the channel directly (bypassing CSMA) and enqueue during.
+        channel.transmit(1, _packet(1, 9))
+        txs[0].enqueue(_packet(0, 0))
+        engine.run()
+        assert {p.seqno for p in listeners[1].received} == {0}
+        # Node 0's frame must have started after node 1's packet finished
+        # (one uncorrupted delivery of each).
+        assert len(listeners[0].received) == 1
+
+    def test_gate_defers_transmission(self):
+        engine, _, listeners, txs, _ = _make(2)
+        release_at = 5.0
+        txs[0].enqueue(_packet(0), gate=lambda pkt: release_at)
+        engine.run()
+        assert listeners[1].received
+        assert engine.now >= release_at
+
+    def test_gate_reevaluated_each_attempt(self):
+        engine, _, listeners, txs, _ = _make(2)
+        gates = []
+
+        def moving_gate(pkt):
+            gates.append(engine.now)
+            return 2.0 if len(gates) == 1 else 0.0
+
+        txs[0].enqueue(_packet(0), gate=moving_gate)
+        engine.run()
+        assert len(gates) >= 2
+        assert listeners[1].received
+
+
+class TestCancellation:
+    def test_cancel_all_drops_queue(self):
+        engine, _, listeners, txs, _ = _make(2)
+        txs[0].enqueue(_packet(0, 0))
+        txs[0].enqueue(_packet(0, 1))
+        txs[0].cancel_all()
+        engine.run()
+        assert listeners[1].received == []
+
+
+class TestConfig:
+    def test_rejects_bad_slot_time(self):
+        with pytest.raises(ValueError):
+            CsmaConfig(slot_time=0.0)
+
+    def test_rejects_bad_contention_window(self):
+        with pytest.raises(ValueError):
+            CsmaConfig(contention_window=0)

@@ -1,0 +1,162 @@
+"""Tests for the gossip baseline MAC."""
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.core.params import PBBFParams
+from repro.detailed.config import CodeDistributionParameters
+from repro.detailed.simulator import DetailedSimulator
+from repro.energy.model import MICA2, RadioEnergyModel
+from repro.mac.gossip import GossipMac
+from repro.net.channel import Channel
+from repro.net.packet import Packet, PacketKind
+from repro.net.topology import GridTopology, Topology
+from repro.sim.engine import Engine
+
+
+def _line(n: int) -> Topology:
+    adjacency = []
+    for i in range(n):
+        nbrs = []
+        if i > 0:
+            nbrs.append(i - 1)
+        if i < n - 1:
+            nbrs.append(i + 1)
+        adjacency.append(nbrs)
+    return Topology([(float(i), 0.0) for i in range(n)], adjacency)
+
+
+class _Node:
+    def __init__(self, radio, mac):
+        self.radio = radio
+        self.mac = mac
+
+    def is_listening_interval(self, start, end):
+        return self.radio.is_listening_interval(start, end)
+
+    def on_receive(self, packet):
+        self.mac.handle_receive(packet)
+
+    def on_collision(self, packet):
+        self.mac.handle_collision(packet)
+
+
+def _build(topology, g, seed=1):
+    engine = Engine()
+    channel = Channel(engine, topology, 19200.0)
+    deliveries: List[Tuple[int, float]] = []
+    macs = []
+    for node_id in range(topology.n_nodes):
+        radio = RadioEnergyModel(MICA2)
+        mac = GossipMac(
+            engine, channel, node_id, radio,
+            lambda pkt, t, node_id=node_id: deliveries.append((node_id, t)),
+            random.Random(seed * 100 + node_id),
+            gossip_probability=g,
+        )
+        channel.attach(node_id, _Node(radio, mac))
+        macs.append(mac)
+    for mac in macs:
+        mac.start()
+    return engine, macs, deliveries
+
+
+def _data(origin, seqno=0):
+    return Packet(
+        kind=PacketKind.DATA, origin=origin, sender=origin, seqno=seqno,
+        size_bytes=64,
+    )
+
+
+class TestGossipMechanics:
+    def test_g_one_is_plain_flooding(self):
+        engine, macs, deliveries = _build(_line(5), g=1.0)
+        macs[0].broadcast(_data(0))
+        engine.run()
+        assert {node for node, _ in deliveries} == {1, 2, 3, 4}
+
+    def test_g_zero_stops_after_first_hop(self):
+        engine, macs, deliveries = _build(_line(5), g=0.0)
+        macs[0].broadcast(_data(0))
+        engine.run()
+        # The source always transmits; node 1 receives but never forwards.
+        assert {node for node, _ in deliveries} == {1}
+        assert macs[1].forwards_declined == 1
+
+    def test_forward_rate_matches_g(self):
+        # A clique: every node hears the broadcast; each flips one coin.
+        n = 40
+        clique = Topology(
+            [(float(i), 0.0) for i in range(n)],
+            [[j for j in range(n) if j != i] for i in range(n)],
+        )
+        forwarded = 0
+        for seed in range(5):
+            engine, macs, _ = _build(clique, g=0.3, seed=seed)
+            macs[0].broadcast(_data(0, seqno=seed))
+            engine.run()
+            forwarded += sum(m.stats.data_sent for m in macs[1:])
+        rate = forwarded / (5 * (n - 1))
+        assert 0.2 < rate < 0.4
+
+    def test_coin_flipped_once_per_broadcast(self):
+        engine, macs, _ = _build(_line(3), g=0.0)
+        macs[0].broadcast(_data(0))
+        engine.run()
+        # Duplicates (echoes) must not trigger fresh coins.
+        assert macs[1].forwards_declined == 1
+
+    def test_rejects_bad_probability(self):
+        engine = Engine()
+        channel = Channel(engine, _line(2), 19200.0)
+        with pytest.raises(ValueError):
+            GossipMac(
+                engine, channel, 0, RadioEnergyModel(MICA2),
+                lambda pkt, t: None, random.Random(1),
+                gossip_probability=1.5,
+            )
+
+
+class TestGossipVsPbbfReliability:
+    def test_gossip_threshold_behaviour_on_grid(self):
+        # Sub-threshold gossip dies out; super-threshold gossip blankets
+        # the grid — the bimodal behaviour of the paper's ref [5].
+        grid = GridTopology(11)
+        source = grid.center_node()
+
+        def coverage(g, seed):
+            engine, macs, deliveries = _build(grid, g=g, seed=seed)
+            macs[source].broadcast(_data(source, seqno=seed))
+            engine.run(until=30.0)
+            return len({node for node, _ in deliveries}) / grid.n_nodes
+
+        low = sum(coverage(0.3, s) for s in range(5)) / 5
+        high = sum(coverage(0.9, s) for s in range(5)) / 5
+        assert low < 0.3
+        assert high > 0.9
+
+
+class TestGossipThroughMacFactory:
+    def test_detailed_simulator_integration(self):
+        config = CodeDistributionParameters(
+            n_nodes=16, density=9.0, duration=150.0
+        )
+
+        def factory(node_id, engine, channel, radio, deliver, rng):
+            return GossipMac(
+                engine, channel, node_id, radio, deliver, rng,
+                gossip_probability=0.9,
+            )
+
+        result = DetailedSimulator(
+            PBBFParams.always_on(), config, seed=3, mac_factory=factory
+        ).run()
+        assert result.metrics.mean_updates_received_fraction() > 0.7
+        # Gossip declines some forwards: strictly fewer data transmissions
+        # than flooding's one-per-node-per-update.
+        assert (
+            result.total_data_transmissions()
+            < result.n_updates * config.n_nodes
+        )

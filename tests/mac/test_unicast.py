@@ -1,0 +1,224 @@
+"""Tests for unicast PSM with PBBF integration."""
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.core.params import PBBFParams
+from repro.core.pbbf import PBBFAgent
+from repro.energy.model import MICA2, RadioEnergyModel, RadioState
+from repro.mac.base import MacConfig
+from repro.mac.unicast import UnicastPSMMac
+from repro.net.channel import Channel
+from repro.net.packet import Packet, PacketKind
+from repro.net.topology import Topology
+from repro.sim.engine import Engine
+
+BIT_RATE = 19200.0
+
+
+def _clique(n: int) -> Topology:
+    return Topology(
+        [(float(i), 0.0) for i in range(n)],
+        [[j for j in range(n) if j != i] for i in range(n)],
+    )
+
+
+class _Node:
+    def __init__(self, radio, mac):
+        self.radio = radio
+        self.mac = mac
+
+    def is_listening_interval(self, start, end):
+        return self.radio.is_listening_interval(start, end)
+
+    def on_receive(self, packet):
+        self.mac.handle_receive(packet)
+
+    def on_collision(self, packet):
+        self.mac.handle_collision(packet)
+
+
+def _build(n, p, q, seed=1, loss=0.0):
+    from repro.net.propagation import LossModel
+
+    engine = Engine()
+    channel = Channel(
+        engine, _clique(n), BIT_RATE,
+        loss_model=LossModel(loss, random.Random(seed + 999)),
+    )
+    deliveries: List[Tuple[int, int, float]] = []
+    macs = []
+    for node_id in range(n):
+        radio = RadioEnergyModel(MICA2)
+        agent = PBBFAgent(PBBFParams(p=p, q=q), random.Random(seed * 50 + node_id))
+        mac = UnicastPSMMac(
+            engine, channel, node_id, agent, radio,
+            lambda pkt, t, node_id=node_id: deliveries.append(
+                (node_id, pkt.seqno, t)
+            ),
+            random.Random(seed * 70 + node_id),
+            config=MacConfig(send_beacons=False),
+        )
+        channel.attach(node_id, _Node(radio, mac))
+        macs.append(mac)
+    for mac in macs:
+        mac.start()
+    return engine, macs, deliveries
+
+
+def _unicast(sender, dest, seqno=0):
+    return Packet(
+        kind=PacketKind.DATA, origin=sender, sender=sender, seqno=seqno,
+        size_bytes=64, destination=dest,
+    )
+
+
+class TestAnnouncedUnicast:
+    def test_delivered_within_the_interval(self):
+        engine, macs, deliveries = _build(2, p=0.0, q=0.0)
+        outcomes = []
+        engine.schedule(
+            0.05,
+            lambda: macs[0].send_unicast(
+                _unicast(0, 1), on_done=lambda pkt, ok: outcomes.append(ok)
+            ),
+        )
+        engine.run(until=9.0)
+        assert outcomes == [True]
+        assert [(node, seq) for node, seq, _ in deliveries] == [(1, 0)]
+        # Handshake happened: directed ATIM, ATIM-ACK, data ACK.
+        assert macs[0].stats.atims_sent == 1
+        assert macs[1].unicast_stats.atim_acks_sent == 1
+        assert macs[1].unicast_stats.data_acks_sent == 1
+
+    def test_receiver_stays_awake_after_directed_atim(self):
+        engine, macs, _ = _build(2, p=0.0, q=0.0)
+        engine.schedule(0.05, lambda: macs[0].send_unicast(_unicast(0, 1)))
+        engine.run(until=5.0)
+        assert macs[1].radio.state is RadioState.LISTEN
+
+    def test_third_party_sleeps_through_someone_elses_atim(self):
+        engine, macs, _ = _build(3, p=0.0, q=0.0)
+        engine.schedule(0.05, lambda: macs[0].send_unicast(_unicast(0, 1)))
+        engine.run(until=5.0)
+        assert macs[2].radio.state is RadioState.SLEEP
+
+    def test_out_of_window_request_waits_for_next_interval(self):
+        engine, macs, deliveries = _build(2, p=0.0, q=0.0)
+        engine.schedule(5.0, lambda: macs[0].send_unicast(_unicast(0, 1)))
+        engine.run(until=15.0)
+        assert deliveries
+        assert deliveries[0][2] > 10.0
+
+    def test_two_packets_same_destination(self):
+        engine, macs, deliveries = _build(2, p=0.0, q=0.0)
+        engine.schedule(0.05, lambda: macs[0].send_unicast(_unicast(0, 1, 0)))
+        engine.schedule(0.06, lambda: macs[0].send_unicast(_unicast(0, 1, 1)))
+        engine.run(until=25.0)
+        assert sorted(seq for _, seq, _ in deliveries) == [0, 1]
+        assert macs[0].unicast_stats.delivered == 2
+
+    def test_retries_recover_random_loss(self):
+        engine, macs, deliveries = _build(2, p=0.0, q=0.0, loss=0.3, seed=3)
+        results = []
+        engine.schedule(
+            0.05,
+            lambda: macs[0].send_unicast(
+                _unicast(0, 1), on_done=lambda pkt, ok: results.append(ok)
+            ),
+        )
+        engine.run(until=60.0)
+        assert results == [True]
+
+    def test_delivery_reported_failed_when_destination_dead(self):
+        engine, macs, _ = _build(2, p=0.0, q=0.0)
+        macs[1].stop()
+        results = []
+        engine.schedule(
+            0.05,
+            lambda: macs[0].send_unicast(
+                _unicast(0, 1), on_done=lambda pkt, ok: results.append(ok)
+            ),
+        )
+        engine.run(until=100.0)
+        assert results == [False]
+        assert macs[0].unicast_stats.failed == 1
+
+
+class TestImmediateUnicast:
+    def test_p1_q1_skips_announcement(self):
+        engine, macs, deliveries = _build(2, p=1.0, q=1.0)
+        # Inject during the sleep period: the immediate path needs no window.
+        engine.schedule(5.0, lambda: macs[0].send_unicast(_unicast(0, 1)))
+        engine.run(until=9.0)
+        assert deliveries  # delivered before the next beacon interval
+        assert deliveries[0][2] < 6.0
+        assert macs[0].unicast_stats.immediate_successes == 1
+        assert macs[0].stats.atims_sent == 0
+
+    def test_immediate_miss_falls_back_to_announced_path(self):
+        engine, macs, deliveries = _build(2, p=1.0, q=0.0)
+        results = []
+        engine.schedule(
+            5.0,
+            lambda: macs[0].send_unicast(
+                _unicast(0, 1), on_done=lambda pkt, ok: results.append(ok)
+            ),
+        )
+        engine.run(until=30.0)
+        # The sleeping destination missed the immediate try, but the
+        # fallback announcement in a later interval delivered it.
+        assert results == [True]
+        assert macs[0].unicast_stats.immediate_attempts == 1
+        assert macs[0].unicast_stats.immediate_successes == 0
+        assert macs[0].stats.atims_sent >= 1
+        assert deliveries and deliveries[0][2] > 10.0
+
+    def test_immediate_latency_beats_announced(self):
+        def latency(p, q, seed):
+            engine, macs, deliveries = _build(2, p=p, q=q, seed=seed)
+            engine.schedule(5.0, lambda: macs[0].send_unicast(_unicast(0, 1)))
+            engine.run(until=40.0)
+            assert deliveries
+            return deliveries[0][2] - 5.0
+
+        assert latency(1.0, 1.0, seed=2) < latency(0.0, 0.0, seed=2)
+
+
+class TestValidationAndCoexistence:
+    def test_send_unicast_requires_destination(self):
+        engine, macs, _ = _build(2, p=0.0, q=0.0)
+        with pytest.raises(ValueError):
+            macs[0].send_unicast(
+                Packet(
+                    kind=PacketKind.DATA, origin=0, sender=0, seqno=0,
+                    size_bytes=64,
+                )
+            )
+
+    def test_broadcast_still_works_alongside_unicast(self):
+        engine, macs, deliveries = _build(3, p=0.0, q=0.0)
+        engine.schedule(0.05, lambda: macs[0].send_unicast(_unicast(0, 1, 0)))
+        engine.schedule(
+            0.06,
+            lambda: macs[0].broadcast(
+                Packet(
+                    kind=PacketKind.DATA, origin=0, sender=0, seqno=100,
+                    size_bytes=64,
+                )
+            ),
+        )
+        engine.run(until=25.0)
+        seqs_by_node = {}
+        for node, seq, _ in deliveries:
+            seqs_by_node.setdefault(node, set()).add(seq)
+        assert 0 in seqs_by_node[1] and 100 in seqs_by_node[1]
+        assert seqs_by_node.get(2) == {100}  # unicast stayed private
+
+    def test_overheard_unicast_data_not_delivered_to_third_party(self):
+        engine, macs, deliveries = _build(3, p=0.0, q=1.0)
+        engine.schedule(0.05, lambda: macs[0].send_unicast(_unicast(0, 1)))
+        engine.run(until=9.0)
+        assert all(node != 2 for node, _, _ in deliveries)

@@ -1,0 +1,79 @@
+"""Tests for repro.net.packet."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketKind
+
+
+def _data_packet(**overrides):
+    defaults = dict(
+        kind=PacketKind.DATA,
+        origin=0,
+        sender=0,
+        seqno=7,
+        size_bytes=64,
+        updates=(7,),
+    )
+    defaults.update(overrides)
+    return Packet(**defaults)
+
+
+class TestPacket:
+    def test_broadcast_id_is_origin_and_seqno(self):
+        packet = _data_packet(origin=3, seqno=9)
+        assert packet.broadcast_id == (3, 9)
+
+    def test_duration_at_paper_bit_rate(self):
+        # 64 bytes at 19.2 kbps = 26.67 ms (Section 5 numbers).
+        packet = _data_packet(size_bytes=64)
+        assert packet.duration(19200.0) == pytest.approx(64 * 8 / 19200)
+
+    def test_duration_scales_with_size(self):
+        small = _data_packet(size_bytes=32).duration(19200.0)
+        large = _data_packet(size_bytes=64).duration(19200.0)
+        assert large == pytest.approx(2 * small)
+
+    def test_duration_rejects_bad_bit_rate(self):
+        with pytest.raises(ValueError):
+            _data_packet().duration(0.0)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            _data_packet(size_bytes=0)
+
+    def test_uids_unique(self):
+        a, b = _data_packet(), _data_packet()
+        assert a.uid != b.uid
+
+    def test_frozen(self):
+        packet = _data_packet()
+        with pytest.raises(AttributeError):
+            packet.seqno = 1  # type: ignore[misc]
+
+
+class TestForwardedBy:
+    def test_forward_changes_sender_not_origin(self):
+        packet = _data_packet(origin=1, sender=1)
+        forward = packet.forwarded_by(5)
+        assert forward.sender == 5
+        assert forward.origin == 1
+
+    def test_forward_increments_hops(self):
+        packet = _data_packet()
+        assert packet.hops == 0
+        assert packet.forwarded_by(5).hops == 1
+        assert packet.forwarded_by(5).forwarded_by(6).hops == 2
+
+    def test_forward_preserves_broadcast_id(self):
+        packet = _data_packet(origin=2, seqno=11)
+        assert packet.forwarded_by(9).broadcast_id == (2, 11)
+
+    def test_forward_preserves_updates_and_size(self):
+        packet = _data_packet(updates=(4, 5), size_bytes=64)
+        forward = packet.forwarded_by(3)
+        assert forward.updates == (4, 5)
+        assert forward.size_bytes == 64
+
+    def test_forward_gets_fresh_uid(self):
+        packet = _data_packet()
+        assert packet.forwarded_by(1).uid != packet.uid

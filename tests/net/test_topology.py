@@ -1,0 +1,187 @@
+"""Tests for repro.net.topology."""
+
+import math
+import random
+
+import pytest
+
+from repro.net.topology import (
+    GridTopology,
+    RandomTopology,
+    Topology,
+    area_for_density,
+    density_for_area,
+)
+
+
+class TestGridTopology:
+    def test_node_count(self):
+        assert GridTopology(5).n_nodes == 25
+        assert GridTopology(3, 7).n_nodes == 21
+
+    def test_interior_node_has_four_neighbors(self):
+        grid = GridTopology(5)
+        assert grid.degree(grid.node_id(2, 2)) == 4
+
+    def test_corner_has_two_neighbors(self):
+        grid = GridTopology(5)
+        assert grid.degree(grid.node_id(0, 0)) == 2
+
+    def test_edge_node_has_three_neighbors(self):
+        grid = GridTopology(5)
+        assert grid.degree(grid.node_id(0, 2)) == 3
+
+    def test_edge_count_matches_lattice_formula(self):
+        # An n x m lattice has n(m-1) + m(n-1) edges.
+        grid = GridTopology(4, 6)
+        assert grid.n_edges == 4 * 5 + 6 * 3
+
+    def test_neighbors_are_manhattan_adjacent(self):
+        grid = GridTopology(4)
+        node = grid.node_id(1, 2)
+        for nbr in grid.neighbors(node):
+            r, c = grid.coordinates(nbr)
+            assert abs(r - 1) + abs(c - 2) == 1
+
+    def test_no_wraparound(self):
+        grid = GridTopology(3)
+        left = grid.node_id(1, 0)
+        right = grid.node_id(1, 2)
+        assert right not in grid.neighbors(left)
+
+    def test_center_node_of_odd_grid(self):
+        grid = GridTopology(5)
+        assert grid.coordinates(grid.center_node()) == (2, 2)
+
+    def test_hop_distance_is_manhattan(self):
+        grid = GridTopology(7)
+        distances = grid.hop_distances_from(grid.node_id(0, 0))
+        assert distances[grid.node_id(3, 4)] == 7
+
+    def test_nodes_at_hop_distance(self):
+        grid = GridTopology(5)
+        ring = grid.nodes_at_hop_distance(grid.center_node(), 1)
+        assert len(ring) == 4
+
+    def test_connected(self):
+        assert GridTopology(6).is_connected()
+
+    def test_coordinates_roundtrip(self):
+        grid = GridTopology(4, 9)
+        for node in grid.nodes():
+            r, c = grid.coordinates(node)
+            assert grid.node_id(r, c) == node
+
+    def test_node_id_bounds_checked(self):
+        grid = GridTopology(3)
+        with pytest.raises(IndexError):
+            grid.node_id(3, 0)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            GridTopology(0)
+
+
+class TestDensityFormula:
+    def test_eq13_roundtrip(self):
+        area = area_for_density(10.0, 50, 40.0)
+        assert density_for_area(area, 50, 40.0) == pytest.approx(10.0)
+
+    def test_area_value(self):
+        # delta = pi R^2 N / A  =>  A = pi * 1600 * 50 / 10.
+        assert area_for_density(10.0, 50, 40.0) == pytest.approx(
+            math.pi * 1600 * 50 / 10.0
+        )
+
+    def test_rejects_zero_density(self):
+        with pytest.raises(ValueError):
+            area_for_density(0.0, 50, 40.0)
+
+
+class TestRandomTopology:
+    def test_node_count_and_area(self):
+        topo = RandomTopology(50, 40.0, 10.0, random.Random(1))
+        assert topo.n_nodes == 50
+        assert topo.side == pytest.approx(math.sqrt(topo.area))
+
+    def test_positions_inside_deployment_square(self):
+        topo = RandomTopology(50, 40.0, 10.0, random.Random(2))
+        for node in topo.nodes():
+            x, y = topo.position(node)
+            assert 0.0 <= x <= topo.side
+            assert 0.0 <= y <= topo.side
+
+    def test_adjacency_matches_disk_rule(self):
+        topo = RandomTopology(40, 40.0, 10.0, random.Random(3))
+        for node in topo.nodes():
+            for other in topo.nodes():
+                if node == other:
+                    continue
+                in_range = topo.euclidean_distance(node, other) <= 40.0
+                assert (other in topo.neighbors(node)) == in_range
+
+    def test_average_degree_tracks_density(self):
+        # delta approximates the expected neighbour count; boundary effects
+        # pull the realised mean down somewhat, so allow generous slack.
+        rng = random.Random(4)
+        degrees = [
+            RandomTopology(50, 40.0, 10.0, rng).average_degree()
+            for _ in range(10)
+        ]
+        mean_degree = sum(degrees) / len(degrees)
+        assert 5.0 < mean_degree < 11.0
+
+    def test_seeded_reproducibility(self):
+        a = RandomTopology(30, 40.0, 10.0, random.Random(7))
+        b = RandomTopology(30, 40.0, 10.0, random.Random(7))
+        assert [a.position(i) for i in a.nodes()] == [
+            b.position(i) for i in b.nodes()
+        ]
+
+    def test_connected_factory_returns_connected(self):
+        topo = RandomTopology.connected(30, 40.0, 10.0, random.Random(5))
+        assert topo.is_connected()
+
+    def test_connected_factory_gives_up(self):
+        # Density so low that 30 nodes essentially never connect.
+        with pytest.raises(RuntimeError, match="no connected deployment"):
+            RandomTopology.connected(
+                30, 40.0, 0.05, random.Random(6), max_attempts=3
+            )
+
+
+class TestTopologyBase:
+    def test_symmetry_validated(self):
+        with pytest.raises(ValueError, match="not symmetric"):
+            Topology([(0, 0), (1, 0)], [[1], []])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            Topology([(0, 0)], [[0]])
+
+    def test_out_of_range_neighbor_rejected(self):
+        with pytest.raises(ValueError, match="out-of-range"):
+            Topology([(0, 0)], [[5]])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            Topology([(0, 0)], [[], []])
+
+    def test_unreachable_nodes_get_none_distance(self):
+        topo = Topology([(0, 0), (1, 0), (5, 5)], [[1], [0], []])
+        distances = topo.hop_distances_from(0)
+        assert distances == [0, 1, None]
+        assert not topo.is_connected()
+
+    def test_largest_component(self):
+        topo = Topology(
+            [(0, 0), (1, 0), (5, 5), (6, 5), (7, 5)],
+            [[1], [0], [3], [2, 4], [3]],
+        )
+        assert sorted(topo.largest_component()) == [2, 3, 4]
+
+    def test_edges_listed_once(self):
+        grid = GridTopology(3)
+        edges = grid.edges()
+        assert len(edges) == grid.n_edges
+        assert all(u < v for u, v in edges)

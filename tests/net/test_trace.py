@@ -1,0 +1,104 @@
+"""Tests for packet-level tracing."""
+
+import pytest
+
+from repro.core.params import PBBFParams
+from repro.detailed.config import CodeDistributionParameters
+from repro.detailed.simulator import DetailedSimulator
+from repro.net.packet import Packet, PacketKind
+from repro.net.trace import PacketTracer
+
+
+def _packet(seqno=0):
+    return Packet(
+        kind=PacketKind.DATA, origin=0, sender=0, seqno=seqno, size_bytes=64
+    )
+
+
+class TestPacketTracer:
+    def test_records_events(self):
+        tracer = PacketTracer()
+        tracer.record(1.5, "TX", 3, _packet())
+        assert len(tracer) == 1
+        (record,) = tracer.records()
+        assert record.time == 1.5
+        assert record.event == "TX"
+        assert record.node == 3
+
+    def test_format_line(self):
+        tracer = PacketTracer()
+        tracer.record(1.5, "RX", 2, _packet(seqno=7))
+        line = next(tracer.lines())
+        assert "RX" in line
+        assert "node=2" in line
+        assert "seq=7" in line
+
+    def test_filters(self):
+        tracer = PacketTracer()
+        tracer.record(1.0, "TX", 0, _packet(0))
+        tracer.record(1.1, "RX", 1, _packet(0))
+        tracer.record(2.0, "TX", 0, _packet(1))
+        assert len(tracer.by_event("TX")) == 2
+        assert len(tracer.by_node(1)) == 1
+        assert len(tracer.by_broadcast(0, 0)) == 2
+
+    def test_cap_marks_truncation(self):
+        tracer = PacketTracer(max_records=2)
+        for i in range(5):
+            tracer.record(float(i), "TX", 0, _packet(i))
+        assert len(tracer) == 2
+        assert tracer.truncated
+
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ValueError):
+            PacketTracer(max_records=0)
+
+    def test_dump_joins_lines(self):
+        tracer = PacketTracer()
+        tracer.record(1.0, "TX", 0, _packet(0))
+        tracer.record(1.1, "RX", 1, _packet(0))
+        assert len(tracer.dump().splitlines()) == 2
+
+
+class TestTracedSimulation:
+    CONFIG = CodeDistributionParameters(n_nodes=12, density=9.0, duration=150.0)
+
+    def _traced_run(self, **kwargs):
+        tracer = PacketTracer()
+        result = DetailedSimulator(
+            PBBFParams(0.25, 0.5), self.CONFIG, seed=4, tracer=tracer, **kwargs
+        ).run()
+        return tracer, result
+
+    def test_trace_counts_match_channel_stats(self):
+        tracer, result = self._traced_run()
+        stats = result.channel_stats
+        assert len(tracer.by_event("TX")) == stats.transmissions
+        assert len(tracer.by_event("RX")) == stats.deliveries
+        assert len(tracer.by_event("COLL")) == stats.collisions
+        assert len(tracer.by_event("MISS")) == stats.missed_asleep
+
+    def test_every_rx_has_matching_tx(self):
+        tracer, _ = self._traced_run()
+        tx_uids = {record.uid for record in tracer.by_event("TX")}
+        for record in tracer.by_event("RX"):
+            assert record.uid in tx_uids
+
+    def test_trace_times_nondecreasing(self):
+        tracer, _ = self._traced_run()
+        times = [record.time for record in tracer.records()]
+        assert times == sorted(times)
+
+    def test_rx_follows_its_tx(self):
+        tracer, _ = self._traced_run()
+        tx_time = {record.uid: record.time for record in tracer.by_event("TX")}
+        for record in tracer.by_event("RX"):
+            assert record.time > tx_time[record.uid]
+
+    def test_drop_events_appear_under_loss(self):
+        tracer = PacketTracer()
+        DetailedSimulator(
+            PBBFParams.psm(), self.CONFIG, seed=4,
+            tracer=tracer, loss_probability=0.5,
+        ).run()
+        assert tracer.by_event("DROP")

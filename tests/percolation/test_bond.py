@@ -1,0 +1,111 @@
+"""Tests for bond percolation sweeps."""
+
+import random
+
+import pytest
+
+from repro.net.topology import GridTopology
+from repro.percolation.bond import bond_sweep, coverage_bond_fraction
+
+
+class TestBondSweep:
+    def test_cluster_growth_monotone(self):
+        sweep = bond_sweep(GridTopology(8), random.Random(1))
+        sizes = sweep.source_cluster_sizes
+        assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_starts_alone_ends_everywhere(self):
+        grid = GridTopology(8)
+        sweep = bond_sweep(grid, random.Random(2))
+        assert sweep.source_cluster_sizes[0] == 1
+        assert sweep.source_cluster_sizes[-1] == grid.n_nodes
+
+    def test_records_every_bond_step(self):
+        grid = GridTopology(6)
+        sweep = bond_sweep(grid, random.Random(3))
+        assert len(sweep.source_cluster_sizes) == grid.n_edges + 1
+        assert sweep.n_edges == grid.n_edges
+
+    def test_largest_cluster_dominates_source_cluster(self):
+        sweep = bond_sweep(GridTopology(8), random.Random(4))
+        for source_size, largest in zip(
+            sweep.source_cluster_sizes, sweep.largest_cluster_sizes
+        ):
+            assert largest >= source_size
+
+    def test_default_source_is_grid_center(self):
+        # With zero bonds the tracked cluster is exactly the centre node;
+        # verify via a sweep on a tiny graph where we can brute force.
+        grid = GridTopology(3)
+        sweep = bond_sweep(grid, random.Random(5))
+        assert sweep.source_cluster_sizes[0] == 1
+
+    def test_explicit_source(self):
+        grid = GridTopology(5)
+        sweep = bond_sweep(grid, random.Random(6), source=0)
+        assert sweep.source_cluster_sizes[-1] == grid.n_nodes
+
+    def test_deterministic_for_seed(self):
+        grid = GridTopology(6)
+        a = bond_sweep(grid, random.Random(7)).source_cluster_sizes
+        b = bond_sweep(grid, random.Random(7)).source_cluster_sizes
+        assert a == b
+
+
+class TestFirstBondCount:
+    def test_full_coverage_needs_spanning_structure(self):
+        grid = GridTopology(6)
+        sweep = bond_sweep(grid, random.Random(8))
+        count = sweep.first_bond_count_reaching(1.0)
+        # A spanning tree needs at least n-1 edges.
+        assert count >= grid.n_nodes - 1
+
+    def test_zero_coverage_is_immediate(self):
+        sweep = bond_sweep(GridTopology(4), random.Random(9))
+        # Needs max(1, 0) = 1 node: satisfied with zero bonds (the source).
+        assert sweep.first_bond_count_reaching(0.0) == 0
+
+    def test_monotone_in_coverage(self):
+        sweep = bond_sweep(GridTopology(10), random.Random(10))
+        counts = [
+            sweep.first_bond_count_reaching(c) for c in (0.5, 0.8, 0.9, 1.0)
+        ]
+        assert counts == sorted(counts)
+
+    def test_coverage_fraction_at(self):
+        sweep = bond_sweep(GridTopology(8), random.Random(11))
+        assert sweep.coverage_fraction_at(0.0) == pytest.approx(1 / 64)
+        assert sweep.coverage_fraction_at(1.0) == 1.0
+
+
+class TestCoverageBondFraction:
+    def test_returns_requested_runs(self):
+        fractions = coverage_bond_fraction(
+            GridTopology(8), 0.9, random.Random(1), runs=7
+        )
+        assert len(fractions) == 7
+
+    def test_fractions_in_unit_interval(self):
+        fractions = coverage_bond_fraction(
+            GridTopology(8), 0.9, random.Random(2), runs=10
+        )
+        assert all(0.0 < f <= 1.0 for f in fractions)
+
+    def test_bond_threshold_near_half_for_partial_coverage(self):
+        # The square-lattice bond threshold is 1/2; finite-size coverage
+        # thresholds for 80% should land in its neighbourhood.
+        fractions = coverage_bond_fraction(
+            GridTopology(20), 0.8, random.Random(3), runs=20
+        )
+        mean = sum(fractions) / len(fractions)
+        assert 0.45 < mean < 0.70
+
+    def test_full_coverage_needs_more_bonds_than_partial(self):
+        rng = random.Random(4)
+        partial = coverage_bond_fraction(GridTopology(12), 0.8, rng, runs=15)
+        full = coverage_bond_fraction(GridTopology(12), 1.0, rng, runs=15)
+        assert sum(full) / 15 > sum(partial) / 15
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ValueError):
+            coverage_bond_fraction(GridTopology(4), 0.9, random.Random(5), runs=0)

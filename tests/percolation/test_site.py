@@ -1,0 +1,54 @@
+"""Tests for site percolation sweeps."""
+
+import random
+
+import pytest
+
+from repro.net.topology import GridTopology
+from repro.percolation.site import coverage_site_fraction, site_sweep
+
+
+class TestSiteSweep:
+    def test_cluster_growth_monotone(self):
+        sweep = site_sweep(GridTopology(8), random.Random(1))
+        sizes = sweep.largest_cluster_sizes
+        assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_empty_start_full_end(self):
+        grid = GridTopology(8)
+        sweep = site_sweep(grid, random.Random(2))
+        assert sweep.largest_cluster_sizes[0] == 0
+        assert sweep.largest_cluster_sizes[-1] == grid.n_nodes
+
+    def test_one_entry_per_site(self):
+        grid = GridTopology(6)
+        sweep = site_sweep(grid, random.Random(3))
+        assert len(sweep.largest_cluster_sizes) == grid.n_nodes + 1
+
+    def test_first_site_count_monotone_in_coverage(self):
+        sweep = site_sweep(GridTopology(10), random.Random(4))
+        counts = [
+            sweep.first_site_count_reaching(c) for c in (0.3, 0.6, 0.9, 1.0)
+        ]
+        assert counts == sorted(counts)
+
+    def test_full_coverage_requires_all_sites(self):
+        grid = GridTopology(6)
+        sweep = site_sweep(grid, random.Random(5))
+        assert sweep.first_site_count_reaching(1.0) == grid.n_nodes
+
+
+class TestSiteVsBondStructure:
+    def test_site_threshold_above_bond_threshold(self):
+        # On the square lattice, site pc (~0.593) sits above bond pc (0.5):
+        # the structural fact distinguishing gossip from PBBF (Section 2.1).
+        from repro.percolation.bond import coverage_bond_fraction
+
+        grid = GridTopology(16)
+        site = coverage_site_fraction(grid, 0.5, random.Random(6), runs=15)
+        bond = coverage_bond_fraction(grid, 0.5, random.Random(7), runs=15)
+        assert sum(site) / len(site) > sum(bond) / len(bond)
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ValueError):
+            coverage_site_fraction(GridTopology(4), 0.9, random.Random(8), runs=0)

@@ -1,0 +1,104 @@
+"""Tests for reliability thresholds and the p-q frontier."""
+
+import random
+
+import pytest
+
+from repro.core.reliability import edge_open_probability
+from repro.net.topology import GridTopology
+from repro.percolation.threshold import (
+    default_grid_suite,
+    estimate_critical_bond_fraction,
+    minimum_q_for_reliability,
+    minimum_q_frontier,
+)
+
+
+class TestEstimateCriticalBondFraction:
+    def test_estimates_all_requested_levels(self):
+        result = estimate_critical_bond_fraction(
+            GridTopology(10), (0.8, 0.99), random.Random(1), runs=8
+        )
+        assert result.threshold_for(0.8).n == 8
+        assert result.threshold_for(0.99).n == 8
+
+    def test_levels_ordered(self):
+        result = estimate_critical_bond_fraction(
+            GridTopology(12), (0.8, 0.9, 0.99, 1.0), random.Random(2), runs=10
+        )
+        means = [result.threshold_for(level).mean for level in (0.8, 0.9, 0.99, 1.0)]
+        assert means == sorted(means)
+
+    def test_shared_sweeps_keep_levels_consistent(self):
+        # Reading several levels off the same sweeps guarantees per-run
+        # monotonicity, hence strict ordering even with few runs.
+        result = estimate_critical_bond_fraction(
+            GridTopology(8), (0.5, 1.0), random.Random(3), runs=3
+        )
+        assert result.threshold_for(0.5).mean <= result.threshold_for(1.0).mean
+
+    def test_unknown_level_lookup_raises(self):
+        result = estimate_critical_bond_fraction(
+            GridTopology(8), (0.9,), random.Random(4), runs=3
+        )
+        with pytest.raises(KeyError):
+            result.threshold_for(0.8)
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_critical_bond_fraction(
+                GridTopology(8), (), random.Random(5), runs=3
+            )
+
+    def test_grid_label_recorded(self):
+        result = estimate_critical_bond_fraction(
+            GridTopology(8), (0.9,), random.Random(6), runs=3, grid_label="8x8"
+        )
+        assert result.grid_label == "8x8"
+
+
+class TestMinimumQ:
+    def test_zero_region(self):
+        assert minimum_q_for_reliability(0.4, 0.5) == 0.0
+
+    def test_binding_region_formula(self):
+        assert minimum_q_for_reliability(0.8, 0.6) == pytest.approx(0.5)
+
+    def test_p_zero(self):
+        assert minimum_q_for_reliability(0.0, 0.99) == 0.0
+
+    def test_achieves_threshold(self):
+        for p in (0.3, 0.6, 1.0):
+            q = minimum_q_for_reliability(p, 0.75)
+            assert edge_open_probability(p, q) >= 0.75 - 1e-12
+
+
+class TestFrontier:
+    def test_frontier_nondecreasing(self):
+        frontier = minimum_q_frontier([0.1 * i for i in range(11)], 0.7)
+        qs = [q for _, q in frontier]
+        assert qs == sorted(qs)
+
+    def test_flat_then_rising(self):
+        frontier = dict(minimum_q_frontier([0.1, 0.2, 0.9, 1.0], 0.75))
+        assert frontier[0.1] == 0.0
+        assert frontier[0.2] == 0.0
+        assert frontier[0.9] > 0.0
+        assert frontier[1.0] == pytest.approx(0.75)
+
+    def test_higher_reliability_frontier_dominates(self):
+        ps = [0.1 * i for i in range(11)]
+        low = dict(minimum_q_frontier(ps, 0.6))
+        high = dict(minimum_q_frontier(ps, 0.8))
+        for p in ps:
+            assert high[p] >= low[p]
+
+
+class TestDefaultSuite:
+    def test_paper_sizes(self):
+        suite = default_grid_suite()
+        assert [g.rows for g in suite] == [10, 20, 30, 40]
+
+    def test_custom_sizes(self):
+        suite = default_grid_suite((5, 7))
+        assert [g.rows for g in suite] == [5, 7]

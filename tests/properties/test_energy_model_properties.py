@@ -1,0 +1,64 @@
+"""Property-based tests for the radio energy model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.model import MICA2, RadioEnergyModel, RadioState
+
+states = st.sampled_from(list(RadioState))
+durations = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+schedules = st.lists(st.tuples(states, durations), min_size=0, max_size=30)
+
+
+def _drive(schedule):
+    """Apply a (state, dwell) schedule; returns (radio, now, reference_joules)."""
+    radio = RadioEnergyModel(MICA2)
+    now = 0.0
+    reference = 0.0
+    current = RadioState.LISTEN
+    for state, dwell in schedule:
+        reference += MICA2.power(current) * dwell
+        now += dwell
+        radio.set_state(state, now)
+        current = state
+    return radio, now, reference, current
+
+
+class TestEnergyIntegration:
+    @settings(max_examples=60, deadline=None)
+    @given(schedules)
+    def test_energy_matches_manual_integral(self, schedule):
+        radio, now, reference, _ = _drive(schedule)
+        assert radio.consumed_joules(now) == pytest.approx(reference, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(schedules, durations)
+    def test_energy_monotone_in_time(self, schedule, extra):
+        radio, now, _, _ = _drive(schedule)
+        before = radio.consumed_joules(now)
+        after = radio.consumed_joules(now + extra)
+        assert after >= before
+
+    @settings(max_examples=60, deadline=None)
+    @given(schedules)
+    def test_residency_sums_to_elapsed_time(self, schedule):
+        radio, now, _, _ = _drive(schedule)
+        total = sum(radio.time_in_state(state, now) for state in RadioState)
+        assert total == pytest.approx(now, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(schedules)
+    def test_energy_bounded_by_extreme_profiles(self, schedule):
+        radio, now, _, _ = _drive(schedule)
+        joules = radio.consumed_joules(now)
+        assert MICA2.sleep_w * now - 1e-9 <= joules <= MICA2.tx_w * now + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(schedules)
+    def test_listening_interval_consistent_with_state(self, schedule):
+        radio, now, _, current = _drive(schedule)
+        # An instantaneous interval at 'now' is listenable iff LISTENing.
+        assert radio.is_listening_interval(now, now) == (
+            current is RadioState.LISTEN
+        )

@@ -1,0 +1,68 @@
+"""Property-based tests for the discrete-event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestOrderingProperties:
+    @given(delays)
+    def test_events_always_fire_in_nondecreasing_time_order(self, ds):
+        engine = Engine()
+        fired = []
+        for d in ds:
+            engine.schedule(d, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == sorted(fired)
+
+    @given(delays)
+    def test_all_events_fire_exactly_once(self, ds):
+        engine = Engine()
+        count = [0]
+        for d in ds:
+            engine.schedule(d, lambda: count.__setitem__(0, count[0] + 1))
+        engine.run()
+        assert count[0] == len(ds)
+
+    @given(delays)
+    def test_clock_never_goes_backwards(self, ds):
+        engine = Engine()
+        times = []
+        for d in ds:
+            engine.schedule(d, lambda: times.append(engine.now))
+        engine.run()
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    @given(delays, st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_run_until_is_prefix_of_full_run(self, ds, cut):
+        full_engine = Engine()
+        full = []
+        for d in ds:
+            full_engine.schedule(d, lambda d=d: full.append(d))
+        full_engine.run()
+
+        split_engine = Engine()
+        partial = []
+        for d in ds:
+            split_engine.schedule(d, lambda d=d: partial.append(d))
+        split_engine.run(until=cut)
+        resumed_length = len(partial)
+        split_engine.run()
+        assert partial == full
+        assert all(d <= cut for d in partial[:resumed_length])
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=40))
+    def test_equal_time_events_fire_fifo(self, tags):
+        engine = Engine()
+        fired = []
+        for tag in tags:
+            engine.schedule(5.0, lambda tag=tag: fired.append(tag))
+        engine.run()
+        assert fired == tags

@@ -1,0 +1,105 @@
+"""Property-based tests for the analytical model (Eqs 3-12 and Remark 1)."""
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.analysis.equations import (
+    energy_ratio_vs_original,
+    expected_per_hop_latency,
+    joules_per_update,
+    joules_per_update_always_on,
+    q_for_per_hop_latency,
+    relative_energy_pbbf,
+)
+from repro.core.reliability import (
+    edge_open_probability,
+    minimum_q_for_edge_probability,
+)
+from repro.energy.model import MICA2
+
+probability = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+interior_probability = st.floats(min_value=0.01, max_value=0.99)
+timing = st.floats(min_value=0.1, max_value=100.0)
+
+
+class TestEdgeProbabilityProperties:
+    @given(probability, probability)
+    def test_bounded_in_unit_interval(self, p, q):
+        assert 0.0 <= edge_open_probability(p, q) <= 1.0
+
+    @given(probability, probability, probability)
+    def test_monotone_decreasing_in_p(self, p1, p2, q):
+        lo, hi = min(p1, p2), max(p1, p2)
+        assert edge_open_probability(hi, q) <= edge_open_probability(lo, q)
+
+    @given(probability, probability, probability)
+    def test_monotone_increasing_in_q(self, p, q1, q2):
+        lo, hi = min(q1, q2), max(q1, q2)
+        assert edge_open_probability(p, lo) <= edge_open_probability(p, hi)
+
+    @given(probability, probability)
+    def test_minimum_q_achieves_target(self, p, target):
+        q = minimum_q_for_edge_probability(p, target)
+        assert 0.0 <= q <= 1.0
+        assert edge_open_probability(p, q) >= target - 1e-9
+
+    @given(interior_probability, interior_probability)
+    def test_minimum_q_is_tight(self, p, target):
+        q = minimum_q_for_edge_probability(p, target)
+        if q > 1e-9:
+            assert edge_open_probability(p, q - 1e-6) < target
+
+
+class TestEnergyProperties:
+    @given(probability, timing, timing)
+    def test_ratio_at_least_one(self, q, t_active, t_sleep):
+        assert energy_ratio_vs_original(q, t_active, t_sleep) >= 1.0
+
+    @given(probability, timing, timing)
+    def test_relative_energy_between_duty_cycle_and_one(self, q, t_active, t_sleep):
+        value = relative_energy_pbbf(t_active, t_sleep, q)
+        floor = t_active / (t_active + t_sleep)
+        assert floor - 1e-12 <= value <= 1.0 + 1e-12
+
+    @given(probability, probability, timing, timing)
+    def test_monotone_in_q(self, q1, q2, t_active, t_sleep):
+        lo, hi = min(q1, q2), max(q1, q2)
+        assert relative_energy_pbbf(t_active, t_sleep, lo) <= relative_energy_pbbf(
+            t_active, t_sleep, hi
+        )
+
+    @given(probability)
+    def test_absolute_energy_bounded_by_always_on(self, q):
+        pbbf = joules_per_update(q, 1.0, 9.0, 100.0, MICA2)
+        ceiling = joules_per_update_always_on(100.0, MICA2)
+        assert pbbf <= ceiling + 1e-9
+
+
+class TestLatencyProperties:
+    @given(probability, probability)
+    def test_bounded_by_corners(self, p, q):
+        latency = expected_per_hop_latency(p, q, 1.5, 8.5)
+        assert 1.5 - 1e-12 <= latency <= 10.0 + 1e-12
+
+    @given(probability, probability, probability)
+    def test_monotone_decreasing_in_p(self, p1, p2, q):
+        assume(q > 0.0)  # at q=0 the conditional latency is p-independent
+        lo, hi = min(p1, p2), max(p1, p2)
+        assert expected_per_hop_latency(hi, q, 1.5, 8.5) <= (
+            expected_per_hop_latency(lo, q, 1.5, 8.5) + 1e-12
+        )
+
+    @given(probability, probability, probability)
+    def test_monotone_decreasing_in_q(self, p, q1, q2):
+        lo, hi = min(q1, q2), max(q1, q2)
+        assert expected_per_hop_latency(p, hi, 1.5, 8.5) <= (
+            expected_per_hop_latency(p, lo, 1.5, 8.5) + 1e-12
+        )
+
+    @given(interior_probability, interior_probability)
+    def test_inversion_roundtrip(self, p, q):
+        latency = expected_per_hop_latency(p, q, 1.5, 8.5)
+        assume(1.5 < latency <= 10.0)
+        recovered = q_for_per_hop_latency(latency, p, 1.5, 8.5)
+        assert recovered == pytest.approx(q, abs=1e-6)

@@ -1,0 +1,73 @@
+"""Property-based tests for percolation machinery."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.topology import GridTopology
+from repro.percolation.bond import bond_sweep
+from repro.percolation.site import site_sweep
+
+seeds = st.integers(min_value=0, max_value=2**31)
+grid_sides = st.integers(min_value=2, max_value=9)
+
+
+class TestBondSweepProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(grid_sides, seeds)
+    def test_source_cluster_monotone_and_bounded(self, side, seed):
+        grid = GridTopology(side)
+        sweep = bond_sweep(grid, random.Random(seed))
+        sizes = sweep.source_cluster_sizes
+        assert sizes[0] == 1
+        assert sizes[-1] == grid.n_nodes
+        assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+        assert all(1 <= s <= grid.n_nodes for s in sizes)
+
+    @settings(max_examples=25, deadline=None)
+    @given(grid_sides, seeds)
+    def test_each_bond_grows_cluster_by_merge_or_not(self, side, seed):
+        grid = GridTopology(side)
+        sweep = bond_sweep(grid, random.Random(seed))
+        largest = sweep.largest_cluster_sizes
+        # Each added bond merges at most two clusters: the largest cluster
+        # can at most double (plus nothing else).
+        for before, after in zip(largest, largest[1:]):
+            assert after <= 2 * before
+
+    @settings(max_examples=25, deadline=None)
+    @given(grid_sides, seeds, st.floats(min_value=0.01, max_value=1.0))
+    def test_threshold_consistent_with_coverage_curve(self, side, seed, coverage):
+        grid = GridTopology(side)
+        sweep = bond_sweep(grid, random.Random(seed))
+        count = sweep.first_bond_count_reaching(coverage)
+        assert count is not None
+        needed = max(1, -(-int(coverage * grid.n_nodes) // 1))
+        # At the returned count, coverage is met; just before, it is not.
+        import math
+
+        needed = max(1, math.ceil(coverage * grid.n_nodes))
+        assert sweep.source_cluster_sizes[count] >= needed
+        if count > 0:
+            assert sweep.source_cluster_sizes[count - 1] < needed
+
+
+class TestSiteSweepProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(grid_sides, seeds)
+    def test_largest_cluster_monotone_and_bounded(self, side, seed):
+        grid = GridTopology(side)
+        sweep = site_sweep(grid, random.Random(seed))
+        sizes = sweep.largest_cluster_sizes
+        assert sizes[0] == 0
+        assert sizes[-1] == grid.n_nodes
+        assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(grid_sides, seeds)
+    def test_cluster_never_exceeds_active_sites(self, side, seed):
+        grid = GridTopology(side)
+        sweep = site_sweep(grid, random.Random(seed))
+        for m, size in enumerate(sweep.largest_cluster_sizes):
+            assert size <= m

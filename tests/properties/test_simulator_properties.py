@@ -1,0 +1,100 @@
+"""Property-based tests for the ideal simulator's protocol invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import PBBFParams
+from repro.ideal.config import AnalysisParameters
+from repro.ideal.simulator import IdealSimulator, SchedulingMode
+from repro.net.topology import GridTopology
+
+probability = st.floats(min_value=0.0, max_value=1.0)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+GRID = GridTopology(7)
+CONFIG = AnalysisParameters(grid_side=7)
+
+
+def _sim(p, q, seed, mode=SchedulingMode.PSM_PBBF):
+    return IdealSimulator(
+        GRID, PBBFParams(p=p, q=q), CONFIG, seed=seed, mode=mode
+    )
+
+
+class TestPropagationInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(probability, probability, seeds)
+    def test_hops_at_least_lattice_distance(self, p, q, seed):
+        sim = _sim(p, q, seed)
+        outcome = sim.run_broadcast(0)
+        lattice = GRID.hop_distances_from(sim.source)
+        for hops, distance in zip(outcome.hops, lattice):
+            if hops is not None:
+                assert hops >= distance
+
+    @settings(max_examples=40, deadline=None)
+    @given(probability, probability, seeds)
+    def test_receive_times_after_generation(self, p, q, seed):
+        outcome = _sim(p, q, seed).run_broadcast(0)
+        for t in outcome.receive_times:
+            if t is not None:
+                assert t >= outcome.t_generated
+
+    @settings(max_examples=40, deadline=None)
+    @given(probability, probability, seeds)
+    def test_transmissions_bounded_by_nodes(self, p, q, seed):
+        # Duplicate suppression: every node transmits each broadcast at
+        # most once.
+        outcome = _sim(p, q, seed).run_broadcast(0)
+        assert outcome.n_transmissions <= GRID.n_nodes
+        assert outcome.n_transmissions == outcome.n_received
+
+    @settings(max_examples=40, deadline=None)
+    @given(probability, probability, seeds)
+    def test_forward_decisions_partition_receptions(self, p, q, seed):
+        outcome = _sim(p, q, seed).run_broadcast(0)
+        assert (
+            outcome.n_immediate_forwards + outcome.n_normal_forwards
+            == outcome.n_received
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(probability, probability, seeds)
+    def test_coverage_reaches_at_least_source_neighborhood(self, p, q, seed):
+        # The source's initial send is a normal broadcast: every neighbour
+        # receives it, whatever p and q are.
+        sim = _sim(p, q, seed)
+        outcome = sim.run_broadcast(0)
+        assert outcome.n_received >= 1 + len(GRID.neighbors(sim.source))
+
+    @settings(max_examples=40, deadline=None)
+    @given(probability, seeds)
+    def test_q_one_gives_full_coverage(self, p, seed):
+        # pedge = 1 at q=1: percolation is certain on a connected graph.
+        outcome = _sim(p, 1.0, seed).run_broadcast(0)
+        assert outcome.coverage == 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(probability, probability, seeds)
+    def test_determinism(self, p, q, seed):
+        a = _sim(p, q, seed).run_broadcast(0)
+        b = _sim(p, q, seed).run_broadcast(0)
+        assert a.receive_times == b.receive_times
+        assert a.hops == b.hops
+
+
+class TestCampaignInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(probability, probability, seeds)
+    def test_reliability_monotone_in_threshold(self, p, q, seed):
+        campaign = _sim(p, q, seed).run_campaign(4)
+        # Stricter coverage targets can only lower the reliability metric.
+        assert campaign.reliability(0.99) <= campaign.reliability(0.9)
+        assert campaign.reliability(0.9) <= campaign.reliability(0.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(probability, probability, seeds)
+    def test_energy_positive_and_finite(self, p, q, seed):
+        campaign = _sim(p, q, seed).run_campaign(3)
+        joules = campaign.joules_per_update_per_node()
+        assert 0.0 < joules < 10.0

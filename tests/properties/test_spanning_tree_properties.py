@@ -1,0 +1,77 @@
+"""Property-based tests: each broadcast builds a spanning tree.
+
+The paper: "Since nodes that receive a duplicate do not rebroadcast the
+packet, each broadcast message builds a uniform spanning tree."  These
+properties pin the first-arrival structure of every simulated broadcast
+to tree-ness, whatever (p, q, seed) the strategy picks.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import PBBFParams
+from repro.ideal.config import AnalysisParameters
+from repro.ideal.simulator import IdealSimulator
+from repro.net.topology import GridTopology
+
+probability = st.floats(min_value=0.0, max_value=1.0)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+GRID = GridTopology(7)
+CONFIG = AnalysisParameters(grid_side=7)
+
+
+def _outcome(p, q, seed):
+    sim = IdealSimulator(GRID, PBBFParams(p=p, q=q), CONFIG, seed=seed)
+    return sim, sim.run_broadcast(0)
+
+
+class TestSpanningTreeProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(probability, probability, seeds)
+    def test_edge_count_is_node_count_minus_one(self, p, q, seed):
+        _, outcome = _outcome(p, q, seed)
+        assert len(outcome.tree_edges()) == outcome.n_received - 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(probability, probability, seeds)
+    def test_parents_are_topology_neighbors(self, p, q, seed):
+        _, outcome = _outcome(p, q, seed)
+        for parent, child in outcome.tree_edges():
+            assert child in GRID.neighbors(parent)
+
+    @settings(max_examples=40, deadline=None)
+    @given(probability, probability, seeds)
+    def test_every_path_walks_back_to_source(self, p, q, seed):
+        _, outcome = _outcome(p, q, seed)
+        for node in range(GRID.n_nodes):
+            if outcome.receive_times[node] is None:
+                continue
+            walker, steps = node, 0
+            while outcome.parents[walker] is not None:
+                walker = outcome.parents[walker]
+                steps += 1
+                assert steps <= GRID.n_nodes, "cycle in parent pointers"
+            assert walker == outcome.source
+
+    @settings(max_examples=40, deadline=None)
+    @given(probability, probability, seeds)
+    def test_hops_count_tree_depth(self, p, q, seed):
+        _, outcome = _outcome(p, q, seed)
+        for parent, child in outcome.tree_edges():
+            assert outcome.hops[child] == outcome.hops[parent] + 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(probability, probability, seeds)
+    def test_children_receive_after_parents(self, p, q, seed):
+        _, outcome = _outcome(p, q, seed)
+        for parent, child in outcome.tree_edges():
+            assert (
+                outcome.receive_times[child] > outcome.receive_times[parent]
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(probability, probability, seeds)
+    def test_source_has_no_parent(self, p, q, seed):
+        _, outcome = _outcome(p, q, seed)
+        assert outcome.parents[outcome.source] is None

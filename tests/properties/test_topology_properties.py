@@ -1,0 +1,70 @@
+"""Property-based tests for topology construction."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.topology import GridTopology, RandomTopology
+
+grid_sides = st.integers(min_value=1, max_value=12)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+class TestGridProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(grid_sides, grid_sides)
+    def test_handshake_lemma(self, rows, cols):
+        grid = GridTopology(rows, cols)
+        degree_sum = sum(grid.degree(v) for v in grid.nodes())
+        assert degree_sum == 2 * grid.n_edges
+
+    @settings(max_examples=30, deadline=None)
+    @given(grid_sides, grid_sides)
+    def test_bfs_distances_satisfy_triangle_step(self, rows, cols):
+        grid = GridTopology(rows, cols)
+        distances = grid.hop_distances_from(0)
+        for u in grid.nodes():
+            for v in grid.neighbors(u):
+                assert abs(distances[u] - distances[v]) <= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(grid_sides, grid_sides)
+    def test_distance_rings_partition_grid(self, rows, cols):
+        grid = GridTopology(rows, cols)
+        distances = grid.hop_distances_from(grid.center_node())
+        total = sum(
+            len(grid.nodes_at_hop_distance(grid.center_node(), d))
+            for d in range(max(x for x in distances if x is not None) + 1)
+        )
+        assert total == grid.n_nodes
+
+
+class TestRandomTopologyProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seeds, st.floats(min_value=5.0, max_value=20.0))
+    def test_adjacency_symmetric(self, seed, density):
+        topo = RandomTopology(25, 40.0, density, random.Random(seed))
+        for u in topo.nodes():
+            for v in topo.neighbors(u):
+                assert u in topo.neighbors(v)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seeds, st.floats(min_value=5.0, max_value=20.0))
+    def test_edges_respect_disk_rule(self, seed, density):
+        topo = RandomTopology(25, 40.0, density, random.Random(seed))
+        for u, v in topo.edges():
+            assert topo.euclidean_distance(u, v) <= 40.0 + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(seeds)
+    def test_spatial_hash_matches_brute_force(self, seed):
+        # The O(n) bucketed construction must agree with O(n^2) checking.
+        topo = RandomTopology(20, 40.0, 10.0, random.Random(seed))
+        for u in topo.nodes():
+            brute = {
+                v
+                for v in topo.nodes()
+                if v != u and topo.euclidean_distance(u, v) <= 40.0
+            }
+            assert set(topo.neighbors(u)) == brute

@@ -1,0 +1,62 @@
+"""Property-based tests for the disjoint-set forest."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.union_find import UnionFind
+
+N = 30
+pairs = st.lists(
+    st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)),
+    max_size=120,
+)
+
+
+class TestUnionFindProperties:
+    @given(pairs)
+    def test_component_count_plus_merges_is_constant(self, ops):
+        uf = UnionFind(N)
+        merges = sum(uf.union(a, b) for a, b in ops)
+        assert uf.n_components == N - merges
+
+    @given(pairs)
+    def test_connectivity_matches_reference_partition(self, ops):
+        uf = UnionFind(N)
+        # Reference implementation: naive set merging.
+        partition = [{i} for i in range(N)]
+        index = list(range(N))
+        for a, b in ops:
+            uf.union(a, b)
+            ia, ib = index[a], index[b]
+            if ia != ib:
+                partition[ia] |= partition[ib]
+                for member in partition[ib]:
+                    index[member] = ia
+                partition[ib] = set()
+        for a in range(N):
+            for b in range(a + 1, N):
+                assert uf.connected(a, b) == (index[a] == index[b])
+
+    @given(pairs)
+    def test_sizes_sum_to_n(self, ops):
+        uf = UnionFind(N)
+        for a, b in ops:
+            uf.union(a, b)
+        roots = {uf.find(i) for i in range(N)}
+        assert sum(uf.component_size(root) for root in roots) == N
+
+    @given(pairs)
+    def test_largest_component_is_max_size(self, ops):
+        uf = UnionFind(N)
+        for a, b in ops:
+            uf.union(a, b)
+        assert uf.largest_component_size == max(
+            uf.component_size(i) for i in range(N)
+        )
+
+    @given(pairs, st.integers(0, N - 1))
+    def test_find_is_idempotent(self, ops, x):
+        uf = UnionFind(N)
+        for a, b in ops:
+            uf.union(a, b)
+        assert uf.find(uf.find(x)) == uf.find(x)

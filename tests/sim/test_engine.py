@@ -1,0 +1,176 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, engine):
+        assert engine.now == 0.0
+
+    def test_events_fire_in_time_order(self, engine):
+        log = []
+        engine.schedule(2.0, lambda: log.append("late"))
+        engine.schedule(1.0, lambda: log.append("early"))
+        engine.run()
+        assert log == ["early", "late"]
+
+    def test_clock_advances_to_event_time(self, engine):
+        times = []
+        engine.schedule(1.5, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [1.5]
+
+    def test_simultaneous_events_fire_fifo(self, engine):
+        log = []
+        for tag in ("a", "b", "c"):
+            engine.schedule(1.0, lambda t=tag: log.append(t))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self, engine):
+        log = []
+        engine.schedule(1.0, lambda: log.append("low"), priority=1)
+        engine.schedule(1.0, lambda: log.append("high"), priority=0)
+        engine.run()
+        assert log == ["high", "low"]
+
+    def test_schedule_at_absolute_time(self, engine):
+        fired = []
+        engine.schedule_at(3.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [3.0]
+
+    def test_zero_delay_fires_at_now(self, engine):
+        fired = []
+        engine.schedule(0.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [0.0]
+
+    def test_events_scheduled_during_run_fire(self, engine):
+        log = []
+
+        def chain():
+            log.append(engine.now)
+            if engine.now < 3.0:
+                engine.schedule(1.0, chain)
+
+        engine.schedule(1.0, chain)
+        engine.run()
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_nan_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule(float("nan"), lambda: None)
+
+    def test_schedule_at_past_rejected(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_non_callable_rejected(self, engine):
+        with pytest.raises(TypeError):
+            engine.schedule(1.0, "not callable")  # type: ignore[arg-type]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, engine):
+        log = []
+        handle = engine.schedule(1.0, lambda: log.append("x"))
+        handle.cancel()
+        engine.run()
+        assert log == []
+
+    def test_cancel_is_idempotent(self, engine):
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert not handle.pending
+
+    def test_pending_reflects_state(self, engine):
+        handle = engine.schedule(1.0, lambda: None)
+        assert handle.pending
+        engine.run()
+        assert not handle.pending
+
+    def test_cancel_during_run(self, engine):
+        log = []
+        later = engine.schedule(2.0, lambda: log.append("later"))
+        engine.schedule(1.0, lambda: later.cancel())
+        engine.run()
+        assert log == []
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_exactly(self, engine):
+        engine.schedule(10.0, lambda: None)
+        stopped_at = engine.run(until=5.0)
+        assert stopped_at == 5.0
+        assert engine.now == 5.0
+
+    def test_run_until_leaves_future_events(self, engine):
+        log = []
+        engine.schedule(10.0, lambda: log.append("x"))
+        engine.run(until=5.0)
+        assert log == []
+        engine.run()
+        assert log == ["x"]
+
+    def test_event_exactly_at_until_fires(self, engine):
+        log = []
+        engine.schedule(5.0, lambda: log.append(engine.now))
+        engine.run(until=5.0)
+        assert log == [5.0]
+
+    def test_until_before_now_rejected(self, engine):
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.run(until=1.0)
+
+    def test_stop_halts_run(self, engine):
+        log = []
+        engine.schedule(1.0, lambda: (log.append("a"), engine.stop()))
+        engine.schedule(2.0, lambda: log.append("b"))
+        engine.run()
+        assert log == ["a"]
+
+    def test_max_events_guard(self, engine):
+        def forever():
+            engine.schedule(0.0, forever)
+
+        engine.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run(max_events=100)
+
+    def test_reentrant_run_rejected(self, engine):
+        def nested():
+            engine.run()
+
+        engine.schedule(1.0, nested)
+        with pytest.raises(SimulationError, match="re-entrant"):
+            engine.run()
+
+    def test_clear_drops_pending(self, engine):
+        log = []
+        engine.schedule(1.0, lambda: log.append("x"))
+        engine.clear()
+        engine.run()
+        assert log == []
+        assert engine.pending_count == 0
+
+    def test_events_fired_counter(self, engine):
+        for _ in range(3):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.events_fired == 3
+
+    def test_run_returns_final_time(self, engine):
+        engine.schedule(4.0, lambda: None)
+        assert engine.run() == 4.0

@@ -1,0 +1,214 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.process import Interrupt, Process, Signal
+
+
+class TestDelays:
+    def test_first_segment_runs_at_construction(self, engine):
+        log = []
+
+        def proc():
+            log.append(engine.now)
+            yield 1.0
+
+        Process(engine, proc())
+        assert log == [0.0]
+
+    def test_yield_float_sleeps(self, engine):
+        log = []
+
+        def proc():
+            yield 2.5
+            log.append(engine.now)
+
+        Process(engine, proc())
+        engine.run()
+        assert log == [2.5]
+
+    def test_periodic_loop(self, engine):
+        log = []
+
+        def proc():
+            while True:
+                log.append(engine.now)
+                yield 10.0
+
+        Process(engine, proc())
+        engine.run(until=25.0)
+        assert log == [0.0, 10.0, 20.0]
+
+    def test_yield_int_accepted(self, engine):
+        log = []
+
+        def proc():
+            yield 3
+            log.append(engine.now)
+
+        Process(engine, proc())
+        engine.run()
+        assert log == [3.0]
+
+    def test_process_completes(self, engine):
+        def proc():
+            yield 1.0
+
+        process = Process(engine, proc())
+        assert process.alive
+        engine.run()
+        assert not process.alive
+
+    def test_negative_delay_raises(self, engine):
+        def proc():
+            yield -1.0
+
+        with pytest.raises(SimulationError, match="negative delay"):
+            Process(engine, proc())
+
+    def test_invalid_yield_raises(self, engine):
+        def proc():
+            yield "nonsense"
+
+        with pytest.raises(SimulationError, match="expected a delay or Signal"):
+            Process(engine, proc())
+
+    def test_non_generator_rejected(self, engine):
+        with pytest.raises(TypeError):
+            Process(engine, lambda: None)  # type: ignore[arg-type]
+
+
+class TestSignals:
+    def test_signal_wakes_waiter_with_value(self, engine):
+        signal = Signal("data")
+        log = []
+
+        def proc():
+            value = yield signal
+            log.append((engine.now, value))
+
+        Process(engine, proc())
+        engine.schedule(3.0, lambda: signal.fire("payload"))
+        engine.run()
+        assert log == [(3.0, "payload")]
+
+    def test_signal_wakes_all_waiters(self, engine):
+        signal = Signal()
+        log = []
+
+        def proc(tag):
+            yield signal
+            log.append(tag)
+
+        Process(engine, proc("a"))
+        Process(engine, proc("b"))
+        assert signal.waiter_count == 2
+        fired = signal.fire()
+        assert fired == 2
+        assert sorted(log) == ["a", "b"]
+
+    def test_signal_reusable(self, engine):
+        signal = Signal()
+        log = []
+
+        def proc():
+            while True:
+                yield signal
+                log.append(engine.now)
+
+        Process(engine, proc())
+        engine.schedule(1.0, signal.fire)
+        engine.schedule(2.0, signal.fire)
+        engine.run()
+        assert log == [1.0, 2.0]
+
+    def test_fire_with_no_waiters_returns_zero(self):
+        assert Signal().fire() == 0
+
+
+class TestInterrupts:
+    def test_interrupt_raises_inside_process(self, engine):
+        log = []
+
+        def proc():
+            try:
+                yield 100.0
+            except Interrupt as exc:
+                log.append(exc.cause)
+
+        process = Process(engine, proc())
+        engine.schedule(1.0, lambda: process.interrupt("wake"))
+        engine.run()
+        assert log == ["wake"]
+
+    def test_interrupt_cancels_pending_timer(self, engine):
+        log = []
+
+        def proc():
+            try:
+                yield 100.0
+            except Interrupt:
+                log.append(engine.now)
+
+        process = Process(engine, proc())
+        engine.schedule(2.0, lambda: process.interrupt())
+        final = engine.run()
+        assert log == [2.0]
+        assert final == 2.0  # the 100 s timer must not keep the run alive
+
+    def test_unhandled_interrupt_kills_process(self, engine):
+        def proc():
+            yield 100.0
+
+        process = Process(engine, proc())
+        engine.schedule(1.0, lambda: process.interrupt())
+        engine.run()
+        assert not process.alive
+
+    def test_interrupt_dead_process_is_noop(self, engine):
+        def proc():
+            yield 1.0
+
+        process = Process(engine, proc())
+        engine.run()
+        process.interrupt()  # must not raise
+
+    def test_interrupt_while_waiting_on_signal(self, engine):
+        signal = Signal()
+        log = []
+
+        def proc():
+            try:
+                yield signal
+            except Interrupt:
+                log.append("interrupted")
+
+        process = Process(engine, proc())
+        process.interrupt()
+        assert log == ["interrupted"]
+        assert signal.waiter_count == 0
+
+
+class TestKill:
+    def test_kill_stops_process(self, engine):
+        log = []
+
+        def proc():
+            yield 1.0
+            log.append("should not happen")
+
+        process = Process(engine, proc())
+        process.kill()
+        engine.run()
+        assert log == []
+        assert not process.alive
+
+    def test_kill_is_idempotent(self, engine):
+        def proc():
+            yield 1.0
+
+        process = Process(engine, proc())
+        process.kill()
+        process.kill()
+        assert not process.alive

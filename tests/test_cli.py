@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_every_artifact(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig04" in out and "fig18" in out
+
+
+class TestRun:
+    def test_run_table(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Code distribution" in out
+        assert "64 bytes" in out
+
+    def test_run_quick_figure(self, capsys):
+        assert main(["run", "fig07"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out
+        assert "scale=fast" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_unknown_scale_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig07", "--scale", "huge"])
+
+
+class TestRunAll:
+    def test_run_all_writes_report(self, tmp_path, monkeypatch):
+        # Shrink the fast scale to the smoke-test preset so run-all stays
+        # unit-test sized.
+        from repro.experiments.scale import Scale
+        from tests.experiments.test_figures_smoke import TINY
+
+        monkeypatch.setattr(Scale, "fast", classmethod(lambda cls: TINY))
+        out = tmp_path / "report.txt"
+        assert main(["run-all", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "table1" in text
+        assert "fig18" in text
+
+
+class TestChart:
+    def test_chart_flag_renders(self, capsys):
+        assert main(["run", "fig07", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "reliability" in out
+        assert "|" in out  # chart frame
+
+    def test_chart_flag_on_table_explains(self, capsys):
+        assert main(["run", "table1", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "no chart" in out
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,98 @@
+"""Tests for repro.util.rng."""
+
+import pytest
+
+from repro.util.rng import RandomStreams, hash_to_unit_interval
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_stream(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_different_names_are_independent_objects(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is not streams.stream("b")
+
+    def test_same_seed_reproduces_sequences(self):
+        first = RandomStreams(42).stream("mac").random()
+        second = RandomStreams(42).stream("mac").random()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("mac").random()
+        b = RandomStreams(2).stream("mac").random()
+        assert a != b
+
+    def test_different_names_produce_different_sequences(self):
+        streams = RandomStreams(7)
+        a = [streams.stream("x").random() for _ in range(5)]
+        b = [streams.stream("y").random() for _ in range(5)]
+        assert a != b
+
+    def test_stream_isolation_under_extra_draws(self):
+        # Drawing extra values from one stream must not shift another —
+        # the whole point of named streams (common random numbers).
+        streams_a = RandomStreams(9)
+        streams_a.stream("noise").random()
+        value_a = streams_a.stream("placement").random()
+        streams_b = RandomStreams(9)
+        for _ in range(100):
+            streams_b.stream("noise").random()
+        value_b = streams_b.stream("placement").random()
+        assert value_a == value_b
+
+    def test_spawn_derives_deterministic_child(self):
+        child_a = RandomStreams(5).spawn("run3").stream("s").random()
+        child_b = RandomStreams(5).spawn("run3").stream("s").random()
+        assert child_a == child_b
+
+    def test_spawn_differs_from_parent(self):
+        parent = RandomStreams(5)
+        child = parent.spawn("run3")
+        assert parent.stream("s").random() != child.stream("s").random()
+
+    def test_names_lists_created_streams(self):
+        streams = RandomStreams(0)
+        streams.stream("b")
+        streams.stream("a")
+        assert list(streams.names()) == ["a", "b"]
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).stream("")
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(TypeError):
+            RandomStreams("seed")  # type: ignore[arg-type]
+
+    def test_root_seed_property(self):
+        assert RandomStreams(13).root_seed == 13
+
+
+class TestHashToUnitInterval:
+    def test_deterministic(self):
+        assert hash_to_unit_interval(1, 2, 3) == hash_to_unit_interval(1, 2, 3)
+
+    def test_in_unit_interval(self):
+        for key in range(200):
+            value = hash_to_unit_interval(99, key)
+            assert 0.0 <= value < 1.0
+
+    def test_key_order_matters(self):
+        assert hash_to_unit_interval(0, 1, 2) != hash_to_unit_interval(0, 2, 1)
+
+    def test_seed_changes_value(self):
+        assert hash_to_unit_interval(1, 5) != hash_to_unit_interval(2, 5)
+
+    def test_roughly_uniform(self):
+        # Crude uniformity check: mean of many hashed values near 0.5.
+        values = [hash_to_unit_interval(7, i) for i in range(2000)]
+        mean = sum(values) / len(values)
+        assert abs(mean - 0.5) < 0.02
+
+    def test_no_obvious_sequential_correlation(self):
+        # Adjacent integer keys should not produce adjacent values.
+        values = [hash_to_unit_interval(3, i) for i in range(100)]
+        diffs = [abs(b - a) for a, b in zip(values, values[1:])]
+        assert sum(diffs) / len(diffs) > 0.1

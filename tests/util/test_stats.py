@@ -1,0 +1,119 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import pytest
+
+from repro.util.stats import (
+    SeriesAccumulator,
+    Summary,
+    confidence_interval_95,
+    mean,
+    sample_std,
+    summarize,
+)
+
+
+class TestMean:
+    def test_single_value(self):
+        assert mean([4.0]) == 4.0
+
+    def test_simple_average(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_accepts_generator_consumed_once(self):
+        assert mean(v for v in (2.0, 4.0)) == 3.0
+
+
+class TestSampleStd:
+    def test_single_value_is_zero(self):
+        assert sample_std([5.0]) == 0.0
+
+    def test_known_value(self):
+        # Sample std of [2, 4, 4, 4, 5, 5, 7, 9] with n-1 is ~2.138.
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert sample_std(values) == pytest.approx(2.13809, rel=1e-4)
+
+    def test_constant_sequence_is_zero(self):
+        assert sample_std([3.0] * 10) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sample_std([])
+
+
+class TestConfidenceInterval:
+    def test_single_observation_is_zero(self):
+        assert confidence_interval_95([1.0]) == 0.0
+
+    def test_constant_values_zero_width(self):
+        assert confidence_interval_95([2.0, 2.0, 2.0]) == 0.0
+
+    def test_two_observations_use_wide_t(self):
+        # df=1 => t=12.7: the CI must be much wider than the normal-based one.
+        ci = confidence_interval_95([0.0, 1.0])
+        assert ci == pytest.approx(12.7062 * sample_std([0.0, 1.0]) / math.sqrt(2))
+
+    def test_shrinks_with_sample_size(self):
+        narrow = confidence_interval_95([0.0, 1.0] * 20)
+        wide = confidence_interval_95([0.0, 1.0])
+        assert narrow < wide
+
+    def test_large_sample_uses_normal_quantile(self):
+        values = [0.0, 1.0] * 50  # n=100 > 31
+        expected = 1.959963984540054 * sample_std(values) / math.sqrt(100)
+        assert confidence_interval_95(values) == pytest.approx(expected)
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.n == 3
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+
+    def test_str_contains_mean(self):
+        assert "2" in str(summarize([2.0, 2.0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestSeriesAccumulator:
+    def test_groups_by_x(self):
+        acc = SeriesAccumulator()
+        acc.add(0.1, 2.0)
+        acc.add(0.1, 4.0)
+        acc.add(0.2, 5.0)
+        series = acc.series()
+        assert [(x, s.mean) for x, s in series] == [(0.1, 3.0), (0.2, 5.0)]
+
+    def test_series_sorted_by_x(self):
+        acc = SeriesAccumulator()
+        acc.add(0.9, 1.0)
+        acc.add(0.1, 1.0)
+        assert acc.xs() == [0.1, 0.9]
+
+    def test_extend(self):
+        acc = SeriesAccumulator()
+        acc.extend(1.0, [1.0, 2.0, 3.0])
+        ((x, summary),) = acc.series()
+        assert x == 1.0
+        assert summary.n == 3
+
+    def test_rejects_nan(self):
+        acc = SeriesAccumulator()
+        with pytest.raises(ValueError):
+            acc.add(0.0, float("nan"))
+
+    def test_is_empty(self):
+        acc = SeriesAccumulator()
+        assert acc.is_empty()
+        acc.add(0.0, 1.0)
+        assert not acc.is_empty()

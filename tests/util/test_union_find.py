@@ -1,0 +1,102 @@
+"""Tests for repro.util.union_find."""
+
+import pytest
+
+from repro.util.union_find import UnionFind
+
+
+class TestConstruction:
+    def test_starts_as_singletons(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert all(uf.component_size(i) == 1 for i in range(5))
+
+    def test_empty_structure(self):
+        uf = UnionFind(0)
+        assert len(uf) == 0
+        assert uf.n_components == 0
+        assert uf.largest_component_size == 0
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_rejects_non_int_size(self):
+        with pytest.raises(TypeError):
+            UnionFind(3.0)  # type: ignore[arg-type]
+
+
+class TestUnion:
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1) is True
+        assert uf.connected(0, 1)
+        assert uf.n_components == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert uf.union(0, 1) is False
+        assert uf.n_components == 3
+
+    def test_union_transitive(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+
+    def test_component_size_tracks_merges(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(0, 2)
+        assert uf.component_size(3) == 4
+        assert uf.component_size(4) == 1
+
+    def test_largest_component_size(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        assert uf.largest_component_size == 2
+        uf.union(2, 3)
+        uf.union(3, 4)
+        assert uf.largest_component_size == 3
+        uf.union(0, 4)
+        assert uf.largest_component_size == 5
+
+    def test_chain_collapses_to_one_component(self):
+        n = 100
+        uf = UnionFind(n)
+        for i in range(n - 1):
+            uf.union(i, i + 1)
+        assert uf.n_components == 1
+        assert uf.component_size(0) == n
+
+
+class TestFind:
+    def test_find_self_initially(self):
+        uf = UnionFind(3)
+        assert uf.find(2) == 2
+
+    def test_find_stable_after_union(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        root = uf.find(0)
+        assert uf.find(1) == root
+        # Repeated finds must not change the answer (path compression is
+        # invisible to callers).
+        assert uf.find(1) == root
+
+    def test_out_of_range_raises(self):
+        uf = UnionFind(3)
+        with pytest.raises(IndexError):
+            uf.find(3)
+
+    def test_negative_index_raises(self):
+        uf = UnionFind(3)
+        with pytest.raises(IndexError):
+            uf.find(-1)
+
+    def test_bool_index_rejected(self):
+        uf = UnionFind(3)
+        with pytest.raises(TypeError):
+            uf.find(True)  # type: ignore[arg-type]

@@ -1,0 +1,114 @@
+"""Tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_in_closed_unit_interval,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckProbability:
+    def test_accepts_zero(self):
+        assert check_probability("p", 0) == 0.0
+
+    def test_accepts_one(self):
+        assert check_probability("p", 1) == 1.0
+
+    def test_accepts_interior_value(self):
+        assert check_probability("p", 0.37) == pytest.approx(0.37)
+
+    def test_returns_float_for_int_input(self):
+        result = check_probability("p", 1)
+        assert isinstance(result, float)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="p must be in"):
+            check_probability("p", -0.01)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError, match="p must be in"):
+            check_probability("p", 1.01)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_probability("p", float("nan"))
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_probability("p", "0.5")
+
+    def test_rejects_bool(self):
+        # bool is an int subclass; probabilities must still reject it to
+        # catch swapped-argument bugs.
+        with pytest.raises(TypeError):
+            check_probability("p", True)
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValueError, match="my_arg"):
+            check_probability("my_arg", 2.0)
+
+    def test_unit_interval_alias(self):
+        assert check_in_closed_unit_interval("f", 0.5) == 0.5
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="> 0"):
+            check_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive("x", math.nan)
+
+    def test_accepts_infinity(self):
+        assert check_positive("x", math.inf) == math.inf
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_accepts_positive(self):
+        assert check_non_negative("x", 3.0) == 3.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_non_negative("x", -0.001)
+
+
+class TestIntCheckers:
+    def test_positive_int_accepts(self):
+        assert check_positive_int("n", 7) == 7
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int("n", 0)
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", 7.0)
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", True)
+
+    def test_non_negative_int_accepts_zero(self):
+        assert check_non_negative_int("n", 0) == 0
+
+    def test_non_negative_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int("n", -1)
