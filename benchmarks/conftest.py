@@ -5,9 +5,11 @@ scale, asserts the paper's qualitative shape, records headline values in
 ``benchmark.extra_info``, and prints the same rows/series the paper plots
 (run pytest with ``-s`` to see them inline).
 
-Timing methodology: memoization inside the harness would otherwise let a
-second run return instantly, so every benchmark clears the harness caches
-and times exactly one full regeneration (``rounds=1``).
+Timing methodology: the campaign runner memoizes aggressively (in-process
+memo, point-evaluator caches, on-disk result cache), so a second run
+would otherwise return instantly.  Every benchmark therefore clears the
+in-process layers, disables the disk cache for the duration of the timed
+call, and times exactly one full regeneration (``rounds=1``).
 """
 
 from __future__ import annotations
@@ -15,16 +17,12 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import Scale, get_experiment
-from repro.experiments.detailed_figures import _detailed_run
-from repro.experiments.ideal_figures import _ideal_point
-from repro.experiments.percolation_figures import _critical_fraction
+from repro.runners import clear_run_caches, execution
 
 
 def clear_harness_caches() -> None:
-    """Drop memoized simulation points so timings measure real work."""
-    _ideal_point.cache_clear()
-    _detailed_run.cache_clear()
-    _critical_fraction.cache_clear()
+    """Drop every in-process memo so timings measure real work."""
+    clear_run_caches()
 
 
 @pytest.fixture
@@ -37,7 +35,8 @@ def run_experiment(benchmark):
 
         def regenerate():
             clear_harness_caches()
-            return spec.run(scale)
+            with execution(use_cache=False):
+                return spec.run(scale)
 
         result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
         benchmark.extra_info["experiment"] = experiment_id

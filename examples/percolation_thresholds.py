@@ -8,38 +8,51 @@ pedge = 1 - p(1-q)).  Square-lattice bond thresholds sit below site
 thresholds, so a link-probability budget goes further than a node-
 probability budget.
 
-This example measures both with the Newman-Ziff sweep machinery and shows
-the finite-size behaviour of Figure 6.
+Both measurements run as declarative ``percolation`` campaigns through
+:mod:`repro.runners`: the grid-size sweep fans out over worker processes
+(``jobs``), and every point lands in the on-disk result cache, so a
+second invocation prints instantly.
 
 Run:  python examples/percolation_thresholds.py
 """
 
-import random
-
-from repro import GridTopology
-from repro.percolation import coverage_bond_fraction, coverage_site_fraction
-from repro.util import summarize
+from repro.runners import CampaignSpec, run_campaign
 
 COVERAGE = 0.9
 RUNS = 30
+GRID_SIDES = (10, 20, 30, 40)
+JOBS = 4
+
+
+def threshold_campaign(process: str):
+    """Campaign spec for one percolation process over the grid family."""
+    return CampaignSpec.build(
+        kind="percolation",
+        axes={"grid_side": GRID_SIDES},
+        fixed={"reliability": COVERAGE, "runs": RUNS, "process": process},
+        seed_params=("grid_side", "reliability", "process"),
+    )
 
 
 def main() -> None:
+    bond = run_campaign(threshold_campaign("bond"), jobs=JOBS)
+    site = run_campaign(threshold_campaign("site"), jobs=JOBS)
+    computed = bond.computed + site.computed
+    reused = bond.reused + site.reused
+
     print(f"Critical fractions for {COVERAGE:.0%} coverage ({RUNS} sweeps each)")
     print(f"  {'grid':>7} {'bond (PBBF-like)':>18} {'site (gossip-like)':>20}")
-    for side in (10, 20, 30, 40):
-        grid = GridTopology(side)
-        bond = summarize(
-            coverage_bond_fraction(grid, COVERAGE, random.Random(1), runs=RUNS)
-        )
-        site = summarize(
-            coverage_site_fraction(grid, COVERAGE, random.Random(2), runs=RUNS)
-        )
+    for side in GRID_SIDES:
+        b = bond.metrics(grid_side=side)
+        s = site.metrics(grid_side=side)
         print(
             f"  {side:>4}x{side:<3}"
-            f" {bond.mean:>10.3f} ± {bond.ci95:<5.3f}"
-            f" {site.mean:>12.3f} ± {site.ci95:<5.3f}"
+            f" {b.critical_fraction:>10.3f} ± {b.ci95:<5.3f}"
+            f" {s.critical_fraction:>12.3f} ± {s.ci95:<5.3f}"
         )
+    print()
+    print(f"({computed} points simulated across {JOBS} workers, "
+          f"{reused} served from cache)")
     print()
     print("Bond thresholds (infinite lattice: 0.5) sit clearly below site")
     print("thresholds (infinite lattice: ~0.593): per-link randomness -- the")

@@ -6,7 +6,9 @@ boundary sits, then slide *along* it until the energy-latency mix fits the
 application.  This example does exactly that, end to end:
 
 1. estimate the critical bond probability for 99% coverage on the target
-   grid with Newman-Ziff sweeps (Figure 6 machinery);
+   grid with Newman-Ziff sweeps (Figure 6 machinery), run as a declarative
+   campaign through :mod:`repro.runners` — repeat invocations come back
+   instantly from the on-disk result cache;
 2. invert Remark 1 into the minimum-q frontier (Figure 7);
 3. evaluate Eq. 8 energy and Eq. 9 latency at every frontier point
    (Figure 12) and print the menu;
@@ -16,34 +18,40 @@ application.  This example does exactly that, end to end:
 Run:  python examples/tradeoff_explorer.py
 """
 
-import random
-
-from repro import (
-    AnalysisParameters,
-    GridTopology,
-    estimate_critical_bond_fraction,
-)
+from repro import AnalysisParameters
 from repro.analysis import energy_latency_curve
+from repro.runners import CampaignSpec, run_campaign
 
 RELIABILITY = 0.99
 LATENCY_BUDGET_S = 5.0
+GRID_SIDE = 30  # the paper's Figure 7 grid
 
 
 def main() -> None:
     analysis = AnalysisParameters()
-    grid = GridTopology(30)  # the paper's Figure 7 grid
 
-    # Step 1: where is the reliability boundary?
-    thresholds = estimate_critical_bond_fraction(
-        grid, (RELIABILITY,), random.Random(7), runs=30, grid_label="30x30"
+    # Step 1: where is the reliability boundary?  One percolation campaign
+    # point; the runner caches it by content hash, so only the first
+    # invocation ever sweeps.
+    spec = CampaignSpec.build(
+        kind="percolation",
+        axes={"reliability": (RELIABILITY,)},
+        fixed={"grid_side": GRID_SIDE, "runs": 30, "process": "bond"},
+        seed_params=("grid_side", "reliability"),
     )
-    pc = thresholds.threshold_for(RELIABILITY)
-    print(f"Critical bond fraction for {RELIABILITY:.0%} coverage on 30x30: {pc}")
+    campaign = run_campaign(spec)
+    estimate = campaign.metrics(reliability=RELIABILITY)
+    freshness = "computed" if campaign.computed else "from cache"
+    print(
+        f"Critical bond fraction for {RELIABILITY:.0%} coverage on "
+        f"{GRID_SIDE}x{GRID_SIDE}: {estimate.critical_fraction:.4g} "
+        f"± {estimate.ci95:.2g} (n={estimate.n_runs}, {freshness})"
+    )
 
     # Steps 2-3: walk the frontier, costing each point.
     l2 = analysis.t_frame - analysis.l1  # next-window wait (see EXPERIMENTS.md)
     points = energy_latency_curve(
-        critical_bond_fraction=pc.mean,
+        critical_bond_fraction=estimate.critical_fraction,
         p_values=[round(0.05 * i, 2) for i in range(1, 21)],
         l1=analysis.l1,
         l2=l2,
@@ -75,7 +83,8 @@ def main() -> None:
         f"  p = {choice.p:.2f}, q = {choice.q:.2f}  ->  "
         f"{choice.per_hop_latency_s:.2f} s/hop at "
         f"{choice.joules_per_update:.2f} J/update "
-        f"(pedge = {choice.edge_open_probability:.3f} >= pc = {pc.mean:.3f})"
+        f"(pedge = {choice.edge_open_probability:.3f} >= "
+        f"pc = {estimate.critical_fraction:.3f})"
     )
 
 

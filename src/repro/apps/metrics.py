@@ -47,6 +47,11 @@ class BroadcastMetrics:
         self._shortest = list(shortest_hops)
         self._joules = list(node_joules)
 
+    @property
+    def n_updates(self) -> int:
+        """Updates generated at the source during the run."""
+        return self._app.n_updates
+
     # -- delivery ----------------------------------------------------------
 
     def updates_received_fraction(self, node: int) -> float:

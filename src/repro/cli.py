@@ -3,10 +3,19 @@
 Usage::
 
     pbbf-experiments list
-    pbbf-experiments run fig08 [--scale fast|full]
+    pbbf-experiments run fig08 [--scale fast|full] [--jobs N]
     pbbf-experiments run-all [--scale fast|full] [--out results.txt]
+                             [--jobs N] [--cache-dir DIR] [--no-cache]
 
 (Equivalently: ``python -m repro.cli ...``.)
+
+Execution flags plug into the campaign runner (:mod:`repro.runners`):
+``--jobs N`` fans simulation points out over N worker processes
+(bit-identical to ``--jobs 1``), and results are cached on disk by
+content hash — a repeated invocation recomputes nothing unless
+parameters changed.  ``--no-cache`` forces fresh simulation;
+``--cache-dir`` relocates the cache (default ``~/.cache/repro`` or
+``$REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ import time
 from typing import List, Optional
 
 from repro.experiments import Scale, all_experiment_ids, get_experiment
+from repro.runners import execution, get_stats, reset_stats
 
 
 def _scale_from_name(name: str) -> Scale:
@@ -25,6 +35,27 @@ def _scale_from_name(name: str) -> Scale:
     if name == "fast":
         return Scale.fast()
     raise argparse.ArgumentTypeError(f"unknown scale {name!r} (use fast or full)")
+
+
+def _positive_jobs(value: str) -> int:
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"--jobs must be an integer, got {value!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"--jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_jobs, default=1,
+                        help="worker processes for simulation points "
+                             "(default 1: serial; results are identical)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory "
+                             "(default ~/.cache/repro or $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache entirely")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -42,12 +73,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="fast (default) or full (paper scale)")
     run.add_argument("--chart", action="store_true",
                      help="also draw an ASCII chart of the series")
+    _add_execution_flags(run)
 
     run_all = sub.add_parser("run-all", help="run every experiment")
     run_all.add_argument("--scale", type=_scale_from_name, default=Scale.fast(),
                          help="fast (default) or full (paper scale)")
     run_all.add_argument("--out", default=None,
                          help="also write the report to this file")
+    _add_execution_flags(run_all)
     return parser
 
 
@@ -59,23 +92,36 @@ def main(argv: Optional[List[str]] = None) -> int:
             spec = get_experiment(experiment_id)
             print(f"{experiment_id:8s}  [section {spec.section}]  {spec.title}")
         return 0
-    if args.command == "run":
-        spec = get_experiment(args.experiment_id)
-        started = time.perf_counter()
-        result = spec.run(args.scale)
-        elapsed = time.perf_counter() - started
-        print(result.render())
-        if args.chart:
-            from repro.experiments.ascii_plot import render_ascii_chart
+    with execution(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    ):
+        if args.command == "run":
+            return _run_one(args)
+        return _run_all(args)
 
-            try:
-                print()
-                print(render_ascii_chart(result))
-            except ValueError as exc:
-                print(f"  (no chart: {exc})")
-        print(f"  ({elapsed:.1f}s at scale={args.scale.name})")
-        return 0
-    # run-all
+
+def _run_one(args: argparse.Namespace) -> int:
+    spec = get_experiment(args.experiment_id)
+    started = time.perf_counter()
+    result = spec.run(args.scale)
+    elapsed = time.perf_counter() - started
+    print(result.render())
+    if args.chart:
+        from repro.experiments.ascii_plot import render_ascii_chart
+
+        try:
+            print()
+            print(render_ascii_chart(result))
+        except ValueError as exc:
+            print(f"  (no chart: {exc})")
+    print(f"  ({elapsed:.1f}s at scale={args.scale.name})")
+    return 0
+
+
+def _run_all(args: argparse.Namespace) -> int:
+    reset_stats()
     chunks: List[str] = []
     for experiment_id in all_experiment_ids():
         spec = get_experiment(experiment_id)
@@ -86,6 +132,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(text)
         print()
         chunks.append(text)
+    stats = get_stats()
+    print(
+        f"campaign points: {stats.computed} simulated, "
+        f"{stats.reused_disk} from disk cache, "
+        f"{stats.reused_memory} from memory"
+    )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write("\n\n".join(chunks) + "\n")

@@ -49,7 +49,7 @@ class DetailedResult:
     @property
     def n_updates(self) -> int:
         """Updates generated at the source during the run."""
-        return self.metrics._app.n_updates
+        return self.metrics.n_updates
 
     def total_data_transmissions(self) -> int:
         """Data frames put on the air across all nodes."""

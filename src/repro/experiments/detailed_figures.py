@@ -2,115 +2,104 @@
 
 Each figure point averages several independent scenarios (deployment,
 source, traffic and coins all re-sampled per run), matching the paper's
-"each data point is averaged over ten runs".  Per-run metric summaries are
-memoized so the q-sweep figures (13-16) share their underlying runs.
+"each data point is averaged over ten runs".  The q-sweep figures (13-16)
+and the density-sweep figures (17-18) are each one declarative
+:class:`~repro.runners.spec.CampaignSpec`, so the whole family shares its
+underlying runs through the campaign runner's memo and disk cache, and
+fans out over processes under ``--jobs N``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
 from typing import Callable, List, Optional, Tuple
 
-from repro.core.params import PBBFParams
-from repro.detailed.config import CodeDistributionParameters
-from repro.detailed.simulator import DetailedSimulator
 from repro.experiments.scale import Scale
 from repro.experiments.spec import ExperimentResult, Series
 from repro.ideal.simulator import SchedulingMode
-
-
-@dataclass(frozen=True)
-class DetailedPointMetrics:
-    """Everything the Section 5 figures need from one run."""
-
-    joules_per_update_per_node: float
-    latency_2hop: Optional[float]
-    latency_5hop: Optional[float]
-    updates_received_fraction: float
-    mean_update_latency: Optional[float]
-    n_2hop_nodes: int
-    n_5hop_nodes: int
-
-
-@lru_cache(maxsize=8192)
-def _detailed_run(
-    p: float,
-    q: float,
-    density: float,
-    mode_value: str,
-    duration: float,
-    seed: int,
-) -> DetailedPointMetrics:
-    """One scenario boiled down to its figure metrics."""
-    mode = SchedulingMode(mode_value)
-    config = CodeDistributionParameters(density=density, duration=duration)
-    simulator = DetailedSimulator(
-        PBBFParams(p=p, q=q), config, seed=seed, mode=mode
-    )
-    result = simulator.run()
-    metrics = result.metrics
-    return DetailedPointMetrics(
-        joules_per_update_per_node=metrics.joules_per_update_per_node(),
-        latency_2hop=metrics.mean_latency_at_distance(2),
-        latency_5hop=metrics.mean_latency_at_distance(5),
-        updates_received_fraction=metrics.mean_updates_received_fraction(),
-        mean_update_latency=metrics.mean_update_latency(),
-        n_2hop_nodes=len(metrics.nodes_at_distance(2)),
-        n_5hop_nodes=len(metrics.nodes_at_distance(5)),
-    )
-
+from repro.runners import CampaignResult, CampaignSpec, run_campaign
+from repro.runners.points import (  # noqa: F401  (back-compat re-exports)
+    DetailedPointMetrics,
+    _detailed_run,
+)
 
 MetricFn = Callable[[DetailedPointMetrics], Optional[float]]
 
-
-def _averaged_metric(
-    scale: Scale,
-    p: float,
-    q: float,
-    density: float,
-    mode: SchedulingMode,
-    metric: MetricFn,
-) -> Optional[float]:
-    """Mean of ``metric`` over ``scale.detailed_runs`` independent runs.
-
-    Runs where the metric is undefined (e.g. no 5-hop nodes in that
-    deployment) are skipped; the result is ``None`` when every run skips.
-    """
-    values: List[float] = []
-    for run_index in range(scale.detailed_runs):
-        seed = scale.seed_for("detailed", p, q, density, mode.value, run_index)
-        point = _detailed_run(p, q, density, mode.value, scale.duration, seed)
-        value = metric(point)
-        if value is not None:
-            values.append(value)
-    if not values:
-        return None
-    return sum(values) / len(values)
+#: Table 2's default density, used by the q-sweep figures (13-16).
+_DEFAULT_DENSITY = 10.0
+#: Table 2's default q, used by the density-sweep figures (17-18).
+_DEFAULT_Q = 0.25
 
 
-def _q_sweep(scale: Scale, metric: MetricFn, density: float = 10.0) -> Tuple[Series, ...]:
+def q_sweep_campaign(scale: Scale, density: float = _DEFAULT_DENSITY) -> CampaignSpec:
+    """The Figures 13-16 sweep: (p, q) product plus the two baselines."""
+    return CampaignSpec.build(
+        kind="detailed",
+        axes={"p": scale.detailed_p_values, "q": scale.detailed_q_values},
+        fixed={
+            "density": density,
+            "mode": SchedulingMode.PSM_PBBF.value,
+            "duration": scale.duration,
+            "scheduler": "psm",
+        },
+        extra_points=(
+            {"p": 0.0, "q": 0.0},
+            {"p": 1.0, "q": 1.0, "mode": SchedulingMode.ALWAYS_ON.value},
+        ),
+        seed_params=("p", "q", "density", "mode"),
+        n_seeds=scale.detailed_runs,
+        base_seed=scale.base_seed,
+        seed_with_run_index=True,
+    )
+
+
+def density_sweep_campaign(scale: Scale, q: float = _DEFAULT_Q) -> CampaignSpec:
+    """The Figures 17-18 sweep: density on x, q fixed at Table 2's 0.25."""
+    baselines = tuple(
+        {"p": 0.0, "q": 0.0, "density": density} for density in scale.densities
+    ) + tuple(
+        {
+            "p": 1.0,
+            "q": 1.0,
+            "density": density,
+            "mode": SchedulingMode.ALWAYS_ON.value,
+        }
+        for density in scale.densities
+    )
+    return CampaignSpec.build(
+        kind="detailed",
+        axes={"p": scale.detailed_p_values, "density": scale.densities},
+        fixed={
+            "q": q,
+            "mode": SchedulingMode.PSM_PBBF.value,
+            "duration": scale.duration,
+            "scheduler": "psm",
+        },
+        extra_points=baselines,
+        seed_params=("p", "q", "density", "mode"),
+        n_seeds=scale.detailed_runs,
+        base_seed=scale.base_seed,
+        seed_with_run_index=True,
+    )
+
+
+def _q_sweep(
+    scale: Scale, metric: MetricFn, density: float = _DEFAULT_DENSITY
+) -> Tuple[Series, ...]:
     """The Figures 13-16 layout: PBBF-p lines over q, plus two baselines."""
+    campaign = run_campaign(q_sweep_campaign(scale, density))
     series: List[Series] = []
     for p in scale.detailed_p_values:
         points = tuple(
-            (
-                q,
-                _averaged_metric(
-                    scale, p, q, density, SchedulingMode.PSM_PBBF, metric
-                ),
-            )
+            (q, campaign.mean_metric(metric, p=p, q=q))
             for q in scale.detailed_q_values
         )
         series.append(Series(label=f"PBBF-{p:g}", points=points))
-    psm = _averaged_metric(
-        scale, 0.0, 0.0, density, SchedulingMode.PSM_PBBF, metric
-    )
+    psm = campaign.mean_metric(metric, p=0.0, q=0.0)
     series.append(
         Series(label="PSM", points=tuple((q, psm) for q in scale.detailed_q_values))
     )
-    no_psm = _averaged_metric(
-        scale, 1.0, 1.0, density, SchedulingMode.ALWAYS_ON, metric
+    no_psm = campaign.mean_metric(
+        metric, p=1.0, q=1.0, mode=SchedulingMode.ALWAYS_ON.value
     )
     series.append(
         Series(
@@ -121,46 +110,28 @@ def _q_sweep(scale: Scale, metric: MetricFn, density: float = 10.0) -> Tuple[Ser
     return tuple(series)
 
 
-def _density_sweep(scale: Scale, metric: MetricFn, q: float = 0.25) -> Tuple[Series, ...]:
-    """The Figures 17-18 layout: density on x, q fixed at Table 2's 0.25."""
-    series: List[Series] = []
-    for p in scale.detailed_p_values:
-        points = tuple(
-            (
-                density,
-                _averaged_metric(
-                    scale, p, q, density, SchedulingMode.PSM_PBBF, metric
-                ),
-            )
-            for density in scale.densities
-        )
-        series.append(Series(label=f"PBBF-{p:g}", points=points))
-    series.append(
-        Series(
-            label="PSM",
+def _density_sweep(
+    scale: Scale, metric: MetricFn, q: float = _DEFAULT_Q
+) -> Tuple[Series, ...]:
+    """The Figures 17-18 layout: one point per (protocol, density)."""
+    campaign = run_campaign(density_sweep_campaign(scale, q))
+
+    def density_series(label: str, **overrides) -> Series:
+        return Series(
+            label=label,
             points=tuple(
-                (
-                    density,
-                    _averaged_metric(
-                        scale, 0.0, 0.0, density, SchedulingMode.PSM_PBBF, metric
-                    ),
-                )
+                (density, campaign.mean_metric(metric, density=density, **overrides))
                 for density in scale.densities
             ),
         )
-    )
+
+    series: List[Series] = [
+        density_series(f"PBBF-{p:g}", p=p) for p in scale.detailed_p_values
+    ]
+    series.append(density_series("PSM", p=0.0, q=0.0))
     series.append(
-        Series(
-            label="NO PSM",
-            points=tuple(
-                (
-                    density,
-                    _averaged_metric(
-                        scale, 1.0, 1.0, density, SchedulingMode.ALWAYS_ON, metric
-                    ),
-                )
-                for density in scale.densities
-            ),
+        density_series(
+            "NO PSM", p=1.0, q=1.0, mode=SchedulingMode.ALWAYS_ON.value
         )
     )
     return tuple(series)

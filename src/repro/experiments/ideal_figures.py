@@ -1,68 +1,49 @@
 """Figures 4, 5, 8, 9, 10, 11 — the Section 4 ideal-simulator sweeps.
 
 All six figures come from the same family of campaigns (one per
-protocol-and-q operating point); the module memoizes a compact per-point
-metric summary so that regenerating several figures in one session pays
-for each campaign once.
+protocol-and-q operating point), expressed as a single declarative
+:class:`~repro.runners.spec.CampaignSpec` and executed through
+:func:`~repro.runners.campaign.run_campaign` — so one `--jobs N` fan-out
+(or one warm cache) pays for every figure in the family at once.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
 from typing import Callable, List, Optional, Tuple
 
-from repro.core.params import PBBFParams
 from repro.experiments.scale import Scale
 from repro.experiments.spec import ExperimentResult, Series
-from repro.ideal.config import AnalysisParameters
-from repro.ideal.simulator import IdealSimulator, SchedulingMode
-from repro.net.topology import GridTopology
+from repro.ideal.simulator import SchedulingMode
+from repro.runners import CampaignSpec, run_campaign
+from repro.runners.points import (  # noqa: F401  (back-compat re-exports)
+    IdealPointMetrics,
+    _ideal_point,
+)
 
 
-@dataclass(frozen=True)
-class IdealPointMetrics:
-    """Everything the Section 4 figures need from one operating point."""
+def ideal_campaign(scale: Scale) -> CampaignSpec:
+    """The Section 4 sweep as a declarative campaign.
 
-    reliability_90: float
-    reliability_99: float
-    joules_per_update_per_node: float
-    mean_per_hop_latency: Optional[float]
-    mean_hops_near: Optional[float]
-    mean_hops_far: Optional[float]
-    mean_coverage: float
-
-
-@lru_cache(maxsize=4096)
-def _ideal_point(
-    grid_side: int,
-    n_broadcasts: int,
-    p: float,
-    q: float,
-    mode_value: str,
-    seed: int,
-    hop_near: int,
-    hop_far: int,
-) -> IdealPointMetrics:
-    """Run one campaign and boil it down to the figure metrics."""
-    mode = SchedulingMode(mode_value)
-    topology = GridTopology(grid_side)
-    simulator = IdealSimulator(
-        topology,
-        PBBFParams(p=p, q=q),
-        AnalysisParameters(grid_side=grid_side),
-        seed=seed,
-        mode=mode,
-    )
-    campaign = simulator.run_campaign(n_broadcasts)
-    return IdealPointMetrics(
-        reliability_90=campaign.reliability(0.90),
-        reliability_99=campaign.reliability(0.99),
-        joules_per_update_per_node=campaign.joules_per_update_per_node(),
-        mean_per_hop_latency=campaign.mean_per_hop_latency(),
-        mean_hops_near=campaign.mean_hops_at_distance(hop_near),
-        mean_hops_far=campaign.mean_hops_at_distance(hop_far),
-        mean_coverage=campaign.mean_coverage(),
+    The (p, q) product runs under the PSM/PBBF schedule; the paper's two
+    horizontal reference lines are the extra corner points — PSM is
+    PBBF(0, 0) and NO PSM is PBBF(1, 1) with the radios always on.
+    """
+    return CampaignSpec.build(
+        kind="ideal",
+        axes={"p": scale.ideal_p_values, "q": scale.ideal_q_values},
+        fixed={
+            "grid_side": scale.grid_side,
+            "n_broadcasts": scale.n_broadcasts,
+            "mode": SchedulingMode.PSM_PBBF.value,
+            "hop_near": scale.hop_distance_near,
+            "hop_far": scale.hop_distance_far,
+        },
+        extra_points=(
+            {"p": 0.0, "q": 0.0},
+            {"p": 1.0, "q": 1.0, "mode": SchedulingMode.ALWAYS_ON.value},
+        ),
+        seed_params=("grid_side", "p", "q", "mode"),
+        base_seed=scale.base_seed,
     )
 
 
@@ -91,21 +72,23 @@ def _sweep(scale: Scale, metric: MetricFn) -> Tuple[Series, ...]:
     reference lines, which we reproduce by replicating their single
     measurement across the x axis.
     """
+    campaign = run_campaign(ideal_campaign(scale))
     series: List[Series] = []
     for p in scale.ideal_p_values:
         points = tuple(
-            (q, metric(ideal_point(scale, p, q, SchedulingMode.PSM_PBBF)))
-            for q in scale.ideal_q_values
+            (q, metric(campaign.metrics(p=p, q=q))) for q in scale.ideal_q_values
         )
         series.append(Series(label=f"PBBF-{p:g}", points=points))
-    psm_value = metric(ideal_point(scale, 0.0, 0.0, SchedulingMode.PSM_PBBF))
+    psm_value = metric(campaign.metrics(p=0.0, q=0.0))
     series.append(
         Series(
             label="PSM",
             points=tuple((q, psm_value) for q in scale.ideal_q_values),
         )
     )
-    no_psm_value = metric(ideal_point(scale, 1.0, 1.0, SchedulingMode.ALWAYS_ON))
+    no_psm_value = metric(
+        campaign.metrics(p=1.0, q=1.0, mode=SchedulingMode.ALWAYS_ON.value)
+    )
     series.append(
         Series(
             label="NO PSM",

@@ -3,12 +3,14 @@
 Figure 6 estimates the critical bond fraction per reliability level and
 grid size (Newman-Ziff sweeps); Figure 7 inverts Remark 1 into the minimum
 q per p on a fixed grid; Figure 12 walks that frontier at 99% reliability
-and evaluates the Eq. 8 energy and Eq. 9 latency at every point.
+and evaluates the Eq. 8 energy and Eq. 9 latency at every point.  The
+threshold estimates run as ``percolation`` campaigns, so Figures 7 and 12
+share their frontier-grid points with each other (and with any other
+invocation) through the campaign runner's memo and disk cache.
 """
 
 from __future__ import annotations
 
-import random
 from functools import lru_cache
 from typing import List
 
@@ -16,11 +18,37 @@ from repro.analysis.tradeoff import energy_latency_curve
 from repro.experiments.scale import Scale
 from repro.experiments.spec import ExperimentResult, Series
 from repro.ideal.config import AnalysisParameters
-from repro.net.topology import GridTopology
-from repro.percolation.threshold import (
-    estimate_critical_bond_fraction,
-    minimum_q_for_reliability,
-)
+from repro.runners import CampaignSpec, run_campaign
+from repro.runners.points import _percolation_point
+
+
+def size_sweep_campaign(scale: Scale) -> CampaignSpec:
+    """The Figure 6 sweep: grid sizes x reliability levels."""
+    return CampaignSpec.build(
+        kind="percolation",
+        axes={
+            "grid_side": scale.percolation_sizes,
+            "reliability": scale.reliability_levels,
+        },
+        fixed={"runs": scale.percolation_runs, "process": "bond"},
+        seed_params=("grid_side", "reliability"),
+        base_seed=scale.base_seed,
+    )
+
+
+def frontier_campaign(scale: Scale) -> CampaignSpec:
+    """The Figures 7/12 thresholds: every level on the frontier grid."""
+    return CampaignSpec.build(
+        kind="percolation",
+        axes={"reliability": scale.reliability_levels},
+        fixed={
+            "grid_side": scale.frontier_grid_side,
+            "runs": scale.percolation_runs,
+            "process": "bond",
+        },
+        seed_params=("grid_side", "reliability"),
+        base_seed=scale.base_seed,
+    )
 
 
 @lru_cache(maxsize=256)
@@ -28,12 +56,9 @@ def _critical_fraction(
     grid_side: int, reliability: float, runs: int, seed: int
 ) -> float:
     """Mean critical bond fraction for one (grid, reliability) pair."""
-    topology = GridTopology(grid_side)
-    rng = random.Random(seed)
-    thresholds = estimate_critical_bond_fraction(
-        topology, (reliability,), rng, runs=runs, grid_label=f"{grid_side}x{grid_side}"
-    )
-    return thresholds.threshold_for(reliability).mean
+    return _percolation_point(
+        grid_side, reliability, runs, seed, "bond"
+    ).critical_fraction
 
 
 def critical_fraction(scale: Scale, grid_side: int, reliability: float) -> float:
@@ -44,10 +69,14 @@ def critical_fraction(scale: Scale, grid_side: int, reliability: float) -> float
 
 def run_fig06(scale: Scale) -> ExperimentResult:
     """Critical bond fraction vs grid size, one line per reliability level."""
+    campaign = run_campaign(size_sweep_campaign(scale))
     series: List[Series] = []
     for level in scale.reliability_levels:
         points = tuple(
-            (float(size), critical_fraction(scale, size, level))
+            (
+                float(size),
+                campaign.metrics(grid_side=size, reliability=level).critical_fraction,
+            )
             for size in scale.percolation_sizes
         )
         series.append(Series(label=f"{level:.0%} reliability", points=points))
@@ -68,10 +97,13 @@ def run_fig06(scale: Scale) -> ExperimentResult:
 
 def run_fig07(scale: Scale) -> ExperimentResult:
     """Minimum q vs p for each reliability level on the frontier grid."""
+    from repro.percolation.threshold import minimum_q_for_reliability
+
+    campaign = run_campaign(frontier_campaign(scale))
     p_values = [round(0.05 * i, 2) for i in range(21)]
     series: List[Series] = []
     for level in scale.reliability_levels:
-        pc = critical_fraction(scale, scale.frontier_grid_side, level)
+        pc = campaign.metrics(reliability=level).critical_fraction
         points = tuple(
             (p, minimum_q_for_reliability(p, pc)) for p in p_values
         )
@@ -97,7 +129,21 @@ def run_fig07(scale: Scale) -> ExperimentResult:
 def run_fig12(scale: Scale) -> ExperimentResult:
     """Energy vs latency along the 99% reliability frontier."""
     analysis = AnalysisParameters()
-    pc = critical_fraction(scale, scale.frontier_grid_side, 0.99)
+    # A one-point campaign; its run key coincides with the matching point
+    # of ``frontier_campaign`` whenever 0.99 is among the scale's levels,
+    # so the estimate is shared rather than recomputed.
+    spec = CampaignSpec.build(
+        kind="percolation",
+        axes={"reliability": (0.99,)},
+        fixed={
+            "grid_side": scale.frontier_grid_side,
+            "runs": scale.percolation_runs,
+            "process": "bond",
+        },
+        seed_params=("grid_side", "reliability"),
+        base_seed=scale.base_seed,
+    )
+    pc = run_campaign(spec).metrics(reliability=0.99).critical_fraction
     # L2 is the extra sleep-induced wait of a normal broadcast; one full
     # frame minus the access time reproduces the observed per-hop PSM
     # latency of ~Tframe (see EXPERIMENTS.md's calibration note).

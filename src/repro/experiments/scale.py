@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro.util.rng import fold_seed
+
 
 @dataclass(frozen=True)
 class Scale:
@@ -93,11 +95,10 @@ class Scale:
         )
 
     def seed_for(self, *labels: object) -> int:
-        """A stable per-(experiment, point, run) seed."""
-        key = ":".join(str(label) for label in labels)
-        # Cheap deterministic string fold; quality is irrelevant because the
-        # value becomes the root of a hashed RandomStreams family.
-        acc = self.base_seed
-        for ch in key:
-            acc = (acc * 1000003 + ord(ch)) & 0x7FFFFFFFFFFFFFFF
-        return acc
+        """A stable per-(experiment, point, run) seed.
+
+        Delegates to :func:`repro.util.rng.fold_seed`, the same derivation
+        the campaign runner uses, so declarative campaigns and hand-rolled
+        sweeps agree seed-for-seed.
+        """
+        return fold_seed(self.base_seed, *labels)

@@ -1,0 +1,73 @@
+"""Execution backends: how a batch of campaign runs gets computed.
+
+Both backends take the *pending* runs of a campaign (after memo and disk
+cache have been consulted) and return one flat metrics dict per run, in
+order.  Because point evaluation is a pure function of ``(kind, params,
+seed)`` (see :mod:`repro.runners.points`), the two are bit-identical for
+a fixed spec — ``ProcessPoolBackend`` is purely a wall-clock optimisation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.runners.points import evaluate_run, metrics_to_dict
+from repro.runners.spec import CampaignRun
+
+_Task = Tuple[str, Dict[str, Any], int]
+
+
+def _evaluate_task(task: _Task) -> Dict[str, Any]:
+    """Pool worker: evaluate one (kind, params, seed) task to a flat dict.
+
+    Module-level so it pickles under every multiprocessing start method.
+    """
+    kind, params, seed = task
+    return metrics_to_dict(evaluate_run(kind, params, seed))
+
+
+class SerialBackend:
+    """Evaluate runs one after another in the current process."""
+
+    def execute(self, runs: Sequence[CampaignRun]) -> List[Dict[str, Any]]:
+        """Metrics dicts for ``runs``, in order."""
+        return [
+            _evaluate_task((run.kind, run.params_dict(), run.seed)) for run in runs
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialBackend()"
+
+
+class ProcessPoolBackend:
+    """Chunked fan-out over a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` or 0 means ``os.cpu_count()``.
+    """
+
+    def __init__(self, jobs: int = 0) -> None:
+        if jobs is None or jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+
+    def execute(self, runs: Sequence[CampaignRun]) -> List[Dict[str, Any]]:
+        """Metrics dicts for ``runs``, in order (workers may interleave)."""
+        tasks: List[_Task] = [
+            (run.kind, run.params_dict(), run.seed) for run in runs
+        ]
+        if len(tasks) <= 1 or self.jobs == 1:
+            return [_evaluate_task(task) for task in tasks]
+        jobs = min(self.jobs, len(tasks))
+        # ~4 chunks per worker balances scheduling overhead against the
+        # skew between cheap (sub-threshold) and expensive points.
+        chunksize = max(1, len(tasks) // (jobs * 4))
+        with multiprocessing.Pool(processes=jobs) as pool:
+            return pool.map(_evaluate_task, tasks, chunksize=chunksize)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessPoolBackend(jobs={self.jobs})"

@@ -1,0 +1,96 @@
+"""On-disk result cache for campaign points.
+
+Every simulated point is stored as one small JSON file keyed by the
+content hash of its point spec (simulator kind + full parameters + seed),
+so re-running a campaign only computes points whose spec actually changed.
+Files live under ``~/.cache/repro`` by default; override with the
+``REPRO_CACHE_DIR`` environment variable or the CLI's ``--cache-dir``.
+
+The cache is strictly a performance layer: a corrupted, truncated or
+version-mismatched entry reads as a miss and the point is recomputed.
+Writes are atomic (temp file + ``os.replace``) so a crashed run never
+leaves a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+#: Bumped whenever the serialized payload layout or the semantics of a
+#: cached metric change; old entries then read as misses.
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """JSON-file cache of point results, sharded by key prefix."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self._write_failed = False
+
+    def _path(self, key: str) -> Path:
+        return self.root / "points" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or ``None`` on any miss."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != CACHE_VERSION:
+            return None
+        if "metrics" not in payload:
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically store ``payload`` (stamped with the cache version).
+
+        Best-effort: the cache is strictly a performance layer, so an
+        unwritable directory degrades to cache-off (with one warning)
+        rather than failing the campaign that computed the result.
+        """
+        if self._write_failed:
+            return
+        record = dict(payload)
+        record["version"] = CACHE_VERSION
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".{os.getpid()}.tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError as exc:
+            self._write_failed = True
+            warnings.warn(
+                f"result cache at {self.root} is not writable ({exc}); "
+                "continuing without caching",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def has(self, key: str) -> bool:
+        """Cheap existence probe (no parse/validation; ``get`` still may miss)."""
+        return self._path(key).exists()
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache(root={str(self.root)!r})"

@@ -1,0 +1,205 @@
+"""``run_campaign``: execute a spec through memo, cache and backend.
+
+The pipeline for every run of a spec:
+
+1. **in-process memo** — results already materialised this process;
+2. **disk cache** — JSON entries keyed by the run's content hash;
+3. **backend** — whatever is left is simulated, serially or fanned out
+   over a process pool, then written back to both layers.
+
+Results are returned as a :class:`CampaignResult`, which resolves points
+by parameter values (not enumeration position), so callers read metrics
+the same way regardless of which layer produced them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from repro.runners.backends import ProcessPoolBackend, SerialBackend
+from repro.runners.cache import ResultCache
+from repro.runners.context import get_execution, get_stats
+from repro.runners.points import metrics_from_dict, metrics_to_dict
+from repro.runners.spec import CampaignRun, CampaignSpec, run_key
+
+#: Results materialised in this process, keyed by run content hash.  This
+#: is what lets several figures share one campaign's points without
+#: re-simulating, whatever backend produced them.
+_MEMO: Dict[str, Any] = {}
+
+
+def clear_memo() -> None:
+    """Drop every in-process campaign result (benchmarks, tests)."""
+    _MEMO.clear()
+
+
+def _payload_for(run: CampaignRun, metrics: Any) -> Dict[str, Any]:
+    """The JSON cache payload for one materialised run."""
+    return {
+        "kind": run.kind,
+        "params": run.params_dict(),
+        "seed": run.seed,
+        "metrics": metrics_to_dict(metrics),
+    }
+
+
+class CampaignResult:
+    """Executed campaign: typed metrics for every run of the spec."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        runs: List[CampaignRun],
+        by_key: Dict[str, Any],
+        computed: int,
+        reused: int,
+    ) -> None:
+        self.spec = spec
+        self.runs = runs
+        self._by_key = by_key
+        #: Points simulated by this call (vs served from memo/cache).
+        self.computed = computed
+        #: Points served without simulating in this call.
+        self.reused = reused
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def metrics(self, seed_index: int = 0, **overrides: Any):
+        """The metrics bundle for one point (``overrides`` over fixed)."""
+        params = self.spec.merge(overrides)
+        seed = self.spec.point_seed(params, seed_index)
+        key = run_key(self.spec.kind, params, seed)
+        try:
+            return self._by_key[key]
+        except KeyError:
+            raise KeyError(
+                f"campaign has no run for params={params} seed_index={seed_index}"
+            ) from None
+
+    def metrics_over_seeds(self, **overrides: Any) -> List[Any]:
+        """The point's metrics bundles for every seed index, in order."""
+        return [
+            self.metrics(seed_index=index, **overrides)
+            for index in range(self.spec.n_seeds)
+        ]
+
+    def mean_metric(
+        self, metric: Callable[[Any], Optional[float]], **overrides: Any
+    ) -> Optional[float]:
+        """Mean of ``metric`` over the point's seeds, skipping ``None``.
+
+        Mirrors the paper's averaging: runs where a metric is undefined
+        (e.g. no 5-hop nodes in that deployment) are skipped, and the
+        result is ``None`` when every run skips.
+        """
+        values = [
+            value
+            for value in (
+                metric(bundle) for bundle in self.metrics_over_seeds(**overrides)
+            )
+            if value is not None
+        ]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CampaignResult({self.spec!r}, runs={len(self.runs)}, "
+            f"computed={self.computed}, reused={self.reused})"
+        )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: Optional[int] = None,
+    cache: Optional[Union[ResultCache, str]] = None,
+    use_cache: Optional[bool] = None,
+    backend: Optional[Any] = None,
+) -> CampaignResult:
+    """Execute every run of ``spec`` and return its results.
+
+    Parameters left ``None`` fall back to the ambient
+    :class:`~repro.runners.context.ExecutionConfig` (which the CLI sets
+    from its flags).  ``cache`` accepts a ready :class:`ResultCache` or a
+    directory path; ``backend`` overrides the jobs-based choice entirely
+    (any object with ``execute(runs) -> list[dict]``).
+    """
+    config = get_execution()
+    stats = get_stats()
+    if jobs is None:
+        jobs = config.jobs
+    if use_cache is None:
+        use_cache = config.use_cache
+    store: Optional[ResultCache] = None
+    if use_cache:
+        if isinstance(cache, ResultCache):
+            store = cache
+        elif cache is not None:
+            store = ResultCache(cache)
+        else:
+            store = ResultCache(config.cache_dir)
+
+    runs = spec.runs()
+    by_key: Dict[str, Any] = {}
+    pending: List[CampaignRun] = []
+    pending_keys = set()
+    reused = 0
+    for run in runs:
+        if run.key in by_key or run.key in pending_keys:
+            continue  # duplicate point within the spec
+        if run.key in _MEMO:
+            metrics = _MEMO[run.key]
+            by_key[run.key] = metrics
+            stats.reused_memory += 1
+            reused += 1
+            if store is not None and not store.has(run.key):
+                # Backfill: a result computed before this cache directory
+                # was configured must still survive the process.
+                store.put(run.key, _payload_for(run, metrics))
+            continue
+        if store is not None:
+            payload = store.get(run.key)
+            if payload is not None:
+                try:
+                    metrics = metrics_from_dict(spec.kind, payload["metrics"])
+                except TypeError:
+                    # Metrics schema drifted without a CACHE_VERSION bump:
+                    # honour the cache contract and treat it as a miss.
+                    metrics = None
+                if metrics is not None:
+                    _MEMO[run.key] = metrics
+                    by_key[run.key] = metrics
+                    stats.reused_disk += 1
+                    reused += 1
+                    continue
+        pending.append(run)
+        pending_keys.add(run.key)
+
+    if pending:
+        if backend is None:
+            backend = (
+                ProcessPoolBackend(jobs) if jobs and jobs > 1 else SerialBackend()
+            )
+        flat_results = backend.execute(pending)
+        if len(flat_results) != len(pending):
+            raise RuntimeError(
+                f"backend returned {len(flat_results)} results "
+                f"for {len(pending)} runs"
+            )
+        for run, flat in zip(pending, flat_results):
+            metrics = metrics_from_dict(spec.kind, flat)
+            _MEMO[run.key] = metrics
+            by_key[run.key] = metrics
+            if store is not None:
+                store.put(run.key, _payload_for(run, metrics))
+        stats.computed += len(pending)
+
+    return CampaignResult(
+        spec=spec,
+        runs=runs,
+        by_key=by_key,
+        computed=len(pending),
+        reused=reused,
+    )

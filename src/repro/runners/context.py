@@ -1,0 +1,95 @@
+"""Ambient execution configuration and statistics for campaign runs.
+
+Figure generators keep their ``runner(scale) -> ExperimentResult``
+signature, so execution choices — parallelism, cache location, cache
+bypass — flow through an ambient :class:`ExecutionConfig` instead of
+being threaded through every call site.  The CLI installs one from its
+``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags; tests and benchmarks
+scope overrides with the :func:`execution` context manager.
+
+:class:`ExecutionStats` counts, per process, how many points were
+actually simulated versus satisfied from the in-process memo or the disk
+cache — the number the CLI prints so "a second invocation re-ran
+nothing" is observable rather than assumed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How ``run_campaign`` should execute when not told explicitly."""
+
+    #: Worker processes; 1 means in-process serial execution.
+    jobs: int = 1
+    #: Cache root; ``None`` selects the default (env var or ~/.cache/repro).
+    cache_dir: Optional[str] = None
+    #: Master switch for the on-disk cache.
+    use_cache: bool = True
+
+
+@dataclass
+class ExecutionStats:
+    """Per-process counters of where campaign results came from."""
+
+    computed: int = 0
+    reused_memory: int = 0
+    reused_disk: int = 0
+
+    @property
+    def reused(self) -> int:
+        """Results served without running a simulator."""
+        return self.reused_memory + self.reused_disk
+
+    @property
+    def total(self) -> int:
+        """All results delivered."""
+        return self.computed + self.reused
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.computed = 0
+        self.reused_memory = 0
+        self.reused_disk = 0
+
+
+_config = ExecutionConfig()
+_stats = ExecutionStats()
+
+
+def get_execution() -> ExecutionConfig:
+    """The currently-installed execution configuration."""
+    return _config
+
+
+def set_execution(**overrides) -> ExecutionConfig:
+    """Replace fields of the ambient configuration; returns the new one."""
+    global _config
+    _config = replace(_config, **overrides)
+    return _config
+
+
+@contextmanager
+def execution(**overrides) -> Iterator[ExecutionConfig]:
+    """Scoped execution override, restoring the previous config on exit."""
+    global _config
+    previous = _config
+    _config = replace(_config, **overrides)
+    try:
+        yield _config
+    finally:
+        _config = previous
+
+
+def get_stats() -> ExecutionStats:
+    """The process-wide result-provenance counters."""
+    return _stats
+
+
+def reset_stats() -> None:
+    """Zero the process-wide counters (start of a CLI invocation)."""
+    _stats.reset()

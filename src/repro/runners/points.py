@@ -1,0 +1,233 @@
+"""Point evaluators: one simulated parameter point boiled down to metrics.
+
+This is the only module the execution backends call into, and it is the
+layering boundary of the runner subsystem: it imports simulator packages
+(:mod:`repro.ideal`, :mod:`repro.detailed`, :mod:`repro.percolation`) but
+never the experiment harness, so :mod:`repro.experiments` can build on the
+runner without an import cycle.
+
+Each evaluator is a pure function of ``(params, seed)`` — identical inputs
+give bit-identical metrics in any process — which is what makes the
+serial and process-pool backends interchangeable and the disk cache safe.
+Metric bundles are flat dataclasses of JSON-representable scalars so they
+survive both pickling (process pool) and the JSON cache round-trip
+without loss (``repr``-exact floats).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.params import PBBFParams
+from repro.ideal.config import AnalysisParameters
+from repro.ideal.simulator import IdealSimulator, SchedulingMode
+from repro.net.topology import GridTopology
+from repro.percolation.site import coverage_site_fraction
+from repro.percolation.threshold import estimate_critical_bond_fraction
+from repro.util.stats import summarize
+
+
+@dataclass(frozen=True)
+class IdealPointMetrics:
+    """Everything the Section 4 figures need from one operating point."""
+
+    reliability_90: float
+    reliability_99: float
+    joules_per_update_per_node: float
+    mean_per_hop_latency: Optional[float]
+    mean_hops_near: Optional[float]
+    mean_hops_far: Optional[float]
+    mean_coverage: float
+
+
+@dataclass(frozen=True)
+class DetailedPointMetrics:
+    """Everything the Section 5 figures need from one run."""
+
+    joules_per_update_per_node: float
+    latency_2hop: Optional[float]
+    latency_5hop: Optional[float]
+    updates_received_fraction: float
+    mean_update_latency: Optional[float]
+    n_2hop_nodes: int
+    n_5hop_nodes: int
+
+
+@dataclass(frozen=True)
+class PercolationPointMetrics:
+    """Critical-fraction estimate for one (grid, coverage) point."""
+
+    critical_fraction: float
+    ci95: float
+    n_runs: int
+
+
+_METRICS_TYPES = {
+    "ideal": IdealPointMetrics,
+    "detailed": DetailedPointMetrics,
+    "percolation": PercolationPointMetrics,
+}
+
+
+@lru_cache(maxsize=4096)
+def _ideal_point(
+    grid_side: int,
+    n_broadcasts: int,
+    p: float,
+    q: float,
+    mode_value: str,
+    seed: int,
+    hop_near: int,
+    hop_far: int,
+) -> IdealPointMetrics:
+    """Run one ideal-simulator campaign and summarise the figure metrics."""
+    mode = SchedulingMode(mode_value)
+    topology = GridTopology(grid_side)
+    simulator = IdealSimulator(
+        topology,
+        PBBFParams(p=p, q=q),
+        AnalysisParameters(grid_side=grid_side),
+        seed=seed,
+        mode=mode,
+    )
+    campaign = simulator.run_campaign(n_broadcasts)
+    return IdealPointMetrics(
+        reliability_90=campaign.reliability(0.90),
+        reliability_99=campaign.reliability(0.99),
+        joules_per_update_per_node=campaign.joules_per_update_per_node(),
+        mean_per_hop_latency=campaign.mean_per_hop_latency(),
+        mean_hops_near=campaign.mean_hops_at_distance(hop_near),
+        mean_hops_far=campaign.mean_hops_at_distance(hop_far),
+        mean_coverage=campaign.mean_coverage(),
+    )
+
+
+@lru_cache(maxsize=8192)
+def _detailed_run(
+    p: float,
+    q: float,
+    density: float,
+    mode_value: str,
+    duration: float,
+    seed: int,
+    scheduler: str = "psm",
+) -> DetailedPointMetrics:
+    """One detailed-simulator scenario boiled down to its figure metrics."""
+    # Imported lazily: the detailed stack is the heaviest import chain and
+    # ideal/percolation campaigns never need it.
+    from repro.detailed.config import CodeDistributionParameters
+    from repro.detailed.simulator import DetailedSimulator
+
+    mode = SchedulingMode(mode_value)
+    config = CodeDistributionParameters(density=density, duration=duration)
+    simulator = DetailedSimulator(
+        PBBFParams(p=p, q=q), config, seed=seed, mode=mode, scheduler=scheduler
+    )
+    result = simulator.run()
+    metrics = result.metrics
+    return DetailedPointMetrics(
+        joules_per_update_per_node=metrics.joules_per_update_per_node(),
+        latency_2hop=metrics.mean_latency_at_distance(2),
+        latency_5hop=metrics.mean_latency_at_distance(5),
+        updates_received_fraction=metrics.mean_updates_received_fraction(),
+        mean_update_latency=metrics.mean_update_latency(),
+        n_2hop_nodes=len(metrics.nodes_at_distance(2)),
+        n_5hop_nodes=len(metrics.nodes_at_distance(5)),
+    )
+
+
+@lru_cache(maxsize=512)
+def _percolation_point(
+    grid_side: int,
+    reliability: float,
+    runs: int,
+    seed: int,
+    process: str = "bond",
+) -> PercolationPointMetrics:
+    """Critical bond/site fraction summary for one (grid, coverage) pair."""
+    if process not in ("bond", "site"):
+        raise ValueError(f"process must be 'bond' or 'site', got {process!r}")
+    topology = GridTopology(grid_side)
+    rng = random.Random(seed)
+    if process == "bond":
+        thresholds = estimate_critical_bond_fraction(
+            topology,
+            (reliability,),
+            rng,
+            runs=runs,
+            grid_label=f"{grid_side}x{grid_side}",
+        )
+        summary = thresholds.threshold_for(reliability)
+    else:
+        summary = summarize(
+            coverage_site_fraction(topology, reliability, rng, runs=runs)
+        )
+    return PercolationPointMetrics(
+        critical_fraction=summary.mean, ci95=summary.ci95, n_runs=summary.n
+    )
+
+
+def evaluate_run(kind: str, params: Mapping[str, Any], seed: int):
+    """Evaluate one campaign run and return its typed metrics bundle."""
+    if kind == "ideal":
+        return _ideal_point(
+            int(params["grid_side"]),
+            int(params["n_broadcasts"]),
+            float(params["p"]),
+            float(params["q"]),
+            str(params["mode"]),
+            seed,
+            int(params["hop_near"]),
+            int(params["hop_far"]),
+        )
+    if kind == "detailed":
+        scheduler = str(params.get("scheduler", "psm"))
+        args = (
+            float(params["p"]),
+            float(params["q"]),
+            float(params["density"]),
+            str(params["mode"]),
+            float(params["duration"]),
+            seed,
+        )
+        if scheduler == "psm":
+            # Omit the default so the lru_cache key matches legacy direct
+            # callers (which pass six positional args) and the two paths
+            # share entries instead of re-simulating.
+            return _detailed_run(*args)
+        return _detailed_run(*args, scheduler)
+    if kind == "percolation":
+        # Positional, matching critical_fraction's direct calls, so both
+        # paths share one lru_cache entry per point.
+        return _percolation_point(
+            int(params["grid_side"]),
+            float(params["reliability"]),
+            int(params["runs"]),
+            seed,
+            str(params.get("process", "bond")),
+        )
+    raise ValueError(f"unknown campaign kind {kind!r}")
+
+
+def metrics_to_dict(metrics: Any) -> Dict[str, Any]:
+    """Flatten a metrics dataclass for pickling / JSON storage."""
+    return asdict(metrics)
+
+
+def metrics_from_dict(kind: str, payload: Mapping[str, Any]):
+    """Rebuild the typed metrics bundle for ``kind`` from a flat dict."""
+    try:
+        cls = _METRICS_TYPES[kind]
+    except KeyError:
+        raise ValueError(f"unknown campaign kind {kind!r}") from None
+    return cls(**payload)
+
+
+def clear_point_caches() -> None:
+    """Drop the in-process memo of every point evaluator (benchmarks)."""
+    _ideal_point.cache_clear()
+    _detailed_run.cache_clear()
+    _percolation_point.cache_clear()

@@ -24,6 +24,23 @@ from typing import Dict, Iterator
 _MASK64 = (1 << 64) - 1
 
 
+def fold_seed(base_seed: int, *labels: object) -> int:
+    """A stable integer seed from ``base_seed`` and a sequence of labels.
+
+    Labels are stringified and folded with a cheap deterministic string
+    hash; quality is irrelevant because the value becomes the root of a
+    hashed stream family (:class:`RandomStreams`,
+    :func:`hash_to_unit_interval`).  The fold depends only on the label
+    *values*, never on execution order, which is what lets campaign
+    results be bit-identical across serial and parallel backends.
+    """
+    key = ":".join(str(label) for label in labels)
+    acc = base_seed
+    for ch in key:
+        acc = (acc * 1000003 + ord(ch)) & 0x7FFFFFFFFFFFFFFF
+    return acc
+
+
 def _splitmix64(x: int) -> int:
     """One splitmix64 step: a well-mixed 64-bit permutation."""
     x = (x + 0x9E3779B97F4A7C15) & _MASK64

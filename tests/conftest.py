@@ -13,6 +13,16 @@ from repro.net.topology import GridTopology
 from repro.sim.engine import Engine
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the campaign runner's disk cache at a per-test directory.
+
+    Keeps the suite hermetic: no test reads results a previous run wrote
+    to the user's real ~/.cache/repro, and none litters it either.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def engine() -> Engine:
     """A fresh event engine at t=0."""

@@ -1,0 +1,57 @@
+"""Serial and process-pool backends must be interchangeable."""
+
+from repro.runners import (
+    CampaignSpec,
+    ProcessPoolBackend,
+    SerialBackend,
+    clear_run_caches,
+)
+
+
+def small_ideal_spec():
+    """A campaign small enough to fan out in a unit test."""
+    return CampaignSpec.build(
+        kind="ideal",
+        axes={"p": (0.3, 0.7), "q": (0.0, 0.6, 1.0)},
+        fixed={
+            "grid_side": 7,
+            "n_broadcasts": 2,
+            "mode": "psm_pbbf",
+            "hop_near": 2,
+            "hop_far": 4,
+        },
+        extra_points=({"p": 1.0, "q": 1.0, "mode": "always_on"},),
+        seed_params=("grid_side", "p", "q", "mode"),
+    )
+
+
+class TestBitIdentity:
+    def test_serial_and_pool_agree_exactly(self):
+        runs = small_ideal_spec().runs()
+        serial = SerialBackend().execute(runs)
+        clear_run_caches()
+        pooled = ProcessPoolBackend(jobs=2).execute(runs)
+        assert serial == pooled  # flat dicts: exact float equality
+
+    def test_pool_results_align_with_run_order(self):
+        # Each pooled result must belong to the run at its index, not just
+        # be the right multiset: spot-check one distinctive run.
+        runs = small_ideal_spec().runs()
+        pooled = ProcessPoolBackend(jobs=3).execute(runs)
+        for index, run in enumerate(runs):
+            if dict(run.params)["mode"] == "always_on":
+                assert pooled[index] == SerialBackend().execute([run])[0]
+
+
+class TestPoolSizing:
+    def test_more_jobs_than_runs_is_fine(self):
+        runs = small_ideal_spec().runs()[:2]
+        assert ProcessPoolBackend(jobs=8).execute(runs) == SerialBackend().execute(runs)
+
+    def test_single_run_short_circuits_serially(self):
+        runs = small_ideal_spec().runs()[:1]
+        assert ProcessPoolBackend(jobs=4).execute(runs) == SerialBackend().execute(runs)
+
+    def test_nonpositive_jobs_falls_back_to_cpu_count(self):
+        assert ProcessPoolBackend(jobs=0).jobs >= 1
+        assert ProcessPoolBackend(jobs=-3).jobs >= 1

@@ -1,0 +1,165 @@
+"""Tests for run_campaign: caching layers, stats, result access."""
+
+import json
+
+import pytest
+
+from repro.runners import (
+    CampaignSpec,
+    ResultCache,
+    clear_run_caches,
+    execution,
+    get_stats,
+    reset_stats,
+    run_campaign,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_runner_state():
+    clear_run_caches()
+    reset_stats()
+    yield
+    clear_run_caches()
+
+
+def tiny_percolation_spec(**overrides):
+    kwargs = dict(
+        kind="percolation",
+        axes={"grid_side": (6, 8)},
+        fixed={"reliability": 0.9, "runs": 3, "process": "bond"},
+        seed_params=("grid_side", "reliability"),
+    )
+    kwargs.update(overrides)
+    return CampaignSpec.build(**kwargs)
+
+
+class TestCacheHitMiss:
+    def test_first_run_computes_second_hits_disk(self, tmp_path):
+        spec = tiny_percolation_spec()
+        first = run_campaign(spec, cache=str(tmp_path))
+        assert first.computed == 2 and first.reused == 0
+        clear_run_caches()  # simulate a fresh process
+        second = run_campaign(spec, cache=str(tmp_path))
+        assert second.computed == 0 and second.reused == 2
+        for side in (6, 8):
+            assert (
+                first.metrics(grid_side=side).critical_fraction
+                == second.metrics(grid_side=side).critical_fraction
+            )
+
+    def test_memo_hit_without_touching_disk(self, tmp_path):
+        spec = tiny_percolation_spec()
+        run_campaign(spec, cache=str(tmp_path))
+        stats = get_stats()
+        run_campaign(spec, cache=str(tmp_path))
+        assert stats.reused_memory == 2
+        assert stats.computed == 2
+
+    def test_changed_point_is_a_miss(self, tmp_path):
+        run_campaign(tiny_percolation_spec(), cache=str(tmp_path))
+        clear_run_caches()
+        grown = tiny_percolation_spec(axes={"grid_side": (6, 8, 10)})
+        result = run_campaign(grown, cache=str(tmp_path))
+        assert result.computed == 1  # only the new 10x10 point
+        assert result.reused == 2
+
+    def test_no_cache_writes_nothing(self, tmp_path):
+        result = run_campaign(tiny_percolation_spec(), cache=str(tmp_path), use_cache=False)
+        assert result.computed == 2
+        assert not list(tmp_path.rglob("*.json"))
+
+    def test_corrupted_entry_recomputed(self, tmp_path):
+        spec = tiny_percolation_spec()
+        first = run_campaign(spec, cache=str(tmp_path))
+        for path in tmp_path.rglob("*.json"):
+            path.write_text("{ not json")
+        clear_run_caches()
+        second = run_campaign(spec, cache=str(tmp_path))
+        assert second.computed == 2
+        for side in (6, 8):
+            assert (
+                first.metrics(grid_side=side) == second.metrics(grid_side=side)
+            )
+
+    def test_stale_metrics_schema_recomputed(self, tmp_path):
+        # A version-matched entry whose metrics keys no longer fit the
+        # dataclass (schema drift without a CACHE_VERSION bump) must read
+        # as a miss, not crash the campaign.
+        spec = tiny_percolation_spec()
+        first = run_campaign(spec, cache=str(tmp_path))
+        for path in tmp_path.rglob("*.json"):
+            payload = json.loads(path.read_text())
+            payload["metrics"] = {"bogus_field": 1.0}
+            path.write_text(json.dumps(payload))
+        clear_run_caches()
+        second = run_campaign(spec, cache=str(tmp_path))
+        assert second.computed == 2
+        for side in (6, 8):
+            assert first.metrics(grid_side=side) == second.metrics(grid_side=side)
+
+    def test_cache_payload_is_inspectable_json(self, tmp_path):
+        run_campaign(tiny_percolation_spec(), cache=str(tmp_path))
+        payloads = [
+            json.loads(path.read_text()) for path in tmp_path.rglob("*.json")
+        ]
+        assert len(payloads) == 2
+        for payload in payloads:
+            assert payload["kind"] == "percolation"
+            assert "critical_fraction" in payload["metrics"]
+            assert payload["params"]["reliability"] == 0.9
+
+
+class TestExecutionContext:
+    def test_ambient_config_controls_cache(self, tmp_path):
+        with execution(cache_dir=str(tmp_path), use_cache=True):
+            run_campaign(tiny_percolation_spec())
+        assert list(tmp_path.rglob("*.json"))
+
+    def test_explicit_arguments_override_ambient(self, tmp_path):
+        with execution(use_cache=False):
+            run_campaign(tiny_percolation_spec(), cache=str(tmp_path), use_cache=True)
+        assert list(tmp_path.rglob("*.json"))
+
+
+class TestResultAccess:
+    def test_metrics_unknown_point_raises(self, tmp_path):
+        result = run_campaign(tiny_percolation_spec(), cache=str(tmp_path))
+        with pytest.raises(KeyError, match="no run"):
+            result.metrics(grid_side=99)
+
+    def test_mean_metric_averages_over_seeds(self, tmp_path):
+        spec = tiny_percolation_spec(n_seeds=2, seed_with_run_index=True)
+        result = run_campaign(spec, cache=str(tmp_path))
+        bundles = result.metrics_over_seeds(grid_side=6)
+        assert len(bundles) == 2
+        expected = (
+            bundles[0].critical_fraction + bundles[1].critical_fraction
+        ) / 2
+        assert result.mean_metric(
+            lambda m: m.critical_fraction, grid_side=6
+        ) == pytest.approx(expected)
+
+    def test_mean_metric_none_when_every_seed_undefined(self, tmp_path):
+        spec = tiny_percolation_spec()
+        result = run_campaign(spec, cache=str(tmp_path))
+        assert result.mean_metric(lambda m: None, grid_side=6) is None
+
+
+class TestCacheObject:
+    def test_result_cache_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"kind": "ideal", "metrics": {"x": 1.5}})
+        payload = cache.get("ab" * 32)
+        assert payload["metrics"] == {"x": 1.5}
+        assert ("ab" * 32) in cache
+        assert cache.get("cd" * 32) is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"kind": "ideal", "metrics": {}})
+        path = next(tmp_path.rglob("*.json"))
+        payload = json.loads(path.read_text())
+        payload["version"] = -1
+        path.write_text(json.dumps(payload))
+        assert cache.get("ab" * 32) is None

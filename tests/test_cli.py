@@ -67,3 +67,37 @@ class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestExecutionFlags:
+    def test_jobs_flag_runs_parallel(self, capsys):
+        assert main(["run", "fig07", "--jobs", "2"]) == 0
+        assert "fig07" in capsys.readouterr().out
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig07", "--jobs", "0"])
+
+    def test_no_cache_flag_accepted(self, capsys):
+        assert main(["run", "fig07", "--no-cache"]) == 0
+        assert "fig07" in capsys.readouterr().out
+
+    def test_cache_dir_flag_populates_directory(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cli-cache"
+        assert main(["run", "fig07", "--cache-dir", str(cache_dir)]) == 0
+        assert list(cache_dir.rglob("*.json"))
+
+    def test_second_cached_run_all_simulates_nothing(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments.scale import Scale
+        from repro.runners import clear_run_caches
+        from tests.experiments.test_figures_smoke import TINY
+
+        monkeypatch.setattr(Scale, "fast", classmethod(lambda cls: TINY))
+        cache_dir = str(tmp_path / "run-all-cache")
+        assert main(["run-all", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert "campaign points:" in first
+        clear_run_caches()  # simulate a fresh process
+        assert main(["run-all", "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert "campaign points: 0 simulated" in second
