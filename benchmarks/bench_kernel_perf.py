@@ -7,12 +7,15 @@ guard against performance regressions in the hot paths.
 
 import random
 
+import numpy as np
+
 from repro.core.params import PBBFParams
 from repro.ideal.config import AnalysisParameters
 from repro.ideal.simulator import IdealSimulator
 from repro.net.topology import GridTopology
 from repro.percolation.bond import bond_sweep
 from repro.sim.engine import Engine
+from repro.util.rng import hash_to_unit_interval, hash_to_unit_interval_array
 from repro.util.union_find import UnionFind
 
 
@@ -57,7 +60,12 @@ def test_bond_sweep_throughput(benchmark):
 
 
 def test_ideal_broadcast_throughput(benchmark):
-    """One broadcast on the paper's full 75x75 analysis grid."""
+    """One broadcast on the paper's full 75x75 analysis grid.
+
+    Uses the default execution path (the vectorized frontier kernel);
+    compare against ``test_ideal_broadcast_scalar_reference`` for the
+    fast-path speedup the parity suite certifies as bit-identical.
+    """
     grid = GridTopology(75)
     sim = IdealSimulator(
         grid, PBBFParams(0.5, 0.6), AnalysisParameters(), seed=3
@@ -68,3 +76,46 @@ def test_ideal_broadcast_throughput(benchmark):
 
     received = benchmark(run)
     assert received > 1000
+
+
+def test_ideal_broadcast_scalar_reference(benchmark):
+    """The same 75x75 broadcast through the scalar reference loop."""
+    grid = GridTopology(75)
+    sim = IdealSimulator(
+        grid, PBBFParams(0.5, 0.6), AnalysisParameters(), seed=3, fast_path=False
+    )
+
+    def run():
+        return sim.run_broadcast(0).n_received
+
+    received = benchmark(run)
+    assert received > 1000
+
+
+def test_batched_coin_hash_throughput(benchmark):
+    """One whole-network batched coin draw (the fast path's unit of work)."""
+    nodes = np.arange(75 * 75)
+
+    def run():
+        return hash_to_unit_interval_array(7, nodes, 12345)
+
+    coins = benchmark(run)
+    assert coins.shape == nodes.shape
+    assert float(coins[0]) == hash_to_unit_interval(7, 0, 12345)
+
+
+def test_hop_distance_bfs_throughput(benchmark):
+    """Vectorized CSR BFS over the 75x75 grid.
+
+    A fresh topology per round (built in untimed setup) keeps the
+    per-source memo cold without reaching into private cache state.
+    """
+
+    def fresh_grid():
+        return (GridTopology(75),), {}
+
+    def run(grid):
+        return grid.hop_distance_array(grid.center_node())
+
+    distances = benchmark.pedantic(run, setup=fresh_grid, rounds=30)
+    assert int(distances.max()) == 74

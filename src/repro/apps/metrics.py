@@ -12,9 +12,10 @@ Computes exactly the quantities plotted in the paper's Section 5 figures:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.apps.code_distribution import CodeDistributionApp, UpdateRecord
+from repro.net.topology import bucket_by_distance
 from repro.util.validation import check_probability
 
 
@@ -46,6 +47,10 @@ class BroadcastMetrics:
         self._app = app
         self._shortest = list(shortest_hops)
         self._joules = list(node_joules)
+        # Nodes bucketed by hop distance, built once: the figure code asks
+        # for several hop buckets per run and the underlying topology BFS
+        # is already memoized, so the scan here should be too.
+        self._by_distance: Dict[int, List[int]] = bucket_by_distance(self._shortest)
 
     @property
     def n_updates(self) -> int:
@@ -97,7 +102,7 @@ class BroadcastMetrics:
 
     def latencies_at_distance(self, d: int) -> List[float]:
         """All observed latencies at nodes exactly ``d`` hops from the source."""
-        nodes = [v for v, dist in enumerate(self._shortest) if dist == d]
+        nodes = self.nodes_at_distance(d)
         values: List[float] = []
         for update in self._app.updates:
             for v in nodes:
@@ -115,7 +120,7 @@ class BroadcastMetrics:
 
     def nodes_at_distance(self, d: int) -> List[int]:
         """Node ids exactly ``d`` hops from the source."""
-        return [v for v, dist in enumerate(self._shortest) if dist == d]
+        return list(self._by_distance.get(d, ()))
 
     def mean_update_latency(self) -> Optional[float]:
         """Average latency over every (node, update) reception (Fig 17)."""

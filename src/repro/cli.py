@@ -56,6 +56,11 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                              "(default ~/.cache/repro or $REPRO_CACHE_DIR)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache entirely")
+    parser.add_argument("--no-fast-path", action="store_true",
+                        help="use the scalar reference simulator kernels "
+                             "instead of the vectorized fast path "
+                             "(results are bit-identical; this is an "
+                             "escape hatch and parity-debugging aid)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -96,6 +101,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        fast_path=not args.no_fast_path,
     ):
         if args.command == "run":
             return _run_one(args)

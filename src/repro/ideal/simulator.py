@@ -39,13 +39,15 @@ from __future__ import annotations
 import enum
 import heapq
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.params import PBBFParams
 from repro.ideal.config import AnalysisParameters
-from repro.net.topology import Topology
-from repro.util.rng import hash_to_unit_interval
+from repro.net.topology import Topology, bucket_by_distance
+from repro.util.rng import hash_to_unit_interval, hash_to_unit_interval_array
 from repro.util.validation import check_non_negative_int, check_probability
 
 
@@ -135,6 +137,10 @@ class CampaignResult:
     shortest_hops: List[Optional[int]]
     total_joules: float
     duration: float
+    #: Lazy dist -> node-id buckets backing :meth:`nodes_at_distance`.
+    _distance_buckets: Optional[Dict[int, List[int]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_broadcasts(self) -> int:
@@ -183,7 +189,11 @@ class CampaignResult:
 
     def nodes_at_distance(self, d: int) -> List[int]:
         """Node ids whose shortest-path distance from the source is ``d``."""
-        return [v for v, dist in enumerate(self.shortest_hops) if dist == d]
+        if self._distance_buckets is None:
+            # Built lazily once: figure code queries several hop buckets
+            # per campaign and the scan is O(n) each time otherwise.
+            self._distance_buckets = bucket_by_distance(self.shortest_hops)
+        return list(self._distance_buckets.get(d, ()))
 
     def mean_hops_at_distance(self, d: int) -> Optional[float]:
         """Average hops actually travelled to reach distance-``d`` nodes.
@@ -240,6 +250,13 @@ class IdealSimulator:
         node per sleep period) or ``"broadcast"`` (one coin per node per
         broadcast — a sticky awake decision that collapses the per-frame
         renewal process onto exact bond percolation).
+    fast_path:
+        ``True`` forces the vectorized frontier-at-a-time kernel, ``False``
+        forces the scalar heap loop (the reference implementation), and
+        ``None`` (default) defers to the ambient execution config
+        (:mod:`repro.runners.context`, the CLI's ``--no-fast-path``).
+        Both paths produce bit-identical :class:`BroadcastOutcome`\\ s —
+        the parity suite enforces it.
     """
 
     def __init__(
@@ -251,6 +268,7 @@ class IdealSimulator:
         source: Optional[int] = None,
         mode: SchedulingMode = SchedulingMode.PSM_PBBF,
         q_coin_scope: str = "frame",
+        fast_path: Optional[bool] = None,
     ) -> None:
         if q_coin_scope not in ("frame", "broadcast"):
             raise ValueError(
@@ -268,9 +286,20 @@ class IdealSimulator:
         if not 0 <= source < topology.n_nodes:
             raise IndexError(f"source {source} outside topology")
         self.source = source
+        self.fast_path = fast_path
         self._seed = seed
         self._q_salt = 0x51C0FFEE  # distinguishes q-coins from p-coins
         self._p_salt = 0x9B0ADCA5
+
+    def _use_fast_path(self) -> bool:
+        """Resolve the per-run kernel choice (explicit flag, else ambient)."""
+        if self.fast_path is not None:
+            return self.fast_path
+        # Imported lazily: repro.runners imports this module at package
+        # init, so a top-level import here would be circular.
+        from repro.runners.context import get_execution
+
+        return get_execution().fast_path
 
     # -- schedule geometry ----------------------------------------------------
 
@@ -338,23 +367,35 @@ class IdealSimulator:
         The update is generated at ``index * update_interval`` (shifted into
         the containing frame's ATIM window, where the paper's updates always
         arrive) and propagates until no transmission remains pending.
+
+        Dispatches to the vectorized frontier kernel unless the scalar
+        reference loop was requested (``fast_path=False`` or the ambient
+        execution config); the two are bit-identical.
         """
         check_non_negative_int("index", index)
         self._current_broadcast = index
+        if self._use_fast_path():
+            return self._run_broadcast_fast(index)
+        return self._run_broadcast_scalar(index)
+
+    def _generation_times(self, index: int) -> Tuple[float, float]:
+        """(generation time, first transmission time) of broadcast ``index``."""
+        cfg = self.config
+        t_nominal = index * cfg.update_interval
+        if self.mode is SchedulingMode.ALWAYS_ON:
+            return t_nominal, t_nominal + cfg.l1
+        frame = self.frame_of(t_nominal)
+        if t_nominal - self.frame_start(frame) >= cfg.t_active:
+            frame += 1  # arrival fell past the window; use the next one
+        t_gen = self.frame_start(frame)
+        return t_gen, t_gen + cfg.t_active + cfg.l1
+
+    def _run_broadcast_scalar(self, index: int) -> BroadcastOutcome:
+        """Reference implementation: one heap entry per transmission."""
         cfg = self.config
         n = self.topology.n_nodes
         airtime = cfg.packet_airtime
-
-        t_nominal = index * cfg.update_interval
-        if self.mode is SchedulingMode.ALWAYS_ON:
-            t_gen = t_nominal
-            first_tx = t_gen + cfg.l1
-        else:
-            frame = self.frame_of(t_nominal)
-            if t_nominal - self.frame_start(frame) >= cfg.t_active:
-                frame += 1  # arrival fell past the window; use the next one
-            t_gen = self.frame_start(frame)
-            first_tx = self.frame_start(frame) + cfg.t_active + cfg.l1
+        t_gen, first_tx = self._generation_times(index)
 
         receive_times: List[Optional[float]] = [None] * n
         hops: List[Optional[int]] = [None] * n
@@ -411,6 +452,213 @@ class IdealSimulator:
             n_immediate_forwards=n_immediate,
             n_normal_forwards=n_normal,
             parents=tuple(parents),
+        )
+
+    def _run_broadcast_fast(self, index: int) -> BroadcastOutcome:
+        """Vectorized kernel: one array step per distinct send time.
+
+        All transmissions sharing a send time resolve together — a masked
+        neighbour gather over the topology's CSR view, one batched q-coin
+        draw for the awake checks, first-arrival resolution via the first
+        occurrence in claim order, and one batched p-coin draw for the
+        winners.  Scalar-heap equivalence relies on three invariants:
+
+        * transmissions created later always carry later sequence numbers,
+          and batches are drained in (time, seq) order exactly as the heap
+          would pop them (same-time chunks spawned mid-batch form the next
+          batch at that time);
+        * within a batch the flat gather enumerates (sender, neighbour)
+          pairs in precisely the scalar visit order, so ``np.unique``'s
+          first-occurrence index reproduces the scalar's first-claim
+          tie-breaking;
+        * every timestamp is computed by the same scalar float expression
+          (``_defer_out_of_window``, ``_next_window_send_time``) on the
+          same inputs, so grouping by exact float equality matches heap
+          ordering.
+        """
+        cfg = self.config
+        topo = self.topology
+        padded_nbrs, padded_valid = topo.csr.padded
+        csr_indices = topo.csr.indices
+        csr_indptr = topo.csr.indptr
+        n = topo.n_nodes
+        airtime = cfg.packet_airtime
+        always_on = self.mode is SchedulingMode.ALWAYS_ON
+        t_gen, first_tx = self._generation_times(index)
+
+        discovered = np.zeros(n, dtype=bool)
+        receive_t = np.zeros(n, dtype=np.float64)
+        hops_arr = np.full(n, -1, dtype=np.int64)
+        parents_arr = np.full(n, -1, dtype=np.int64)
+        claim_row = np.empty(n, dtype=np.int64)  # first-claim scratch
+        discovered[self.source] = True
+        receive_t[self.source] = t_gen
+        hops_arr[self.source] = 0
+        n_transmissions = 0
+        n_immediate = 0
+        n_normal = 1  # the source's initial normal broadcast
+
+        node_ids = np.arange(n, dtype=np.int64)
+        # One whole-network p-coin draw covers the broadcast: the key is
+        # (node, index), so every per-batch lookup is a slice of this table.
+        if always_on:
+            forwards_all = np.ones(n, dtype=bool)
+        else:
+            forwards_all = (
+                hash_to_unit_interval_array(
+                    self._seed ^ self._p_salt, node_ids, index
+                )
+                < self.params.p
+            )
+        # Awake masks are keyed per frame (or once per broadcast in the
+        # sticky-ablation scope) and drawn whole-network on first need —
+        # one vectorized draw per frame instead of one per batch.
+        if self.q_coin_scope == "frame":
+            q_key: Optional[int] = None  # depends on the batch's send time
+        else:
+            q_key = -1 - index
+        awake_masks: Dict[int, np.ndarray] = {}
+
+        def awake_mask(key: int) -> np.ndarray:
+            mask = awake_masks.get(key)
+            if mask is None:
+                mask = (
+                    hash_to_unit_interval_array(
+                        self._seed ^ self._q_salt, node_ids, key
+                    )
+                    < self.params.q
+                )
+                awake_masks[key] = mask
+            return mask
+
+        # Pending transmissions, grouped by exact send time.  Each chunk is
+        # (senders, hops, immediate-flags) in seq order; chunks within a
+        # list and lists across times preserve global seq order because
+        # appends only ever carry fresh (larger) sequence numbers.
+        Chunk = Tuple[np.ndarray, np.ndarray, np.ndarray]
+        pending: Dict[float, List[Chunk]] = {}
+        times: List[float] = []
+
+        def push(t: float, chunk: Chunk) -> None:
+            bucket = pending.get(t)
+            if bucket is None:
+                pending[t] = [chunk]
+                heapq.heappush(times, t)
+            else:
+                bucket.append(chunk)
+
+        push(
+            first_tx,
+            (
+                np.array([self.source], dtype=np.int64),
+                np.zeros(1, dtype=np.int64),
+                np.zeros(1, dtype=bool),
+            ),
+        )
+
+        while times:
+            t_send = heapq.heappop(times)
+            chunks = pending.pop(t_send)
+            if len(chunks) == 1:
+                senders, sender_hops, immediate = chunks[0]
+            else:
+                senders = np.concatenate([c[0] for c in chunks])
+                sender_hops = np.concatenate([c[1] for c in chunks])
+                immediate = np.concatenate([c[2] for c in chunks])
+            n_transmissions += len(senders)
+            t_arrive = t_send + airtime
+
+            if len(senders) == 1:
+                # Single transmitter: its CSR row is already duplicate-free
+                # and in visit order, so no first-claim resolution needed.
+                s = int(senders[0])
+                row = csr_indices[csr_indptr[s] : csr_indptr[s + 1]]
+                keep = ~discovered[row]
+                if (
+                    not always_on
+                    and immediate[0]
+                    and not self.in_active_window(t_send)
+                ):
+                    key = self.frame_of(t_send) if q_key is None else q_key
+                    keep &= awake_mask(key)[row]
+                winners = row[keep]
+                if winners.size == 0:
+                    continue
+                receive_t[winners] = t_arrive
+                discovered[winners] = True
+                hops_arr[winners] = sender_hops[0] + 1
+                parents_arr[winners] = s
+            else:
+                # Row-major over (sender, neighbour-position) = the scalar
+                # visit order, so first occurrence = scalar first claim.
+                nbrs2d = padded_nbrs[senders]
+                keep2d = padded_valid[senders] & ~discovered[nbrs2d]
+                if (
+                    not always_on
+                    and immediate.any()
+                    and not self.in_active_window(t_send)
+                ):
+                    # Immediate forwards only reach neighbours whose q-coin
+                    # kept them awake; normal ones (post-ATIM) reach all.
+                    key = self.frame_of(t_send) if q_key is None else q_key
+                    keep2d &= awake_mask(key)[nbrs2d] | ~immediate[:, None]
+                rows, cols = np.nonzero(keep2d)
+                if rows.size == 0:
+                    continue
+                cand = nbrs2d[rows, cols]
+                # First-claim resolution without a sort: scatter row ids in
+                # reverse so the earliest claim lands last, then keep exactly
+                # the entries whose row won.  (Duplicate-index assignment is
+                # last-write-wins; a row never lists a neighbour twice.)
+                claim_row[cand[::-1]] = rows[::-1]
+                first_mask = claim_row[cand] == rows
+                winners = cand[first_mask]  # already in claim (seq) order
+                winner_owner = rows[first_mask]
+
+                receive_t[winners] = t_arrive
+                discovered[winners] = True
+                hops_arr[winners] = sender_hops[winner_owner] + 1
+                parents_arr[winners] = senders[winner_owner]
+
+            forwards = forwards_all[winners]
+            winner_hops = hops_arr[winners]
+            n_imm = int(forwards.sum())
+            n_immediate += n_imm
+            n_normal += len(winners) - n_imm
+            t_imm = self._defer_out_of_window(t_arrive + cfg.l1)
+            t_norm = self._next_window_send_time(t_arrive)
+            if n_imm == len(winners):
+                push(t_imm, (winners, winner_hops, forwards))
+            elif n_imm == 0:
+                push(t_norm, (winners, winner_hops, forwards))
+            elif t_imm == t_norm:
+                # Rare alignment: keep one interleaved chunk so intra-batch
+                # seq order still matches the scalar push order.
+                push(t_imm, (winners, winner_hops, forwards))
+            else:
+                push(t_imm, (winners[forwards], winner_hops[forwards], forwards[forwards]))
+                quiet = ~forwards
+                push(t_norm, (winners[quiet], winner_hops[quiet], forwards[quiet]))
+
+        receive_list: List[Optional[float]] = receive_t.tolist()
+        hops_list: List[Optional[int]] = hops_arr.tolist()
+        parents_list: List[Optional[int]] = parents_arr.tolist()
+        parents_list[self.source] = None
+        # Patch only the unreached nodes back to None (usually few or none).
+        for v in np.nonzero(~discovered)[0].tolist():
+            receive_list[v] = None
+            hops_list[v] = None
+            parents_list[v] = None
+        return BroadcastOutcome(
+            index=index,
+            source=self.source,
+            t_generated=t_gen,
+            receive_times=tuple(receive_list),
+            hops=tuple(hops_list),
+            n_transmissions=n_transmissions,
+            n_immediate_forwards=n_immediate,
+            n_normal_forwards=n_normal,
+            parents=tuple(parents_list),
         )
 
     def run_campaign(self, n_broadcasts: int) -> CampaignResult:

@@ -20,11 +20,105 @@ from __future__ import annotations
 import math
 import random
 from collections import deque
+from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.util.validation import check_positive, check_positive_int
 
 Position = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """Flat compressed-sparse-row view of an undirected adjacency.
+
+    ``indices[indptr[v]:indptr[v + 1]]`` are node ``v``'s neighbours in
+    ascending order.  The vectorized kernels (frontier gathers in the ideal
+    simulator, BFS sweeps, percolation edge shuffles) all index into these
+    two arrays instead of walking per-node Python tuples.
+    """
+
+    #: Row offsets, shape ``(n_nodes + 1,)``.
+    indptr: np.ndarray
+    #: Concatenated neighbour lists, shape ``(2 * n_edges,)``.
+    indices: np.ndarray
+    #: Per-node degree, ``indptr[1:] - indptr[:-1]``.
+    degrees: np.ndarray
+    #: Undirected edge endpoints with ``edge_u < edge_v``, in the same
+    #: node-major order :meth:`Topology.edges` reports.
+    edge_u: np.ndarray
+    edge_v: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.indptr) - 1
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self.edge_u)
+
+    @cached_property
+    def padded(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense ``(neighbors, valid)`` matrices of shape ``(n, max_degree)``.
+
+        Row ``v`` holds ``v``'s neighbours in ascending order, padded with
+        zeros where ``valid`` is ``False``.  One fancy-index into these
+        gathers a whole frontier's neighbourhoods — cheaper than the CSR
+        repeat/cumsum dance when degrees are small and uniform (grids,
+        unit-disk graphs), which is the frontier kernel's per-batch case.
+        """
+        n = self.n_nodes
+        width = int(self.degrees.max()) if n else 0
+        neighbors = np.zeros((n, width), dtype=self.indices.dtype)
+        valid = np.zeros((n, width), dtype=bool)
+        if width:
+            cols = np.arange(width)
+            valid = cols < self.degrees[:, None]
+            neighbors[valid] = self.indices
+        return neighbors, valid
+
+    def neighbors_of_many(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Gather the neighbour lists of ``nodes`` as one flat array.
+
+        Returns ``(flat_neighbors, owners)`` where ``owners[i]`` is the
+        position *within ``nodes``* whose adjacency produced
+        ``flat_neighbors[i]``.  Entries appear in node-major order (all of
+        ``nodes[0]``'s neighbours first, each row ascending), which is
+        exactly the order the scalar simulator visits them in — the
+        fast path's first-claim tie-breaking depends on that.
+        """
+        counts = self.degrees[nodes]
+        total = int(counts.sum())
+        owners = np.repeat(np.arange(len(nodes)), counts)
+        if total == 0:
+            return np.empty(0, dtype=self.indices.dtype), owners
+        starts = self.indptr[nodes]
+        # offsets within each row: 0..counts[k]-1, concatenated.
+        boundaries = np.cumsum(counts) - counts
+        offsets = np.arange(total) - np.repeat(boundaries, counts)
+        return self.indices[np.repeat(starts, counts) + offsets], owners
+
+
+def bucket_by_distance(
+    shortest_hops: Sequence[Optional[int]],
+) -> Dict[int, List[int]]:
+    """Group node ids by their hop distance (``None`` entries are skipped).
+
+    The shared backing for per-hop-bucket metric queries
+    (:meth:`repro.ideal.simulator.CampaignResult.nodes_at_distance`,
+    :class:`repro.apps.metrics.BroadcastMetrics`), built once per result
+    instead of re-scanning the distance list for every bucket.
+    """
+    buckets: Dict[int, List[int]] = {}
+    for node, dist in enumerate(shortest_hops):
+        if dist is not None:
+            buckets.setdefault(dist, []).append(node)
+    return buckets
 
 
 def area_for_density(delta: float, n_nodes: int, radio_range: float) -> float:
@@ -61,19 +155,63 @@ class Topology:
                 "must have the same length"
             )
         self._positions: List[Position] = [tuple(p) for p in positions]  # type: ignore[misc]
+        n = len(self._positions)
+        raw_rows = [list(nbrs) for nbrs in adjacency]
+        counts = np.fromiter((len(r) for r in raw_rows), dtype=np.int64, count=n)
+        flat = np.fromiter(
+            (nbr for row in raw_rows for nbr in row),
+            dtype=np.int64,
+            count=int(counts.sum()),
+        )
+        owners = np.repeat(np.arange(n, dtype=np.int64), counts)
+        if flat.size and (flat.min() < 0 or flat.max() >= n or (flat == owners).any()):
+            self._raise_invalid_adjacency(raw_rows)
+        # Sort + dedup every row at once: the combined key orders entries
+        # node-major with neighbours ascending, uniqueness collapses repeats.
+        combined = np.unique(owners * np.int64(n) + flat) if n else flat
+        owners = combined // n if n else owners
+        nbrs = combined % n if n else flat
+        reverse = np.sort(nbrs * np.int64(n) + owners) if n else combined
+        if not np.array_equal(combined, reverse):
+            self._raise_invalid_adjacency(raw_rows)
+        degrees = np.bincount(owners, minlength=n).astype(np.int64)
+        indptr = np.concatenate(([0], np.cumsum(degrees)))
+        forward = owners < nbrs
+        self._csr = CSRAdjacency(
+            indptr=indptr,
+            indices=nbrs,
+            degrees=degrees,
+            edge_u=owners[forward],
+            edge_v=nbrs[forward],
+        )
+        flat_list = nbrs.tolist()
+        bounds = indptr.tolist()
         self._neighbors: List[Tuple[int, ...]] = [
-            tuple(sorted(set(nbrs))) for nbrs in adjacency
+            tuple(flat_list[bounds[v] : bounds[v + 1]]) for v in range(n)
         ]
-        for node, nbrs in enumerate(self._neighbors):
+        #: Per-source BFS results; topologies are immutable so entries
+        #: never invalidate.  Arrays are marked read-only before caching.
+        self._hop_cache: Dict[int, np.ndarray] = {}
+
+    def _raise_invalid_adjacency(self, raw_rows: Sequence[Sequence[int]]) -> None:
+        """Re-scan a rejected adjacency slowly to name the offending node."""
+        normalized = [tuple(sorted(set(nbrs))) for nbrs in raw_rows]
+        for node, nbrs in enumerate(normalized):
             for nbr in nbrs:
-                if not 0 <= nbr < len(self._neighbors):
+                if not 0 <= nbr < len(normalized):
                     raise ValueError(f"node {node} lists out-of-range neighbor {nbr}")
                 if nbr == node:
                     raise ValueError(f"node {node} lists itself as a neighbor")
-                if node not in self._neighbors[nbr]:
+                if node not in normalized[nbr]:
                     raise ValueError(
                         f"adjacency is not symmetric: {node} -> {nbr} but not back"
                     )
+        raise AssertionError("vectorized validation rejected a valid adjacency")
+
+    @property
+    def csr(self) -> CSRAdjacency:
+        """The flat array view of the adjacency (built at construction)."""
+        return self._csr
 
     @property
     def n_nodes(self) -> int:
@@ -98,23 +236,44 @@ class Topology:
 
     def edges(self) -> List[Tuple[int, int]]:
         """All undirected edges as ``(u, v)`` pairs with ``u < v``."""
-        result = []
-        for node, nbrs in enumerate(self._neighbors):
-            for nbr in nbrs:
-                if node < nbr:
-                    result.append((node, nbr))
-        return result
+        return list(zip(self._csr.edge_u.tolist(), self._csr.edge_v.tolist()))
 
     @property
     def n_edges(self) -> int:
         """Number of undirected edges."""
-        return sum(len(nbrs) for nbrs in self._neighbors) // 2
+        return self._csr.n_edges
 
     def average_degree(self) -> float:
         """Mean node degree (the paper's expected one-hop neighbour count)."""
         if self.n_nodes == 0:
             return 0.0
-        return sum(len(nbrs) for nbrs in self._neighbors) / self.n_nodes
+        return float(self._csr.degrees.mean())
+
+    def hop_distance_array(self, source: int) -> np.ndarray:
+        """BFS hop counts from ``source`` as a read-only int64 array.
+
+        Unreachable nodes get ``-1``.  Computed once per source with a
+        frontier-at-a-time gather over the CSR view and memoized for the
+        topology's lifetime (topologies are immutable), so the figure
+        code's repeated per-hop-bucket queries never re-run BFS.
+        """
+        self._check_node(source)
+        cached = self._hop_cache.get(source)
+        if cached is not None:
+            return cached
+        distances = np.full(self.n_nodes, -1, dtype=np.int64)
+        distances[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        hop = 0
+        while frontier.size:
+            flat, _ = self._csr.neighbors_of_many(frontier)
+            candidates = np.unique(flat)
+            frontier = candidates[distances[candidates] < 0]
+            hop += 1
+            distances[frontier] = hop
+        distances.flags.writeable = False
+        self._hop_cache[source] = distances
+        return distances
 
     def hop_distances_from(self, source: int) -> List[Optional[int]]:
         """BFS hop count from ``source`` to every node.
@@ -123,32 +282,19 @@ class Topology:
         shortest distance used to bucket nodes for the latency figures
         (2-hop, 5-hop, 20-hop, 60-hop).
         """
-        self._check_node(source)
-        distances: List[Optional[int]] = [None] * self.n_nodes
-        distances[source] = 0
-        frontier = deque([source])
-        while frontier:
-            node = frontier.popleft()
-            next_hop = distances[node] + 1  # type: ignore[operator]
-            for nbr in self._neighbors[node]:
-                if distances[nbr] is None:
-                    distances[nbr] = next_hop
-                    frontier.append(nbr)
-        return distances
+        return [
+            None if d < 0 else d for d in self.hop_distance_array(source).tolist()
+        ]
 
     def nodes_at_hop_distance(self, source: int, d: int) -> List[int]:
         """Node ids exactly ``d`` hops from ``source``."""
-        return [
-            node
-            for node, dist in enumerate(self.hop_distances_from(source))
-            if dist == d
-        ]
+        return np.nonzero(self.hop_distance_array(source) == d)[0].tolist()
 
     def is_connected(self) -> bool:
         """True when every node is reachable from node 0."""
         if self.n_nodes == 0:
             return True
-        return all(d is not None for d in self.hop_distances_from(0))
+        return bool((self.hop_distance_array(0) >= 0).all())
 
     def largest_component(self) -> List[int]:
         """Node ids of the largest connected component."""
@@ -296,14 +442,43 @@ class RandomTopology(Topology):
         )
 
 
+#: Below this size the dense vectorized distance matrix beats the
+#: Python-level spatial hash; above it the hash's O(n) wins.  512 nodes
+#: peaks around ~10 MB of transient n^2 temporaries — the dense path
+#: must stay cheap in memory as well as time.
+_DENSE_DISK_LIMIT = 512
+
+
 def _disk_adjacency(
     positions: Sequence[Position], radio_range: float
 ) -> List[List[int]]:
     """Adjacency lists for the unit-disk graph over ``positions``.
 
-    Uses a uniform spatial hash so construction is O(n) for the sparse
-    deployments we simulate rather than O(n^2).
+    Small deployments (the paper's N=50 random scenarios) use one
+    vectorized pairwise-distance comparison that feeds the CSR build
+    directly; large ones fall back to a uniform spatial hash so
+    construction stays O(n) for sparse graphs.
     """
+    n = len(positions)
+    if n <= _DENSE_DISK_LIMIT:
+        if n == 0:
+            return []
+        xy = np.asarray(positions, dtype=np.float64)
+        diff = xy[:, None, :] - xy[None, :, :]
+        within = (diff * diff).sum(axis=2) <= radio_range * radio_range
+        np.fill_diagonal(within, False)
+        rows, cols = np.nonzero(within)
+        adjacency: List[List[int]] = [[] for _ in range(n)]
+        for u, v in zip(rows.tolist(), cols.tolist()):
+            adjacency[u].append(v)
+        return adjacency
+    return _disk_adjacency_hashed(positions, radio_range)
+
+
+def _disk_adjacency_hashed(
+    positions: Sequence[Position], radio_range: float
+) -> List[List[int]]:
+    """Spatial-hash unit-disk adjacency for large deployments."""
     cell = radio_range
     buckets: Dict[Tuple[int, int], List[int]] = {}
     for idx, (x, y) in enumerate(positions):

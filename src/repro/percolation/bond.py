@@ -82,18 +82,40 @@ def bond_sweep(
     """
     if source is None:
         source = _default_source(topology)
-    edges = list(topology.edges())
-    rng.shuffle(edges)
+    csr = topology.csr
+    n_edges = csr.n_edges
+    # Shuffling index positions draws exactly the same permutation as
+    # shuffling the edge list itself (Fisher-Yates only looks at length),
+    # so results stay bit-identical while the edge reorder becomes one
+    # vectorized gather from the topology's cached CSR edge arrays.
+    order = list(range(n_edges))
+    rng.shuffle(order)
+    us = csr.edge_u[order].tolist()
+    vs = csr.edge_v[order].tolist()
     uf = UnionFind(topology.n_nodes)
+    union = uf.union
+    find = uf.find
+    component_size = uf.component_size
     source_sizes: List[int] = [1]
     largest_sizes: List[int] = [1 if topology.n_nodes else 0]
-    for u, v in edges:
-        uf.union(u, v)
-        source_sizes.append(uf.component_size(source))
-        largest_sizes.append(uf.largest_component_size)
+    append_source = source_sizes.append
+    append_largest = largest_sizes.append
+    # Track the source's root incrementally: after a merge the old root is
+    # at most one parent hop from the new one, so this replaces a full
+    # find-from-source per bond with a near-free root check.
+    source_root = find(source)
+    source_size = 1
+    for u, v in zip(us, vs):
+        if union(u, v):
+            root = find(u)
+            if find(source_root) == root:
+                source_root = root
+                source_size = component_size(root)
+        append_source(source_size)
+        append_largest(uf.largest_component_size)
     return BondSweepResult(
         n_nodes=topology.n_nodes,
-        n_edges=len(edges),
+        n_edges=n_edges,
         source_cluster_sizes=tuple(source_sizes),
         largest_cluster_sizes=tuple(largest_sizes),
     )

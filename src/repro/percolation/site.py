@@ -48,17 +48,20 @@ def site_sweep(topology: Topology, rng: random.Random) -> SiteSweepResult:
     order = list(topology.nodes())
     rng.shuffle(order)
     uf = UnionFind(topology.n_nodes)
+    union = uf.union
+    neighbors = topology.neighbors
     active = [False] * topology.n_nodes
     sizes: List[int] = [0]
-    largest_active = 0
+    append = sizes.append
+    # Inactive nodes stay singletons and unions only ever join active
+    # sites, so the union-find's O(1) largest-component counter *is* the
+    # largest active cluster once any site is active — no per-site find.
     for site in order:
         active[site] = True
-        largest_active = max(largest_active, 1)
-        for nbr in topology.neighbors(site):
+        for nbr in neighbors(site):
             if active[nbr]:
-                uf.union(site, nbr)
-        largest_active = max(largest_active, uf.component_size(site))
-        sizes.append(largest_active)
+                union(site, nbr)
+        append(uf.largest_component_size)
     return SiteSweepResult(
         n_nodes=topology.n_nodes,
         largest_cluster_sizes=tuple(sizes),

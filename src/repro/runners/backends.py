@@ -13,6 +13,7 @@ import multiprocessing
 import os
 from typing import Any, Dict, List, Sequence, Tuple
 
+from repro.runners.context import get_execution, set_execution
 from repro.runners.points import evaluate_run, metrics_to_dict
 from repro.runners.spec import CampaignRun
 
@@ -26,6 +27,16 @@ def _evaluate_task(task: _Task) -> Dict[str, Any]:
     """
     kind, params, seed = task
     return metrics_to_dict(evaluate_run(kind, params, seed))
+
+
+def _init_worker(fast_path: bool) -> None:
+    """Install the parent's evaluation-affecting execution flags.
+
+    The ambient :class:`ExecutionConfig` is a module global, so spawned
+    (or forkserver) workers re-import it with defaults; without this the
+    parent's ``--no-fast-path`` would silently not reach the pool.
+    """
+    set_execution(fast_path=fast_path)
 
 
 class SerialBackend:
@@ -66,7 +77,11 @@ class ProcessPoolBackend:
         # ~4 chunks per worker balances scheduling overhead against the
         # skew between cheap (sub-threshold) and expensive points.
         chunksize = max(1, len(tasks) // (jobs * 4))
-        with multiprocessing.Pool(processes=jobs) as pool:
+        with multiprocessing.Pool(
+            processes=jobs,
+            initializer=_init_worker,
+            initargs=(get_execution().fast_path,),
+        ) as pool:
             return pool.map(_evaluate_task, tasks, chunksize=chunksize)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

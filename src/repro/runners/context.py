@@ -30,6 +30,10 @@ class ExecutionConfig:
     cache_dir: Optional[str] = None
     #: Master switch for the on-disk cache.
     use_cache: bool = True
+    #: Route ideal-simulator broadcasts through the vectorized frontier
+    #: kernel (bit-identical to the scalar loop; ``--no-fast-path`` and
+    #: parity tests flip this off to exercise the reference path).
+    fast_path: bool = True
 
 
 @dataclass

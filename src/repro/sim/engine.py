@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -57,6 +57,8 @@ class EventHandle:
         return not self.cancelled and self.callback is not None
 
     def __lt__(self, other: "EventHandle") -> bool:
+        # Kept for external sorting convenience; the engine's heap orders
+        # tuple keys directly and never compares handles.
         return (self.time, self.priority, self.seq) < (
             other.time,
             other.priority,
@@ -73,7 +75,12 @@ class Engine:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: List[EventHandle] = []
+        # Tuple-keyed heap entries: (time, priority, seq, handle).  Tuple
+        # comparison short-circuits on the float time in C, where ordering
+        # via EventHandle.__lt__ would dispatch a Python method call per
+        # sift step of the MAC-heavy hot loop.  seq is unique per entry,
+        # so comparison never reaches the (incomparable) handle.
+        self._queue: List[Tuple[float, int, int, EventHandle]] = []
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -131,8 +138,8 @@ class Engine:
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
         event = EventHandle(time, priority, self._seq, callback, engine=self)
+        heapq.heappush(self._queue, (time, priority, self._seq, event))
         self._seq += 1
-        heapq.heappush(self._queue, event)
         self._pending += 1
         return event
 
@@ -159,15 +166,15 @@ class Engine:
         fired_this_run = 0
         try:
             while self._queue:
-                event = self._queue[0]
+                time, _, _, event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     break
                 heapq.heappop(self._queue)
                 self._pending -= 1
-                self._now = event.time
+                self._now = time
                 callback = event.callback
                 event.callback = None
                 self._events_fired += 1
@@ -191,7 +198,7 @@ class Engine:
 
     def clear(self) -> None:
         """Drop all pending events (the clock keeps its value)."""
-        for event in self._queue:
+        for _, _, _, event in self._queue:
             event.cancel()
         self._queue.clear()
         self._pending = 0

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
+
+import numpy as np
 
 _MASK64 = (1 << 64) - 1
 
@@ -61,6 +63,67 @@ def hash_to_unit_interval(seed: int, *keys: int) -> float:
     for key in keys:
         state = _splitmix64(state ^ (key & _MASK64))
     return state / float(1 << 64)
+
+
+_U64_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_U64_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_U64_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def _as_uint64(keys: object) -> np.ndarray:
+    """View integer keys as uint64 with two's-complement wrap.
+
+    Matches the scalar path's ``key & _MASK64`` for any key in the int64
+    range (frame indices, node ids, and the negative per-broadcast salts
+    all are).
+    """
+    arr = np.asarray(keys)
+    if arr.dtype == np.uint64:
+        return arr
+    return arr.astype(np.int64, copy=False).view(np.uint64)
+
+
+def _splitmix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_splitmix64` (uint64 arithmetic wraps mod 2^64)."""
+    x = x + _U64_GAMMA
+    x = (x ^ (x >> np.uint64(30))) * _U64_MIX1
+    x = (x ^ (x >> np.uint64(27))) * _U64_MIX2
+    return x ^ (x >> np.uint64(31))
+
+
+def hash_to_unit_interval_array(seed: int, *keys: object) -> np.ndarray:
+    """Vectorized :func:`hash_to_unit_interval` over arrays of keys.
+
+    Each ``keys`` argument may be an integer array or a scalar; they are
+    broadcast together and the splitmix64 chain is applied elementwise, so
+
+    >>> bool(hash_to_unit_interval_array(1, [2], [3])[0]
+    ...      == hash_to_unit_interval(1, 2, 3))
+    True
+
+    holds element-for-element for any key combination (the parity suite
+    asserts this exhaustively).  Used to flip whole frontiers of indexed
+    coins — e.g. "which of these 400 nodes are awake in frame f?" — in one
+    shot instead of one Python call per node.
+    """
+    scalar_state: Optional[int] = _splitmix64(seed & _MASK64)
+    state: Optional[np.ndarray] = None
+    for key in keys:
+        if isinstance(key, int) and state is None:
+            # Fold leading scalar keys without touching arrays: exact same
+            # chain as the scalar function, zero per-element cost.
+            scalar_state = _splitmix64(scalar_state ^ (key & _MASK64))
+        elif state is None:
+            state = _splitmix64_array(np.uint64(scalar_state) ^ _as_uint64(key))
+            scalar_state = None
+        elif isinstance(key, int):
+            state = _splitmix64_array(state ^ np.uint64(key & _MASK64))
+        else:
+            state = _splitmix64_array(state ^ _as_uint64(key))
+    if state is None:
+        state = np.asarray(np.uint64(scalar_state))
+    # Exact power-of-two scaling: bit-identical to ``state / float(1 << 64)``.
+    return state.astype(np.float64) * 2.0**-64
 
 
 class RandomStreams:

@@ -1,0 +1,110 @@
+"""Scalar-vs-vectorized parity contract for the ideal simulator.
+
+The vectorized frontier kernel (`fast_path=True`) must produce
+*bit-identical* :class:`BroadcastOutcome`\\ s to the scalar heap loop
+(`fast_path=False`) — same receive times (float-for-float), same hop
+counts, same spanning-tree parents, same transmission counters — across
+both scheduling modes, both q-coin scopes, and a wide seed/parameter
+matrix.  This equality is what lets the fast path replace the reference
+implementation in every figure campaign without changing a single
+plotted number.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.params import PBBFParams
+from repro.ideal.config import AnalysisParameters
+from repro.ideal.simulator import IdealSimulator, SchedulingMode
+from repro.net.topology import GridTopology, RandomTopology
+from repro.runners.context import execution, get_execution
+
+GRID = GridTopology(15)
+CONFIG = AnalysisParameters()
+
+MODES = [SchedulingMode.PSM_PBBF, SchedulingMode.ALWAYS_ON]
+SCOPES = ["frame", "broadcast"]
+OPERATING_POINTS = [(0.0, 0.0), (0.2, 0.3), (0.5, 0.6), (1.0, 1.0), (0.05, 0.9)]
+
+
+def outcomes_pair(topology, params, index=0, **kwargs):
+    scalar = IdealSimulator(
+        topology, params, CONFIG, fast_path=False, **kwargs
+    ).run_broadcast(index)
+    fast = IdealSimulator(
+        topology, params, CONFIG, fast_path=True, **kwargs
+    ).run_broadcast(index)
+    return scalar, fast
+
+
+def assert_identical(scalar, fast):
+    assert scalar.receive_times == fast.receive_times
+    assert scalar.hops == fast.hops
+    assert scalar.parents == fast.parents
+    assert scalar.n_transmissions == fast.n_transmissions
+    assert scalar.n_immediate_forwards == fast.n_immediate_forwards
+    assert scalar.n_normal_forwards == fast.n_normal_forwards
+    assert scalar == fast
+
+
+class TestBroadcastParity:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("scope", SCOPES)
+    @pytest.mark.parametrize("p,q", OPERATING_POINTS)
+    def test_mode_scope_param_matrix_over_20_seeds(self, mode, scope, p, q):
+        for seed in range(20):
+            scalar, fast = outcomes_pair(
+                GRID, PBBFParams(p, q), seed=seed, mode=mode, q_coin_scope=scope
+            )
+            assert_identical(scalar, fast)
+
+    @pytest.mark.parametrize("index", [0, 1, 7])
+    def test_later_broadcast_indices(self, index):
+        scalar, fast = outcomes_pair(
+            GRID, PBBFParams(0.3, 0.4), index=index, seed=11
+        )
+        assert_identical(scalar, fast)
+
+    def test_random_topology(self):
+        topo = RandomTopology.connected(60, 40.0, 10.0, random.Random(9))
+        for seed in range(5):
+            scalar, fast = outcomes_pair(topo, PBBFParams(0.4, 0.5), seed=seed)
+            assert_identical(scalar, fast)
+
+    def test_non_center_source(self):
+        scalar, fast = outcomes_pair(GRID, PBBFParams(0.5, 0.6), seed=2, source=0)
+        assert_identical(scalar, fast)
+
+    def test_campaign_parity(self):
+        """Whole campaigns (energy, aggregated outcomes) agree too."""
+        for mode, scope in itertools.product(MODES, SCOPES):
+            a = IdealSimulator(
+                GRID, PBBFParams(0.5, 0.6), CONFIG, seed=5,
+                mode=mode, q_coin_scope=scope, fast_path=False,
+            ).run_campaign(4)
+            b = IdealSimulator(
+                GRID, PBBFParams(0.5, 0.6), CONFIG, seed=5,
+                mode=mode, q_coin_scope=scope, fast_path=True,
+            ).run_campaign(4)
+            assert a.outcomes == b.outcomes
+            assert a.total_joules == b.total_joules
+            assert a.shortest_hops == b.shortest_hops
+
+
+class TestFastPathSelection:
+    def test_defaults_to_ambient_execution_config(self):
+        sim = IdealSimulator(GRID, PBBFParams(0.5, 0.5))
+        assert get_execution().fast_path is True
+        assert sim._use_fast_path() is True
+        with execution(fast_path=False):
+            assert sim._use_fast_path() is False
+        assert sim._use_fast_path() is True
+
+    def test_explicit_flag_wins_over_context(self):
+        forced = IdealSimulator(GRID, PBBFParams(0.5, 0.5), fast_path=True)
+        with execution(fast_path=False):
+            assert forced._use_fast_path() is True
+        reference = IdealSimulator(GRID, PBBFParams(0.5, 0.5), fast_path=False)
+        assert reference._use_fast_path() is False

@@ -3,6 +3,7 @@
 import math
 import random
 
+import numpy as np
 import pytest
 
 from repro.net.topology import (
@@ -185,3 +186,77 @@ class TestTopologyBase:
         edges = grid.edges()
         assert len(edges) == grid.n_edges
         assert all(u < v for u, v in edges)
+
+
+class TestCSRAdjacency:
+    def test_rows_match_neighbor_tuples(self):
+        grid = GridTopology(6)
+        csr = grid.csr
+        for node in grid.nodes():
+            start, stop = int(csr.indptr[node]), int(csr.indptr[node + 1])
+            assert tuple(csr.indices[start:stop].tolist()) == grid.neighbors(node)
+            assert int(csr.degrees[node]) == grid.degree(node)
+
+    def test_edge_arrays_match_edges(self):
+        grid = GridTopology(4, 5)
+        csr = grid.csr
+        assert list(zip(csr.edge_u.tolist(), csr.edge_v.tolist())) == grid.edges()
+        assert csr.n_edges == grid.n_edges
+        assert csr.n_nodes == grid.n_nodes
+
+    def test_neighbors_of_many_row_major_order(self):
+        grid = GridTopology(5)
+        nodes = np.array([7, 3, 12])
+        flat, owners = grid.csr.neighbors_of_many(nodes)
+        expected = []
+        expected_owner = []
+        for pos, node in enumerate(nodes.tolist()):
+            expected.extend(grid.neighbors(node))
+            expected_owner.extend([pos] * grid.degree(node))
+        assert flat.tolist() == expected
+        assert owners.tolist() == expected_owner
+
+    def test_padded_matrices(self):
+        grid = GridTopology(4)
+        neighbors, valid = grid.csr.padded
+        assert neighbors.shape == valid.shape == (grid.n_nodes, 4)
+        for node in grid.nodes():
+            row = neighbors[node][valid[node]]
+            assert tuple(row.tolist()) == grid.neighbors(node)
+
+    def test_duplicate_neighbors_collapse(self):
+        topo = Topology([(0, 0), (1, 0)], [[1, 1], [0, 0, 0]])
+        assert topo.neighbors(0) == (1,)
+        assert topo.n_edges == 1
+
+    def test_random_topology_feeds_csr(self):
+        topo = RandomTopology(40, 40.0, 10.0, random.Random(12))
+        total_degree = int(topo.csr.degrees.sum())
+        assert total_degree == 2 * topo.n_edges
+
+
+class TestHopDistanceCache:
+    def test_array_is_memoized_and_readonly(self):
+        grid = GridTopology(6)
+        first = grid.hop_distance_array(0)
+        assert grid.hop_distance_array(0) is first
+        assert not first.flags.writeable
+
+    def test_array_matches_list_view(self):
+        grid = GridTopology(7)
+        source = grid.center_node()
+        as_list = grid.hop_distances_from(source)
+        as_array = grid.hop_distance_array(source)
+        assert [None if d < 0 else d for d in as_array.tolist()] == as_list
+
+    def test_unreachable_marked_negative(self):
+        topo = Topology([(0, 0), (1, 0), (5, 5)], [[1], [0], []])
+        assert topo.hop_distance_array(0).tolist() == [0, 1, -1]
+
+    def test_distinct_sources_cached_independently(self):
+        grid = GridTopology(5)
+        a = grid.hop_distance_array(0)
+        b = grid.hop_distance_array(24)
+        assert a[24] == b[0] == 8
+        assert grid.hop_distance_array(0) is a
+        assert grid.hop_distance_array(24) is b

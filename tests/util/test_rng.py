@@ -1,8 +1,15 @@
 """Tests for repro.util.rng."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.util.rng import RandomStreams, hash_to_unit_interval
+from repro.util.rng import (
+    RandomStreams,
+    hash_to_unit_interval,
+    hash_to_unit_interval_array,
+)
 
 
 class TestRandomStreams:
@@ -96,3 +103,53 @@ class TestHashToUnitInterval:
         values = [hash_to_unit_interval(3, i) for i in range(100)]
         diffs = [abs(b - a) for a, b in zip(values, values[1:])]
         assert sum(diffs) / len(diffs) > 0.1
+
+
+_KEY = st.integers(min_value=-(2**62), max_value=2**62)
+
+
+class TestHashToUnitIntervalArray:
+    """The batched kernel must agree with the scalar hash bit-for-bit."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        seed=_KEY,
+        nodes=st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=32),
+        key=_KEY,
+    )
+    def test_elementwise_equal_to_scalar(self, seed, nodes, key):
+        batched = hash_to_unit_interval_array(seed, np.array(nodes), key)
+        reference = [hash_to_unit_interval(seed, node, key) for node in nodes]
+        assert batched.tolist() == reference
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=_KEY, keys=st.lists(_KEY, min_size=1, max_size=4))
+    def test_scalar_key_chains_match(self, seed, keys):
+        batched = hash_to_unit_interval_array(seed, *keys)
+        assert float(batched) == hash_to_unit_interval(seed, *keys)
+
+    def test_negative_keys_match_scalar_masking(self):
+        # The simulator's per-broadcast q-coin salt is a negative key.
+        nodes = np.arange(50)
+        batched = hash_to_unit_interval_array(5, nodes, -3)
+        reference = [hash_to_unit_interval(5, int(v), -3) for v in nodes]
+        assert batched.tolist() == reference
+
+    def test_broadcasting_scalar_and_array_keys(self):
+        nodes = np.arange(20)
+        frames = np.arange(20) * 7
+        batched = hash_to_unit_interval_array(1, nodes, frames)
+        reference = [
+            hash_to_unit_interval(1, int(n), int(f)) for n, f in zip(nodes, frames)
+        ]
+        assert batched.tolist() == reference
+
+    def test_values_in_unit_interval(self):
+        values = hash_to_unit_interval_array(11, np.arange(10_000))
+        assert float(values.min()) >= 0.0
+        assert float(values.max()) <= 1.0
+
+    def test_returns_float64_of_input_shape(self):
+        out = hash_to_unit_interval_array(3, np.arange(12).reshape(3, 4), 9)
+        assert out.shape == (3, 4)
+        assert out.dtype == np.float64
