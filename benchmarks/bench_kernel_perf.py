@@ -12,7 +12,7 @@ import numpy as np
 from repro.core.params import PBBFParams
 from repro.ideal.config import AnalysisParameters
 from repro.ideal.simulator import IdealSimulator
-from repro.net.topology import GridTopology
+from repro.net.topology import GridTopology, RandomTopology
 from repro.percolation.bond import bond_sweep
 from repro.sim.engine import Engine
 from repro.util.rng import hash_to_unit_interval, hash_to_unit_interval_array
@@ -90,6 +90,26 @@ def test_ideal_broadcast_scalar_reference(benchmark):
 
     received = benchmark(run)
     assert received > 1000
+
+
+def test_random_topology_broadcast_throughput(benchmark):
+    """One broadcast on a 600-node connected unit-disk deployment.
+
+    The grid benches exercise the fast path's best case (uniform degree
+    4, dense padded rows); this tracks the irregular-degree regime the
+    scenario layer's random/clustered families run in, where the padded
+    frontier matrix is ragged and the gather masks carry real weight.
+    """
+    topo = RandomTopology.connected(600, 10.0, 12.0, random.Random(42))
+    sim = IdealSimulator(
+        topo, PBBFParams(0.5, 0.6), AnalysisParameters(), seed=3, source=0
+    )
+
+    def run():
+        return sim.run_broadcast(0).n_received
+
+    received = benchmark(run)
+    assert received > 300
 
 
 def test_batched_coin_hash_throughput(benchmark):

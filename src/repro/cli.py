@@ -3,9 +3,12 @@
 Usage::
 
     pbbf-experiments list
-    pbbf-experiments run fig08 [--scale fast|full] [--jobs N]
+    pbbf-experiments scenarios
+    pbbf-experiments run fig08 [--scale fast|full] [--jobs N] [--progress]
     pbbf-experiments run-all [--scale fast|full] [--out results.txt]
                              [--jobs N] [--cache-dir DIR] [--no-cache]
+    pbbf-experiments cache stats [--cache-dir DIR]
+    pbbf-experiments cache purge [--cache-dir DIR]
 
 (Equivalently: ``python -m repro.cli ...``.)
 
@@ -61,6 +64,10 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                              "instead of the vectorized fast path "
                              "(results are bit-identical; this is an "
                              "escape hatch and parity-debugging aid)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print periodic campaign progress lines "
+                             "(completed/total with cached vs computed) "
+                             "to stderr")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -71,6 +78,21 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list every experiment id")
+
+    sub.add_parser(
+        "scenarios",
+        help="list registered topology families and source policies",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk campaign result cache"
+    )
+    cache.add_argument("action", choices=("stats", "purge"),
+                       help="stats: entry counts and sizes; "
+                            "purge: delete every stored entry")
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache directory to operate on "
+                            "(default ~/.cache/repro or $REPRO_CACHE_DIR)")
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment_id", help="e.g. fig08, table1")
@@ -97,15 +119,88 @@ def main(argv: Optional[List[str]] = None) -> int:
             spec = get_experiment(experiment_id)
             print(f"{experiment_id:8s}  [section {spec.section}]  {spec.title}")
         return 0
+    if args.command == "scenarios":
+        return _run_scenarios()
+    if args.command == "cache":
+        return _run_cache(args)
     with execution(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         fast_path=not args.no_fast_path,
+        progress=_progress_printer() if args.progress else None,
     ):
         if args.command == "run":
             return _run_one(args)
         return _run_all(args)
+
+
+def _progress_printer(min_interval: float = 1.0):
+    """A progress callback printing throttled lines to stderr.
+
+    Campaigns fire one callback per completed point; printing each would
+    swamp small terminals, so lines are rate-limited to one per
+    ``min_interval`` seconds — except the final one, which always prints.
+    """
+    last = 0.0
+
+    def progress(completed: int, total: int, cached: int, computed: int) -> None:
+        nonlocal last
+        now = time.monotonic()
+        if completed < total and now - last < min_interval:
+            return
+        last = now
+        print(
+            f"  campaign progress: {completed}/{total} points "
+            f"({cached} cached, {computed} computed)",
+            file=sys.stderr,
+        )
+
+    return progress
+
+
+def _run_scenarios() -> int:
+    """List the registered topology families and source policies."""
+    from repro.scenarios import SOURCE_POLICIES, available_families
+
+    print("topology families (ScenarioSpec.build(family, params, ...)):")
+    for family in available_families():
+        defaults = ", ".join(f"{k}={v!r}" for k, v in family.defaults)
+        suffix = f"  [defaults: {defaults}]" if defaults else ""
+        print(f"  {family.name:12s} {family.description}{suffix}")
+    print(f"source policies: {', '.join(SOURCE_POLICIES)}")
+    print("perturbations: failure_fraction (pre-broadcast node failures)")
+    return 0
+
+
+def _format_bytes(n: int) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    return f"{int(n)} B"  # pragma: no cover - unreachable
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    """The ``cache stats`` / ``cache purge`` subcommand."""
+    from repro.runners import ResultCache
+
+    store = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"cache directory: {stats.root}")
+        print(
+            f"entries: {stats.n_entries} "
+            f"({_format_bytes(stats.total_bytes)}, {stats.n_stale} stale)"
+        )
+        for kind, count in stats.by_kind:
+            print(f"  {kind:12s} {count}")
+        return 0
+    removed = store.purge()
+    print(f"purged {removed} cache entries from {store.root}")
+    return 0
 
 
 def _run_one(args: argparse.Namespace) -> int:

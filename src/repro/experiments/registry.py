@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.experiments import detailed_figures, ideal_figures, percolation_figures, tables
+from repro.experiments import (
+    detailed_figures,
+    ideal_figures,
+    percolation_figures,
+    scenario_figures,
+    tables,
+)
 from repro.experiments.spec import ExperimentSpec
 
 _SPECS: Dict[str, ExperimentSpec] = {}
@@ -134,6 +140,20 @@ _register(ExperimentSpec(
     section="5.3",
     expectation="PBBF delivery improves with density.",
     runner=detailed_figures.run_fig18,
+))
+_register(ExperimentSpec(
+    experiment_id="scen01",
+    title="Reachability and latency vs node-failure fraction",
+    section="ext",
+    expectation="Coverage degrades gracefully, then collapses past percolation.",
+    runner=scenario_figures.run_scen01,
+))
+_register(ExperimentSpec(
+    experiment_id="scen02",
+    title="Topology portability of the p/q trade-off",
+    section="ext",
+    expectation="Same q-threshold structure; threshold shifts per family.",
+    runner=scenario_figures.run_scen02,
 ))
 
 

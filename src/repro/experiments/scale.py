@@ -48,6 +48,23 @@ class Scale:
     #: Root seed from which every run's seed is derived.
     base_seed: int = 20050610  # ICDCS 2005's opening day
 
+    # -- scenario extension figures (scen01, scen02) ----------------------
+    # Defaulted so miniature hand-built scales (tests) stay cheap; the
+    # fast/full presets set them explicitly.
+    #: Grid side for the scenario figures (smaller than the analysis grid).
+    scenario_side: int = 10
+    scenario_n_broadcasts: int = 4
+    #: Independent realizations averaged per scenario point.
+    scenario_seeds: int = 1
+    #: Pre-broadcast node-failure fractions swept by scen01.
+    failure_fractions: Tuple[float, ...] = (0.0, 0.2, 0.4)
+    #: Forwarding probabilities compared in scen01.
+    scenario_p_values: Tuple[float, ...] = (0.25, 0.5)
+    #: Stay-awake probability fixed above threshold for scen01.
+    scenario_q: float = 0.6
+    #: Forwarding probability fixed for scen02's per-family q sweep.
+    scenario_p: float = 0.75
+
     @classmethod
     def full(cls) -> "Scale":
         """The paper's configuration (minutes per figure)."""
@@ -69,6 +86,13 @@ class Scale:
             detailed_q_values=tuple(round(0.1 * i, 1) for i in range(11)),
             densities=(8.0, 10.0, 12.0, 14.0, 16.0, 18.0),
             duration=500.0,
+            scenario_side=30,
+            scenario_n_broadcasts=30,
+            scenario_seeds=5,
+            failure_fractions=(0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5),
+            scenario_p_values=(0.05, 0.25, 0.5),
+            scenario_q=0.6,
+            scenario_p=0.75,
         )
 
     @classmethod
@@ -92,6 +116,13 @@ class Scale:
             detailed_q_values=(0.0, 0.25, 0.5, 0.75, 1.0),
             densities=(8.0, 12.0, 16.0),
             duration=400.0,
+            scenario_side=15,
+            scenario_n_broadcasts=8,
+            scenario_seeds=2,
+            failure_fractions=(0.0, 0.1, 0.3, 0.5),
+            scenario_p_values=(0.1, 0.5),
+            scenario_q=0.6,
+            scenario_p=0.75,
         )
 
     def seed_for(self, *labels: object) -> int:

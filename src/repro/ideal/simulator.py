@@ -257,6 +257,12 @@ class IdealSimulator:
         (:mod:`repro.runners.context`, the CLI's ``--no-fast-path``).
         Both paths produce bit-identical :class:`BroadcastOutcome`\\ s —
         the parity suite enforces it.
+    failed_nodes:
+        Failure injection: these nodes are dead before the first broadcast
+        — they never receive, never forward, and count as unreached in
+        every coverage metric.  The source must not be failed.  Energy
+        accounting is untouched (a crashed radio's duty cycle is a
+        modelling question this scenario knob deliberately leaves alone).
     """
 
     def __init__(
@@ -269,6 +275,7 @@ class IdealSimulator:
         mode: SchedulingMode = SchedulingMode.PSM_PBBF,
         q_coin_scope: str = "frame",
         fast_path: Optional[bool] = None,
+        failed_nodes: Optional[Sequence[int]] = None,
     ) -> None:
         if q_coin_scope not in ("frame", "broadcast"):
             raise ValueError(
@@ -286,6 +293,19 @@ class IdealSimulator:
         if not 0 <= source < topology.n_nodes:
             raise IndexError(f"source {source} outside topology")
         self.source = source
+        self.failed_nodes: Tuple[int, ...] = tuple(sorted(set(failed_nodes or ())))
+        for node in self.failed_nodes:
+            if not 0 <= node < topology.n_nodes:
+                raise IndexError(f"failed node {node} outside topology")
+        if source in self.failed_nodes:
+            raise ValueError(f"source {source} cannot be a failed node")
+        # Scalar-path membership list and fast-path mask; None when the
+        # scenario has no failures so both kernels skip the extra work.
+        self._failed_mask: Optional[np.ndarray] = None
+        if self.failed_nodes:
+            mask = np.zeros(topology.n_nodes, dtype=bool)
+            mask[list(self.failed_nodes)] = True
+            self._failed_mask = mask
         self.fast_path = fast_path
         self._seed = seed
         self._q_salt = 0x51C0FFEE  # distinguishes q-coins from p-coins
@@ -414,6 +434,7 @@ class IdealSimulator:
         heapq.heappush(heap, (first_tx, seq, self.source, 0, False))
         n_normal += 1
 
+        failed = self._failed_mask
         while heap:
             t_send, _, sender, hop, immediate = heapq.heappop(heap)
             n_transmissions += 1
@@ -421,6 +442,8 @@ class IdealSimulator:
             for nbr in self.topology.neighbors(sender):
                 if receive_times[nbr] is not None:
                     continue  # duplicate: dropped, never re-forwarded
+                if failed is not None and failed[nbr]:
+                    continue  # dead radio: the broadcast routes around it
                 if immediate and not self.is_awake(nbr, t_send):
                     continue  # immediate forward missed a sleeping neighbour
                 receive_times[nbr] = t_arrive
@@ -491,6 +514,11 @@ class IdealSimulator:
         hops_arr = np.full(n, -1, dtype=np.int64)
         parents_arr = np.full(n, -1, dtype=np.int64)
         claim_row = np.empty(n, dtype=np.int64)  # first-claim scratch
+        if self._failed_mask is not None:
+            # Failed radios are masked out of every frontier gather by
+            # pre-marking them discovered; the unreached patch below puts
+            # them back to None.  Zero per-batch cost when nothing failed.
+            discovered |= self._failed_mask
         discovered[self.source] = True
         receive_t[self.source] = t_gen
         hops_arr[self.source] = 0
@@ -644,8 +672,12 @@ class IdealSimulator:
         hops_list: List[Optional[int]] = hops_arr.tolist()
         parents_list: List[Optional[int]] = parents_arr.tolist()
         parents_list[self.source] = None
-        # Patch only the unreached nodes back to None (usually few or none).
-        for v in np.nonzero(~discovered)[0].tolist():
+        # Patch only the unreached nodes back to None (usually few or none);
+        # failed nodes were pre-marked discovered, so fold them back in.
+        unreached = ~discovered
+        if self._failed_mask is not None:
+            unreached |= self._failed_mask
+        for v in np.nonzero(unreached)[0].tolist():
             receive_list[v] = None
             hops_list[v] = None
             parents_list[v] = None

@@ -337,6 +337,9 @@ class GridTopology(Topology):
     Euclidean and Manhattan geometry line up with hop counts.
     """
 
+    #: Whether lattice neighbours wrap around the edges (torus subclass).
+    _wrap = False
+
     def __init__(self, rows: int, cols: Optional[int] = None) -> None:
         check_positive_int("rows", rows)
         if cols is None:
@@ -349,17 +352,22 @@ class GridTopology(Topology):
         for row in range(rows):
             for col in range(cols):
                 positions.append((float(col), float(row)))
-                nbrs: List[int] = []
-                if row > 0:
-                    nbrs.append((row - 1) * cols + col)
-                if row < rows - 1:
-                    nbrs.append((row + 1) * cols + col)
-                if col > 0:
-                    nbrs.append(row * cols + col - 1)
-                if col < cols - 1:
-                    nbrs.append(row * cols + col + 1)
-                adjacency.append(nbrs)
+                adjacency.append(self._lattice_neighbors(row, col))
         super().__init__(positions, adjacency)
+
+    def _lattice_neighbors(self, row: int, col: int) -> List[int]:
+        """Ids of the 4-neighbourhood of ``(row, col)`` (wrap-aware)."""
+        rows, cols = self.rows, self.cols
+        coords = set()
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            r, c = row + dr, col + dc
+            if self._wrap:
+                r, c = r % rows, c % cols
+            elif not (0 <= r < rows and 0 <= c < cols):
+                continue
+            if (r, c) != (row, col):  # degenerate wrap on a 1-wide axis
+                coords.add((r, c))
+        return [r * cols + c for r, c in coords]
 
     def node_id(self, row: int, col: int) -> int:
         """Node id of grid coordinate ``(row, col)``."""
@@ -375,6 +383,185 @@ class GridTopology(Topology):
     def center_node(self) -> int:
         """The node nearest the grid centre (the paper's broadcast source)."""
         return self.node_id(self.rows // 2, self.cols // 2)
+
+
+class TorusGridTopology(GridTopology):
+    """Square lattice whose rows and columns wrap around (a torus).
+
+    Every node has degree 4 (no boundary), which removes the edge effects
+    of the open grid: broadcast reachability and percolation thresholds on
+    the torus isolate the bulk behaviour the paper's analysis reasons
+    about.  Positions keep the flat ``(col, row)`` embedding, so Euclidean
+    geometry reflects the unwrapped lattice while hop distances wrap.
+    """
+
+    _wrap = True
+
+
+class GridWithHolesTopology(GridTopology):
+    """A grid with rectangular failed regions carved out.
+
+    Models a deployment where contiguous areas of sensors are destroyed
+    (fire, flooding, adversarial removal): the surviving nodes keep their
+    lattice coordinates but the holes force broadcasts to route around
+    them.  Node ids are re-compacted over the survivors.
+
+    Parameters
+    ----------
+    rows, cols:
+        Lattice shape before removal (``cols`` defaults to ``rows``).
+    holes:
+        Rectangles ``(top_row, left_col, height, width)``; nodes inside
+        any rectangle are removed.  Rectangles may overlap each other and
+        the boundary (out-of-range cells are ignored).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: Optional[int] = None,
+        holes: Sequence[Tuple[int, int, int, int]] = (),
+    ) -> None:
+        check_positive_int("rows", rows)
+        if cols is None:
+            cols = rows
+        check_positive_int("cols", cols)
+        removed = np.zeros((rows, cols), dtype=bool)
+        for top, left, height, width in holes:
+            if height <= 0 or width <= 0:
+                raise ValueError(
+                    f"hole ({top}, {left}, {height}, {width}) has empty extent"
+                )
+            # Clamp both ends: a negative stop would wrap around and
+            # silently remove cells on the far side of the grid.
+            removed[
+                max(0, top) : max(0, top + height),
+                max(0, left) : max(0, left + width),
+            ] = True
+        if removed.all():
+            raise ValueError("holes remove every node of the grid")
+        self.rows = rows
+        self.cols = cols
+        self.holes = tuple(tuple(hole) for hole in holes)
+        # Compacted ids in row-major order over the survivors.
+        survivor_ids = np.full(rows * cols, -1, dtype=np.int64)
+        keep = ~removed.reshape(-1)
+        survivor_ids[keep] = np.arange(int(keep.sum()))
+        self._survivor_ids = survivor_ids
+        positions: List[Position] = []
+        adjacency: List[List[int]] = []
+        coordinates: List[Tuple[int, int]] = []
+        for row in range(rows):
+            for col in range(cols):
+                if removed[row, col]:
+                    continue
+                positions.append((float(col), float(row)))
+                coordinates.append((row, col))
+                nbrs = []
+                for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                    r, c = row + dr, col + dc
+                    if 0 <= r < rows and 0 <= c < cols and not removed[r, c]:
+                        nbrs.append(int(survivor_ids[r * cols + c]))
+                adjacency.append(nbrs)
+        self._coordinates = coordinates
+        Topology.__init__(self, positions, adjacency)
+
+    def node_id(self, row: int, col: int) -> int:
+        """Compacted id of surviving coordinate ``(row, col)``."""
+        if not 0 <= row < self.rows or not 0 <= col < self.cols:
+            raise IndexError(f"({row}, {col}) outside {self.rows}x{self.cols} grid")
+        node = int(self._survivor_ids[row * self.cols + col])
+        if node < 0:
+            raise IndexError(f"({row}, {col}) was removed by a hole")
+        return node
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        """Lattice coordinate ``(row, col)`` of surviving ``node``."""
+        self._check_node(node)
+        return self._coordinates[node]
+
+    def center_node(self) -> int:
+        """The surviving node nearest the geometric grid centre."""
+        cx = (self.cols - 1) / 2.0
+        cy = (self.rows - 1) / 2.0
+        return min(
+            range(self.n_nodes),
+            key=lambda v: (
+                (self._positions[v][0] - cx) ** 2 + (self._positions[v][1] - cy) ** 2,
+                v,
+            ),
+        )
+
+
+class ClusteredRandomTopology(Topology):
+    """Gaussian clusters of nodes bridged by unit-disk connectivity.
+
+    Deployments in practice are rarely uniform: sensors are dropped in
+    batches, so nodes form dense clusters with sparse bridges between
+    them — the regime where broadcast reliability is most sensitive to
+    p/q (intra-cluster redundancy is high, inter-cluster links are few).
+
+    Cluster centres sit evenly on a ring around the deployment centre
+    (adjacent centres within bridging range for sane defaults), and each
+    cluster's nodes are drawn from an isotropic Gaussian around its
+    centre, clipped to the deployment square.
+
+    Parameters
+    ----------
+    n_clusters / cluster_size:
+        Number of clusters and nodes per cluster (``n = product``).
+    radio_range:
+        Unit-disk connectivity radius.
+    spread:
+        Standard deviation of the per-cluster Gaussian.
+    extent:
+        Side of the deployment square; the ring of centres has radius
+        ``0.3 * extent``.
+    rng:
+        Source of placement randomness (pass a seeded ``random.Random``).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        cluster_size: int,
+        radio_range: float,
+        spread: float,
+        extent: float,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        check_positive_int("n_clusters", n_clusters)
+        check_positive_int("cluster_size", cluster_size)
+        check_positive("radio_range", radio_range)
+        check_positive("spread", spread)
+        check_positive("extent", extent)
+        rng = rng if rng is not None else random.Random()
+        self.n_clusters = n_clusters
+        self.cluster_size = cluster_size
+        self.radio_range = radio_range
+        self.spread = spread
+        self.extent = extent
+        half = extent / 2.0
+        ring = 0.3 * extent
+        centers = [
+            (
+                half + ring * math.cos(2.0 * math.pi * k / n_clusters),
+                half + ring * math.sin(2.0 * math.pi * k / n_clusters),
+            )
+            for k in range(n_clusters)
+        ]
+        self.centers: Tuple[Position, ...] = tuple(centers)
+        positions: List[Position] = []
+        cluster_of: List[int] = []
+        for k, (cx, cy) in enumerate(centers):
+            for _ in range(cluster_size):
+                x = min(max(cx + rng.gauss(0.0, spread), 0.0), extent)
+                y = min(max(cy + rng.gauss(0.0, spread), 0.0), extent)
+                positions.append((x, y))
+                cluster_of.append(k)
+        self.cluster_of: Tuple[int, ...] = tuple(cluster_of)
+        adjacency = _disk_adjacency(positions, radio_range)
+        super().__init__(positions, adjacency)
 
 
 class RandomTopology(Topology):
@@ -430,15 +617,23 @@ class RandomTopology(Topology):
         Low densities occasionally yield partitioned deployments; the paper
         implicitly studies connected scenarios (latency and reliability are
         measured to reachable nodes).  Raises :class:`RuntimeError` after
-        ``max_attempts`` failures so pathological parameters fail loudly.
+        ``max_attempts`` failures so infeasible parameters fail loudly
+        (with how close the attempts came) instead of retrying forever.
         """
+        if max_attempts <= 0:
+            raise ValueError(f"max_attempts must be > 0, got {max_attempts}")
+        best_component = 0
         for _ in range(max_attempts):
             topology = cls(n_nodes, radio_range, density, rng)
             if topology.is_connected():
                 return topology
+            best_component = max(best_component, len(topology.largest_component()))
         raise RuntimeError(
             f"no connected deployment found in {max_attempts} attempts "
-            f"(n={n_nodes}, range={radio_range}, density={density})"
+            f"(n={n_nodes}, range={radio_range}, density={density}); "
+            f"best attempt connected {best_component}/{n_nodes} nodes — "
+            "raise the density or max_attempts, or drop the connectivity "
+            "requirement"
         )
 
 

@@ -35,13 +35,22 @@ Usage::
     point = result.metrics(p=0.5, q=0.5)       # typed IdealPointMetrics
     print(point.reliability_90, point.joules_per_update_per_node)
 
+Scenario axes: any parameter value may be a
+:class:`~repro.scenarios.ScenarioSpec` (topology family + source policy +
+failure injection); specs are normalised to their canonical token string
+at build time, so deployment shape sweeps exactly like a scalar axis —
+including seeds, caching and process-pool fan-out.
+
 Execution defaults (jobs, cache directory, cache bypass) come from the
 ambient :func:`~repro.runners.context.execution` context, which the CLI
-sets from ``--jobs`` / ``--cache-dir`` / ``--no-cache``.
+sets from ``--jobs`` / ``--cache-dir`` / ``--no-cache``; ``--progress``
+installs a campaign-progress printer
+(``progress(completed, total, cached, computed)`` callbacks honoured by
+both backends).
 """
 
 from repro.runners.backends import ProcessPoolBackend, SerialBackend
-from repro.runners.cache import CACHE_VERSION, ResultCache, default_cache_dir
+from repro.runners.cache import CACHE_VERSION, CacheStats, ResultCache, default_cache_dir
 from repro.runners.campaign import CampaignResult, clear_memo, run_campaign
 from repro.runners.context import (
     ExecutionConfig,
@@ -78,6 +87,7 @@ __all__ = [
     "CACHE_VERSION",
     "DEFAULT_BASE_SEED",
     "KINDS",
+    "CacheStats",
     "CampaignResult",
     "CampaignRun",
     "CampaignSpec",

@@ -11,13 +11,17 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runners.context import get_execution, set_execution
 from repro.runners.points import evaluate_run, metrics_to_dict
 from repro.runners.spec import CampaignRun
 
 _Task = Tuple[str, Dict[str, Any], int]
+
+#: Per-run completion tick, invoked in the parent process after each run's
+#: metrics materialise (the campaign layer turns ticks into progress lines).
+OnResult = Optional[Callable[[], None]]
 
 
 def _evaluate_task(task: _Task) -> Dict[str, Any]:
@@ -42,11 +46,16 @@ def _init_worker(fast_path: bool) -> None:
 class SerialBackend:
     """Evaluate runs one after another in the current process."""
 
-    def execute(self, runs: Sequence[CampaignRun]) -> List[Dict[str, Any]]:
+    def execute(
+        self, runs: Sequence[CampaignRun], on_result: OnResult = None
+    ) -> List[Dict[str, Any]]:
         """Metrics dicts for ``runs``, in order."""
-        return [
-            _evaluate_task((run.kind, run.params_dict(), run.seed)) for run in runs
-        ]
+        results: List[Dict[str, Any]] = []
+        for run in runs:
+            results.append(_evaluate_task((run.kind, run.params_dict(), run.seed)))
+            if on_result is not None:
+                on_result()
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SerialBackend()"
@@ -66,13 +75,20 @@ class ProcessPoolBackend:
             jobs = os.cpu_count() or 1
         self.jobs = jobs
 
-    def execute(self, runs: Sequence[CampaignRun]) -> List[Dict[str, Any]]:
+    def execute(
+        self, runs: Sequence[CampaignRun], on_result: OnResult = None
+    ) -> List[Dict[str, Any]]:
         """Metrics dicts for ``runs``, in order (workers may interleave)."""
         tasks: List[_Task] = [
             (run.kind, run.params_dict(), run.seed) for run in runs
         ]
+        results: List[Dict[str, Any]] = []
         if len(tasks) <= 1 or self.jobs == 1:
-            return [_evaluate_task(task) for task in tasks]
+            for task in tasks:
+                results.append(_evaluate_task(task))
+                if on_result is not None:
+                    on_result()
+            return results
         jobs = min(self.jobs, len(tasks))
         # ~4 chunks per worker balances scheduling overhead against the
         # skew between cheap (sub-threshold) and expensive points.
@@ -82,7 +98,13 @@ class ProcessPoolBackend:
             initializer=_init_worker,
             initargs=(get_execution().fast_path,),
         ) as pool:
-            return pool.map(_evaluate_task, tasks, chunksize=chunksize)
+            # imap (not map) so completion ticks fire as results stream
+            # back; order and values are identical to pool.map.
+            for flat in pool.imap(_evaluate_task, tasks, chunksize=chunksize):
+                results.append(flat)
+                if on_result is not None:
+                    on_result()
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProcessPoolBackend(jobs={self.jobs})"

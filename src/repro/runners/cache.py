@@ -17,8 +17,9 @@ from __future__ import annotations
 import json
 import os
 import warnings
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 #: Bumped whenever the serialized payload layout or the semantics of a
 #: cached metric change; old entries then read as misses.
@@ -31,6 +32,20 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """What ``ResultCache.stats`` reports about a cache directory."""
+
+    root: str
+    #: Readable entry files found (stale ones included).
+    n_entries: int
+    total_bytes: int
+    #: Entries that would read as misses (corrupt or version-mismatched).
+    n_stale: int
+    #: Valid entries per simulator kind, name-sorted.
+    by_kind: Tuple[Tuple[str, int], ...]
 
 
 class ResultCache:
@@ -88,6 +103,77 @@ class ResultCache:
     def has(self, key: str) -> bool:
         """Cheap existence probe (no parse/validation; ``get`` still may miss)."""
         return self._path(key).exists()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def entry_paths(self) -> Iterator[Path]:
+        """Every stored entry file, in no particular order."""
+        points = self.root / "points"
+        if not points.is_dir():
+            return
+        yield from points.glob("*/*.json")
+
+    def stats(self) -> "CacheStats":
+        """Aggregate stats of the stored entries (the CLI's ``cache stats``).
+
+        Entries that fail to parse, or were written under a different
+        :data:`CACHE_VERSION` (both read as misses), are counted as
+        *stale* rather than attributed to a simulator kind.
+        """
+        n_entries = 0
+        total_bytes = 0
+        stale = 0
+        by_kind: Dict[str, int] = {}
+        for path in self.entry_paths():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue  # raced with a concurrent purge
+            n_entries += 1
+            total_bytes += size
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                stale += 1
+                continue
+            if (
+                not isinstance(payload, dict)
+                or payload.get("version") != CACHE_VERSION
+            ):
+                stale += 1
+                continue
+            kind = str(payload.get("kind", "?"))
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        return CacheStats(
+            root=str(self.root),
+            n_entries=n_entries,
+            total_bytes=total_bytes,
+            n_stale=stale,
+            by_kind=tuple(sorted(by_kind.items())),
+        )
+
+    def purge(self) -> int:
+        """Delete every stored entry; returns how many were removed.
+
+        Empty shard directories are cleaned up too; the root itself is
+        left in place (it may be a shared cache directory).
+        """
+        removed = 0
+        for path in list(self.entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        points = self.root / "points"
+        if points.is_dir():
+            for shard in points.iterdir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    continue  # non-empty (leftover tmp files) or gone
+        return removed
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None

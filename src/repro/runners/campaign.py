@@ -14,11 +14,12 @@ the same way regardless of which layer produced them.
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable, Dict, List, Mapping, Optional, Union
 
 from repro.runners.backends import ProcessPoolBackend, SerialBackend
 from repro.runners.cache import ResultCache
-from repro.runners.context import get_execution, get_stats
+from repro.runners.context import ProgressCallback, get_execution, get_stats
 from repro.runners.points import metrics_from_dict, metrics_to_dict
 from repro.runners.spec import CampaignRun, CampaignSpec, run_key
 
@@ -31,6 +32,42 @@ _MEMO: Dict[str, Any] = {}
 def clear_memo() -> None:
     """Drop every in-process campaign result (benchmarks, tests)."""
     _MEMO.clear()
+
+
+def _execute_with_progress(
+    backend: Any,
+    pending: List[CampaignRun],
+    reused: int,
+    total: int,
+    progress: Optional[ProgressCallback],
+) -> List[Dict[str, Any]]:
+    """Run the backend, streaming per-completion progress when possible.
+
+    Both built-in backends accept an ``on_result`` completion tick;
+    third-party backends that predate the hook (anything exposing only
+    ``execute(runs)``) still work — the caller just sees one final
+    progress call instead of a stream.
+    """
+    on_result = None
+    if progress is not None:
+        done = 0
+
+        def on_result() -> None:
+            nonlocal done
+            done += 1
+            progress(reused + done, total, reused, done)
+
+    accepts_hook = False
+    try:
+        accepts_hook = "on_result" in inspect.signature(backend.execute).parameters
+    except (TypeError, ValueError):  # builtins / odd callables
+        accepts_hook = False
+    if on_result is not None and accepts_hook:
+        return backend.execute(pending, on_result=on_result)
+    flat_results = backend.execute(pending)
+    if progress is not None:
+        progress(reused + len(pending), total, reused, len(pending))
+    return flat_results
 
 
 def _payload_for(run: CampaignRun, metrics: Any) -> Dict[str, Any]:
@@ -117,6 +154,7 @@ def run_campaign(
     cache: Optional[Union[ResultCache, str]] = None,
     use_cache: Optional[bool] = None,
     backend: Optional[Any] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> CampaignResult:
     """Execute every run of ``spec`` and return its results.
 
@@ -124,7 +162,11 @@ def run_campaign(
     :class:`~repro.runners.context.ExecutionConfig` (which the CLI sets
     from its flags).  ``cache`` accepts a ready :class:`ResultCache` or a
     directory path; ``backend`` overrides the jobs-based choice entirely
-    (any object with ``execute(runs) -> list[dict]``).
+    (any object with ``execute(runs) -> list[dict]``).  ``progress`` is
+    called as ``progress(completed, total, cached, computed)`` once after
+    the cache scan and then after every computed point (both built-in
+    backends stream per-run completions; a custom backend without the
+    ``on_result`` hook degrades to one final call).
     """
     config = get_execution()
     stats = get_stats()
@@ -132,6 +174,8 @@ def run_campaign(
         jobs = config.jobs
     if use_cache is None:
         use_cache = config.use_cache
+    if progress is None:
+        progress = config.progress
     store: Optional[ResultCache] = None
     if use_cache:
         if isinstance(cache, ResultCache):
@@ -177,12 +221,18 @@ def run_campaign(
         pending.append(run)
         pending_keys.add(run.key)
 
+    total = reused + len(pending)
+    if progress is not None:
+        progress(reused, total, reused, 0)
+
     if pending:
         if backend is None:
             backend = (
                 ProcessPoolBackend(jobs) if jobs and jobs > 1 else SerialBackend()
             )
-        flat_results = backend.execute(pending)
+        flat_results = _execute_with_progress(
+            backend, pending, reused, total, progress
+        )
         if len(flat_results) != len(pending):
             raise RuntimeError(
                 f"backend returned {len(flat_results)} results "

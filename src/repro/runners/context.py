@@ -17,7 +17,11 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
+
+#: Campaign progress callback: ``(completed, total, cached, computed)``
+#: where ``completed = cached + computed`` counts delivered points.
+ProgressCallback = Callable[[int, int, int, int], None]
 
 
 @dataclass(frozen=True)
@@ -34,6 +38,10 @@ class ExecutionConfig:
     #: kernel (bit-identical to the scalar loop; ``--no-fast-path`` and
     #: parity tests flip this off to exercise the reference path).
     fast_path: bool = True
+    #: Campaign-level progress reporting: called in the *parent* process
+    #: after the cache scan and then after every computed point, whatever
+    #: backend runs it (the CLI's ``--progress`` installs a printer).
+    progress: Optional[ProgressCallback] = None
 
 
 @dataclass

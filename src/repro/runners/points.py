@@ -12,6 +12,16 @@ serial and process-pool backends interchangeable and the disk cache safe.
 Metric bundles are flat dataclasses of JSON-representable scalars so they
 survive both pickling (process pool) and the JSON cache round-trip
 without loss (``repr``-exact floats).
+
+Scenario resolution: the ``ideal`` and ``percolation`` kinds accept a
+``scenario`` parameter — a :attr:`repro.scenarios.ScenarioSpec.token`
+string naming the topology family, source policy and failure injection —
+which replaces the legacy hard-coded ``GridTopology(grid_side)``.  Points
+*without* a scenario run the default grid scenario through the same
+resolution path and keep their legacy parameter layout, so their run keys
+(and therefore every existing cache entry) are unchanged — the same
+default-omission contract the ``detailed`` kind uses for ``scheduler``
+and ``loss_probability``.
 """
 
 from __future__ import annotations
@@ -19,14 +29,15 @@ from __future__ import annotations
 import random
 from dataclasses import asdict, dataclass
 from functools import lru_cache
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.params import PBBFParams
 from repro.ideal.config import AnalysisParameters
 from repro.ideal.simulator import IdealSimulator, SchedulingMode
-from repro.net.topology import GridTopology
+from repro.net.topology import Topology
 from repro.percolation.site import coverage_site_fraction
 from repro.percolation.threshold import estimate_critical_bond_fraction
+from repro.scenarios import ScenarioSpec
 from repro.util.stats import summarize
 
 
@@ -72,27 +83,22 @@ _METRICS_TYPES = {
 }
 
 
-@lru_cache(maxsize=4096)
-def _ideal_point(
-    grid_side: int,
-    n_broadcasts: int,
-    p: float,
-    q: float,
-    mode_value: str,
-    seed: int,
-    hop_near: int,
-    hop_far: int,
+@lru_cache(maxsize=64)
+def _realized_scenario(scenario_token: str, seed: int):
+    """Memoized scenario realization (a pure function of token + seed).
+
+    Campaigns that fold only the scenario into the seed sweep many p/q
+    points over one realized world; without this, every point would
+    rebuild the same topology (including connectivity resampling for the
+    random families).
+    """
+    return ScenarioSpec.from_token(scenario_token).realize(seed)
+
+
+def _summarize_ideal_campaign(
+    simulator: IdealSimulator, n_broadcasts: int, hop_near: int, hop_far: int
 ) -> IdealPointMetrics:
     """Run one ideal-simulator campaign and summarise the figure metrics."""
-    mode = SchedulingMode(mode_value)
-    topology = GridTopology(grid_side)
-    simulator = IdealSimulator(
-        topology,
-        PBBFParams(p=p, q=q),
-        AnalysisParameters(grid_side=grid_side),
-        seed=seed,
-        mode=mode,
-    )
     campaign = simulator.run_campaign(n_broadcasts)
     return IdealPointMetrics(
         reliability_90=campaign.reliability(0.90),
@@ -105,6 +111,61 @@ def _ideal_point(
     )
 
 
+@lru_cache(maxsize=4096)
+def _ideal_point(
+    grid_side: int,
+    n_broadcasts: int,
+    p: float,
+    q: float,
+    mode_value: str,
+    seed: int,
+    hop_near: int,
+    hop_far: int,
+) -> IdealPointMetrics:
+    """The legacy grid point, resolved through the default grid scenario.
+
+    Realizing ``ScenarioSpec.grid_default`` draws nothing from the seed
+    streams (grid placement and centre source are deterministic), so this
+    is bit-identical to the pre-scenario ``GridTopology(grid_side)`` path
+    — the parity goldens in tests/scenarios lock that in.
+    """
+    realized = ScenarioSpec.grid_default(grid_side).realize(seed)
+    simulator = IdealSimulator(
+        realized.topology,
+        PBBFParams(p=p, q=q),
+        AnalysisParameters(grid_side=grid_side),
+        seed=seed,
+        source=realized.source,
+        mode=SchedulingMode(mode_value),
+    )
+    return _summarize_ideal_campaign(simulator, n_broadcasts, hop_near, hop_far)
+
+
+@lru_cache(maxsize=4096)
+def _ideal_scenario_point(
+    scenario_token: str,
+    n_broadcasts: int,
+    p: float,
+    q: float,
+    mode_value: str,
+    seed: int,
+    hop_near: int,
+    hop_far: int,
+) -> IdealPointMetrics:
+    """One ideal-simulator campaign on an arbitrary realized scenario."""
+    realized = _realized_scenario(scenario_token, seed)
+    simulator = IdealSimulator(
+        realized.topology,
+        PBBFParams(p=p, q=q),
+        AnalysisParameters(),
+        seed=seed,
+        source=realized.source,
+        mode=SchedulingMode(mode_value),
+        failed_nodes=realized.failed_nodes,
+    )
+    return _summarize_ideal_campaign(simulator, n_broadcasts, hop_near, hop_far)
+
+
 @lru_cache(maxsize=8192)
 def _detailed_run(
     p: float,
@@ -114,6 +175,7 @@ def _detailed_run(
     duration: float,
     seed: int,
     scheduler: str = "psm",
+    loss_probability: float = 0.0,
 ) -> DetailedPointMetrics:
     """One detailed-simulator scenario boiled down to its figure metrics."""
     # Imported lazily: the detailed stack is the heaviest import chain and
@@ -124,7 +186,12 @@ def _detailed_run(
     mode = SchedulingMode(mode_value)
     config = CodeDistributionParameters(density=density, duration=duration)
     simulator = DetailedSimulator(
-        PBBFParams(p=p, q=q), config, seed=seed, mode=mode, scheduler=scheduler
+        PBBFParams(p=p, q=q),
+        config,
+        seed=seed,
+        mode=mode,
+        scheduler=scheduler,
+        loss_probability=loss_probability,
     )
     result = simulator.run()
     metrics = result.metrics
@@ -139,26 +206,21 @@ def _detailed_run(
     )
 
 
-@lru_cache(maxsize=512)
-def _percolation_point(
-    grid_side: int,
+def _percolation_summary(
+    topology: Topology,
+    label: str,
     reliability: float,
     runs: int,
     seed: int,
-    process: str = "bond",
+    process: str,
 ) -> PercolationPointMetrics:
-    """Critical bond/site fraction summary for one (grid, coverage) pair."""
+    """Critical bond/site fraction summary on one concrete topology."""
     if process not in ("bond", "site"):
         raise ValueError(f"process must be 'bond' or 'site', got {process!r}")
-    topology = GridTopology(grid_side)
     rng = random.Random(seed)
     if process == "bond":
         thresholds = estimate_critical_bond_fraction(
-            topology,
-            (reliability,),
-            rng,
-            runs=runs,
-            grid_label=f"{grid_side}x{grid_side}",
+            topology, (reliability,), rng, runs=runs, grid_label=label
         )
         summary = thresholds.threshold_for(reliability)
     else:
@@ -170,11 +232,66 @@ def _percolation_point(
     )
 
 
+@lru_cache(maxsize=512)
+def _percolation_point(
+    grid_side: int,
+    reliability: float,
+    runs: int,
+    seed: int,
+    process: str = "bond",
+) -> PercolationPointMetrics:
+    """The legacy grid point, resolved through the default grid scenario.
+
+    Like :func:`_ideal_point`, realization draws nothing for the default
+    grid, so results and run keys are bit-identical to the pre-scenario
+    ``GridTopology(grid_side)`` path.
+    """
+    realized = ScenarioSpec.grid_default(grid_side).realize(seed)
+    return _percolation_summary(
+        realized.topology,
+        f"{grid_side}x{grid_side}",
+        reliability,
+        runs,
+        seed,
+        process,
+    )
+
+
+@lru_cache(maxsize=512)
+def _percolation_scenario_point(
+    scenario_token: str,
+    reliability: float,
+    runs: int,
+    seed: int,
+    process: str = "bond",
+) -> PercolationPointMetrics:
+    """Critical-fraction summary on an arbitrary realized scenario.
+
+    The percolation process itself is the failure model here, so the
+    scenario's source policy and failure fraction are ignored — only the
+    topology family matters.
+    """
+    realized = _realized_scenario(scenario_token, seed)
+    return _percolation_summary(
+        realized.topology,
+        realized.spec.describe(),
+        reliability,
+        runs,
+        seed,
+        process,
+    )
+
+
 def evaluate_run(kind: str, params: Mapping[str, Any], seed: int):
-    """Evaluate one campaign run and return its typed metrics bundle."""
+    """Evaluate one campaign run and return its typed metrics bundle.
+
+    The ``scenario`` parameter (a :class:`~repro.scenarios.ScenarioSpec`
+    token, present only when a campaign sweeps scenario axes) selects the
+    scenario-resolved evaluator; its absence keeps the legacy parameter
+    layout so existing run keys and cache entries stay valid.
+    """
     if kind == "ideal":
-        return _ideal_point(
-            int(params["grid_side"]),
+        common: Tuple[Any, ...] = (
             int(params["n_broadcasts"]),
             float(params["p"]),
             float(params["q"]),
@@ -183,8 +300,12 @@ def evaluate_run(kind: str, params: Mapping[str, Any], seed: int):
             int(params["hop_near"]),
             int(params["hop_far"]),
         )
+        if "scenario" in params:
+            return _ideal_scenario_point(str(params["scenario"]), *common)
+        return _ideal_point(int(params["grid_side"]), *common)
     if kind == "detailed":
         scheduler = str(params.get("scheduler", "psm"))
+        loss = float(params.get("loss_probability", 0.0))
         args = (
             float(params["p"]),
             float(params["q"]),
@@ -193,8 +314,10 @@ def evaluate_run(kind: str, params: Mapping[str, Any], seed: int):
             float(params["duration"]),
             seed,
         )
+        if loss != 0.0:
+            return _detailed_run(*args, scheduler, loss)
         if scheduler == "psm":
-            # Omit the default so the lru_cache key matches legacy direct
+            # Omit the defaults so the lru_cache key matches legacy direct
             # callers (which pass six positional args) and the two paths
             # share entries instead of re-simulating.
             return _detailed_run(*args)
@@ -202,13 +325,15 @@ def evaluate_run(kind: str, params: Mapping[str, Any], seed: int):
     if kind == "percolation":
         # Positional, matching critical_fraction's direct calls, so both
         # paths share one lru_cache entry per point.
-        return _percolation_point(
-            int(params["grid_side"]),
+        tail = (
             float(params["reliability"]),
             int(params["runs"]),
             seed,
             str(params.get("process", "bond")),
         )
+        if "scenario" in params:
+            return _percolation_scenario_point(str(params["scenario"]), *tail)
+        return _percolation_point(int(params["grid_side"]), *tail)
     raise ValueError(f"unknown campaign kind {kind!r}")
 
 
@@ -229,5 +354,8 @@ def metrics_from_dict(kind: str, payload: Mapping[str, Any]):
 def clear_point_caches() -> None:
     """Drop the in-process memo of every point evaluator (benchmarks)."""
     _ideal_point.cache_clear()
+    _ideal_scenario_point.cache_clear()
     _detailed_run.cache_clear()
     _percolation_point.cache_clear()
+    _percolation_scenario_point.cache_clear()
+    _realized_scenario.cache_clear()

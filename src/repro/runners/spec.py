@@ -20,12 +20,13 @@ Two properties make specs the unit of reproducibility and caching:
 from __future__ import annotations
 
 import hashlib
-import json
 from dataclasses import dataclass, field
 from itertools import product
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.runners.cache import CACHE_VERSION
+from repro.scenarios import ScenarioSpec
+from repro.util.canonical import canonical_json
 from repro.util.rng import fold_seed
 
 #: The simulator families the point evaluators know how to run.
@@ -38,9 +39,16 @@ ParamValue = Any
 Params = Dict[str, ParamValue]
 
 
-def canonical_json(obj: Any) -> str:
-    """Key-sorted, whitespace-free JSON: the hashing wire format."""
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+def _normalize_param(value: ParamValue) -> ParamValue:
+    """Normalise one parameter value into its hashable wire form.
+
+    :class:`~repro.scenarios.ScenarioSpec` values collapse to their
+    canonical token string, so scenario axes hash, seed-fold, pickle and
+    cache exactly like any scalar axis.
+    """
+    if isinstance(value, ScenarioSpec):
+        return value.token
+    return value
 
 
 def run_key(kind: str, params: Mapping[str, ParamValue], seed: int) -> str:
@@ -113,11 +121,13 @@ class CampaignSpec:
         seed_with_run_index = seed_with_run_index or n_seeds > 1
         axes_t = []
         for name, values in axes.items():
-            values_t = tuple(values)
+            values_t = tuple(_normalize_param(value) for value in values)
             if not values_t:
                 raise ValueError(f"axis {name!r} has no values")
             axes_t.append((name, values_t))
-        fixed_t = tuple(sorted((fixed or {}).items()))
+        fixed_t = tuple(
+            sorted((name, _normalize_param(value)) for name, value in (fixed or {}).items())
+        )
         known = {name for name, _ in axes_t} | {name for name, _ in fixed_t}
         extras_t = []
         for extra in extra_points:
@@ -126,7 +136,9 @@ class CampaignSpec:
                 raise ValueError(
                     f"extra point overrides unknown parameters {sorted(unknown)}"
                 )
-            extras_t.append(tuple(sorted(extra.items())))
+            extras_t.append(
+                tuple(sorted((name, _normalize_param(value)) for name, value in extra.items()))
+            )
         missing = set(seed_params) - known
         if missing:
             raise ValueError(f"seed_params reference unknown parameters {sorted(missing)}")
@@ -144,9 +156,16 @@ class CampaignSpec:
     # -- point enumeration -------------------------------------------------
 
     def merge(self, overrides: Mapping[str, ParamValue]) -> Params:
-        """Fixed parameters overlaid with ``overrides`` (a full point)."""
+        """Fixed parameters overlaid with ``overrides`` (a full point).
+
+        Overrides are normalised like :meth:`build` inputs, so result
+        lookups may pass :class:`~repro.scenarios.ScenarioSpec` objects
+        where the stored point carries the token string.
+        """
         merged: Params = dict(self.fixed)
-        merged.update(overrides)
+        merged.update(
+            (name, _normalize_param(value)) for name, value in overrides.items()
+        )
         return merged
 
     def points(self) -> List[Params]:

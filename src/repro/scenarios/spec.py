@@ -1,0 +1,229 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` names everything about the *world* a simulation
+runs in — topology family and its parameters, where the broadcast source
+sits, and which perturbations apply (pre-broadcast node failures) —
+without building any of it.  Two properties make specs campaign axes:
+
+* **content-hashable** — a spec serializes to a canonical JSON *token*
+  (:attr:`ScenarioSpec.token`), a plain string that survives campaign
+  parameter dicts, ``lru_cache`` keys, process-pool pickling, and the
+  on-disk cache's content hashes unchanged, and round-trips through
+  :meth:`ScenarioSpec.from_token`;
+* **seed-realizable** — :meth:`ScenarioSpec.realize` builds the concrete
+  topology/source/failure-set from named RNG streams derived from the
+  run's seed (:class:`repro.util.rng.RandomStreams`), so realization is a
+  pure function of ``(spec, seed)`` in any process, and two specs
+  realized at the same seed share placement randomness (common random
+  numbers for paired comparisons).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.net.topology import Topology
+from repro.scenarios.families import build_topology, get_family
+from repro.util.canonical import canonical_json
+from repro.util.rng import RandomStreams, fold_seed
+
+#: How the broadcast source is placed on the realized topology.
+SOURCE_POLICIES = ("center", "corner", "random", "max_degree")
+
+#: Default grid-scenario source (the paper's centre broadcast).
+DEFAULT_SOURCE = "center"
+
+
+def _check_param_value(name: str, value: Any) -> None:
+    """Scenario parameters must be JSON scalars so tokens are canonical."""
+    if isinstance(value, bool) or value is None:
+        return
+    if isinstance(value, (int, float, str)):
+        return
+    raise ValueError(
+        f"scenario parameter {name!r} must be a JSON scalar "
+        f"(int/float/str/bool/None), got {type(value).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class RealizedScenario:
+    """A spec made concrete at one seed: the world a simulator runs in."""
+
+    spec: "ScenarioSpec"
+    topology: Topology
+    #: Broadcast source node id (never a failed node).
+    source: int
+    #: Nodes dead before the first broadcast, ascending.
+    failed_nodes: Tuple[int, ...]
+
+    @property
+    def n_failed(self) -> int:
+        """Number of pre-failed nodes."""
+        return len(self.failed_nodes)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A declarative, content-hashable description of one scenario shape.
+
+    Build with :meth:`build`, which validates against the family registry
+    and normalises parameters into the sorted tuple form stored here.
+    """
+
+    #: Registered topology family name (see :mod:`repro.scenarios.families`).
+    family: str
+    #: Family parameters as sorted ``(name, value)`` pairs.
+    params: Tuple[Tuple[str, Any], ...] = ()
+    #: Source placement policy (one of :data:`SOURCE_POLICIES`).
+    source: str = DEFAULT_SOURCE
+    #: Fraction of non-source nodes failed before the first broadcast.
+    failure_fraction: float = 0.0
+
+    @classmethod
+    def build(
+        cls,
+        family: str,
+        params: Optional[Mapping[str, Any]] = None,
+        source: str = DEFAULT_SOURCE,
+        failure_fraction: float = 0.0,
+    ) -> "ScenarioSpec":
+        """Validate and normalise a spec from plain mappings."""
+        get_family(family)  # raises KeyError for unknown families
+        if source not in SOURCE_POLICIES:
+            raise ValueError(
+                f"source must be one of {SOURCE_POLICIES}, got {source!r}"
+            )
+        if not 0.0 <= failure_fraction < 1.0:
+            raise ValueError(
+                f"failure_fraction must be in [0, 1), got {failure_fraction}"
+            )
+        items = sorted((params or {}).items())
+        for name, value in items:
+            _check_param_value(name, value)
+        return cls(
+            family=family,
+            params=tuple(items),
+            source=source,
+            failure_fraction=float(failure_fraction),
+        )
+
+    @classmethod
+    def grid_default(cls, grid_side: int) -> "ScenarioSpec":
+        """The paper's baseline scenario: open grid, centre source."""
+        return cls.build("grid", {"side": grid_side})
+
+    def params_dict(self) -> Dict[str, Any]:
+        """The family parameters as a plain dict."""
+        return dict(self.params)
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def token(self) -> str:
+        """Canonical string form: the value campaign axes carry.
+
+        Defaults (``center`` source, zero failures) are omitted, so adding
+        knobs later never re-keys existing scenarios — the same stability
+        contract the run cache relies on.
+        """
+        payload: Dict[str, Any] = {
+            "family": self.family,
+            "params": self.params_dict(),
+        }
+        if self.source != DEFAULT_SOURCE:
+            payload["source"] = self.source
+        if self.failure_fraction:
+            payload["failure_fraction"] = self.failure_fraction
+        return canonical_json(payload)
+
+    @classmethod
+    def from_token(cls, token: str) -> "ScenarioSpec":
+        """Parse (and re-validate) a spec from its :attr:`token` form."""
+        try:
+            payload = json.loads(token)
+        except ValueError as exc:
+            raise ValueError(f"malformed scenario token {token!r}: {exc}") from None
+        if not isinstance(payload, dict) or "family" not in payload:
+            raise ValueError(f"malformed scenario token {token!r}")
+        return cls.build(
+            family=payload["family"],
+            params=payload.get("params") or {},
+            source=payload.get("source", DEFAULT_SOURCE),
+            failure_fraction=payload.get("failure_fraction", 0.0),
+        )
+
+    def content_hash(self) -> str:
+        """Stable sha256 of the canonical token (scenario identity)."""
+        return hashlib.sha256(self.token.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """One human line for listings and figure notes."""
+        params = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        bits = [f"{self.family}({params})", f"source={self.source}"]
+        if self.failure_fraction:
+            bits.append(f"failures={self.failure_fraction:g}")
+        return " ".join(bits)
+
+    # -- realization -------------------------------------------------------
+
+    def realize(self, seed: int) -> RealizedScenario:
+        """Build the concrete world for one run.
+
+        Randomness comes from named streams rooted at
+        ``fold_seed(seed, "scenario")`` — placement, source choice and
+        failure sampling are independent streams, so e.g. raising the
+        failure fraction never perturbs node placement at the same seed.
+        """
+        streams = RandomStreams(fold_seed(seed, "scenario"))
+        topology = build_topology(
+            self.family, self.params_dict(), streams.stream("topology")
+        )
+        source = self._place_source(topology, streams)
+        failed = self._sample_failures(topology, source, streams)
+        return RealizedScenario(
+            spec=self, topology=topology, source=source, failed_nodes=failed
+        )
+
+    def _place_source(self, topology: Topology, streams: RandomStreams) -> int:
+        if topology.n_nodes == 0:
+            raise ValueError("cannot place a source on an empty topology")
+        if self.source == "center":
+            center = getattr(topology, "center_node", None)
+            if callable(center):
+                return center()
+            xs = [topology.position(v)[0] for v in topology.nodes()]
+            ys = [topology.position(v)[1] for v in topology.nodes()]
+            cx = sum(xs) / len(xs)
+            cy = sum(ys) / len(ys)
+            return min(
+                topology.nodes(),
+                key=lambda v: (
+                    (xs[v] - cx) ** 2 + (ys[v] - cy) ** 2,
+                    v,
+                ),
+            )
+        if self.source == "corner":
+            return min(
+                topology.nodes(),
+                key=lambda v: (sum(topology.position(v)), v),
+            )
+        if self.source == "max_degree":
+            return int(topology.csr.degrees.argmax())
+        # "random": one draw from the dedicated stream.
+        return streams.stream("source").randrange(topology.n_nodes)
+
+    def _sample_failures(
+        self, topology: Topology, source: int, streams: RandomStreams
+    ) -> Tuple[int, ...]:
+        if not self.failure_fraction:
+            return ()
+        n = topology.n_nodes
+        k = min(int(round(self.failure_fraction * n)), n - 1)
+        if k <= 0:
+            return ()
+        candidates = [v for v in topology.nodes() if v != source]
+        return tuple(sorted(streams.stream("failures").sample(candidates, k)))

@@ -1,0 +1,19 @@
+"""The canonical JSON wire format shared by every content-hashing layer.
+
+Scenario tokens (:mod:`repro.scenarios`) are embedded verbatim inside
+campaign run-key payloads (:mod:`repro.runners.spec`), so both layers
+must serialize through one function: if their formats ever diverged,
+every cached scenario entry would silently re-key.  It lives here (not
+in either consumer) because scenarios deliberately never imports the
+runner.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+def canonical_json(obj: Any) -> str:
+    """Key-sorted, whitespace-free JSON: the hashing wire format."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))

@@ -8,7 +8,11 @@ from repro.experiments.registry import all_experiment_ids, get_experiment
 class TestRegistry:
     def test_every_paper_artifact_registered(self):
         ids = all_experiment_ids()
-        expected = {"table1", "table2"} | {f"fig{n:02d}" for n in range(4, 19)}
+        expected = (
+            {"table1", "table2"}
+            | {f"fig{n:02d}" for n in range(4, 19)}
+            | {"scen01", "scen02"}  # scenario-layer extension figures
+        )
         assert set(ids) == expected
 
     def test_tables_listed_first(self):

@@ -1,0 +1,84 @@
+"""Structural tests for the scenario-extension figures (scen01, scen02)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import scenario_figures
+from repro.runners import clear_run_caches
+from tests.experiments.test_figures_smoke import TINY
+
+
+@pytest.fixture(autouse=True)
+def _fresh_runner_state():
+    clear_run_caches()
+    yield
+    clear_run_caches()
+
+
+class TestScen01:
+    def test_series_cover_coverage_and_latency_per_p(self):
+        result = scenario_figures.run_scen01(TINY)
+        labels = [series.label for series in result.series]
+        for p in TINY.scenario_p_values:
+            assert f"coverage PBBF-{p:g}" in labels
+            assert f"latency/hop PBBF-{p:g}" in labels
+        assert len(labels) == 2 * len(TINY.scenario_p_values)
+
+    def test_x_axis_is_the_failure_fractions(self):
+        result = scenario_figures.run_scen01(TINY)
+        assert result.series[0].xs() == list(TINY.failure_fractions)
+
+    def test_failures_cannot_increase_coverage_above_survivors(self):
+        result = scenario_figures.run_scen01(TINY)
+        for p in TINY.scenario_p_values:
+            series = result.get_series(f"coverage PBBF-{p:g}")
+            by_x = dict(series.points)
+            # Coverage counts failed nodes as unreached, so it can never
+            # exceed the surviving fraction.
+            for fraction, coverage in by_x.items():
+                assert coverage is not None
+                assert coverage <= 1.0 - fraction + 1.0 / TINY.scenario_side**2 + 1e-9
+
+    def test_zero_fraction_point_is_the_unperturbed_scenario(self):
+        result = scenario_figures.run_scen01(TINY)
+        series = result.get_series(f"coverage PBBF-{TINY.scenario_p_values[0]:g}")
+        assert series.y_at(TINY.failure_fractions[0]) > 0.5
+
+
+class TestScen02:
+    def test_one_series_per_family(self):
+        result = scenario_figures.run_scen02(TINY)
+        labels = {series.label for series in result.series}
+        assert labels == {"grid", "torus", "holes", "random", "clustered"}
+
+    def test_series_span_the_q_axis(self):
+        result = scenario_figures.run_scen02(TINY)
+        for series in result.series:
+            assert series.xs() == list(TINY.ideal_q_values)
+            assert all(y is not None for _, y in series.points)
+
+    def test_notes_describe_each_scenario(self):
+        result = scenario_figures.run_scen02(TINY)
+        assert any("grid_holes" in note for note in result.notes)
+        assert any("clustered" in note for note in result.notes)
+
+
+class TestCampaignSharing:
+    def test_figures_share_one_campaign_per_seed_set(self):
+        """Re-running a scenario figure reuses every point from the memo."""
+        scenario_figures.run_scen01(TINY)
+        from repro.runners import get_stats, reset_stats
+
+        reset_stats()
+        scenario_figures.run_scen01(TINY)
+        stats = get_stats()
+        assert stats.computed == 0
+        assert stats.reused_memory > 0
+
+    def test_scale_knobs_change_the_campaign(self):
+        spec_a = scenario_figures.failure_campaign(TINY)
+        spec_b = scenario_figures.failure_campaign(
+            dataclasses.replace(TINY, scenario_q=0.9)
+        )
+        assert spec_a.content_hash() != spec_b.content_hash()

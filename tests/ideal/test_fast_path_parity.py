@@ -20,6 +20,7 @@ from repro.ideal.config import AnalysisParameters
 from repro.ideal.simulator import IdealSimulator, SchedulingMode
 from repro.net.topology import GridTopology, RandomTopology
 from repro.runners.context import execution, get_execution
+from repro.scenarios import ScenarioSpec
 
 GRID = GridTopology(15)
 CONFIG = AnalysisParameters()
@@ -91,6 +92,58 @@ class TestBroadcastParity:
             assert a.outcomes == b.outcomes
             assert a.total_joules == b.total_joules
             assert a.shortest_hops == b.shortest_hops
+
+
+class TestFailureInjectionParity:
+    """Pre-broadcast node failures must not break kernel equivalence."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_failed_nodes_matrix_over_seeds(self, mode):
+        rng = random.Random(17)
+        nodes = [v for v in GRID.nodes() if v != GRID.center_node()]
+        failed = tuple(sorted(rng.sample(nodes, 40)))
+        for seed in range(10):
+            scalar, fast = outcomes_pair(
+                GRID, PBBFParams(0.3, 0.5), seed=seed, mode=mode,
+                failed_nodes=failed,
+            )
+            assert_identical(scalar, fast)
+            assert all(scalar.receive_times[v] is None for v in failed)
+
+    def test_failure_scenario_realization_parity(self):
+        """The scenario layer's failure sets flow through both kernels."""
+        spec = ScenarioSpec.build("grid", {"side": 15}, failure_fraction=0.25)
+        for seed in range(5):
+            realized = spec.realize(seed)
+            scalar, fast = outcomes_pair(
+                realized.topology,
+                PBBFParams(0.4, 0.6),
+                seed=seed,
+                source=realized.source,
+                failed_nodes=realized.failed_nodes,
+            )
+            assert_identical(scalar, fast)
+
+    def test_failed_random_topology(self):
+        topo = RandomTopology.connected(60, 40.0, 10.0, random.Random(4))
+        failed = tuple(sorted(random.Random(8).sample(range(1, 60), 12)))
+        scalar, fast = outcomes_pair(
+            topo, PBBFParams(0.5, 0.4), seed=6, source=0, failed_nodes=failed
+        )
+        assert_identical(scalar, fast)
+
+    def test_campaign_energy_parity_with_failures(self):
+        failed = (0, 1, 16, 17, 44, 199)
+        a = IdealSimulator(
+            GRID, PBBFParams(0.5, 0.6), CONFIG, seed=5,
+            fast_path=False, failed_nodes=failed,
+        ).run_campaign(3)
+        b = IdealSimulator(
+            GRID, PBBFParams(0.5, 0.6), CONFIG, seed=5,
+            fast_path=True, failed_nodes=failed,
+        ).run_campaign(3)
+        assert a.outcomes == b.outcomes
+        assert a.total_joules == b.total_joules
 
 
 class TestFastPathSelection:

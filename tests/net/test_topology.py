@@ -7,9 +7,12 @@ import numpy as np
 import pytest
 
 from repro.net.topology import (
+    ClusteredRandomTopology,
     GridTopology,
+    GridWithHolesTopology,
     RandomTopology,
     Topology,
+    TorusGridTopology,
     area_for_density,
     density_for_area,
 )
@@ -149,6 +152,133 @@ class TestRandomTopology:
             RandomTopology.connected(
                 30, 40.0, 0.05, random.Random(6), max_attempts=3
             )
+
+    def test_connected_factory_error_names_the_bottleneck(self):
+        # The error must say how close the attempts came and how to fix
+        # the parameters, not just that a bounded retry loop gave up.
+        with pytest.raises(RuntimeError, match=r"best attempt connected \d+/30"):
+            RandomTopology.connected(
+                30, 40.0, 0.05, random.Random(6), max_attempts=3
+            )
+        with pytest.raises(RuntimeError, match="raise the density"):
+            RandomTopology.connected(
+                30, 40.0, 0.05, random.Random(6), max_attempts=2
+            )
+
+    def test_connected_factory_rejects_nonpositive_attempt_budget(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RandomTopology.connected(
+                30, 40.0, 10.0, random.Random(6), max_attempts=0
+            )
+
+
+class TestTorusGridTopology:
+    def test_every_node_has_degree_four(self):
+        torus = TorusGridTopology(5)
+        assert all(torus.degree(v) == 4 for v in torus.nodes())
+        assert torus.n_edges == 2 * torus.n_nodes
+
+    def test_wraparound_neighbors(self):
+        torus = TorusGridTopology(5)
+        assert set(torus.neighbors(0)) == {1, 4, 5, 20}
+
+    def test_hop_distances_wrap(self):
+        open_grid = GridTopology(7)
+        torus = TorusGridTopology(7)
+        # Corner to opposite corner: 12 hops on the open grid; on the
+        # torus both axes wrap (6 ≡ -1), so it is 2 hops away.
+        far = open_grid.node_id(6, 6)
+        assert open_grid.hop_distances_from(0)[far] == 12
+        assert torus.hop_distances_from(0)[far] == 2
+        mid = open_grid.node_id(3, 3)
+        assert torus.hop_distances_from(0)[mid] == 6
+
+    def test_degenerate_one_wide_axis_has_no_self_loops(self):
+        torus = TorusGridTopology(1, 5)
+        assert all(torus.degree(v) == 2 for v in torus.nodes())
+
+    def test_grid_helpers_inherited(self):
+        torus = TorusGridTopology(5)
+        assert torus.node_id(2, 3) == 13
+        assert torus.coordinates(13) == (2, 3)
+        assert torus.center_node() == torus.node_id(2, 2)
+
+
+class TestGridWithHolesTopology:
+    def test_hole_nodes_removed_and_ids_compacted(self):
+        holed = GridWithHolesTopology(6, holes=((1, 1, 2, 2),))
+        assert holed.n_nodes == 32
+        assert holed.is_connected()
+        with pytest.raises(IndexError, match="removed"):
+            holed.node_id(1, 1)
+        # Survivors keep lattice coordinates and positions.
+        node = holed.node_id(0, 5)
+        assert holed.coordinates(node) == (0, 5)
+        assert holed.position(node) == (5.0, 0.0)
+
+    def test_adjacency_respects_holes(self):
+        holed = GridWithHolesTopology(5, holes=((2, 2, 1, 1),))
+        # (1, 2) lost its southern neighbour to the hole.
+        assert holed.degree(holed.node_id(1, 2)) == 3
+
+    def test_overlapping_and_boundary_holes_tolerated(self):
+        holed = GridWithHolesTopology(
+            6, holes=((0, 0, 2, 2), (1, 1, 2, 2), (4, 4, 5, 5))
+        )
+        assert 0 < holed.n_nodes < 36
+
+    def test_hole_entirely_outside_the_grid_removes_nothing(self):
+        # A negative stop must not wrap around to the far side.
+        holed = GridWithHolesTopology(5, holes=((-3, 0, 2, 2), (0, -4, 2, 2)))
+        assert holed.n_nodes == 25
+
+    def test_all_nodes_removed_rejected(self):
+        with pytest.raises(ValueError, match="every node"):
+            GridWithHolesTopology(3, holes=((0, 0, 3, 3),))
+
+    def test_empty_hole_rejected(self):
+        with pytest.raises(ValueError, match="empty extent"):
+            GridWithHolesTopology(4, holes=((0, 0, 0, 2),))
+
+    def test_center_node_is_nearest_survivor(self):
+        # The exact centre (2, 2) is removed; a lattice neighbour wins.
+        holed = GridWithHolesTopology(5, holes=((2, 2, 1, 1),))
+        row, col = holed.coordinates(holed.center_node())
+        assert abs(row - 2) + abs(col - 2) == 1
+
+
+class TestClusteredRandomTopology:
+    def test_node_count_and_cluster_labels(self):
+        topo = ClusteredRandomTopology(4, 10, 10.0, 5.0, 40.0, random.Random(3))
+        assert topo.n_nodes == 40
+        assert len(topo.cluster_of) == 40
+        assert set(topo.cluster_of) == {0, 1, 2, 3}
+        assert topo.cluster_of[0] == 0 and topo.cluster_of[39] == 3
+
+    def test_positions_clipped_to_extent(self):
+        topo = ClusteredRandomTopology(3, 20, 5.0, 30.0, 40.0, random.Random(9))
+        for v in topo.nodes():
+            x, y = topo.position(v)
+            assert 0.0 <= x <= 40.0 and 0.0 <= y <= 40.0
+
+    def test_seeded_reproducibility(self):
+        a = ClusteredRandomTopology(4, 8, 10.0, 5.0, 40.0, random.Random(7))
+        b = ClusteredRandomTopology(4, 8, 10.0, 5.0, 40.0, random.Random(7))
+        assert [a.position(v) for v in a.nodes()] == [
+            b.position(v) for v in b.nodes()
+        ]
+
+    def test_clusters_are_internally_dense(self):
+        topo = ClusteredRandomTopology(4, 10, 10.0, 3.0, 40.0, random.Random(1))
+        # A node should mostly neighbour its own cluster.
+        same = 0
+        total = 0
+        for v in topo.nodes():
+            for w in topo.neighbors(v):
+                total += 1
+                same += topo.cluster_of[v] == topo.cluster_of[w]
+        assert total > 0
+        assert same / total > 0.5
 
 
 class TestTopologyBase:

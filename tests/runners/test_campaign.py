@@ -1,4 +1,4 @@
-"""Tests for run_campaign: caching layers, stats, result access."""
+"""Tests for run_campaign: caching layers, stats, progress, result access."""
 
 import json
 
@@ -7,12 +7,14 @@ import pytest
 from repro.runners import (
     CampaignSpec,
     ResultCache,
+    SerialBackend,
     clear_run_caches,
     execution,
     get_stats,
     reset_stats,
     run_campaign,
 )
+from repro.scenarios import ScenarioSpec
 
 
 @pytest.fixture(autouse=True)
@@ -146,6 +148,115 @@ class TestResultAccess:
         assert result.mean_metric(lambda m: None, grid_side=6) is None
 
 
+class TestProgressReporting:
+    def test_progress_streams_per_computed_point(self, tmp_path):
+        events = []
+        run_campaign(
+            tiny_percolation_spec(),
+            cache=str(tmp_path),
+            progress=lambda *args: events.append(args),
+        )
+        # One call after the cache scan, one per computed point.
+        assert events == [(0, 2, 0, 0), (1, 2, 0, 1), (2, 2, 0, 2)]
+
+    def test_progress_reports_cached_points_up_front(self, tmp_path):
+        spec = tiny_percolation_spec()
+        run_campaign(spec, cache=str(tmp_path))
+        clear_run_caches()
+        events = []
+        run_campaign(
+            spec, cache=str(tmp_path), progress=lambda *args: events.append(args)
+        )
+        assert events == [(2, 2, 2, 0)]
+
+    def test_ambient_progress_config_is_honoured(self, tmp_path):
+        events = []
+        with execution(progress=lambda *args: events.append(args)):
+            run_campaign(tiny_percolation_spec(), cache=str(tmp_path))
+        assert events[-1] == (2, 2, 0, 2)
+
+    def test_legacy_backend_without_hook_degrades_to_final_call(self, tmp_path):
+        class LegacyBackend:
+            def execute(self, runs):  # no on_result parameter
+                return SerialBackend().execute(runs)
+
+        events = []
+        run_campaign(
+            tiny_percolation_spec(),
+            cache=str(tmp_path),
+            backend=LegacyBackend(),
+            progress=lambda *args: events.append(args),
+        )
+        assert events == [(0, 2, 0, 0), (2, 2, 0, 2)]
+
+
+class TestScenarioAxes:
+    def tiny_scenario_spec(self):
+        scenarios = (
+            ScenarioSpec.build("grid", {"side": 7}),
+            ScenarioSpec.build("torus", {"side": 7}, source="corner"),
+            ScenarioSpec.build("grid", {"side": 7}, failure_fraction=0.2),
+        )
+        return CampaignSpec.build(
+            kind="ideal",
+            axes={"scenario": scenarios},
+            fixed={
+                "p": 0.5,
+                "q": 0.6,
+                "n_broadcasts": 2,
+                "mode": "psm_pbbf",
+                "hop_near": 2,
+                "hop_far": 4,
+            },
+            seed_params=("scenario", "p", "q"),
+        )
+
+    def test_scenario_axis_sweeps_and_caches(self, tmp_path):
+        spec = self.tiny_scenario_spec()
+        first = run_campaign(spec, cache=str(tmp_path))
+        assert first.computed == 3
+        clear_run_caches()
+        second = run_campaign(spec, cache=str(tmp_path))
+        assert second.computed == 0 and second.reused == 3
+        grid = ScenarioSpec.build("grid", {"side": 7})
+        assert first.metrics(scenario=grid) == second.metrics(scenario=grid)
+
+    def test_scenario_objects_resolve_in_metrics_lookup(self, tmp_path):
+        spec = self.tiny_scenario_spec()
+        result = run_campaign(spec, cache=str(tmp_path))
+        failed = ScenarioSpec.build("grid", {"side": 7}, failure_fraction=0.2)
+        by_object = result.metrics(scenario=failed)
+        by_token = result.metrics(scenario=failed.token)
+        assert by_object == by_token
+        assert by_object.mean_coverage < result.metrics(
+            scenario=ScenarioSpec.build("grid", {"side": 7})
+        ).mean_coverage
+
+    def test_source_policy_axis_is_sweepable(self, tmp_path):
+        scenarios = tuple(
+            ScenarioSpec.build("grid", {"side": 7}, source=policy)
+            for policy in ("center", "corner", "random")
+        )
+        spec = CampaignSpec.build(
+            kind="ideal",
+            axes={"scenario": scenarios},
+            fixed={
+                "p": 0.25,
+                "q": 0.5,
+                "n_broadcasts": 2,
+                "mode": "psm_pbbf",
+                "hop_near": 2,
+                "hop_far": 4,
+            },
+            seed_params=("scenario",),
+        )
+        result = run_campaign(spec, cache=str(tmp_path))
+        assert result.computed == 3
+        assert {run.key for run in result.runs} == {
+            run.key for run in spec.runs()
+        }
+
+
 class TestCacheObject:
     def test_result_cache_roundtrip(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -163,3 +274,50 @@ class TestCacheObject:
         payload["version"] = -1
         path.write_text(json.dumps(payload))
         assert cache.get("ab" * 32) is None
+
+
+class TestCacheLifecycle:
+    def test_stats_counts_entries_by_kind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"kind": "ideal", "metrics": {"x": 1.0}})
+        cache.put("cd" * 32, {"kind": "ideal", "metrics": {"x": 2.0}})
+        cache.put("ef" * 32, {"kind": "percolation", "metrics": {"y": 3.0}})
+        stats = cache.stats()
+        assert stats.n_entries == 3
+        assert stats.total_bytes > 0
+        assert stats.n_stale == 0
+        assert stats.by_kind == (("ideal", 2), ("percolation", 1))
+
+    def test_stats_counts_stale_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"kind": "ideal", "metrics": {}})
+        path = next(tmp_path.rglob("*.json"))
+        path.write_text("{ not json")
+        stats = cache.stats()
+        assert stats.n_entries == 1
+        assert stats.n_stale == 1
+        assert stats.by_kind == ()
+
+    def test_stats_on_missing_directory(self, tmp_path):
+        stats = ResultCache(tmp_path / "never-written").stats()
+        assert stats.n_entries == 0
+        assert stats.total_bytes == 0
+
+    def test_purge_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"kind": "ideal", "metrics": {}})
+        cache.put("ef" * 32, {"kind": "percolation", "metrics": {}})
+        assert cache.purge() == 2
+        assert cache.stats().n_entries == 0
+        assert cache.get("ab" * 32) is None
+        # Purging an already-empty cache is a no-op, not an error.
+        assert cache.purge() == 0
+
+    def test_purged_cache_is_reusable(self, tmp_path):
+        spec = tiny_percolation_spec()
+        run_campaign(spec, cache=str(tmp_path))
+        ResultCache(tmp_path).purge()
+        clear_run_caches()
+        again = run_campaign(spec, cache=str(tmp_path))
+        assert again.computed == 2
+        assert ResultCache(tmp_path).stats().n_entries == 2

@@ -1,0 +1,232 @@
+"""Tests for ScenarioSpec: tokens, hashing, realization, the registry."""
+
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.net.topology import (
+    ClusteredRandomTopology,
+    GridTopology,
+    GridWithHolesTopology,
+    RandomTopology,
+    Topology,
+    TorusGridTopology,
+)
+from repro.runners.spec import run_key
+from repro.scenarios import (
+    ScenarioSpec,
+    available_families,
+    get_family,
+    register_family,
+)
+
+
+class TestBuildValidation:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError, match="unknown topology family"):
+            ScenarioSpec.build("moebius", {"side": 5})
+
+    def test_unknown_source_policy_rejected(self):
+        with pytest.raises(ValueError, match="source"):
+            ScenarioSpec.build("grid", {"side": 5}, source="barycenter")
+
+    def test_failure_fraction_range(self):
+        with pytest.raises(ValueError, match="failure_fraction"):
+            ScenarioSpec.build("grid", {"side": 5}, failure_fraction=1.0)
+        with pytest.raises(ValueError, match="failure_fraction"):
+            ScenarioSpec.build("grid", {"side": 5}, failure_fraction=-0.1)
+
+    def test_non_scalar_param_rejected(self):
+        with pytest.raises(ValueError, match="JSON scalar"):
+            ScenarioSpec.build("grid", {"side": [5]})
+
+    def test_bad_family_params_fail_at_realize(self):
+        spec = ScenarioSpec.build("grid", {"side": 5, "voltage": 3})
+        with pytest.raises(ValueError, match="invalid parameters"):
+            spec.realize(0)
+
+
+class TestToken:
+    def test_round_trip(self):
+        spec = ScenarioSpec.build(
+            "grid_holes",
+            {"side": 12, "n_holes": 3, "hole_side": 3},
+            source="corner",
+            failure_fraction=0.25,
+        )
+        assert ScenarioSpec.from_token(spec.token) == spec
+
+    def test_defaults_omitted_for_stability(self):
+        token = ScenarioSpec.build("grid", {"side": 9}).token
+        assert "source" not in token
+        assert "failure_fraction" not in token
+
+    def test_param_order_irrelevant(self):
+        a = ScenarioSpec.build("random", {"n_nodes": 40, "density": 12.0})
+        b = ScenarioSpec.build("random", {"density": 12.0, "n_nodes": 40})
+        assert a.token == b.token
+        assert a.content_hash() == b.content_hash()
+
+    def test_distinct_specs_distinct_hashes(self):
+        a = ScenarioSpec.build("grid", {"side": 9})
+        assert a.content_hash() != ScenarioSpec.build("torus", {"side": 9}).content_hash()
+        assert (
+            a.content_hash()
+            != ScenarioSpec.build("grid", {"side": 9}, failure_fraction=0.1).content_hash()
+        )
+
+    def test_malformed_token_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            ScenarioSpec.from_token("{ not json")
+        with pytest.raises(ValueError, match="malformed"):
+            ScenarioSpec.from_token('{"params":{}}')
+
+
+class TestCrossProcessHashing:
+    def test_same_spec_same_run_key_in_a_fresh_process(self):
+        """Scenario run keys are content, not id()s: stable across processes."""
+        spec = ScenarioSpec.build(
+            "clustered", {"n_clusters": 3}, source="random", failure_fraction=0.1
+        )
+        params = {
+            "scenario": spec.token,
+            "n_broadcasts": 4,
+            "p": 0.5,
+            "q": 0.6,
+            "mode": "psm_pbbf",
+            "hop_near": 2,
+            "hop_far": 4,
+        }
+        here = run_key("ideal", params, 77)
+        src_root = Path(repro.__file__).resolve().parents[1]
+        script = (
+            "from repro.runners.spec import run_key\n"
+            "from repro.scenarios import ScenarioSpec\n"
+            "spec = ScenarioSpec.build('clustered', {'n_clusters': 3},"
+            " source='random', failure_fraction=0.1)\n"
+            "params = {'scenario': spec.token, 'n_broadcasts': 4, 'p': 0.5,"
+            " 'q': 0.6, 'mode': 'psm_pbbf', 'hop_near': 2, 'hop_far': 4}\n"
+            "print(run_key('ideal', params, 77))\n"
+        )
+        there = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=str(src_root),
+        ).stdout.strip()
+        assert there == here
+
+
+class TestRealization:
+    def test_grid_realizes_the_papers_world(self):
+        realized = ScenarioSpec.grid_default(9).realize(3)
+        assert isinstance(realized.topology, GridTopology)
+        assert realized.topology.n_nodes == 81
+        assert realized.source == realized.topology.center_node()
+        assert realized.failed_nodes == ()
+
+    def test_families_produce_their_topology_types(self):
+        cases = {
+            "torus": TorusGridTopology,
+            "grid_holes": GridWithHolesTopology,
+            "random": RandomTopology,
+            "clustered": ClusteredRandomTopology,
+        }
+        params = {"torus": {"side": 6}, "grid_holes": {"side": 8}}
+        for family, cls in cases.items():
+            realized = ScenarioSpec.build(family, params.get(family)).realize(5)
+            assert isinstance(realized.topology, cls), family
+
+    def test_realization_is_deterministic_per_seed(self):
+        spec = ScenarioSpec.build(
+            "random", {"n_nodes": 30, "density": 12.0},
+            source="random", failure_fraction=0.2,
+        )
+        a, b = spec.realize(11), spec.realize(11)
+        assert a.source == b.source
+        assert a.failed_nodes == b.failed_nodes
+        assert [a.topology.position(v) for v in a.topology.nodes()] == [
+            b.topology.position(v) for v in b.topology.nodes()
+        ]
+        c = spec.realize(12)
+        assert [a.topology.position(v) for v in a.topology.nodes()] != [
+            c.topology.position(v) for v in c.topology.nodes()
+        ]
+
+    def test_failure_fraction_never_kills_the_source(self):
+        spec = ScenarioSpec.build("grid", {"side": 5}, failure_fraction=0.9)
+        for seed in range(10):
+            realized = spec.realize(seed)
+            assert realized.source not in realized.failed_nodes
+            assert realized.n_failed == round(0.9 * 25)
+
+    def test_raising_failures_does_not_move_placement(self):
+        """Perturbation streams are independent: same seed, same world."""
+        base = ScenarioSpec.build(
+            "random", {"n_nodes": 30, "density": 12.0}, source="random"
+        ).realize(7)
+        failed = ScenarioSpec.build(
+            "random", {"n_nodes": 30, "density": 12.0},
+            source="random", failure_fraction=0.3,
+        ).realize(7)
+        assert [base.topology.position(v) for v in base.topology.nodes()] == [
+            failed.topology.position(v) for v in failed.topology.nodes()
+        ]
+        assert base.source == failed.source
+
+
+class TestSourcePolicies:
+    def test_corner_picks_origin_node(self):
+        realized = ScenarioSpec.build("grid", {"side": 5}, source="corner").realize(0)
+        assert realized.source == 0
+
+    def test_max_degree_picks_first_max(self):
+        realized = ScenarioSpec.build("grid", {"side": 4}, source="max_degree").realize(0)
+        degrees = realized.topology.csr.degrees
+        assert degrees[realized.source] == degrees.max()
+
+    def test_random_source_varies_with_seed(self):
+        spec = ScenarioSpec.build("grid", {"side": 9}, source="random")
+        sources = {spec.realize(seed).source for seed in range(12)}
+        assert len(sources) > 1
+
+    def test_center_falls_back_to_centroid_without_center_node(self):
+        spec = ScenarioSpec.build("clustered", {"n_clusters": 2, "cluster_size": 6})
+        realized = spec.realize(4)
+        assert 0 <= realized.source < realized.topology.n_nodes
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = {family.name for family in available_families()}
+        assert {"grid", "torus", "grid_holes", "random", "clustered"} <= names
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_family("grid", lambda rng: None)
+
+    def test_custom_family_round_trips_through_spec(self):
+        name = "test-ring"
+        if name not in {f.name for f in available_families()}:
+            def build_ring(rng, n_nodes=8):
+                positions = [(float(i), 0.0) for i in range(n_nodes)]
+                adjacency = [
+                    ((i - 1) % n_nodes, (i + 1) % n_nodes) for i in range(n_nodes)
+                ]
+                return Topology(positions, adjacency)
+
+            register_family(name, build_ring, "test ring", defaults={"n_nodes": 8})
+        spec = ScenarioSpec.build(name, {"n_nodes": 10})
+        realized = spec.realize(0)
+        assert realized.topology.n_nodes == 10
+        assert all(realized.topology.degree(v) == 2 for v in realized.topology.nodes())
+        assert ScenarioSpec.from_token(spec.token) == spec
+
+    def test_get_family_lists_known_names_on_miss(self):
+        with pytest.raises(KeyError, match="grid"):
+            get_family("nope")

@@ -69,6 +69,60 @@ class TestParser:
             main([])
 
 
+class TestScenarios:
+    def test_lists_families_and_policies(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for family in ("grid", "torus", "grid_holes", "random", "clustered"):
+            assert family in out
+        assert "center" in out and "max_degree" in out
+        assert "failure_fraction" in out
+
+
+class TestCacheSubcommand:
+    def test_stats_on_empty_cache(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out
+
+    def test_stats_after_a_run(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cli-cache")
+        assert main(["run", "fig07", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "percolation" in out
+        assert "entries: 0" not in out
+
+    def test_purge_then_stats_empty(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cli-cache")
+        assert main(["run", "fig07", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "purge", "--cache-dir", cache_dir]) == 0
+        assert "purged" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cache", "gc"])
+
+
+class TestProgressFlag:
+    def test_progress_lines_reach_stderr(self, capsys):
+        from repro.runners import clear_run_caches
+
+        clear_run_caches()
+        assert main(["run", "fig07", "--no-cache", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "campaign progress:" in err
+        assert "computed)" in err
+
+    def test_without_flag_no_progress_lines(self, capsys):
+        assert main(["run", "fig07", "--no-cache"]) == 0
+        assert "campaign progress:" not in capsys.readouterr().err
+
+
 class TestExecutionFlags:
     def test_jobs_flag_runs_parallel(self, capsys):
         assert main(["run", "fig07", "--jobs", "2"]) == 0
