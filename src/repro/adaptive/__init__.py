@@ -14,6 +14,15 @@ replacement for :class:`~repro.core.pbbf.PBBFAgent` that observes exactly
 what a node can observe (receptions, duplicates, sequence-number gaps) and
 nudges p and q once per sleep decision.  No MAC changes are needed, which
 is itself evidence for the paper's layering claim.
+
+Where should the controller settle?  Remark 1 gives the *feasible* region
+(the minimum q per p for a reliability level); the trade-off subsystem
+names the *desirable* point on it — the max-curvature knee of the static
+frontier (:func:`repro.analysis.selectors.knee_point`).  The ``pareto02``
+figure overlays this controller's operating points on that frontier: a
+well-tuned policy should land at (or inside) the knee's neighbourhood,
+delivering equal reliability at lower energy than the static points it
+started from.
 """
 
 from repro.adaptive.controller import AdaptivePBBFAgent, AdaptivePolicy

@@ -17,12 +17,14 @@ decision — i.e. once per frame, the protocol's natural control interval.
 
 from __future__ import annotations
 
+import json
 import random
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro.core.params import PBBFParams
 from repro.core.pbbf import ForwardingDecision, PBBFAgent, SleepDecision
+from repro.util.canonical import canonical_json
 from repro.util.validation import check_non_negative, check_probability
 
 
@@ -35,7 +37,12 @@ class AdaptivePolicy:
     p_min / p_max / q_min / q_max:
         Clamps on the adapted parameters.  Keep ``q_min`` at or above the
         Remark 1 frontier for the chosen ``p_max`` if reliability must
-        never be sacrificed.
+        never be sacrificed.  Remark 1 describes that frontier pointwise;
+        the knee-point selector
+        (:func:`repro.analysis.selectors.knee_point`) names the spot on
+        it a well-tuned controller should hover around — the ``pareto02``
+        figure overlays this controller's operating points on the static
+        (p, q) frontier to check exactly that.
     p_step / q_step:
         Additive adjustment per window.
     activity_target:
@@ -67,6 +74,36 @@ class AdaptivePolicy:
             raise ValueError(f"p_min ({self.p_min}) > p_max ({self.p_max})")
         if self.q_min > self.q_max:
             raise ValueError(f"q_min ({self.q_min}) > q_max ({self.q_max})")
+
+    @property
+    def token(self) -> str:
+        """Canonical JSON of the policy's fields.
+
+        Campaigns sweep adaptive controllers by carrying this token as a
+        plain string parameter value (the same pattern as
+        :attr:`repro.scenarios.ScenarioSpec.token`), so policies hash,
+        seed-fold, pickle and disk-cache like any scalar axis.
+        """
+        return canonical_json(asdict(self))
+
+    @classmethod
+    def from_token(cls, token: str) -> "AdaptivePolicy":
+        """Rebuild a policy from its canonical token (validating fields)."""
+        try:
+            payload = json.loads(token)
+        except ValueError as exc:
+            raise ValueError(f"invalid adaptive-policy token: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"adaptive-policy token must encode an object, got {token!r}"
+            )
+        known = {field for field in cls.__dataclass_fields__}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"adaptive-policy token has unknown fields {sorted(unknown)}"
+            )
+        return cls(**payload)
 
 
 class AdaptivePBBFAgent(PBBFAgent):

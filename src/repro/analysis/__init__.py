@@ -16,6 +16,24 @@ Note on Eq. 12: the paper's printed equation has a sign error (see
 DESIGN.md, "Known paper erratum").  :func:`relative_energy_for_latency`
 implements the corrected form, and the test suite pins it to Eqs. 8-9 by
 round-trip substitution.
+
+On top of the closed forms sits the **trade-off analysis subsystem** —
+the layer that *interprets* campaign results instead of producing them:
+
+* :mod:`repro.analysis.objectives` — named/oriented objectives,
+  epsilon-constraints and seed-averaged operating points with
+  deterministic bootstrap confidence intervals;
+* :mod:`repro.analysis.pareto` — dominated-point pruning into a
+  :class:`Frontier` with deterministic tie-breaking;
+* :mod:`repro.analysis.selectors` — knee-point (max-curvature) and
+  epsilon-constraint operating-point selection;
+* :mod:`repro.analysis.denomination` — frontier energies re-denominated
+  as battery-days through :mod:`repro.energy.lifetime`;
+* :mod:`repro.analysis.compare` — hypervolume and two-set coverage
+  across scenario families or controller variants.
+
+The ``pareto01``-``pareto03`` figures and the ``pbbf-experiments
+pareto`` CLI subcommand are the packaged entry points.
 """
 
 from repro.analysis.equations import (
@@ -33,10 +51,54 @@ from repro.analysis.equations import (
     relative_energy_original,
     relative_energy_pbbf,
 )
+from repro.analysis.bootstrap import bootstrap_ci95, bootstrap_mean_samples
+from repro.analysis.compare import (
+    FrontierComparison,
+    FrontierSummary,
+    compare_frontiers,
+    coverage_fraction,
+    frontier_weakly_dominates,
+    hypervolume,
+    shared_reference,
+)
+from repro.analysis.denomination import lifetime_days_metric, lifetime_objective
+from repro.analysis.objectives import (
+    Constraint,
+    Objective,
+    OperatingPoint,
+    operating_points,
+)
+from repro.analysis.pareto import Frontier, dominates, pareto_frontier
+from repro.analysis.selectors import (
+    epsilon_constraint_index,
+    knee_index,
+    knee_point,
+)
 from repro.analysis.stretch import ExponentFit, fit_power_law, stretch_exponent
 from repro.analysis.tradeoff import TradeoffPoint, energy_latency_curve
 
 __all__ = [
+    "Constraint",
+    "Frontier",
+    "FrontierComparison",
+    "FrontierSummary",
+    "Objective",
+    "OperatingPoint",
+    "bootstrap_ci95",
+    "bootstrap_mean_samples",
+    "compare_frontiers",
+    "coverage_fraction",
+    "dominates",
+    "epsilon_constraint_index",
+    "frontier_weakly_dominates",
+    "hypervolume",
+    "knee_index",
+    "knee_point",
+    "lifetime_days_metric",
+    "lifetime_objective",
+    "operating_points",
+    "pareto_frontier",
+    "shared_reference",
     "ExponentFit",
     "LOOP_ERASED_WALK_EXPONENT",
     "TradeoffPoint",

@@ -1,0 +1,179 @@
+"""Cross-frontier comparison: hypervolume and frontier-shift summaries.
+
+Once every scenario family (or controller variant) has its own frontier,
+the questions become comparative: which family's trade-off curve encloses
+more of objective space, and does one frontier *dominate* another —
+Klonowski & Pajak's time-vs-energy comparison, and this repo's
+adaptive-vs-static question (pareto02), made quantitative.
+
+All comparisons happen in oriented (smaller-is-better) space against a
+shared reference point, so mixed-sense objective pairs (latency-min vs
+battery-days-max) compare correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.pareto import Frontier
+
+
+def shared_reference(
+    frontiers: Sequence[Frontier], margin: float = 0.05
+) -> Tuple[float, ...]:
+    """A reference point weakly dominated by every point of every frontier.
+
+    The nadir (per-objective worst) across all frontiers, pushed out by
+    ``margin`` of each objective's observed span (so boundary points
+    still enclose positive volume).  Deterministic given the frontiers.
+    """
+    if not frontiers:
+        raise ValueError("shared_reference() needs at least one frontier")
+    n_objectives = len(frontiers[0].objectives)
+    for frontier in frontiers:
+        if len(frontier.objectives) != n_objectives:
+            raise ValueError("frontiers have mismatched objective counts")
+    vectors = [vec for frontier in frontiers for vec in frontier.oriented()]
+    if not vectors:
+        raise ValueError("shared_reference() over empty frontiers")
+    reference = []
+    for j in range(n_objectives):
+        worst = max(vec[j] for vec in vectors)
+        best = min(vec[j] for vec in vectors)
+        span = worst - best
+        reference.append(worst + (span if span > 0.0 else abs(worst) or 1.0) * margin)
+    return tuple(reference)
+
+
+def hypervolume(frontier: Frontier, reference: Sequence[float]) -> float:
+    """Area of objective space the frontier dominates, up to ``reference``.
+
+    Two-objective exact sweep: points sorted ascending in the first
+    oriented objective contribute disjoint strips between consecutive
+    x-coordinates.  Points not dominating the reference contribute
+    nothing (clipped, not an error), so one shared reference can score
+    frontiers of very different quality.
+    """
+    if len(frontier.objectives) != 2:
+        raise ValueError(
+            f"hypervolume is implemented for 2 objectives, "
+            f"got {len(frontier.objectives)}"
+        )
+    rx, ry = reference
+    vectors = [vec for vec in frontier.oriented() if vec[0] <= rx and vec[1] <= ry]
+    if not vectors:
+        return 0.0
+    vectors.sort()
+    area = 0.0
+    best_y = ry
+    for index, (x, y) in enumerate(vectors):
+        next_x = vectors[index + 1][0] if index + 1 < len(vectors) else rx
+        best_y = min(best_y, y)
+        area += max(0.0, min(next_x, rx) - x) * max(0.0, ry - best_y)
+    return area
+
+
+def coverage_fraction(a: Frontier, b: Frontier, tolerance: float = 0.0) -> float:
+    """Fraction of ``b``'s points weakly dominated by some point of ``a``.
+
+    Zitzler's two-set coverage C(a, b): 1.0 means frontier ``a`` matches
+    or beats every operating point ``b`` offers; ``tolerance`` (in
+    oriented objective units) absorbs metric noise when comparing
+    finite-seed estimates.
+    """
+    if not b.points:
+        return 1.0
+    a_vectors = a.oriented()
+    covered = 0
+    for vector in b.oriented():
+        relaxed = tuple(value + tolerance for value in vector)
+        if any(
+            all(c <= r for c, r in zip(candidate, relaxed))
+            for candidate in a_vectors
+        ):
+            covered += 1
+    return covered / len(b.points)
+
+
+def frontier_weakly_dominates(
+    a: Frontier, b: Frontier, tolerance: float = 0.0
+) -> bool:
+    """Whether ``a`` matches-or-beats *every* point of ``b`` (pareto02's claim)."""
+    return coverage_fraction(a, b, tolerance) == 1.0
+
+
+@dataclass(frozen=True)
+class FrontierSummary:
+    """One frontier's scorecard within a comparison."""
+
+    name: str
+    n_points: int
+    n_dominated: int
+    hypervolume: float
+    knee_label: str
+    knee_values: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class FrontierComparison:
+    """Hypervolume scores and pairwise coverage across named frontiers."""
+
+    reference: Tuple[float, ...]
+    summaries: Tuple[FrontierSummary, ...]
+    #: ``coverage[(a, b)]`` = fraction of b's points a weakly dominates.
+    coverage: Mapping[Tuple[str, str], float]
+
+    def summary(self, name: str) -> FrontierSummary:
+        """Look up one frontier's scorecard by name."""
+        for entry in self.summaries:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"no frontier named {name!r}")
+
+    def best_by_hypervolume(self) -> FrontierSummary:
+        """The summary with the largest hypervolume (name-ordered ties)."""
+        return max(self.summaries, key=lambda s: (s.hypervolume, s.name))
+
+
+def compare_frontiers(
+    frontiers: Mapping[str, Frontier],
+    reference: Optional[Sequence[float]] = None,
+    tolerance: float = 0.0,
+) -> FrontierComparison:
+    """Score every named frontier against the others.
+
+    Names iterate in sorted order, so the comparison is deterministic
+    regardless of mapping insertion order.
+    """
+    from repro.analysis.selectors import knee_index
+
+    if not frontiers:
+        raise ValueError("compare_frontiers() needs at least one frontier")
+    names = sorted(frontiers)
+    ordered = [frontiers[name] for name in names]
+    ref = tuple(reference) if reference is not None else shared_reference(ordered)
+    summaries = []
+    for name in names:
+        frontier = frontiers[name]
+        knee = frontier.points[knee_index(frontier)]
+        summaries.append(
+            FrontierSummary(
+                name=name,
+                n_points=len(frontier.points),
+                n_dominated=frontier.n_dominated,
+                hypervolume=hypervolume(frontier, ref),
+                knee_label=knee.label,
+                knee_values=knee.values,
+            )
+        )
+    coverage: Dict[Tuple[str, str], float] = {}
+    for a in names:
+        for b in names:
+            if a != b:
+                coverage[(a, b)] = coverage_fraction(
+                    frontiers[a], frontiers[b], tolerance
+                )
+    return FrontierComparison(
+        reference=ref, summaries=tuple(summaries), coverage=coverage
+    )

@@ -1,0 +1,76 @@
+"""Lifetime denomination: frontiers in battery-days instead of joules.
+
+The paper's opening motivation is deployment lifetime ("a few weeks on a
+pair of AA batteries"), and Lipinski's maximum-lifetime broadcasting
+frames the whole trade-off in that unit.  This module re-denominates an
+energy objective (joules per update per node, the Figure 8/13 y-axis)
+through :mod:`repro.energy.lifetime` so frontier tables and figures read
+in projected battery-days — the number a deployment planner actually
+compares against a maintenance schedule.
+
+The mapping ``days = battery / (J_per_update / update_interval) / 86400``
+is strictly decreasing in energy, so re-denominating *per seed* and
+re-averaging preserves which points are Pareto-optimal in the continuous
+sense while reporting honest means in the new unit (the mean of
+transformed samples, not the transformed mean).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.analysis.objectives import MetricFn, Objective
+from repro.energy.lifetime import AA_PAIR_JOULES, lifetime_from_joules_per_update
+
+
+def lifetime_days_metric(
+    energy_metric: MetricFn,
+    update_interval_s: float,
+    battery_joules: float = AA_PAIR_JOULES,
+) -> MetricFn:
+    """Wrap a joules-per-update metric into projected battery-days.
+
+    ``None`` propagates (a run with no defined energy has no defined
+    lifetime); non-positive energies (an idle node whose accounting
+    rounds to zero) also map to ``None`` rather than an infinite
+    lifetime, so they drop out of means the same way undefined latencies
+    do.
+    """
+
+    def metric(bundle: Any) -> Optional[float]:
+        joules = energy_metric(bundle)
+        if joules is None or joules <= 0.0:
+            return None
+        return lifetime_from_joules_per_update(
+            joules, update_interval_s, battery_joules
+        ).days
+
+    return metric
+
+
+def lifetime_objective(
+    energy_objective: Objective,
+    update_interval_s: float,
+    battery_joules: float = AA_PAIR_JOULES,
+    name: str = "lifetime",
+    label: str = "projected lifetime (battery-days)",
+) -> Objective:
+    """The battery-days counterpart of a joules-per-update objective.
+
+    The sense flips to ``"max"``: minimising joules is maximising days.
+    Use this objective when *extracting* operating points so that means
+    and bootstrap intervals are computed in the reported unit.
+    """
+    if energy_objective.sense != "min":
+        raise ValueError(
+            "lifetime denomination expects a minimised energy objective, "
+            f"got sense={energy_objective.sense!r}"
+        )
+    return Objective(
+        name=name,
+        label=label,
+        metric=lifetime_days_metric(
+            energy_objective.metric, update_interval_s, battery_joules
+        ),
+        sense="max",
+    )

@@ -1,0 +1,107 @@
+"""Pareto-frontier extraction with deterministic tie-breaking.
+
+A point *dominates* another when it is at least as good on every
+objective (after orienting each so smaller is better) and strictly
+better on at least one.  The frontier is the non-dominated subset, and
+the paper's Figure 12 is exactly this structure: the set of (p, q)
+operating points where energy cannot improve without latency paying.
+
+Determinism contract: the frontier's point *order* (ascending first
+objective, then remaining objectives, then the canonical parameter
+token) and its membership under exact value ties (duplicate objective
+vectors collapse onto the token-smallest point) depend only on point
+content — golden tests pin frontiers across serial, process-pool and
+warm-cache executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.objectives import Objective, OperatingPoint
+
+
+def oriented_values(point: OperatingPoint, objectives: Sequence[Objective]) -> Tuple[float, ...]:
+    """The point's objective vector mapped so smaller is always better."""
+    return tuple(
+        objective.oriented(value) for objective, value in zip(objectives, point.values)
+    )
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether oriented vector ``a`` Pareto-dominates oriented vector ``b``."""
+    if len(a) != len(b):
+        raise ValueError(f"objective counts differ: {len(a)} vs {len(b)}")
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+@dataclass(frozen=True)
+class Frontier:
+    """A non-dominated point set over a fixed objective pair (or tuple)."""
+
+    objectives: Tuple[Objective, ...]
+    #: Non-dominated points, ascending in the first oriented objective.
+    points: Tuple[OperatingPoint, ...]
+    #: How many candidate points were pruned as dominated / duplicated.
+    n_dominated: int
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def oriented(self) -> List[Tuple[float, ...]]:
+        """Every frontier point's oriented objective vector, in order."""
+        return [oriented_values(point, self.objectives) for point in self.points]
+
+    def labels(self) -> List[str]:
+        """Frontier point labels, in frontier order."""
+        return [point.label for point in self.points]
+
+
+def pareto_frontier(
+    points: Sequence[OperatingPoint],
+    objectives: Sequence[Objective],
+) -> Frontier:
+    """Prune ``points`` to the non-dominated frontier.
+
+    The scan sorts candidates by (oriented values, params token) first,
+    so exact-duplicate objective vectors deterministically collapse onto
+    the token-smallest point and the surviving order never depends on
+    input enumeration order.  O(n^2) pairwise pruning — frontier sizes
+    here are campaign grids (tens to low thousands of points), where the
+    simple scan beats fancier divide-and-conquer overhead.
+    """
+    objectives = tuple(objectives)
+    if not objectives:
+        raise ValueError("pareto_frontier() needs at least one objective")
+    for point in points:
+        if len(point.values) != len(objectives):
+            raise ValueError(
+                f"point {point.label!r} has {len(point.values)} objective "
+                f"values for {len(objectives)} objectives"
+            )
+    decorated = sorted(
+        ((oriented_values(pt, objectives), pt.token, pt) for pt in points),
+        key=lambda entry: entry[:2],
+    )
+    survivors: List[OperatingPoint] = []
+    survivor_vectors: List[Tuple[float, ...]] = []
+    seen_vectors = set()
+    for vector, _, candidate in decorated:
+        if vector in seen_vectors:
+            continue  # exact tie: token-smallest already kept
+        if any(dominates(keeper, vector) for keeper in survivor_vectors):
+            continue
+        # Sorted order guarantees no later candidate dominates an earlier
+        # survivor on the first objective; ties on it are resolved by the
+        # remaining coordinates, so a full reverse sweep is still needed
+        # only against equal-first-coordinate survivors — which the
+        # dominance check above already covers because they sort earlier.
+        seen_vectors.add(vector)
+        survivors.append(candidate)
+        survivor_vectors.append(vector)
+    return Frontier(
+        objectives=objectives,
+        points=tuple(survivors),
+        n_dominated=len(points) - len(survivors),
+    )

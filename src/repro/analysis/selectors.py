@@ -1,0 +1,129 @@
+"""Operating-point selection on a Pareto frontier.
+
+Two selectors, matching how the paper's results get *used*:
+
+* **knee point** — the max-curvature elbow of the trade-off curve, found
+  as the frontier point farthest from the chord between the frontier's
+  endpoints in min-max-normalised objective space (the discrete
+  "kneedle" criterion).  This is where Figure 12's curve stops paying:
+  past the knee, buying more latency reduction costs disproportionate
+  energy.  Remark 1's frontier discussion in :mod:`repro.adaptive`
+  motivates the same point as the natural static target an adaptive
+  controller should hover around.
+* **epsilon-constraint** — "the cheapest point with latency below X":
+  bound one objective, optimise the other.  This is the deployment
+  planner's query (meet a latency SLO at minimum energy, or maximise
+  battery life subject to a delivery floor).
+
+Both return frontier *indices* with deterministic tie-breaking (lowest
+index wins, and frontier order is itself content-deterministic), so
+selections are reproducible across backends and cached replays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.analysis.objectives import Objective, OperatingPoint
+from repro.analysis.pareto import Frontier
+
+
+def _normalised(frontier: Frontier) -> Sequence[Tuple[float, ...]]:
+    """Oriented objective vectors min-max scaled to [0, 1] per objective.
+
+    Degenerate objectives (every frontier point equal) scale to 0.0, so
+    they contribute nothing to distances — the knee then falls back to
+    the remaining objectives.
+    """
+    oriented = frontier.oriented()
+    n_objectives = len(frontier.objectives)
+    lows = [min(vec[j] for vec in oriented) for j in range(n_objectives)]
+    highs = [max(vec[j] for vec in oriented) for j in range(n_objectives)]
+    scaled = []
+    for vec in oriented:
+        row = []
+        for j, value in enumerate(vec):
+            span = highs[j] - lows[j]
+            row.append((value - lows[j]) / span if span > 0.0 else 0.0)
+        scaled.append(tuple(row))
+    return scaled
+
+
+def knee_index(frontier: Frontier) -> int:
+    """Index of the frontier's knee (max distance to the endpoint chord).
+
+    Defined for two-objective frontiers.  Frontiers with fewer than three
+    points have no interior curvature, so there is nothing to select: the
+    first frontier point (lowest first oriented objective, itself a
+    content-deterministic order) is returned.
+    """
+    if len(frontier.objectives) != 2:
+        raise ValueError(
+            f"knee selection is defined for 2 objectives, "
+            f"got {len(frontier.objectives)}"
+        )
+    if not frontier.points:
+        raise ValueError("knee_index() of an empty frontier")
+    if len(frontier.points) < 3:
+        return 0
+    scaled = _normalised(frontier)
+    first, last = scaled[0], scaled[-1]
+    chord_x = last[0] - first[0]
+    chord_y = last[1] - first[1]
+    chord_len = math.hypot(chord_x, chord_y)
+    if chord_len == 0.0:
+        return 0
+    best_index = 0
+    best_distance = -1.0
+    for index, (x, y) in enumerate(scaled):
+        # Perpendicular distance from the chord through the endpoints.
+        distance = abs(
+            chord_x * (first[1] - y) - (first[0] - x) * chord_y
+        ) / chord_len
+        if distance > best_distance + 1e-15:
+            best_distance = distance
+            best_index = index
+    return best_index
+
+
+def knee_point(frontier: Frontier) -> OperatingPoint:
+    """The frontier's knee-point (see :func:`knee_index`)."""
+    return frontier.points[knee_index(frontier)]
+
+
+def epsilon_constraint_index(
+    frontier: Frontier,
+    bounded: Objective,
+    bound: float,
+) -> Optional[int]:
+    """Best frontier point subject to ``bounded`` meeting ``bound``.
+
+    The bound is read in the objective's own units and orientation: a
+    ``min`` objective must come in at or below ``bound``, a ``max``
+    objective at or above it.  Among feasible points the selector
+    optimises the *other* objectives lexicographically in frontier-oriented
+    order; returns ``None`` when no frontier point is feasible.
+    """
+    try:
+        bounded_index = next(
+            j for j, obj in enumerate(frontier.objectives) if obj.name == bounded.name
+        )
+    except StopIteration:
+        raise ValueError(
+            f"objective {bounded.name!r} is not on this frontier "
+            f"({[o.name for o in frontier.objectives]})"
+        ) from None
+    oriented_bound = bounded.oriented(bound)
+    best: Optional[int] = None
+    best_key: Optional[Tuple[float, ...]] = None
+    for index, vector in enumerate(frontier.oriented()):
+        if vector[bounded_index] > oriented_bound:
+            continue
+        key = tuple(
+            value for j, value in enumerate(vector) if j != bounded_index
+        )
+        if best_key is None or key < best_key:
+            best = index
+            best_key = key
+    return best

@@ -9,6 +9,10 @@ Usage::
                              [--jobs N] [--cache-dir DIR] [--no-cache]
     pbbf-experiments cache stats [--cache-dir DIR]
     pbbf-experiments cache purge [--cache-dir DIR]
+                                 [--max-age-days N] [--max-size-mb M]
+    pbbf-experiments pareto [--scale fast|full] [--family grid]
+                            [--coverage 0.9] [--lifetime]
+                            [--latency-budget S]
 
 (Equivalently: ``python -m repro.cli ...``.)
 
@@ -89,10 +93,39 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cache.add_argument("action", choices=("stats", "purge"),
                        help="stats: entry counts and sizes; "
-                            "purge: delete every stored entry")
+                            "purge: delete stored entries (all of them, "
+                            "or by age/size with the flags below)")
     cache.add_argument("--cache-dir", default=None,
                        help="cache directory to operate on "
                             "(default ~/.cache/repro or $REPRO_CACHE_DIR)")
+    cache.add_argument("--max-age-days", type=float, default=None,
+                       help="purge only: evict entries older than this "
+                            "many days (by file modification time)")
+    cache.add_argument("--max-size-mb", type=float, default=None,
+                       help="purge only: evict oldest entries until the "
+                            "cache fits this many megabytes")
+
+    pareto = sub.add_parser(
+        "pareto",
+        help="extract the energy-latency Pareto frontier from a campaign "
+             "and select operating points",
+    )
+    pareto.add_argument("--scale", type=_scale_from_name, default=Scale.fast(),
+                        help="fast (default) or full (paper scale)")
+    pareto.add_argument("--family", default="grid",
+                        help="scenario family to analyse (default grid; "
+                             "see `pbbf-experiments scenarios`)")
+    pareto.add_argument("--coverage", type=float, default=None,
+                        help="reliability floor on mean coverage "
+                             "(default: the scale's pareto_coverage)")
+    pareto.add_argument("--lifetime", action="store_true",
+                        help="denominate energy as projected battery-days "
+                             "(AA pair) instead of joules per update")
+    pareto.add_argument("--latency-budget", type=float, default=None,
+                        help="also report the cheapest operating point "
+                             "with per-hop latency at or below this bound "
+                             "(seconds; epsilon-constraint selection)")
+    _add_execution_flags(pareto)
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment_id", help="e.g. fig08, table1")
@@ -132,6 +165,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     ):
         if args.command == "run":
             return _run_one(args)
+        if args.command == "pareto":
+            return _run_pareto(args)
         return _run_all(args)
 
 
@@ -198,8 +233,123 @@ def _run_cache(args: argparse.Namespace) -> int:
         for kind, count in stats.by_kind:
             print(f"  {kind:12s} {count}")
         return 0
-    removed = store.purge()
-    print(f"purged {removed} cache entries from {store.root}")
+    if args.max_age_days is not None and args.max_age_days < 0:
+        print("--max-age-days must be >= 0", file=sys.stderr)
+        return 2
+    if args.max_size_mb is not None and args.max_size_mb < 0:
+        print("--max-size-mb must be >= 0", file=sys.stderr)
+        return 2
+    removed = store.purge(
+        max_age_days=args.max_age_days, max_size_mb=args.max_size_mb
+    )
+    criteria = []
+    if args.max_age_days is not None:
+        criteria.append(f"older than {args.max_age_days:g} days")
+    if args.max_size_mb is not None:
+        criteria.append(f"shrunk to {args.max_size_mb:g} MiB")
+    suffix = f" ({', '.join(criteria)})" if criteria else ""
+    print(f"purged {removed} cache entries from {store.root}{suffix}")
+    return 0
+
+
+def _run_pareto(args: argparse.Namespace) -> int:
+    """The ``pareto`` subcommand: frontier + operating-point selection.
+
+    Runs (or reuses from cache) the pareto01 family campaign for one
+    scenario family, prints its non-dominated operating points with
+    bootstrap confidence intervals, marks the knee, and optionally
+    re-denominates energy in battery-days or applies a latency budget.
+    """
+    from dataclasses import replace
+
+    from repro.analysis import (
+        epsilon_constraint_index,
+        operating_points,
+        pareto_frontier,
+    )
+    from repro.experiments.pareto_figures import (
+        coverage_constraint,
+        energy_objective,
+        frontier_table,
+        hop_latency_objective,
+        lifetime_objective,
+        pareto_family_panel,
+        static_frontier_campaign,
+    )
+    from repro.ideal.config import AnalysisParameters
+    from repro.runners import run_campaign
+
+    scale = args.scale
+    if args.family not in scale.pareto_families:
+        scale = replace(scale, pareto_families=(args.family,))
+    panel = dict(pareto_family_panel(scale))
+    spec = panel[args.family]
+
+    latency = hop_latency_objective()
+    if args.lifetime:
+        second = lifetime_objective(
+            energy_objective(), AnalysisParameters().update_interval
+        )
+    else:
+        second = energy_objective()
+    objectives = (latency, second)
+    constraint = coverage_constraint(scale)
+    if args.coverage is not None:
+        constraint = replace(constraint, bound=args.coverage)
+
+    started = time.perf_counter()
+    campaign = run_campaign(static_frontier_campaign(scale))
+    token = spec.token
+    points = operating_points(
+        campaign,
+        objectives,
+        constraints=(constraint,),
+        where=lambda params: params.get("scenario") == token,
+        n_resamples=scale.bootstrap_resamples,
+    )
+    frontier = pareto_frontier(points, objectives)
+    elapsed = time.perf_counter() - started
+
+    print(
+        f"pareto frontier for family {args.family!r} "
+        f"({latency.label} vs {second.label}, "
+        f"coverage >= {constraint.bound:g}):"
+    )
+    if not frontier.points:
+        print("  no operating point met the coverage floor at this scale")
+        print(f"  ({elapsed:.1f}s at scale={scale.name})")
+        return 1
+    from repro.experiments.report import aligned_table
+
+    header, rows = frontier_table({args.family: frontier})
+    for line in aligned_table(header, rows):
+        print(line)
+    # The knee is whatever frontier_table starred — one selection, one
+    # source of truth for both the table marker and this summary line.
+    knee_row = next(row for row in rows if row[0] == "*")
+    print(
+        f"  knee: {knee_row[2]} at {latency.label}={knee_row[3]}, "
+        f"{second.label}={knee_row[5]}"
+    )
+    print(
+        f"  pruned {frontier.n_dominated} dominated/duplicate of "
+        f"{len(points)} feasible points"
+    )
+    if args.latency_budget is not None:
+        index = epsilon_constraint_index(frontier, latency, args.latency_budget)
+        if index is None:
+            print(
+                f"  no frontier point meets latency <= "
+                f"{args.latency_budget:g}s"
+            )
+        else:
+            chosen = frontier.points[index]
+            print(
+                f"  within latency <= {args.latency_budget:g}s: "
+                f"{chosen.label} at {latency.label}={chosen.values[0]:.4g}, "
+                f"{second.label}={chosen.values[1]:.4g}"
+            )
+    print(f"  ({elapsed:.1f}s at scale={scale.name})")
     return 0
 
 

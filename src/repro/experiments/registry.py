@@ -7,8 +7,10 @@ from typing import Dict, List
 from repro.experiments import (
     detailed_figures,
     ideal_figures,
+    pareto_figures,
     percolation_figures,
     scenario_figures,
+    sched_figures,
     tables,
 )
 from repro.experiments.spec import ExperimentSpec
@@ -147,6 +149,34 @@ _register(ExperimentSpec(
     section="ext",
     expectation="Coverage degrades gracefully, then collapses past percolation.",
     runner=scenario_figures.run_scen01,
+))
+_register(ExperimentSpec(
+    experiment_id="pareto01",
+    title="Static (p, q) energy-latency frontier per family",
+    section="ext",
+    expectation="Non-dominated points trace Fig 12's inverse relationship.",
+    runner=pareto_figures.run_pareto01,
+))
+_register(ExperimentSpec(
+    experiment_id="pareto02",
+    title="Adaptive controller vs static (p, q) frontier",
+    section="ext",
+    expectation="Adaptive frontier matches or dominates the static sweep.",
+    runner=pareto_figures.run_pareto02,
+))
+_register(ExperimentSpec(
+    experiment_id="pareto03",
+    title="Deployment lifetime vs latency frontier",
+    section="ext",
+    expectation="Battery-days fall as per-hop latency is pushed down.",
+    runner=pareto_figures.run_pareto03,
+))
+_register(ExperimentSpec(
+    experiment_id="sched01",
+    title="Scheduler portability under reception loss",
+    section="ext",
+    expectation="All schedulers degrade gracefully; T-MAC cheapest.",
+    runner=sched_figures.run_sched01,
 ))
 _register(ExperimentSpec(
     experiment_id="scen02",

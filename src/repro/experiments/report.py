@@ -7,7 +7,7 @@ render as aligned text tables — one row per x value, one column per series
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.experiments.spec import ExperimentResult
 
@@ -18,6 +18,37 @@ def _format_cell(value: Optional[float]) -> str:
     if value == int(value) and abs(value) < 1e6:
         return f"{int(value)}"
     return f"{value:.4g}"
+
+
+def aligned_table(
+    header: Sequence[str], rows: Sequence[Sequence[str]], indent: str = "  "
+) -> List[str]:
+    """Column-aligned lines: left-justified header, right-justified cells.
+
+    The one table layout every surface shares — the figure series tables,
+    the frontier blocks and the ``pareto`` CLI all render through here, so
+    a formatting change propagates everywhere at once.
+    """
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows)) if rows else len(header[col])
+        for col in range(len(header))
+    ]
+    lines = [indent + "  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    for row in rows:
+        lines.append(indent + "  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return lines
+
+
+def _render_frontier(result: ExperimentResult, lines: List[str]) -> None:
+    """Append the frontier table: one aligned row per non-dominated point.
+
+    The knee row arrives marked with ``*`` in its first cell (the
+    selector's choice).
+    """
+    lines.append("  frontier (non-dominated operating points; * = knee):")
+    lines.extend(
+        aligned_table(result.frontier_header, result.frontier_rows, indent="    ")
+    )
 
 
 def render_result(result: ExperimentResult) -> str:
@@ -41,14 +72,10 @@ def render_result(result: ExperimentResult) -> str:
             ]
             for x in xs
         ]
-        widths = [
-            max(len(header[col]), *(len(row[col]) for row in rows)) if rows else len(header[col])
-            for col in range(len(header))
-        ]
-        lines.append("  " + "  ".join(h.ljust(w) for h, w in zip(header, widths)))
-        for row in rows:
-            lines.append("  " + "  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        lines.extend(aligned_table(header, rows))
         lines.append(f"  (y = {result.y_label})")
+    if result.frontier_header:
+        _render_frontier(result, lines)
     if result.notes:
         for note in result.notes:
             lines.append(f"  note: {note}")

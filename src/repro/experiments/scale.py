@@ -65,6 +65,35 @@ class Scale:
     #: Forwarding probability fixed for scen02's per-family q sweep.
     scenario_p: float = 0.75
 
+    # -- trade-off analysis figures (pareto01-03) --------------------------
+    #: Grid side of the ideal-simulator frontier campaigns.
+    pareto_side: int = 10
+    pareto_n_broadcasts: int = 4
+    #: Independent seeds per frontier point (bootstrap CIs resample these).
+    pareto_seeds: int = 2
+    #: The static (p, q) grid swept into frontier candidates.
+    pareto_p_values: Tuple[float, ...] = (0.25, 0.5, 0.75)
+    pareto_q_values: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
+    #: Scenario families compared by pareto01/pareto03 (registry names).
+    pareto_families: Tuple[str, ...] = ("grid", "torus")
+    #: Reliability floor (mean coverage) a point must meet to enter the
+    #: ideal-simulator frontiers.
+    pareto_coverage: float = 0.85
+    #: Delivery floor (mean updates-received fraction) for the detailed
+    #: adaptive-vs-static frontier (pareto02).
+    pareto_delivery: float = 0.8
+    #: Adaptive-controller starting q values swept by pareto02.
+    pareto_adaptive_q0_values: Tuple[float, ...] = (0.2, 0.5)
+    #: Bootstrap resamples per (point, objective) confidence interval.
+    bootstrap_resamples: int = 200
+
+    # -- scheduler-portability figure (sched01) ----------------------------
+    #: Per-reception loss probabilities swept on the detailed simulator.
+    sched_loss_values: Tuple[float, ...] = (0.0, 0.15, 0.3)
+    #: Operating point fixed for the scheduler sweep.
+    sched_p: float = 0.25
+    sched_q: float = 0.5
+
     @classmethod
     def full(cls) -> "Scale":
         """The paper's configuration (minutes per figure)."""
@@ -93,6 +122,19 @@ class Scale:
             scenario_p_values=(0.05, 0.25, 0.5),
             scenario_q=0.6,
             scenario_p=0.75,
+            pareto_side=30,
+            pareto_n_broadcasts=30,
+            pareto_seeds=5,
+            pareto_p_values=(0.05, 0.25, 0.375, 0.5, 0.75),
+            pareto_q_values=tuple(round(0.1 * i, 1) for i in range(1, 11)),
+            pareto_families=("grid", "torus", "random"),
+            pareto_coverage=0.9,
+            pareto_delivery=0.85,
+            pareto_adaptive_q0_values=(0.1, 0.3, 0.5),
+            bootstrap_resamples=1000,
+            sched_loss_values=(0.0, 0.1, 0.2, 0.3),
+            sched_p=0.25,
+            sched_q=0.5,
         )
 
     @classmethod
@@ -123,6 +165,19 @@ class Scale:
             scenario_p_values=(0.1, 0.5),
             scenario_q=0.6,
             scenario_p=0.75,
+            pareto_side=13,
+            pareto_n_broadcasts=8,
+            pareto_seeds=2,
+            pareto_p_values=(0.25, 0.5, 0.75),
+            pareto_q_values=(0.2, 0.4, 0.6, 0.8, 1.0),
+            pareto_families=("grid", "torus"),
+            pareto_coverage=0.85,
+            pareto_delivery=0.8,
+            pareto_adaptive_q0_values=(0.25, 0.5),
+            bootstrap_resamples=200,
+            sched_loss_values=(0.0, 0.15, 0.3),
+            sched_p=0.25,
+            sched_q=0.5,
         )
 
     def seed_for(self, *labels: object) -> int:

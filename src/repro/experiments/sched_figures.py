@@ -1,0 +1,107 @@
+"""Scheduler-portability figure: PBBF across sleep schedulers under loss.
+
+PR 3 exposed ``scheduler`` and ``loss_probability`` as detailed-simulator
+campaign axes; **sched01** is the first figure to sweep them.  It runs
+one fixed PBBF operating point over every supported sleep scheduler
+(802.11 PSM, S-MAC, T-MAC) while raising the per-reception loss
+probability — the paper's "PBBF works with any sleep scheduling
+protocol" claim, stress-tested under the channel conditions a real
+deployment sees.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.detailed_figures import _DEFAULT_DENSITY
+from repro.experiments.scale import Scale
+from repro.experiments.spec import ExperimentResult, Series
+from repro.ideal.simulator import SchedulingMode
+from repro.runners import CampaignSpec, run_campaign
+
+#: The detailed schedulers PBBF is carried by (see repro.mac).
+SCHEDULERS = ("psm", "smac", "tmac")
+
+
+def scheduler_campaign(scale: Scale) -> CampaignSpec:
+    """The sched01 sweep: scheduler x loss probability at fixed (p, q)."""
+    return CampaignSpec.build(
+        kind="detailed",
+        axes={
+            "scheduler": SCHEDULERS,
+            "loss_probability": scale.sched_loss_values,
+        },
+        fixed={
+            "p": scale.sched_p,
+            "q": scale.sched_q,
+            "density": _DEFAULT_DENSITY,
+            "mode": SchedulingMode.PSM_PBBF.value,
+            "duration": scale.duration,
+        },
+        seed_params=("scheduler", "loss_probability", "p", "q"),
+        n_seeds=scale.detailed_runs,
+        base_seed=scale.base_seed,
+        seed_with_run_index=True,
+    )
+
+
+def run_sched01(scale: Scale) -> ExperimentResult:
+    """Delivery and energy vs loss probability, one pair per scheduler."""
+    campaign = run_campaign(scheduler_campaign(scale))
+    series: List[Series] = []
+    for scheduler in SCHEDULERS:
+        series.append(
+            Series(
+                label=f"delivery {scheduler.upper()}",
+                points=tuple(
+                    (
+                        loss,
+                        campaign.mean_metric(
+                            lambda m: m.updates_received_fraction,
+                            scheduler=scheduler,
+                            loss_probability=loss,
+                        ),
+                    )
+                    for loss in scale.sched_loss_values
+                ),
+            )
+        )
+    for scheduler in SCHEDULERS:
+        series.append(
+            Series(
+                label=f"J/update {scheduler.upper()}",
+                points=tuple(
+                    (
+                        loss,
+                        campaign.mean_metric(
+                            lambda m: m.joules_per_update_per_node,
+                            scheduler=scheduler,
+                            loss_probability=loss,
+                        ),
+                    )
+                    for loss in scale.sched_loss_values
+                ),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="sched01",
+        title=(
+            f"Scheduler portability under reception loss "
+            f"(p={scale.sched_p:g}, q={scale.sched_q:g})"
+        ),
+        x_label="per-reception loss probability",
+        y_label="updates received (fraction) / joules per update",
+        series=tuple(series),
+        expectation=(
+            "All three schedulers carry the PBBF workload: delivery "
+            "degrades gracefully (not collapse) as loss rises, because "
+            "PBBF's redundant immediate broadcasts mask independent "
+            "losses.  T-MAC's truncated idle listening keeps its energy "
+            "per update lowest throughout; loss shifts energy up for "
+            "every scheduler as fewer updates complete."
+        ),
+        notes=(
+            "scheduler and loss_probability became campaign axes in PR 3; "
+            "this is the first figure to sweep them",
+        ),
+    )

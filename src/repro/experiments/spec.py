@@ -54,6 +54,13 @@ class ExperimentResult:
     #: For table artifacts (Tables 1-2): (parameter, value) rows.  Table
     #: results carry these instead of series.
     table_rows: Tuple[Tuple[str, str], ...] = ()
+    #: For trade-off artifacts (pareto01-03): column names of the frontier
+    #: table rendered below the series.
+    frontier_header: Tuple[str, ...] = ()
+    #: Frontier rows as pre-formatted cells, one per non-dominated
+    #: operating point; by convention the first cell carries a ``*``
+    #: marker on the selected knee point.
+    frontier_rows: Tuple[Tuple[str, ...], ...] = ()
 
     def get_series(self, label: str) -> Series:
         """Look up a series by its legend label."""

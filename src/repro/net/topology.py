@@ -71,6 +71,15 @@ class CSRAdjacency:
         gathers a whole frontier's neighbourhoods — cheaper than the CSR
         repeat/cumsum dance when degrees are small and uniform (grids,
         unit-disk graphs), which is the frontier kernel's per-batch case.
+
+        Staleness guard: the matrices are built exactly once per
+        adjacency, validated against the CSR arrays they were derived
+        from, and returned *read-only* — a kernel scribbling into the
+        shared cache (the way frontier buffers get reused) would
+        otherwise corrupt every later broadcast on the same topology
+        without any error.  Realizing the same scenario again (any
+        process, any seed) rebuilds an equal matrix from its own CSR, so
+        cached and fresh views can never diverge.
         """
         n = self.n_nodes
         width = int(self.degrees.max()) if n else 0
@@ -80,6 +89,14 @@ class CSRAdjacency:
             cols = np.arange(width)
             valid = cols < self.degrees[:, None]
             neighbors[valid] = self.indices
+        if int(valid.sum()) != len(self.indices):
+            raise AssertionError(
+                "padded neighbour matrix is stale: "
+                f"{int(valid.sum())} valid slots for {len(self.indices)} "
+                "CSR entries — the adjacency arrays changed after caching"
+            )
+        neighbors.setflags(write=False)
+        valid.setflags(write=False)
         return neighbors, valid
 
     def neighbors_of_many(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 #: Bumped whenever the serialized payload layout or the semantics of a
 #: cached metric change; old entries then read as misses.
@@ -153,19 +154,73 @@ class ResultCache:
             by_kind=tuple(sorted(by_kind.items())),
         )
 
-    def purge(self) -> int:
-        """Delete every stored entry; returns how many were removed.
+    def purge(
+        self,
+        max_age_days: Optional[float] = None,
+        max_size_mb: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Delete stored entries; returns how many were removed.
+
+        With no criteria every entry goes (the original ``cache purge``).
+        ``max_age_days`` evicts entries whose file modification time is
+        older than that many days.  ``max_size_mb`` then shrinks whatever
+        remains to the byte budget by evicting *oldest-first* (mtime,
+        path-tie-broken), so full-scale result sets age out before the
+        points a recent campaign just warmed.  Both criteria may be
+        combined; ``now`` pins the age reference for tests.
 
         Empty shard directories are cleaned up too; the root itself is
         left in place (it may be a shared cache directory).
         """
+        if max_age_days is not None and max_age_days < 0:
+            raise ValueError(f"max_age_days must be >= 0, got {max_age_days}")
+        if max_size_mb is not None and max_size_mb < 0:
+            raise ValueError(f"max_size_mb must be >= 0, got {max_size_mb}")
         removed = 0
+        entries: List[Tuple[float, int, Path]] = []
         for path in list(self.entry_paths()):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
+            if max_age_days is None and max_size_mb is None:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
                 continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced with a concurrent purge
+            entries.append((stat.st_mtime, stat.st_size, path))
+        if entries:
+            reference = now if now is not None else time.time()
+            survivors: List[Tuple[float, int, Path]] = []
+            for mtime, size, path in entries:
+                if (
+                    max_age_days is not None
+                    and reference - mtime > max_age_days * 86_400.0
+                ):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        continue
+                else:
+                    survivors.append((mtime, size, path))
+            if max_size_mb is not None:
+                budget = max_size_mb * 1024.0 * 1024.0
+                total = sum(size for _, size, _ in survivors)
+                for mtime, size, path in sorted(
+                    survivors, key=lambda entry: (entry[0], str(entry[2]))
+                ):
+                    if total <= budget:
+                        break
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue
+                    removed += 1
+                    total -= size
         points = self.root / "points"
         if points.is_dir():
             for shard in points.iterdir():

@@ -98,6 +98,11 @@ class CampaignResult:
         self.computed = computed
         #: Points served without simulating in this call.
         self.reused = reused
+        #: Post-processing outputs by hook name (see ``run_campaign``'s
+        #: ``post_process``): derived artifacts — Pareto frontiers, knee
+        #: selections, summaries — computed once per execution and carried
+        #: with the results they were derived from.
+        self.artifacts: Dict[str, Any] = {}
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -119,6 +124,26 @@ class CampaignResult:
         return [
             self.metrics(seed_index=index, **overrides)
             for index in range(self.spec.n_seeds)
+        ]
+
+    def points(self) -> List[Dict[str, Any]]:
+        """Every distinct parameter point of the campaign, in spec order."""
+        return self.spec.points()
+
+    def seed_metric_values(
+        self, metric: Callable[[Any], Optional[float]], **overrides: Any
+    ) -> List[float]:
+        """The point's per-seed ``metric`` values, ``None`` runs skipped.
+
+        The raw samples behind :meth:`mean_metric` — what the analysis
+        layer's bootstrap resampling draws from.
+        """
+        return [
+            value
+            for value in (
+                metric(bundle) for bundle in self.metrics_over_seeds(**overrides)
+            )
+            if value is not None
         ]
 
     def mean_metric(
@@ -155,6 +180,7 @@ def run_campaign(
     use_cache: Optional[bool] = None,
     backend: Optional[Any] = None,
     progress: Optional[ProgressCallback] = None,
+    post_process: Optional[Mapping[str, Callable[["CampaignResult"], Any]]] = None,
 ) -> CampaignResult:
     """Execute every run of ``spec`` and return its results.
 
@@ -167,6 +193,14 @@ def run_campaign(
     the cache scan and then after every computed point (both built-in
     backends stream per-run completions; a custom backend without the
     ``on_result`` hook degrades to one final call).
+
+    ``post_process`` maps artifact names to hooks run *after* every point
+    has materialised; each hook receives the finished
+    :class:`CampaignResult` and its return value lands in
+    ``result.artifacts[name]``.  Hooks run in sorted-name order (so
+    artifact production is deterministic) and may read earlier hooks'
+    outputs from ``result.artifacts`` — the analysis layer chains
+    frontier extraction and knee selection this way.
     """
     config = get_execution()
     stats = get_stats()
@@ -246,10 +280,14 @@ def run_campaign(
                 store.put(run.key, _payload_for(run, metrics))
         stats.computed += len(pending)
 
-    return CampaignResult(
+    result = CampaignResult(
         spec=spec,
         runs=runs,
         by_key=by_key,
         computed=len(pending),
         reused=reused,
     )
+    if post_process:
+        for name in sorted(post_process):
+            result.artifacts[name] = post_process[name](result)
+    return result

@@ -206,6 +206,58 @@ def _detailed_run(
     )
 
 
+@lru_cache(maxsize=2048)
+def _detailed_adaptive_run(
+    p: float,
+    q: float,
+    density: float,
+    mode_value: str,
+    duration: float,
+    seed: int,
+    scheduler: str,
+    loss_probability: float,
+    adaptive: str,
+) -> DetailedPointMetrics:
+    """One detailed run under the adaptive p/q controller.
+
+    ``(p, q)`` are the controller's *starting* operating point and
+    ``adaptive`` an :attr:`repro.adaptive.AdaptivePolicy.token` string;
+    every node gets its own :class:`~repro.adaptive.AdaptivePBBFAgent`
+    seeded from the run's named streams, so the run stays a pure function
+    of its parameters like every other evaluator.
+    """
+    from repro.adaptive import AdaptivePBBFAgent, AdaptivePolicy
+    from repro.detailed.config import CodeDistributionParameters
+    from repro.detailed.simulator import DetailedSimulator
+
+    policy = AdaptivePolicy.from_token(adaptive)
+    start = PBBFParams(p=p, q=q)
+
+    def factory(node_id: int, rng: random.Random) -> AdaptivePBBFAgent:
+        return AdaptivePBBFAgent(start, rng, policy=policy)
+
+    config = CodeDistributionParameters(density=density, duration=duration)
+    simulator = DetailedSimulator(
+        start,
+        config,
+        seed=seed,
+        mode=SchedulingMode(mode_value),
+        scheduler=scheduler,
+        loss_probability=loss_probability,
+        agent_factory=factory,
+    )
+    metrics = simulator.run().metrics
+    return DetailedPointMetrics(
+        joules_per_update_per_node=metrics.joules_per_update_per_node(),
+        latency_2hop=metrics.mean_latency_at_distance(2),
+        latency_5hop=metrics.mean_latency_at_distance(5),
+        updates_received_fraction=metrics.mean_updates_received_fraction(),
+        mean_update_latency=metrics.mean_update_latency(),
+        n_2hop_nodes=len(metrics.nodes_at_distance(2)),
+        n_5hop_nodes=len(metrics.nodes_at_distance(5)),
+    )
+
+
 def _percolation_summary(
     topology: Topology,
     label: str,
@@ -288,7 +340,11 @@ def evaluate_run(kind: str, params: Mapping[str, Any], seed: int):
     The ``scenario`` parameter (a :class:`~repro.scenarios.ScenarioSpec`
     token, present only when a campaign sweeps scenario axes) selects the
     scenario-resolved evaluator; its absence keeps the legacy parameter
-    layout so existing run keys and cache entries stay valid.
+    layout so existing run keys and cache entries stay valid.  The
+    ``detailed`` kind likewise accepts an optional ``adaptive`` parameter
+    (an :class:`~repro.adaptive.AdaptivePolicy` token) selecting the
+    adaptive-controller evaluator under the same default-omission
+    contract.
     """
     if kind == "ideal":
         common: Tuple[Any, ...] = (
@@ -314,6 +370,13 @@ def evaluate_run(kind: str, params: Mapping[str, Any], seed: int):
             float(params["duration"]),
             seed,
         )
+        if "adaptive" in params:
+            # The adaptive-controller variant: present only when a
+            # campaign opts in, so static points keep their legacy
+            # layout, run keys and cache entries.
+            return _detailed_adaptive_run(
+                *args, scheduler, loss, str(params["adaptive"])
+            )
         if loss != 0.0:
             return _detailed_run(*args, scheduler, loss)
         if scheduler == "psm":
@@ -356,6 +419,7 @@ def clear_point_caches() -> None:
     _ideal_point.cache_clear()
     _ideal_scenario_point.cache_clear()
     _detailed_run.cache_clear()
+    _detailed_adaptive_run.cache_clear()
     _percolation_point.cache_clear()
     _percolation_scenario_point.cache_clear()
     _realized_scenario.cache_clear()

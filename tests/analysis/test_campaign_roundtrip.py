@@ -1,0 +1,214 @@
+"""The run_campaign -> pareto_frontier -> report round-trip contract.
+
+Acceptance pins for the trade-off subsystem:
+
+* frontier points, knee selection and bootstrap intervals are
+  bit-identical across ``SerialBackend`` and ``ProcessPoolBackend`` and
+  across repeated runs from a warm disk cache (goldens below);
+* the adaptive controller's operating points dominate (or match) the
+  static (p, q) points they started from at equal reliability.
+"""
+
+import pytest
+
+from repro.analysis.objectives import Constraint, Objective, operating_points
+from repro.analysis.pareto import pareto_frontier
+from repro.analysis.compare import frontier_weakly_dominates
+from repro.analysis.selectors import knee_index
+from repro.experiments.pareto_figures import PARETO02_POLICY
+from repro.ideal.simulator import SchedulingMode
+from repro.runners import (
+    CampaignSpec,
+    ProcessPoolBackend,
+    SerialBackend,
+    clear_run_caches,
+    run_campaign,
+)
+from repro.scenarios import ScenarioSpec
+
+LATENCY = Objective(
+    name="latency",
+    label="per-hop latency (s)",
+    metric=lambda m: m.mean_per_hop_latency,
+    sense="min",
+)
+ENERGY = Objective(
+    name="energy",
+    label="J/update",
+    metric=lambda m: m.joules_per_update_per_node,
+    sense="min",
+)
+COVERAGE = Constraint(
+    name="coverage", metric=lambda m: m.mean_coverage, bound=0.5, sense="ge"
+)
+
+
+def tiny_ideal_spec():
+    return CampaignSpec.build(
+        kind="ideal",
+        axes={
+            "scenario": (ScenarioSpec.build("grid", {"side": 8}),),
+            "p": (0.25, 0.75),
+            "q": (0.2, 0.6, 1.0),
+        },
+        fixed={
+            "n_broadcasts": 3,
+            "mode": SchedulingMode.PSM_PBBF.value,
+            "hop_near": 2,
+            "hop_far": 4,
+        },
+        seed_params=("scenario", "p", "q"),
+        n_seeds=2,
+    )
+
+
+def extract(campaign):
+    points = operating_points(
+        campaign, (LATENCY, ENERGY), constraints=(COVERAGE,), n_resamples=50
+    )
+    frontier = pareto_frontier(points, (LATENCY, ENERGY))
+    return frontier, knee_index(frontier)
+
+
+def frontier_fingerprint(frontier):
+    return [
+        (point.label, point.values, point.ci95, point.samples)
+        for point in frontier.points
+    ]
+
+
+class TestBackendAndCacheDeterminism:
+    @pytest.fixture(autouse=True)
+    def _fresh(self):
+        clear_run_caches()
+        yield
+        clear_run_caches()
+
+    def test_serial_pool_and_warm_cache_agree_exactly(self, tmp_path):
+        spec = tiny_ideal_spec()
+        serial = run_campaign(
+            spec, cache=str(tmp_path), backend=SerialBackend()
+        )
+        serial_frontier, serial_knee = extract(serial)
+
+        clear_run_caches()  # force the pool to actually simulate
+        pooled = run_campaign(
+            spec,
+            cache=str(tmp_path / "pool-cache"),
+            backend=ProcessPoolBackend(2),
+        )
+        pooled_frontier, pooled_knee = extract(pooled)
+
+        clear_run_caches()  # replay from the warm disk cache only
+        cached = run_campaign(spec, cache=str(tmp_path))
+        assert cached.computed == 0
+        cached_frontier, cached_knee = extract(cached)
+
+        golden = frontier_fingerprint(serial_frontier)
+        assert frontier_fingerprint(pooled_frontier) == golden
+        assert frontier_fingerprint(cached_frontier) == golden
+        assert serial_knee == pooled_knee == cached_knee
+
+    def test_frontier_structure_is_pinned(self, tmp_path):
+        # Golden: the tiny campaign's frontier shape.  Any change to
+        # seeds, kernels, constraint handling or tie-breaking shows up
+        # here before it silently re-shapes real figures.
+        campaign = run_campaign(tiny_ideal_spec(), cache=str(tmp_path))
+        frontier, knee = extract(campaign)
+        assert frontier.labels() == ["p=0.75 q=1", "p=0.75 q=0.6", "p=0.25 q=0.2"]
+        assert knee == 1
+        latencies = [point.values[0] for point in frontier.points]
+        energies = [point.values[1] for point in frontier.points]
+        assert latencies == sorted(latencies)
+        assert energies == sorted(energies, reverse=True)
+
+    def test_bootstrap_intervals_do_not_depend_on_extraction_order(self, tmp_path):
+        campaign = run_campaign(tiny_ideal_spec(), cache=str(tmp_path))
+        first, _ = extract(campaign)
+        second, _ = extract(campaign)
+        assert frontier_fingerprint(first) == frontier_fingerprint(second)
+
+
+class TestAdaptiveDominatesStatic:
+    """pareto02's acceptance: equal reliability, less energy."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh(self):
+        clear_run_caches()
+        yield
+        clear_run_caches()
+
+    @pytest.fixture(scope="class")
+    def campaigns(self, tmp_path_factory):
+        cache = str(tmp_path_factory.mktemp("pareto02-cache"))
+        fixed = {
+            "density": 10.0,
+            "mode": SchedulingMode.PSM_PBBF.value,
+            "duration": 250.0,
+            "scheduler": "psm",
+        }
+        static = run_campaign(
+            CampaignSpec.build(
+                kind="detailed",
+                axes={"p": (0.5,), "q": (0.3,)},
+                fixed=fixed,
+                seed_params=("p", "q", "density", "mode"),
+                n_seeds=2,
+            ),
+            cache=cache,
+        )
+        adaptive = run_campaign(
+            CampaignSpec.build(
+                kind="detailed",
+                axes={"p": (0.5,), "q": (0.3,)},
+                fixed={**fixed, "adaptive": PARETO02_POLICY.token},
+                seed_params=("p", "q", "density", "mode"),
+                n_seeds=2,
+            ),
+            cache=cache,
+        )
+        return static, adaptive
+
+    def test_paired_runs_share_seeds(self, campaigns):
+        static, adaptive = campaigns
+        assert [r.seed for r in static.runs] == [r.seed for r in adaptive.runs]
+
+    def test_adaptive_saves_energy_at_equal_reliability(self, campaigns):
+        static, adaptive = campaigns
+        static_energy = static.mean_metric(
+            lambda m: m.joules_per_update_per_node, p=0.5, q=0.3
+        )
+        adaptive_energy = adaptive.mean_metric(
+            lambda m: m.joules_per_update_per_node, p=0.5, q=0.3
+        )
+        static_delivery = static.mean_metric(
+            lambda m: m.updates_received_fraction, p=0.5, q=0.3
+        )
+        adaptive_delivery = adaptive.mean_metric(
+            lambda m: m.updates_received_fraction, p=0.5, q=0.3
+        )
+        assert adaptive_energy < static_energy
+        assert adaptive_delivery >= static_delivery
+
+    def test_adaptive_frontier_dominates_in_energy_reliability_space(
+        self, campaigns
+    ):
+        # "Equal reliability" made precise: with delivery as the second
+        # objective, every static operating point is matched-or-beaten
+        # by an adaptive one.
+        static, adaptive = campaigns
+        delivery = Objective(
+            name="delivery",
+            label="updates received",
+            metric=lambda m: m.updates_received_fraction,
+            sense="max",
+        )
+        objectives = (ENERGY, delivery)
+        static_frontier = pareto_frontier(
+            operating_points(static, objectives, n_resamples=50), objectives
+        )
+        adaptive_frontier = pareto_frontier(
+            operating_points(adaptive, objectives, n_resamples=50), objectives
+        )
+        assert len(static_frontier) >= 1 and len(adaptive_frontier) >= 1
+        assert frontier_weakly_dominates(adaptive_frontier, static_frontier)

@@ -1,0 +1,138 @@
+"""Hypervolume, two-set coverage and cross-frontier comparison."""
+
+import pytest
+
+from repro.analysis.compare import (
+    compare_frontiers,
+    coverage_fraction,
+    frontier_weakly_dominates,
+    hypervolume,
+    shared_reference,
+)
+from repro.analysis.objectives import Objective, OperatingPoint
+from repro.analysis.pareto import pareto_frontier
+
+MIN_MIN = (
+    Objective(name="x", label="x", metric=lambda m: None, sense="min"),
+    Objective(name="y", label="y", metric=lambda m: None, sense="min"),
+)
+
+
+def frontier_from(coords):
+    points = [
+        OperatingPoint(
+            params=(("i", i),),
+            label=f"pt{i}",
+            values=(float(x), float(y)),
+            ci95=(0.0, 0.0),
+            samples=((float(x),), (float(y),)),
+        )
+        for i, (x, y) in enumerate(coords)
+    ]
+    return pareto_frontier(points, MIN_MIN)
+
+
+class TestHypervolume:
+    def test_single_point_rectangle(self):
+        frontier = frontier_from([(1.0, 1.0)])
+        assert hypervolume(frontier, (3.0, 3.0)) == pytest.approx(4.0)
+
+    def test_staircase_union_not_sum(self):
+        # (1,2) and (2,1) against (3,3): union of two 2x1-overlapping
+        # rectangles = 2 + 2 - 1 = 3.
+        frontier = frontier_from([(1.0, 2.0), (2.0, 1.0)])
+        assert hypervolume(frontier, (3.0, 3.0)) == pytest.approx(3.0)
+
+    def test_point_beyond_reference_contributes_nothing(self):
+        inside = frontier_from([(1.0, 1.0)])
+        with_outlier = frontier_from([(1.0, 1.0), (5.0, 0.5)])
+        reference = (3.0, 3.0)
+        assert hypervolume(with_outlier, reference) == pytest.approx(
+            hypervolume(inside, reference)
+        )
+
+    def test_empty_frontier_zero(self):
+        assert hypervolume(frontier_from([]), (1.0, 1.0)) == 0.0
+
+    def test_better_frontier_bigger_volume(self):
+        good = frontier_from([(1.0, 1.0)])
+        bad = frontier_from([(2.0, 2.0)])
+        ref = (4.0, 4.0)
+        assert hypervolume(good, ref) > hypervolume(bad, ref)
+
+
+class TestSharedReference:
+    def test_dominated_by_every_point(self):
+        a = frontier_from([(1.0, 5.0), (5.0, 1.0)])
+        b = frontier_from([(2.0, 2.0)])
+        rx, ry = shared_reference([a, b])
+        for frontier in (a, b):
+            for x, y in frontier.oriented():
+                assert x < rx and y < ry
+
+    def test_deterministic(self):
+        a = frontier_from([(1.0, 2.0)])
+        assert shared_reference([a]) == shared_reference([a])
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError, match="at least one frontier"):
+            shared_reference([])
+
+
+class TestCoverage:
+    def test_identical_frontiers_cover_fully(self):
+        a = frontier_from([(1.0, 2.0), (2.0, 1.0)])
+        b = frontier_from([(1.0, 2.0), (2.0, 1.0)])
+        assert coverage_fraction(a, b) == 1.0
+        assert frontier_weakly_dominates(a, b)
+
+    def test_strictly_better_covers_worse(self):
+        better = frontier_from([(0.5, 0.5)])
+        worse = frontier_from([(1.0, 2.0), (2.0, 1.0)])
+        assert frontier_weakly_dominates(better, worse)
+        assert not frontier_weakly_dominates(worse, better)
+
+    def test_partial_coverage_counts_points(self):
+        a = frontier_from([(1.0, 3.0)])
+        b = frontier_from([(1.0, 4.0), (4.0, 1.0)])
+        assert coverage_fraction(a, b) == pytest.approx(0.5)
+
+    def test_tolerance_absorbs_noise(self):
+        a = frontier_from([(1.01, 1.01)])
+        b = frontier_from([(1.0, 1.0)])
+        assert coverage_fraction(a, b) == 0.0
+        assert coverage_fraction(a, b, tolerance=0.02) == 1.0
+
+    def test_empty_b_is_vacuously_covered(self):
+        a = frontier_from([(1.0, 1.0)])
+        assert coverage_fraction(a, frontier_from([])) == 1.0
+
+
+class TestComparison:
+    def test_summaries_sorted_and_scored(self):
+        comparison = compare_frontiers(
+            {
+                "worse": frontier_from([(2.0, 2.0)]),
+                "better": frontier_from([(1.0, 1.0)]),
+            }
+        )
+        assert [s.name for s in comparison.summaries] == ["better", "worse"]
+        assert comparison.best_by_hypervolume().name == "better"
+        assert comparison.coverage[("better", "worse")] == 1.0
+        assert comparison.coverage[("worse", "better")] == 0.0
+
+    def test_summary_lookup(self):
+        comparison = compare_frontiers({"only": frontier_from([(1.0, 1.0)])})
+        assert comparison.summary("only").n_points == 1
+        with pytest.raises(KeyError):
+            comparison.summary("nope")
+
+    def test_knee_recorded_per_frontier(self):
+        comparison = compare_frontiers(
+            {"f": frontier_from([(1.0, 10.0), (2.0, 2.0), (10.0, 1.0)])}
+        )
+        assert comparison.summary("f").knee_label == "pt1"
+
+    def test_empty_mapping_raises(self):
+        with pytest.raises(ValueError, match="at least one frontier"):
+            compare_frontiers({})

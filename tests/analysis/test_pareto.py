@@ -1,0 +1,119 @@
+"""Frontier extraction: dominance, pruning, deterministic tie-breaking."""
+
+import pytest
+
+from repro.analysis.objectives import Objective, OperatingPoint
+from repro.analysis.pareto import dominates, oriented_values, pareto_frontier
+
+MIN_MIN = (
+    Objective(name="a", label="a", metric=lambda m: None, sense="min"),
+    Objective(name="b", label="b", metric=lambda m: None, sense="min"),
+)
+MIN_MAX = (
+    Objective(name="a", label="a", metric=lambda m: None, sense="min"),
+    Objective(name="b", label="b", metric=lambda m: None, sense="max"),
+)
+
+
+def point(label, *values, key=None):
+    return OperatingPoint(
+        params=(("k", key if key is not None else label),),
+        label=label,
+        values=tuple(float(v) for v in values),
+        ci95=tuple(0.0 for _ in values),
+        samples=tuple((float(v),) for v in values),
+    )
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_partial_improvement_dominates(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+
+    def test_trade_off_does_not_dominate(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="objective counts"):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestOrientation:
+    def test_max_objective_negates(self):
+        pt = point("x", 3.0, 5.0)
+        assert oriented_values(pt, MIN_MAX) == (3.0, -5.0)
+
+    def test_max_sense_flips_dominance(self):
+        # Under (min, max): higher b is better.
+        cheap_good = point("good", 1.0, 9.0)
+        cheap_bad = point("bad", 1.0, 2.0)
+        frontier = pareto_frontier([cheap_bad, cheap_good], MIN_MAX)
+        assert frontier.labels() == ["good"]
+
+
+class TestFrontierExtraction:
+    def test_trade_off_curve_survives_whole(self):
+        points = [point(f"t{i}", i, 10 - i) for i in range(5)]
+        frontier = pareto_frontier(points, MIN_MIN)
+        assert len(frontier) == 5
+        assert frontier.n_dominated == 0
+
+    def test_dominated_points_pruned(self):
+        frontier = pareto_frontier(
+            [point("keep1", 1, 5), point("keep2", 5, 1), point("mid", 4, 4),
+             point("bad", 6, 6)],
+            MIN_MIN,
+        )
+        assert frontier.labels() == ["keep1", "mid", "keep2"]
+        assert frontier.n_dominated == 1
+
+    def test_order_is_ascending_first_objective(self):
+        frontier = pareto_frontier(
+            [point("c", 3, 1), point("a", 1, 3), point("b", 2, 2)], MIN_MIN
+        )
+        assert frontier.labels() == ["a", "b", "c"]
+
+    def test_input_order_is_irrelevant(self):
+        points = [point(f"p{i}", (i * 7) % 11, (i * 3) % 13) for i in range(11)]
+        forward = pareto_frontier(points, MIN_MIN)
+        backward = pareto_frontier(list(reversed(points)), MIN_MIN)
+        assert forward.labels() == backward.labels()
+        assert forward.oriented() == backward.oriented()
+
+    def test_exact_tie_collapses_to_smallest_token(self):
+        # Same objective vector, different params: the canonical-token
+        # order decides, not insertion order.
+        twin_b = point("twinB", 2, 2, key="zz")
+        twin_a = point("twinA", 2, 2, key="aa")
+        first = pareto_frontier([twin_b, twin_a], MIN_MIN)
+        second = pareto_frontier([twin_a, twin_b], MIN_MIN)
+        assert first.labels() == second.labels() == ["twinA"]
+        assert first.n_dominated == second.n_dominated == 1
+
+    def test_single_point_frontier(self):
+        frontier = pareto_frontier([point("only", 1, 1)], MIN_MIN)
+        assert frontier.labels() == ["only"]
+
+    def test_empty_input_gives_empty_frontier(self):
+        frontier = pareto_frontier([], MIN_MIN)
+        assert len(frontier) == 0 and frontier.n_dominated == 0
+
+    def test_no_objectives_raises(self):
+        with pytest.raises(ValueError, match="at least one objective"):
+            pareto_frontier([point("x", 1)], ())
+
+    def test_value_count_mismatch_raises(self):
+        with pytest.raises(ValueError, match="objective values"):
+            pareto_frontier([point("x", 1.0)], MIN_MIN)
+
+    def test_equal_first_coordinate_keeps_only_best_second(self):
+        frontier = pareto_frontier(
+            [point("worse", 1, 5), point("better", 1, 2)], MIN_MIN
+        )
+        assert frontier.labels() == ["better"]

@@ -1,0 +1,112 @@
+"""Knee-point and epsilon-constraint operating-point selection."""
+
+import pytest
+
+from repro.analysis.objectives import Objective, OperatingPoint
+from repro.analysis.pareto import pareto_frontier
+from repro.analysis.selectors import (
+    epsilon_constraint_index,
+    knee_index,
+    knee_point,
+)
+
+LATENCY = Objective(name="latency", label="s", metric=lambda m: None, sense="min")
+ENERGY = Objective(name="energy", label="J", metric=lambda m: None, sense="min")
+LIFETIME = Objective(name="life", label="days", metric=lambda m: None, sense="max")
+
+
+def point(label, x, y):
+    return OperatingPoint(
+        params=(("k", label),),
+        label=label,
+        values=(float(x), float(y)),
+        ci95=(0.0, 0.0),
+        samples=((float(x),), (float(y),)),
+    )
+
+
+def frontier_of(points, objectives=(LATENCY, ENERGY)):
+    frontier = pareto_frontier(points, objectives)
+    assert len(frontier) == len(points)  # tests build non-dominated sets
+    return frontier
+
+
+class TestKnee:
+    def test_sharp_elbow_is_selected(self):
+        # An L-shaped curve: the corner point is the knee.
+        frontier = frontier_of(
+            [point("fast", 1, 10), point("corner", 2, 2), point("slow", 10, 1)]
+        )
+        assert knee_point(frontier).label == "corner"
+
+    def test_straight_line_picks_a_point_deterministically(self):
+        frontier = frontier_of(
+            [point(f"l{i}", i, 10 - i) for i in range(1, 6)]
+        )
+        first = knee_index(frontier)
+        assert first == knee_index(frontier)
+        assert 0 <= first < 5
+
+    def test_convex_curve_knee_at_max_curvature(self):
+        # y = 1/x sampled: curvature peaks near x=1 on [0.25, 4].
+        xs = [0.25, 0.5, 1.0, 2.0, 4.0]
+        frontier = frontier_of([point(f"c{x}", x, 1.0 / x) for x in xs])
+        knee = knee_point(frontier)
+        assert knee.values[0] in (0.5, 1.0, 2.0)  # interior, not an endpoint
+
+    def test_single_point_is_its_own_knee(self):
+        frontier = frontier_of([point("only", 3, 3)])
+        assert knee_index(frontier) == 0
+
+    def test_two_points_deterministic(self):
+        frontier = frontier_of([point("a", 1, 5), point("b", 2, 1)])
+        assert knee_index(frontier) == knee_index(frontier)
+
+    def test_empty_frontier_raises(self):
+        frontier = pareto_frontier([], (LATENCY, ENERGY))
+        with pytest.raises(ValueError, match="empty frontier"):
+            knee_index(frontier)
+
+    def test_wrong_objective_count_raises(self):
+        frontier = pareto_frontier([], (LATENCY,))
+        with pytest.raises(ValueError, match="2 objectives"):
+            knee_index(frontier)
+
+    def test_max_sense_objective_participates(self):
+        # (latency min, lifetime max): knee where both are balanced.
+        frontier = pareto_frontier(
+            [point("fast", 1, 2), point("knee", 2, 20), point("slow", 10, 24)],
+            (LATENCY, LIFETIME),
+        )
+        assert knee_point(frontier).label == "knee"
+
+
+class TestEpsilonConstraint:
+    def test_cheapest_within_latency_budget(self):
+        frontier = frontier_of(
+            [point("fast", 1, 10), point("mid", 3, 5), point("slow", 8, 1)]
+        )
+        index = epsilon_constraint_index(frontier, LATENCY, 4.0)
+        assert frontier.points[index].label == "mid"
+
+    def test_budget_on_max_objective_reads_naturally(self):
+        frontier = pareto_frontier(
+            [point("short", 1, 5), point("long", 6, 30)], (LATENCY, LIFETIME)
+        )
+        # Require at least 10 battery-days: only "long" qualifies.
+        index = epsilon_constraint_index(frontier, LIFETIME, 10.0)
+        assert frontier.points[index].label == "long"
+
+    def test_infeasible_bound_returns_none(self):
+        frontier = frontier_of([point("a", 5, 5)])
+        assert epsilon_constraint_index(frontier, LATENCY, 1.0) is None
+
+    def test_exact_bound_is_feasible(self):
+        frontier = frontier_of([point("a", 5, 5)])
+        assert epsilon_constraint_index(frontier, LATENCY, 5.0) == 0
+
+    def test_unknown_objective_raises(self):
+        frontier = frontier_of([point("a", 1, 1)])
+        other = Objective(name="zz", label="zz", metric=lambda m: None)
+        with pytest.raises(ValueError, match="not on this frontier"):
+            epsilon_constraint_index(frontier, other, 1.0)

@@ -12,6 +12,8 @@ class TestRegistry:
             {"table1", "table2"}
             | {f"fig{n:02d}" for n in range(4, 19)}
             | {"scen01", "scen02"}  # scenario-layer extension figures
+            | {"pareto01", "pareto02", "pareto03"}  # trade-off analysis
+            | {"sched01"}  # scheduler-portability extension
         )
         assert set(ids) == expected
 

@@ -1,0 +1,163 @@
+"""Golden renders for report.py: exact text for every rendering branch.
+
+The report is the repo's comparison artifact — EXPERIMENTS.md diffs and
+CI logs read it directly — so the rendering itself is pinned: series
+tables (including the ``-`` null-cell path), table artifacts, frontier
+blocks and notes each have a byte-exact golden here.
+"""
+
+import textwrap
+
+from repro.experiments.report import render_result
+from repro.experiments.spec import ExperimentResult, Series
+
+
+def golden(text: str) -> str:
+    return textwrap.dedent(text).strip("\n")
+
+
+class TestSeriesTableRendering:
+    def test_full_series_table(self):
+        result = ExperimentResult(
+            experiment_id="figX",
+            title="A demo figure",
+            x_label="q",
+            y_label="metric (unit)",
+            series=(
+                Series(label="PBBF", points=((0.0, 1.0), (0.5, 2.5))),
+                Series(label="PSM", points=((0.0, 1.0), (0.5, 1.0))),
+            ),
+            expectation="Flat vs rising.",
+        )
+        assert render_result(result) == golden(
+            """
+            == figX: A demo figure ==
+              q    PBBF  PSM
+                0     1    1
+              0.5   2.5    1
+              (y = metric (unit))
+              paper: Flat vs rising.
+            """
+        )
+
+    def test_null_cells_render_as_dash(self):
+        result = ExperimentResult(
+            experiment_id="figY",
+            title="Holes",
+            x_label="x",
+            y_label="y",
+            series=(
+                Series(label="a", points=((1.0, None), (2.0, 4.0))),
+                Series(label="b", points=((1.0, 7.0),)),
+            ),
+            expectation="Dashes where undefined.",
+        )
+        assert render_result(result) == golden(
+            """
+            == figY: Holes ==
+              x  a  b
+              1  -  7
+              2  4  -
+              (y = y)
+              paper: Dashes where undefined.
+            """
+        )
+
+    def test_notes_append_after_table(self):
+        result = ExperimentResult(
+            experiment_id="figZ",
+            title="Notes",
+            x_label="x",
+            y_label="y",
+            series=(Series(label="s", points=((1.0, 2.0),)),),
+            expectation="E.",
+            notes=("first note", "second note"),
+        )
+        rendered = render_result(result)
+        assert rendered.endswith(
+            "  note: first note\n  note: second note\n  paper: E."
+        )
+
+
+class TestTableArtifactRendering:
+    def test_table_rows_alignment(self):
+        result = ExperimentResult(
+            experiment_id="table9",
+            title="Some parameters",
+            x_label="",
+            y_label="",
+            series=(),
+            expectation="Matches.",
+            table_rows=(("short", "1"), ("a longer name", "2.5 s")),
+        )
+        assert render_result(result) == golden(
+            """
+            == table9: Some parameters ==
+              short          1
+              a longer name  2.5 s
+              paper: Matches.
+            """
+        )
+
+
+class TestFrontierRendering:
+    def test_frontier_block_with_knee_marker(self):
+        result = ExperimentResult(
+            experiment_id="paretoX",
+            title="Frontier demo",
+            x_label="latency (s)",
+            y_label="J/update",
+            series=(Series(label="grid", points=((1.0, 3.0), (2.0, 1.0))),),
+            expectation="Inverse.",
+            frontier_header=("", "set", "point", "latency (s)", "±95%"),
+            frontier_rows=(
+                ("", "grid", "p=0.75 q=1", "1", "0.1"),
+                ("*", "grid", "p=0.5 q=0.6", "2", "0.02"),
+            ),
+        )
+        assert render_result(result) == golden(
+            """
+            == paretoX: Frontier demo ==
+              latency (s)  grid
+                        1     3
+                        2     1
+              (y = J/update)
+              frontier (non-dominated operating points; * = knee):
+                   set   point        latency (s)  ±95%
+                   grid   p=0.75 q=1            1   0.1
+                *  grid  p=0.5 q=0.6            2  0.02
+              paper: Inverse.
+            """
+        )
+
+    def test_frontier_block_on_table_artifact(self):
+        # Frontier rendering composes with the table branch too (no
+        # series needed).
+        result = ExperimentResult(
+            experiment_id="paretoY",
+            title="Frontier only",
+            x_label="",
+            y_label="",
+            series=(),
+            expectation="E.",
+            table_rows=(("points", "2"),),
+            frontier_header=("", "set"),
+            frontier_rows=(("*", "grid"),),
+        )
+        rendered = render_result(result)
+        assert "points  2" in rendered
+        assert "frontier (non-dominated operating points; * = knee):" in rendered
+
+    def test_empty_frontier_rows_render_header_only(self):
+        result = ExperimentResult(
+            experiment_id="paretoZ",
+            title="No feasible points",
+            x_label="x",
+            y_label="y",
+            series=(Series(label="s", points=((1.0, 1.0),)),),
+            expectation="E.",
+            frontier_header=("", "set"),
+            frontier_rows=(),
+        )
+        rendered = render_result(result)
+        assert "frontier (non-dominated operating points; * = knee):" in rendered

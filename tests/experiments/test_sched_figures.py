@@ -1,0 +1,54 @@
+"""Structure tests for the sched01 scheduler-portability figure."""
+
+import pytest
+
+from repro.experiments.sched_figures import SCHEDULERS, run_sched01, scheduler_campaign
+from repro.runners import clear_run_caches
+from tests.experiments.test_figures_smoke import TINY
+
+
+@pytest.fixture(autouse=True)
+def _fresh_runner_state():
+    clear_run_caches()
+    yield
+    clear_run_caches()
+
+
+class TestCampaignLayout:
+    def test_sweeps_scheduler_and_loss_axes(self):
+        spec = scheduler_campaign(TINY)
+        axes = dict(spec.axes)
+        assert axes["scheduler"] == SCHEDULERS
+        assert axes["loss_probability"] == TINY.sched_loss_values
+        assert spec.n_seeds == TINY.detailed_runs
+
+    def test_loss_axis_reaches_the_seed(self):
+        spec = scheduler_campaign(TINY)
+        seeds = {run.seed for run in spec.runs()}
+        assert len(seeds) == spec.n_runs  # every (point, rep) distinct
+
+
+class TestFigure:
+    def test_delivery_and_energy_series_per_scheduler(self):
+        result = run_sched01(TINY)
+        labels = [series.label for series in result.series]
+        assert labels == [
+            "delivery PSM", "delivery SMAC", "delivery TMAC",
+            "J/update PSM", "J/update SMAC", "J/update TMAC",
+        ]
+        for series in result.series:
+            assert series.xs() == list(TINY.sched_loss_values)
+
+    def test_delivery_values_are_fractions(self):
+        result = run_sched01(TINY)
+        for scheduler in SCHEDULERS:
+            for _, y in result.get_series(f"delivery {scheduler.upper()}").points:
+                assert y is not None and 0.0 <= y <= 1.0
+
+    def test_lossless_delivery_is_high(self):
+        # At loss 0 every scheduler should carry the workload (the
+        # integration suite's >0.9 claim, here at the smoke scale).
+        result = run_sched01(TINY)
+        for scheduler in SCHEDULERS:
+            series = result.get_series(f"delivery {scheduler.upper()}")
+            assert series.y_at(0.0) > 0.8

@@ -321,3 +321,64 @@ class TestCacheLifecycle:
         again = run_campaign(spec, cache=str(tmp_path))
         assert again.computed == 2
         assert ResultCache(tmp_path).stats().n_entries == 2
+
+
+class TestPostProcessHooks:
+    def test_hooks_populate_artifacts(self, tmp_path):
+        spec = tiny_percolation_spec()
+        result = run_campaign(
+            spec,
+            cache=str(tmp_path),
+            post_process={
+                "sides": lambda r: [pt["grid_side"] for pt in r.points()],
+                "n": lambda r: len(r.runs),
+            },
+        )
+        assert result.artifacts["sides"] == [6, 8]
+        assert result.artifacts["n"] == 2
+
+    def test_hooks_run_in_sorted_name_order_and_chain(self, tmp_path):
+        spec = tiny_percolation_spec()
+        result = run_campaign(
+            spec,
+            cache=str(tmp_path),
+            post_process={
+                "b_second": lambda r: r.artifacts["a_first"] + 1,
+                "a_first": lambda r: 41,
+            },
+        )
+        assert result.artifacts == {"a_first": 41, "b_second": 42}
+
+    def test_no_hooks_leaves_artifacts_empty(self, tmp_path):
+        result = run_campaign(tiny_percolation_spec(), cache=str(tmp_path))
+        assert result.artifacts == {}
+
+    def test_hooks_see_cached_results_identically(self, tmp_path):
+        spec = tiny_percolation_spec()
+        hook = {
+            "fracs": lambda r: [
+                r.metrics(grid_side=side).critical_fraction for side in (6, 8)
+            ]
+        }
+        fresh = run_campaign(spec, cache=str(tmp_path), post_process=hook)
+        clear_run_caches()
+        warm = run_campaign(spec, cache=str(tmp_path), post_process=hook)
+        assert warm.computed == 0
+        assert warm.artifacts == fresh.artifacts
+
+
+class TestSeedValueAccess:
+    def test_seed_metric_values_returns_per_seed_samples(self, tmp_path):
+        spec = tiny_percolation_spec(n_seeds=3)
+        result = run_campaign(spec, cache=str(tmp_path))
+        values = result.seed_metric_values(
+            lambda m: m.critical_fraction, grid_side=6
+        )
+        assert len(values) == 3
+        assert sum(values) / len(values) == result.mean_metric(
+            lambda m: m.critical_fraction, grid_side=6
+        )
+
+    def test_none_metrics_are_skipped(self, tmp_path):
+        result = run_campaign(tiny_percolation_spec(), cache=str(tmp_path))
+        assert result.seed_metric_values(lambda m: None, grid_side=6) == []

@@ -155,3 +155,43 @@ class TestExecutionFlags:
         assert main(["run-all", "--cache-dir", cache_dir]) == 0
         second = capsys.readouterr().out
         assert "campaign points: 0 simulated" in second
+
+
+class TestParetoSubcommand:
+    def test_prints_frontier_with_knee(self, capsys):
+        assert main(["pareto", "--family", "grid"]) == 0
+        out = capsys.readouterr().out
+        assert "pareto frontier for family 'grid'" in out
+        assert "knee:" in out
+        assert "pruned" in out
+
+    def test_latency_budget_selection(self, capsys):
+        assert main([
+            "pareto", "--family", "grid", "--latency-budget", "1000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "within latency <= 1000s:" in out
+
+    def test_infeasible_budget_reported(self, capsys):
+        assert main([
+            "pareto", "--family", "grid", "--latency-budget", "0.0001",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no frontier point meets latency" in out
+
+    def test_lifetime_flag_switches_denomination(self, capsys):
+        assert main(["pareto", "--family", "grid", "--lifetime"]) == 0
+        out = capsys.readouterr().out
+        assert "battery-days" in out
+
+    def test_family_outside_scale_panel_works(self, capsys):
+        assert main(["pareto", "--family", "grid_holes"]) == 0
+        out = capsys.readouterr().out
+        assert "pareto frontier for family 'grid_holes'" in out
+
+    def test_impossible_coverage_returns_nonzero(self, capsys):
+        assert main([
+            "pareto", "--family", "grid", "--coverage", "1.1",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "no operating point met the coverage floor" in out
