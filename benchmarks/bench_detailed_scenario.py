@@ -1,0 +1,39 @@
+"""Detailed-scenario bench: scen03 regeneration at a reduced scale.
+
+Times one full regeneration of the mid-run-failure figure (the detailed
+simulator running scenario-resolved worlds with death schedules), and
+asserts the qualitative shape the figure exists for: delivery decays as
+the mid-run death fraction rises, on every sleep scheduler.  CI uploads
+the timing as ``BENCH_detailed.json`` next to the kernel and analysis
+baselines.
+"""
+
+from dataclasses import replace
+
+from conftest import clear_harness_caches  # noqa: F401  (shared helpers)
+
+from repro.experiments import Scale
+
+
+def bench_scale() -> Scale:
+    """The fast preset shrunk to bench size (seconds, not minutes)."""
+    return replace(
+        Scale.fast(),
+        name="bench-detailed-scenario",
+        detailed_scenario_nodes=14,
+        detailed_scenario_duration=150.0,
+        midrun_failure_fractions=(0.0, 0.3),
+        scenario_seeds=1,
+    )
+
+
+def test_detailed_scenario_scen03(run_experiment):
+    result = run_experiment("scen03", bench_scale())
+    fractions = sorted(
+        {x for series in result.series for x, _ in series.points}
+    )
+    assert fractions[0] == 0.0 and fractions[-1] > 0.0
+    for scheduler in ("PSM", "SMAC", "TMAC"):
+        delivery = dict(result.get_series(f"delivery {scheduler}").points)
+        assert delivery[fractions[-1]] <= delivery[0.0]
+        assert delivery[fractions[-1]] > 0.0  # degrades, never collapses

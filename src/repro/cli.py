@@ -10,8 +10,8 @@ Usage::
     pbbf-experiments cache stats [--cache-dir DIR]
     pbbf-experiments cache purge [--cache-dir DIR]
                                  [--max-age-days N] [--max-size-mb M]
-    pbbf-experiments pareto [--scale fast|full] [--family grid]
-                            [--coverage 0.9] [--lifetime]
+    pbbf-experiments pareto [--scale fast|full] [--simulator ideal|detailed]
+                            [--family grid] [--coverage 0.9] [--lifetime]
                             [--latency-budget S]
 
 (Equivalently: ``python -m repro.cli ...``.)
@@ -22,7 +22,8 @@ Execution flags plug into the campaign runner (:mod:`repro.runners`):
 content hash — a repeated invocation recomputes nothing unless
 parameters changed.  ``--no-cache`` forces fresh simulation;
 ``--cache-dir`` relocates the cache (default ``~/.cache/repro`` or
-``$REPRO_CACHE_DIR``).
+``$REPRO_CACHE_DIR``); ``--cache-max-size-mb`` (or
+``$REPRO_CACHE_MAX_MB``) arms the evict-on-insert size budget.
 """
 
 from __future__ import annotations
@@ -54,6 +55,20 @@ def _positive_jobs(value: str) -> int:
     return jobs
 
 
+def _nonnegative_mb(value: str) -> float:
+    try:
+        budget = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--cache-max-size-mb must be a number, got {value!r}"
+        )
+    if budget < 0:
+        raise argparse.ArgumentTypeError(
+            f"--cache-max-size-mb must be >= 0, got {budget:g}"
+        )
+    return budget
+
+
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=_positive_jobs, default=1,
                         help="worker processes for simulation points "
@@ -63,6 +78,12 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                              "(default ~/.cache/repro or $REPRO_CACHE_DIR)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache entirely")
+    parser.add_argument("--cache-max-size-mb", type=_nonnegative_mb, default=None,
+                        help="evict-on-insert cache budget: writes that "
+                             "push the cache past this many MiB trigger "
+                             "the oldest-first purge automatically "
+                             "(default: $REPRO_CACHE_MAX_MB, else "
+                             "unbudgeted)")
     parser.add_argument("--no-fast-path", action="store_true",
                         help="use the scalar reference simulator kernels "
                              "instead of the vectorized fast path "
@@ -112,19 +133,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     pareto.add_argument("--scale", type=_scale_from_name, default=Scale.fast(),
                         help="fast (default) or full (paper scale)")
-    pareto.add_argument("--family", default="grid",
+    pareto.add_argument("--simulator", choices=("ideal", "detailed"),
+                        default="ideal",
+                        help="which simulator's campaign to extract the "
+                             "frontier from: ideal (per-hop latency vs "
+                             "energy, coverage floor; default) or "
+                             "detailed (end-to-end update latency vs "
+                             "energy, delivery floor, the Figures 13-16 "
+                             "q-sweep campaign)")
+    pareto.add_argument("--family", default=None,
                         help="scenario family to analyse (default grid; "
-                             "see `pbbf-experiments scenarios`)")
+                             "see `pbbf-experiments scenarios`; ideal "
+                             "simulator only)")
     pareto.add_argument("--coverage", type=float, default=None,
-                        help="reliability floor on mean coverage "
-                             "(default: the scale's pareto_coverage)")
+                        help="reliability floor: mean coverage (ideal) or "
+                             "updates-received fraction (detailed) "
+                             "(default: the scale's pareto_coverage / "
+                             "pareto_delivery)")
     pareto.add_argument("--lifetime", action="store_true",
                         help="denominate energy as projected battery-days "
                              "(AA pair) instead of joules per update")
     pareto.add_argument("--latency-budget", type=float, default=None,
                         help="also report the cheapest operating point "
-                             "with per-hop latency at or below this bound "
-                             "(seconds; epsilon-constraint selection)")
+                             "with latency at or below this bound "
+                             "(seconds, per-hop for ideal / end-to-end "
+                             "for detailed; epsilon-constraint selection)")
     _add_execution_flags(pareto)
 
     run = sub.add_parser("run", help="run one experiment")
@@ -160,6 +193,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        cache_max_size_mb=args.cache_max_size_mb,
         fast_path=not args.no_fast_path,
         progress=_progress_printer() if args.progress else None,
     ):
@@ -204,7 +238,12 @@ def _run_scenarios() -> int:
         suffix = f"  [defaults: {defaults}]" if defaults else ""
         print(f"  {family.name:12s} {family.description}{suffix}")
     print(f"source policies: {', '.join(SOURCE_POLICIES)}")
-    print("perturbations: failure_fraction (pre-broadcast node failures)")
+    print(
+        "perturbations: failure_fraction (pre-broadcast node failures), "
+        "failure_times (mid-run death schedule: fraction @ [start, end] "
+        "window), clock_skew (per-node sleep-schedule offsets, "
+        "half-normal std)"
+    )
     return 0
 
 
@@ -255,73 +294,121 @@ def _run_cache(args: argparse.Namespace) -> int:
 def _run_pareto(args: argparse.Namespace) -> int:
     """The ``pareto`` subcommand: frontier + operating-point selection.
 
-    Runs (or reuses from cache) the pareto01 family campaign for one
-    scenario family, prints its non-dominated operating points with
-    bootstrap confidence intervals, marks the knee, and optionally
-    re-denominates energy in battery-days or applies a latency budget.
+    Runs (or reuses from cache) a frontier campaign — the pareto01 family
+    campaign on the ideal simulator, or the Figures 13-16 q-sweep on the
+    detailed one (``--simulator detailed``) — prints its non-dominated
+    operating points with bootstrap confidence intervals, marks the knee,
+    and optionally re-denominates energy in battery-days or applies a
+    latency budget.
     """
     from dataclasses import replace
 
-    from repro.analysis import (
-        epsilon_constraint_index,
-        operating_points,
-        pareto_frontier,
-    )
+    from repro.analysis import operating_points, pareto_frontier
     from repro.experiments.pareto_figures import (
         coverage_constraint,
+        delivery_constraint,
         energy_objective,
-        frontier_table,
         hop_latency_objective,
         lifetime_objective,
         pareto_family_panel,
         static_frontier_campaign,
+        update_latency_objective,
     )
-    from repro.ideal.config import AnalysisParameters
     from repro.runners import run_campaign
 
     scale = args.scale
-    if args.family not in scale.pareto_families:
-        scale = replace(scale, pareto_families=(args.family,))
-    panel = dict(pareto_family_panel(scale))
-    spec = panel[args.family]
+    started = time.perf_counter()
+    if args.simulator == "detailed":
+        from repro.detailed.config import CodeDistributionParameters
+        from repro.experiments.detailed_figures import q_sweep_campaign
+        from repro.experiments.pareto_figures import static_pbbf_where
 
-    latency = hop_latency_objective()
+        if args.family is not None:
+            # The detailed frontier runs the fixed q-sweep deployment;
+            # accepting --family here would silently analyse the wrong
+            # world for every family value.
+            print(
+                "--family applies to the ideal simulator only "
+                "(the detailed frontier runs the Figures 13-16 q-sweep "
+                "deployment)",
+                file=sys.stderr,
+            )
+            return 2
+        label = "detailed q-sweep"
+        latency = update_latency_objective()
+        update_interval = CodeDistributionParameters().update_interval
+        constraint = delivery_constraint(scale)
+        floor_name = "delivery"
+        campaign = run_campaign(q_sweep_campaign(scale))
+        where = static_pbbf_where()
+    else:
+        from repro.ideal.config import AnalysisParameters
+
+        family = args.family if args.family is not None else "grid"
+        if family not in scale.pareto_families:
+            scale = replace(scale, pareto_families=(family,))
+        panel = dict(pareto_family_panel(scale))
+        token = panel[family].token
+        label = family
+        latency = hop_latency_objective()
+        update_interval = AnalysisParameters().update_interval
+        constraint = coverage_constraint(scale)
+        floor_name = "coverage"
+        campaign = run_campaign(static_frontier_campaign(scale))
+        where = lambda params: params.get("scenario") == token  # noqa: E731
+
     if args.lifetime:
-        second = lifetime_objective(
-            energy_objective(), AnalysisParameters().update_interval
-        )
+        second = lifetime_objective(energy_objective(), update_interval)
     else:
         second = energy_objective()
     objectives = (latency, second)
-    constraint = coverage_constraint(scale)
     if args.coverage is not None:
         constraint = replace(constraint, bound=args.coverage)
-
-    started = time.perf_counter()
-    campaign = run_campaign(static_frontier_campaign(scale))
-    token = spec.token
     points = operating_points(
         campaign,
         objectives,
         constraints=(constraint,),
-        where=lambda params: params.get("scenario") == token,
+        where=where,
         n_resamples=scale.bootstrap_resamples,
     )
     frontier = pareto_frontier(points, objectives)
     elapsed = time.perf_counter() - started
-
-    print(
-        f"pareto frontier for family {args.family!r} "
-        f"({latency.label} vs {second.label}, "
-        f"coverage >= {constraint.bound:g}):"
+    subject = (
+        f"the {label}" if args.simulator == "detailed" else f"family {label!r}"
     )
+    print(
+        f"pareto frontier for {subject} "
+        f"({latency.label} vs {second.label}, "
+        f"{floor_name} >= {constraint.bound:g}):"
+    )
+    return _report_frontier(
+        args, scale, label, frontier, len(points), latency, second,
+        floor_name, elapsed,
+    )
+
+
+def _report_frontier(
+    args: argparse.Namespace,
+    scale: Scale,
+    label: str,
+    frontier,
+    n_feasible: int,
+    latency,
+    second,
+    floor_name: str,
+    elapsed: float,
+) -> int:
+    """Render one frontier: table, knee, optional budget selection."""
+    from repro.analysis import epsilon_constraint_index
+    from repro.experiments.pareto_figures import frontier_table
+
     if not frontier.points:
-        print("  no operating point met the coverage floor at this scale")
+        print(f"  no operating point met the {floor_name} floor at this scale")
         print(f"  ({elapsed:.1f}s at scale={scale.name})")
         return 1
     from repro.experiments.report import aligned_table
 
-    header, rows = frontier_table({args.family: frontier})
+    header, rows = frontier_table({label: frontier})
     for line in aligned_table(header, rows):
         print(line)
     # The knee is whatever frontier_table starred — one selection, one
@@ -333,7 +420,7 @@ def _run_pareto(args: argparse.Namespace) -> int:
     )
     print(
         f"  pruned {frontier.n_dominated} dominated/duplicate of "
-        f"{len(points)} feasible points"
+        f"{n_feasible} feasible points"
     )
     if args.latency_budget is not None:
         index = epsilon_constraint_index(frontier, latency, args.latency_budget)

@@ -77,6 +77,25 @@ class CodeDistributionParameters:
                 f"beacon_interval ({self.beacon_interval})"
             )
 
+    @classmethod
+    def for_topology(cls, topology, **overrides) -> "CodeDistributionParameters":
+        """Parameters sized to a pre-built (scenario-realized) deployment.
+
+        ``n_nodes`` is taken from the topology; every other field keeps
+        its Table 2 default unless overridden.  This is how the
+        scenario-resolved detailed evaluator builds its configuration:
+        the topology comes from ``ScenarioSpec.realize``, so the config's
+        placement knobs (``density``, ``radio_range``) describe nothing
+        and only the protocol/traffic/timing fields matter.
+        """
+        if "n_nodes" in overrides and overrides["n_nodes"] != topology.n_nodes:
+            raise ValueError(
+                f"n_nodes override ({overrides['n_nodes']}) contradicts the "
+                f"topology ({topology.n_nodes} nodes)"
+            )
+        overrides = dict(overrides, n_nodes=topology.n_nodes)
+        return cls(**overrides)
+
     @property
     def update_interval(self) -> float:
         """Seconds between updates, ``1 / lambda``."""

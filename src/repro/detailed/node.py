@@ -27,17 +27,41 @@ class SensorNode:
         self.node_id = node_id
         self.radio = radio
         self.mac = mac
+        self._failed = False
+
+    @property
+    def alive(self) -> bool:
+        """False once the node has failed (pre-broadcast or mid-run)."""
+        return not self._failed
+
+    def fail(self) -> None:
+        """Permanently kill this node (scenario failure injection).
+
+        Delegates to the MAC's ``stop`` — radio asleep forever, queues
+        dropped — and latches the node dead so the channel's delivery
+        callbacks become no-ops.  Idempotent; scheduled on the engine
+        heap by the simulator for mid-run death events, or called before
+        ``start`` for nodes dead from the first instant.
+        """
+        if self._failed:
+            return
+        self._failed = True
+        self.mac.stop()
 
     def is_listening_interval(self, start: float, end: float) -> bool:
         """Was the radio continuously listening over ``[start, end]``?"""
-        return self.radio.is_listening_interval(start, end)
+        return not self._failed and self.radio.is_listening_interval(start, end)
 
     def on_receive(self, packet: Packet) -> None:
         """Channel delivered a clean frame."""
+        if self._failed:
+            return
         self.mac.handle_receive(packet)
 
     def on_collision(self, packet: Packet) -> None:
         """Channel reported a corrupted frame."""
+        if self._failed:
+            return
         self.mac.handle_collision(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -28,7 +28,8 @@ from repro.mac.tmac import TMacConfig, TMacPBBF
 from repro.net.channel import Channel, ChannelStats
 from repro.net.propagation import LossModel
 from repro.net.topology import RandomTopology, Topology
-from repro.sim.engine import Engine
+from repro.scenarios import RealizedScenario
+from repro.sim.engine import CONTROL_PRIORITY, Engine
 from repro.util.rng import RandomStreams
 
 
@@ -101,6 +102,17 @@ class DetailedSimulator:
         ``factory(node_id, engine, channel, radio, deliver, rng) -> mac``.
         When given it overrides ``mode``/``scheduler`` entirely; the MAC
         must satisfy :class:`~repro.mac.base.BroadcastMac`.
+    scenario:
+        A :class:`~repro.scenarios.RealizedScenario` (from
+        ``ScenarioSpec.realize``) supplying the whole world at once:
+        topology, source, pre-broadcast failed nodes, the mid-run death
+        schedule and per-node clock offsets.  Mutually exclusive with
+        ``topology``; the scenario's perturbations *combine* with any
+        explicit ``node_failures`` / ``clock_skew_std`` injection
+        (explicit death times win for a node listed by both).  Scenario
+        clock offsets model the PSM schedule phase; a skew-carrying
+        scenario on any other scheduler/mode raises rather than silently
+        caching nominal results under the perturbed token.
     """
 
     def __init__(
@@ -117,6 +129,7 @@ class DetailedSimulator:
         node_failures: Optional[Dict[int, float]] = None,
         tracer=None,
         mac_factory=None,
+        scenario: Optional[RealizedScenario] = None,
     ) -> None:
         if scheduler not in ("psm", "smac", "tmac"):
             raise ValueError(
@@ -124,17 +137,59 @@ class DetailedSimulator:
             )
         if clock_skew_std < 0.0:
             raise ValueError(f"clock_skew_std must be >= 0, got {clock_skew_std}")
+        if scenario is not None and topology is not None:
+            raise ValueError(
+                "pass either a realized scenario or an explicit topology, "
+                "not both"
+            )
+        if scenario is not None and scenario.clock_offsets and (
+            mode is not SchedulingMode.PSM_PBBF
+            or scheduler != "psm"
+            or mac_factory is not None
+        ):
+            # Only the PSM MAC models a schedule phase; running a
+            # skew-carrying token on any other MAC would cache results
+            # bit-identical to the nominal world under the perturbed key.
+            raise ValueError(
+                "scenario clock_skew is only supported on the PSM "
+                f"scheduler (got scheduler={scheduler!r}, "
+                f"mode={mode.value!r})"
+            )
+        self.scenario = scenario
         self.scheduler = scheduler
         self._agent_factory = agent_factory
         self._clock_skew_std = clock_skew_std
-        self._node_failures = dict(node_failures) if node_failures else {}
+        # Scenario death schedule first, explicit injection layered over it.
+        self._node_failures: Dict[int, float] = (
+            dict(scenario.failure_times) if scenario is not None else {}
+        )
+        if node_failures:
+            self._node_failures.update(node_failures)
+        self._scenario_offsets = (
+            scenario.clock_offsets if scenario is not None else ()
+        )
+        self._pre_failed = (
+            frozenset(scenario.failed_nodes) if scenario is not None else frozenset()
+        )
         self._tracer = tracer
         self._mac_factory = mac_factory
         self.params = params
-        self.config = config if config is not None else CodeDistributionParameters()
+        if config is None:
+            if scenario is not None:
+                config = CodeDistributionParameters.for_topology(scenario.topology)
+            else:
+                config = CodeDistributionParameters()
+        elif scenario is not None and config.n_nodes != scenario.topology.n_nodes:
+            raise ValueError(
+                f"config.n_nodes ({config.n_nodes}) contradicts the realized "
+                f"scenario ({scenario.topology.n_nodes} nodes)"
+            )
+        self.config = config
         self.mode = mode
         self._streams = RandomStreams(seed)
-        if topology is None:
+        if scenario is not None:
+            topology = scenario.topology
+        elif topology is None:
             topology = RandomTopology.connected(
                 self.config.n_nodes,
                 self.config.radio_range,
@@ -142,9 +197,17 @@ class DetailedSimulator:
                 self._streams.stream("placement"),
             )
         self.topology = topology
-        # "One random node is chosen to be the broadcast and code
-        # distribution source for each scenario."
-        self.source = self._streams.stream("source").randrange(topology.n_nodes)
+        if scenario is not None:
+            # The scenario's source policy already chose (and its streams
+            # already drew) the source; the legacy "source" stream stays
+            # untouched, so named-stream consumption elsewhere is stable.
+            self.source = scenario.source
+        else:
+            # "One random node is chosen to be the broadcast and code
+            # distribution source for each scenario."
+            self.source = self._streams.stream("source").randrange(
+                topology.n_nodes
+            )
         self._loss_probability = loss_probability
 
     def run(self, duration: Optional[float] = None) -> DetailedResult:
@@ -216,9 +279,13 @@ class DetailedSimulator:
                         csma_config=csma_config,
                     )
                 else:
+                    # Scenario-drawn phase offset first, then the legacy
+                    # per-node skew injection on top (both default to 0).
                     offset = 0.0
+                    if self._scenario_offsets:
+                        offset = self._scenario_offsets[node_id]
                     if self._clock_skew_std > 0.0:
-                        offset = abs(
+                        offset += abs(
                             self._streams.stream(f"node.{node_id}.skew").gauss(
                                 0.0, self._clock_skew_std
                             )
@@ -240,10 +307,21 @@ class DetailedSimulator:
             channel.attach(node_id, node)
             nodes.append(node)
         for node in nodes:
-            node.mac.start()
+            if node.node_id in self._pre_failed:
+                if not hasattr(node.mac, "stop"):
+                    raise ValueError(
+                        f"scheduler {type(node.mac).__name__} does not "
+                        "support node-failure injection"
+                    )
+                # Dead before the first broadcast: the MAC never starts,
+                # the radio sleeps from t=0, and the node counts as
+                # unreached in every delivery metric.
+                node.fail()
+            else:
+                node.mac.start()
         app.bind_source_mac(nodes[self.source].mac)
         app.start(duration)
-        for node_id, fail_time in self._node_failures.items():
+        for node_id, fail_time in sorted(self._node_failures.items()):
             if not 0 <= node_id < n:
                 raise IndexError(f"failing node {node_id} outside topology")
             mac = nodes[node_id].mac
@@ -252,7 +330,11 @@ class DetailedSimulator:
                     f"scheduler {type(mac).__name__} does not support "
                     "node-failure injection"
                 )
-            engine.schedule_at(fail_time, mac.stop)
+            # Deaths are first-class heap events at control priority: a
+            # node dying at t is silenced before any same-instant frame.
+            engine.schedule_at(
+                fail_time, nodes[node_id].fail, priority=CONTROL_PRIORITY
+            )
         engine.run(until=duration)
         node_joules = [node.radio.consumed_joules(duration) for node in nodes]
         metrics = BroadcastMetrics(

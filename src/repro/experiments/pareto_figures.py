@@ -100,6 +100,18 @@ def delivery_constraint(scale: Scale) -> Constraint:
     )
 
 
+def static_pbbf_where():
+    """The genuine-static-PBBF point filter for q-sweep frontiers.
+
+    The Figures 13-16 q-sweep campaign also carries the always-on NO PSM
+    baseline corner, which is not a static (p, q) operating point and
+    must not anchor a frontier.  Shared by pareto02 and the CLI's
+    ``pareto --simulator detailed`` so the exclusion can never drift
+    between the two.
+    """
+    return lambda params: params.get("mode") == SchedulingMode.PSM_PBBF.value
+
+
 # -- campaigns -----------------------------------------------------------
 
 
@@ -280,12 +292,19 @@ def _frontier_series(name: str, frontier: Frontier) -> Series:
     )
 
 
-def _comparison_notes(frontiers: Mapping[str, Frontier]) -> List[str]:
-    """Hypervolume/knee notes for the figure footer (deterministic order)."""
+def _comparison_notes(
+    frontiers: Mapping[str, Frontier], comparison=None
+) -> List[str]:
+    """Hypervolume/knee notes for the figure footer (deterministic order).
+
+    Pass a precomputed :func:`compare_frontiers` result to avoid scoring
+    the same frontiers twice when the caller also reads the comparison.
+    """
     populated = {name: f for name, f in frontiers.items() if f.points}
     if not populated:
         return ["no operating point met the constraint at this scale"]
-    comparison = compare_frontiers(populated)
+    if comparison is None:
+        comparison = compare_frontiers(populated)
     notes = []
     for summary in comparison.summaries:
         notes.append(
@@ -397,8 +416,7 @@ def run_pareto02(scale: Scale) -> ExperimentResult:
                 objectives,
                 constraints,
                 scale.bootstrap_resamples,
-                where=lambda params: params.get("mode")
-                == SchedulingMode.PSM_PBBF.value,
+                where=static_pbbf_where(),
             )
         },
     )

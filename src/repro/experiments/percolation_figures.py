@@ -1,12 +1,16 @@
-"""Figures 6, 7, 12 — the percolation analysis artifacts.
+"""Figures 6, 7, 12 and perc02 — the percolation analysis artifacts.
 
 Figure 6 estimates the critical bond fraction per reliability level and
 grid size (Newman-Ziff sweeps); Figure 7 inverts Remark 1 into the minimum
 q per p on a fixed grid; Figure 12 walks that frontier at 99% reliability
 and evaluates the Eq. 8 energy and Eq. 9 latency at every point.  The
-threshold estimates run as ``percolation`` campaigns, so Figures 7 and 12
-share their frontier-grid points with each other (and with any other
-invocation) through the campaign runner's memo and disk cache.
+extension figure **perc02** re-estimates the bond *and* site thresholds
+across the scenario layer's topology families — how far the paper's
+square-lattice percolation numbers travel to tori, carved-out grids and
+unit-disk deployments.  The threshold estimates run as ``percolation``
+campaigns, so Figures 7 and 12 share their frontier-grid points with each
+other (and with any other invocation) through the campaign runner's memo
+and disk cache.
 """
 
 from __future__ import annotations
@@ -179,5 +183,87 @@ def run_fig12(scale: Scale) -> ExperimentResult:
             f"critical bond fraction pc(99%) = {pc:.3f} on "
             f"{scale.frontier_grid_side}x{scale.frontier_grid_side}",
             f"L1 = {analysis.l1} s, L2 = {l2} s (Tframe - L1)",
+        ),
+    )
+
+
+# -- perc02: thresholds across scenario families --------------------------
+
+#: The percolation processes perc02 estimates per family.
+PERC02_PROCESSES = ("bond", "site")
+
+
+def family_threshold_campaign(scale: Scale) -> CampaignSpec:
+    """The perc02 sweep: topology family x process x reliability level.
+
+    The family panel is scen02's (same sizes, same tokens), so the
+    realized topologies are shared with the portability figure through
+    the scenario-realization memo and the runner caches.
+    """
+    from repro.experiments.scenario_figures import portability_scenarios
+
+    return CampaignSpec.build(
+        kind="percolation",
+        axes={
+            "scenario": tuple(
+                spec for _, spec in portability_scenarios(scale)
+            ),
+            "process": PERC02_PROCESSES,
+            "reliability": scale.reliability_levels,
+        },
+        fixed={"runs": scale.percolation_runs},
+        seed_params=("scenario", "process", "reliability"),
+        base_seed=scale.base_seed,
+    )
+
+
+def run_perc02(scale: Scale) -> ExperimentResult:
+    """Bond/site critical fractions per topology family.
+
+    One series per (family, process); x is the reliability level, y the
+    estimated critical occupied fraction.  This is Figure 6's question
+    asked across deployment shapes instead of grid sizes.
+    """
+    from repro.experiments.scenario_figures import portability_scenarios
+
+    campaign = run_campaign(family_threshold_campaign(scale))
+    panel = portability_scenarios(scale)
+    series: List[Series] = []
+    for process in PERC02_PROCESSES:
+        for label, spec in panel:
+            series.append(
+                Series(
+                    label=f"{process} {label}",
+                    points=tuple(
+                        (
+                            level,
+                            campaign.metrics(
+                                scenario=spec,
+                                process=process,
+                                reliability=level,
+                            ).critical_fraction,
+                        )
+                        for level in scale.reliability_levels
+                    ),
+                )
+            )
+    return ExperimentResult(
+        experiment_id="perc02",
+        title="Critical bond/site fractions across topology families",
+        x_label="coverage reliability level",
+        y_label="critical occupied fraction",
+        series=tuple(series),
+        expectation=(
+            "Every family shows Figure 6's structure — more occupied "
+            "bonds/sites needed at higher reliability — but the level "
+            "moves with connectivity: the torus needs the fewest (no "
+            "boundary), carved-out grids the most among lattices, and "
+            "dense unit-disk families (random, clustered) percolate at "
+            "far lower fractions than the degree-4 lattices.  Site "
+            "thresholds sit above bond thresholds on every family (a "
+            "lost node severs all its bonds at once)."
+        ),
+        notes=tuple(
+            f"{label}: {spec.describe()}" for label, spec in panel
         ),
     )

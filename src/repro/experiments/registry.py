@@ -185,6 +185,27 @@ _register(ExperimentSpec(
     expectation="Same q-threshold structure; threshold shifts per family.",
     runner=scenario_figures.run_scen02,
 ))
+_register(ExperimentSpec(
+    experiment_id="scen03",
+    title="Detailed broadcast under mid-run node deaths",
+    section="ext",
+    expectation="Delivery decays gracefully with deaths on every scheduler.",
+    runner=scenario_figures.run_scen03,
+))
+_register(ExperimentSpec(
+    experiment_id="scen04",
+    title="Frontier robustness under skew + mid-run deaths",
+    section="ext",
+    expectation="Perturbed frontier shifts up/right but keeps its structure.",
+    runner=scenario_figures.run_scen04,
+))
+_register(ExperimentSpec(
+    experiment_id="perc02",
+    title="Critical bond/site fractions across topology families",
+    section="ext",
+    expectation="Fig 6's structure on every family; level tracks connectivity.",
+    runner=percolation_figures.run_perc02,
+))
 
 
 def get_experiment(experiment_id: str) -> ExperimentSpec:

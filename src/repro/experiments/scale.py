@@ -94,6 +94,24 @@ class Scale:
     sched_p: float = 0.25
     sched_q: float = 0.5
 
+    # -- detailed-scenario figures (scen03, scen04) ------------------------
+    #: Node count of the random deployments the detailed scenario figures
+    #: run (smaller than Table 2's N=50 below full scale).
+    detailed_scenario_nodes: int = 12
+    #: Simulated seconds per detailed-scenario run.
+    detailed_scenario_duration: float = 150.0
+    #: Mid-run failure fractions swept by scen03.
+    midrun_failure_fractions: Tuple[float, ...] = (0.0, 0.3)
+    #: Death-window bounds as fractions of the run duration.
+    midrun_window: Tuple[float, float] = (0.25, 0.75)
+    #: scen04's perturbed world: mid-run failure fraction and clock-skew
+    #: standard deviation (seconds) layered onto the nominal scenario.
+    scen04_failure_fraction: float = 0.15
+    scen04_skew_std: float = 2.0
+    #: Delivery floor a point must meet to enter the scen04 frontiers
+    #: (lower than pareto_delivery: the perturbed side loses nodes).
+    scen04_delivery: float = 0.5
+
     @classmethod
     def full(cls) -> "Scale":
         """The paper's configuration (minutes per figure)."""
@@ -135,6 +153,12 @@ class Scale:
             sched_loss_values=(0.0, 0.1, 0.2, 0.3),
             sched_p=0.25,
             sched_q=0.5,
+            detailed_scenario_nodes=50,
+            detailed_scenario_duration=500.0,
+            midrun_failure_fractions=(0.0, 0.05, 0.1, 0.2, 0.3),
+            scen04_failure_fraction=0.15,
+            scen04_skew_std=2.0,
+            scen04_delivery=0.7,
         )
 
     @classmethod
@@ -178,6 +202,12 @@ class Scale:
             sched_loss_values=(0.0, 0.15, 0.3),
             sched_p=0.25,
             sched_q=0.5,
+            detailed_scenario_nodes=16,
+            detailed_scenario_duration=200.0,
+            midrun_failure_fractions=(0.0, 0.15, 0.3),
+            scen04_failure_fraction=0.15,
+            scen04_skew_std=2.0,
+            scen04_delivery=0.6,
         )
 
     def seed_for(self, *labels: object) -> int:

@@ -10,6 +10,13 @@ The cache is strictly a performance layer: a corrupted, truncated or
 version-mismatched entry reads as a miss and the point is recomputed.
 Writes are atomic (temp file + ``os.replace``) so a crashed run never
 leaves a half-written entry behind.
+
+Size budget: ``ResultCache(max_size_mb=...)`` (or the
+``REPRO_CACHE_MAX_MB`` environment variable, or the CLI's
+``--cache-max-size-mb``) applies the oldest-first size purge
+automatically at write time, so unattended long-running deployments
+never grow the cache past the budget — no scheduled ``cache purge``
+required.
 """
 
 from __future__ import annotations
@@ -49,12 +56,52 @@ class CacheStats:
     by_kind: Tuple[Tuple[str, int], ...]
 
 
-class ResultCache:
-    """JSON-file cache of point results, sharded by key prefix."""
+def default_max_size_mb() -> Optional[float]:
+    """``$REPRO_CACHE_MAX_MB`` as a float, or ``None`` (unbudgeted).
 
-    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+    An unparsable value degrades to no budget with one warning — the
+    cache is a performance layer and must never fail a campaign.
+    """
+    env = os.environ.get("REPRO_CACHE_MAX_MB")
+    if not env:
+        return None
+    try:
+        value = float(env)
+    except ValueError:
+        warnings.warn(
+            f"ignoring REPRO_CACHE_MAX_MB={env!r} (not a number)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return value if value >= 0 else None
+
+
+class ResultCache:
+    """JSON-file cache of point results, sharded by key prefix.
+
+    ``max_size_mb`` arms the evict-on-insert budget: every write that
+    pushes the cache past the budget triggers the same oldest-first purge
+    as ``cache purge --max-size-mb``.  ``None`` consults
+    ``$REPRO_CACHE_MAX_MB``; no budget anywhere means writes never evict.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        max_size_mb: Optional[float] = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        if max_size_mb is None:
+            max_size_mb = default_max_size_mb()
+        if max_size_mb is not None and max_size_mb < 0:
+            raise ValueError(f"max_size_mb must be >= 0, got {max_size_mb}")
+        self.max_size_mb = max_size_mb
         self._write_failed = False
+        #: Running byte total of stored entries, maintained across writes
+        #: once the first budget check scans the directory (so each
+        #: subsequent put is O(1) unless it actually evicts).
+        self._tracked_bytes: Optional[int] = None
 
     def _path(self, key: str) -> Path:
         return self.root / "points" / key[:2] / f"{key}.json"
@@ -91,6 +138,10 @@ class ResultCache:
             tmp = path.with_suffix(f".{os.getpid()}.tmp")
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(record, handle, sort_keys=True)
+            try:
+                replaced_size = path.stat().st_size
+            except OSError:
+                replaced_size = 0  # fresh key: nothing being overwritten
             os.replace(tmp, path)
         except OSError as exc:
             self._write_failed = True
@@ -100,6 +151,43 @@ class ResultCache:
                 RuntimeWarning,
                 stacklevel=2,
             )
+            return
+        if self.max_size_mb is not None:
+            self._enforce_budget(path, replaced_size)
+
+    def _enforce_budget(self, just_written: Path, replaced_size: int) -> None:
+        """Evict-on-insert: shrink to the byte budget after a write.
+
+        The running byte total is seeded with one directory scan and then
+        maintained incrementally — overwrites contribute only their size
+        *delta* (``replaced_size`` is what the write displaced); over
+        budget, the standard oldest-first purge runs (the just-written
+        entry has the newest mtime, so it survives unless the budget is
+        smaller than that single entry) and the total is re-measured from
+        what remains.
+        """
+        try:
+            written_size = just_written.stat().st_size
+        except OSError:
+            return  # raced with a concurrent purge; next write re-checks
+        if self._tracked_bytes is None:
+            self._tracked_bytes = self._scan_bytes()
+        else:
+            self._tracked_bytes += written_size - replaced_size
+        if self._tracked_bytes <= self.max_size_mb * 1024.0 * 1024.0:
+            return
+        self.purge(max_size_mb=self.max_size_mb)
+        self._tracked_bytes = self._scan_bytes()
+
+    def _scan_bytes(self) -> int:
+        """Total size of stored entries (one directory walk)."""
+        total = 0
+        for path in self.entry_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     def has(self, key: str) -> bool:
         """Cheap existence probe (no parse/validation; ``get`` still may miss)."""
@@ -177,6 +265,9 @@ class ResultCache:
             raise ValueError(f"max_age_days must be >= 0, got {max_age_days}")
         if max_size_mb is not None and max_size_mb < 0:
             raise ValueError(f"max_size_mb must be >= 0, got {max_size_mb}")
+        # Any purge invalidates the evict-on-insert running total; the
+        # next budgeted write re-measures.
+        self._tracked_bytes = None
         removed = 0
         entries: List[Tuple[float, int, Path]] = []
         for path in list(self.entry_paths()):

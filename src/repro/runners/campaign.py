@@ -215,9 +215,11 @@ def run_campaign(
         if isinstance(cache, ResultCache):
             store = cache
         elif cache is not None:
-            store = ResultCache(cache)
+            store = ResultCache(cache, max_size_mb=config.cache_max_size_mb)
         else:
-            store = ResultCache(config.cache_dir)
+            store = ResultCache(
+                config.cache_dir, max_size_mb=config.cache_max_size_mb
+            )
 
     runs = spec.runs()
     by_key: Dict[str, Any] = {}

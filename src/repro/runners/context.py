@@ -34,6 +34,9 @@ class ExecutionConfig:
     cache_dir: Optional[str] = None
     #: Master switch for the on-disk cache.
     use_cache: bool = True
+    #: Evict-on-insert size budget in MiB for the on-disk cache; ``None``
+    #: falls back to ``$REPRO_CACHE_MAX_MB`` (no budget when unset).
+    cache_max_size_mb: Optional[float] = None
     #: Route ideal-simulator broadcasts through the vectorized frontier
     #: kernel (bit-identical to the scalar loop; ``--no-fast-path`` and
     #: parity tests flip this off to exercise the reference path).

@@ -13,15 +13,16 @@ Metric bundles are flat dataclasses of JSON-representable scalars so they
 survive both pickling (process pool) and the JSON cache round-trip
 without loss (``repr``-exact floats).
 
-Scenario resolution: the ``ideal`` and ``percolation`` kinds accept a
-``scenario`` parameter — a :attr:`repro.scenarios.ScenarioSpec.token`
-string naming the topology family, source policy and failure injection —
-which replaces the legacy hard-coded ``GridTopology(grid_side)``.  Points
-*without* a scenario run the default grid scenario through the same
-resolution path and keep their legacy parameter layout, so their run keys
-(and therefore every existing cache entry) are unchanged — the same
-default-omission contract the ``detailed`` kind uses for ``scheduler``
-and ``loss_probability``.
+Scenario resolution: all three kinds accept a ``scenario`` parameter — a
+:attr:`repro.scenarios.ScenarioSpec.token` string naming the topology
+family, source policy and perturbations (pre-broadcast failures, mid-run
+death schedules, clock skew) — which replaces the legacy hard-coded
+worlds (``GridTopology(grid_side)`` for ideal/percolation,
+``RandomTopology.connected(density)`` for detailed).  Points *without* a
+scenario run the legacy world through the unchanged code path and keep
+their legacy parameter layout, so their run keys (and therefore every
+existing cache entry) are unchanged — the same default-omission contract
+the ``detailed`` kind uses for ``scheduler`` and ``loss_probability``.
 """
 
 from __future__ import annotations
@@ -166,6 +167,19 @@ def _ideal_scenario_point(
     return _summarize_ideal_campaign(simulator, n_broadcasts, hop_near, hop_far)
 
 
+def _summarize_detailed(metrics) -> DetailedPointMetrics:
+    """Boil one detailed run's :class:`BroadcastMetrics` down to the bundle."""
+    return DetailedPointMetrics(
+        joules_per_update_per_node=metrics.joules_per_update_per_node(),
+        latency_2hop=metrics.mean_latency_at_distance(2),
+        latency_5hop=metrics.mean_latency_at_distance(5),
+        updates_received_fraction=metrics.mean_updates_received_fraction(),
+        mean_update_latency=metrics.mean_update_latency(),
+        n_2hop_nodes=len(metrics.nodes_at_distance(2)),
+        n_5hop_nodes=len(metrics.nodes_at_distance(5)),
+    )
+
+
 @lru_cache(maxsize=8192)
 def _detailed_run(
     p: float,
@@ -193,17 +207,45 @@ def _detailed_run(
         scheduler=scheduler,
         loss_probability=loss_probability,
     )
-    result = simulator.run()
-    metrics = result.metrics
-    return DetailedPointMetrics(
-        joules_per_update_per_node=metrics.joules_per_update_per_node(),
-        latency_2hop=metrics.mean_latency_at_distance(2),
-        latency_5hop=metrics.mean_latency_at_distance(5),
-        updates_received_fraction=metrics.mean_updates_received_fraction(),
-        mean_update_latency=metrics.mean_update_latency(),
-        n_2hop_nodes=len(metrics.nodes_at_distance(2)),
-        n_5hop_nodes=len(metrics.nodes_at_distance(5)),
+    return _summarize_detailed(simulator.run().metrics)
+
+
+@lru_cache(maxsize=8192)
+def _detailed_scenario_point(
+    scenario_token: str,
+    p: float,
+    q: float,
+    mode_value: str,
+    duration: float,
+    seed: int,
+    scheduler: str = "psm",
+    loss_probability: float = 0.0,
+) -> DetailedPointMetrics:
+    """One detailed run on an arbitrary realized scenario.
+
+    The scenario supplies the deployment, source, pre-broadcast failed
+    set, mid-run death schedule and clock offsets; the config is sized to
+    the realized topology (``density`` is a scenario family parameter
+    here, not a campaign one, so the legacy ``density`` axis does not
+    appear in scenario-resolved points).
+    """
+    from repro.detailed.config import CodeDistributionParameters
+    from repro.detailed.simulator import DetailedSimulator
+
+    realized = _realized_scenario(scenario_token, seed)
+    config = CodeDistributionParameters.for_topology(
+        realized.topology, duration=duration
     )
+    simulator = DetailedSimulator(
+        PBBFParams(p=p, q=q),
+        config,
+        seed=seed,
+        mode=SchedulingMode(mode_value),
+        scheduler=scheduler,
+        loss_probability=loss_probability,
+        scenario=realized,
+    )
+    return _summarize_detailed(simulator.run().metrics)
 
 
 @lru_cache(maxsize=2048)
@@ -246,16 +288,7 @@ def _detailed_adaptive_run(
         loss_probability=loss_probability,
         agent_factory=factory,
     )
-    metrics = simulator.run().metrics
-    return DetailedPointMetrics(
-        joules_per_update_per_node=metrics.joules_per_update_per_node(),
-        latency_2hop=metrics.mean_latency_at_distance(2),
-        latency_5hop=metrics.mean_latency_at_distance(5),
-        updates_received_fraction=metrics.mean_updates_received_fraction(),
-        mean_update_latency=metrics.mean_update_latency(),
-        n_2hop_nodes=len(metrics.nodes_at_distance(2)),
-        n_5hop_nodes=len(metrics.nodes_at_distance(5)),
-    )
+    return _summarize_detailed(simulator.run().metrics)
 
 
 def _percolation_summary(
@@ -362,6 +395,26 @@ def evaluate_run(kind: str, params: Mapping[str, Any], seed: int):
     if kind == "detailed":
         scheduler = str(params.get("scheduler", "psm"))
         loss = float(params.get("loss_probability", 0.0))
+        if "scenario" in params:
+            # Scenario-resolved points carry no density axis (deployment
+            # comes from the realized scenario); adaptive control on
+            # scenario worlds is not wired up yet, so fail loudly rather
+            # than silently dropping the perturbations.
+            if "adaptive" in params:
+                raise ValueError(
+                    "the detailed evaluator does not support 'adaptive' "
+                    "and 'scenario' on the same point yet"
+                )
+            return _detailed_scenario_point(
+                str(params["scenario"]),
+                float(params["p"]),
+                float(params["q"]),
+                str(params["mode"]),
+                float(params["duration"]),
+                seed,
+                scheduler,
+                loss,
+            )
         args = (
             float(params["p"]),
             float(params["q"]),
@@ -419,6 +472,7 @@ def clear_point_caches() -> None:
     _ideal_point.cache_clear()
     _ideal_scenario_point.cache_clear()
     _detailed_run.cache_clear()
+    _detailed_scenario_point.cache_clear()
     _detailed_adaptive_run.cache_clear()
     _percolation_point.cache_clear()
     _percolation_scenario_point.cache_clear()

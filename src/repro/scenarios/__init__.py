@@ -5,8 +5,9 @@ broadcast from the centre of an open grid.  This package turns "which
 world does the simulation run in" into data: a
 :class:`~repro.scenarios.spec.ScenarioSpec` bundles a topology *family*
 (with its parameters), a *source-placement policy* and *perturbations*
-(pre-broadcast node failures) into a content-hashable value that campaign
-specs sweep like any other axis.
+(:class:`~repro.scenarios.spec.Perturbations`: pre-broadcast node
+failures, mid-run death schedules, per-node clock skew) into a
+content-hashable value that campaign specs sweep like any other axis.
 
 Layering: this package sits between :mod:`repro.net` (which it builds on)
 and :mod:`repro.runners` (which resolves scenarios inside its point
@@ -61,6 +62,9 @@ from repro.scenarios.families import (
 from repro.scenarios.spec import (
     DEFAULT_SOURCE,
     SOURCE_POLICIES,
+    ClockSkew,
+    FailureTimes,
+    Perturbations,
     RealizedScenario,
     ScenarioSpec,
 )
@@ -68,6 +72,9 @@ from repro.scenarios.spec import (
 __all__ = [
     "DEFAULT_SOURCE",
     "SOURCE_POLICIES",
+    "ClockSkew",
+    "FailureTimes",
+    "Perturbations",
     "RealizedScenario",
     "ScenarioSpec",
     "TopologyFamily",

@@ -2,8 +2,9 @@
 
 A :class:`ScenarioSpec` names everything about the *world* a simulation
 runs in — topology family and its parameters, where the broadcast source
-sits, and which perturbations apply (pre-broadcast node failures) —
-without building any of it.  Two properties make specs campaign axes:
+sits, and which perturbations apply (pre-broadcast node failures,
+mid-run death schedules, per-node clock skew; see :class:`Perturbations`)
+— without building any of it.  Two properties make specs campaign axes:
 
 * **content-hashable** — a spec serializes to a canonical JSON *token*
   (:attr:`ScenarioSpec.token`), a plain string that survives campaign
@@ -50,6 +51,136 @@ def _check_param_value(name: str, value: Any) -> None:
 
 
 @dataclass(frozen=True)
+class FailureTimes:
+    """A mid-run death schedule: who dies *during* the broadcast run.
+
+    Unlike the pre-broadcast ``failure_fraction`` (nodes dead before the
+    first packet), this schedules deaths while traffic is flowing — the
+    regime fault-tolerant broadcast work treats as the interesting one.
+    ``fraction`` of the nodes (source excluded) each draw one death time
+    from ``distribution`` over the ``[start, end]`` window (simulated
+    seconds); realization draws from a dedicated named RNG stream so the
+    schedule never perturbs placement or source draws.
+    """
+
+    #: Fraction of nodes (excluding the source) that die mid-run.
+    fraction: float
+    #: Window start, in simulated seconds.
+    start: float
+    #: Window end, in simulated seconds.
+    end: float
+    #: Death-time distribution over the window (``uniform`` only, so far).
+    distribution: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError(
+                f"failure_times.fraction must be in (0, 1), got {self.fraction}"
+            )
+        if self.start < 0.0 or self.end < self.start:
+            raise ValueError(
+                f"failure_times window must satisfy 0 <= start <= end, "
+                f"got [{self.start}, {self.end}]"
+            )
+        if self.distribution != "uniform":
+            raise ValueError(
+                f"failure_times.distribution must be 'uniform', "
+                f"got {self.distribution!r}"
+            )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The canonical-token form (defaults omitted for stability)."""
+        payload: Dict[str, Any] = {
+            "fraction": self.fraction,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.distribution != "uniform":
+            payload["distribution"] = self.distribution
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "FailureTimes":
+        """Parse (and re-validate) from the token form."""
+        return cls(
+            fraction=float(payload["fraction"]),
+            start=float(payload["start"]),
+            end=float(payload["end"]),
+            distribution=str(payload.get("distribution", "uniform")),
+        )
+
+
+@dataclass(frozen=True)
+class ClockSkew:
+    """Per-node sleep-schedule offsets: imperfect synchronisation.
+
+    The paper assumes every node agrees on the beacon epoch; real
+    deployments drift.  Each node draws one phase offset (seconds late
+    relative to the network epoch) from a half-normal with standard
+    deviation ``std`` — the same model the detailed simulator's
+    ``clock_skew_std`` failure injection uses, made a scenario property
+    so it sweeps, seeds and caches like any other axis.
+    """
+
+    #: Standard deviation of the half-normal offset draw (seconds).
+    std: float
+    #: Offset distribution (``half_normal`` only, so far).
+    distribution: str = "half_normal"
+
+    def __post_init__(self) -> None:
+        if self.std <= 0.0:
+            raise ValueError(f"clock_skew.std must be > 0, got {self.std}")
+        if self.distribution != "half_normal":
+            raise ValueError(
+                f"clock_skew.distribution must be 'half_normal', "
+                f"got {self.distribution!r}"
+            )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The canonical-token form (defaults omitted for stability)."""
+        payload: Dict[str, Any] = {"std": self.std}
+        if self.distribution != "half_normal":
+            payload["distribution"] = self.distribution
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ClockSkew":
+        """Parse (and re-validate) from the token form."""
+        return cls(
+            std=float(payload["std"]),
+            distribution=str(payload.get("distribution", "half_normal")),
+        )
+
+
+@dataclass(frozen=True)
+class Perturbations:
+    """Everything that makes a realized world deviate from nominal.
+
+    Bundles the three perturbation axes a :class:`ScenarioSpec` carries:
+    pre-broadcast failures (``failure_fraction``), mid-run death
+    schedules (:class:`FailureTimes`) and sleep-schedule clock skew
+    (:class:`ClockSkew`).  Pass one to :meth:`ScenarioSpec.build` via the
+    ``perturbations`` keyword, or set the flat fields individually — the
+    spec stores (and hashes) the same content either way.
+    """
+
+    #: Fraction of non-source nodes failed before the first broadcast.
+    failure_fraction: float = 0.0
+    #: Optional mid-run death schedule.
+    failure_times: Optional[FailureTimes] = None
+    #: Optional per-node clock-skew model.
+    clock_skew: Optional[ClockSkew] = None
+
+    def __bool__(self) -> bool:
+        """True when any perturbation is active."""
+        return bool(
+            self.failure_fraction
+            or self.failure_times is not None
+            or self.clock_skew is not None
+        )
+
+
+@dataclass(frozen=True)
 class RealizedScenario:
     """A spec made concrete at one seed: the world a simulator runs in."""
 
@@ -59,11 +190,22 @@ class RealizedScenario:
     source: int
     #: Nodes dead before the first broadcast, ascending.
     failed_nodes: Tuple[int, ...]
+    #: Mid-run deaths as ``(node, time)`` pairs, ascending by node id;
+    #: disjoint from ``failed_nodes`` and never the source.
+    failure_times: Tuple[Tuple[int, float], ...] = ()
+    #: Per-node sleep-schedule offsets (seconds late), one per node;
+    #: empty when the spec carries no clock skew.
+    clock_offsets: Tuple[float, ...] = ()
 
     @property
     def n_failed(self) -> int:
         """Number of pre-failed nodes."""
         return len(self.failed_nodes)
+
+    @property
+    def n_midrun_failures(self) -> int:
+        """Number of scheduled mid-run deaths."""
+        return len(self.failure_times)
 
 
 @dataclass(frozen=True)
@@ -82,6 +224,10 @@ class ScenarioSpec:
     source: str = DEFAULT_SOURCE
     #: Fraction of non-source nodes failed before the first broadcast.
     failure_fraction: float = 0.0
+    #: Optional mid-run death schedule (time-varying perturbation).
+    failure_times: Optional[FailureTimes] = None
+    #: Optional per-node sleep-schedule skew (time-varying perturbation).
+    clock_skew: Optional[ClockSkew] = None
 
     @classmethod
     def build(
@@ -90,16 +236,44 @@ class ScenarioSpec:
         params: Optional[Mapping[str, Any]] = None,
         source: str = DEFAULT_SOURCE,
         failure_fraction: float = 0.0,
+        failure_times: Optional[FailureTimes] = None,
+        clock_skew: Optional[ClockSkew] = None,
+        perturbations: Optional[Perturbations] = None,
     ) -> "ScenarioSpec":
-        """Validate and normalise a spec from plain mappings."""
+        """Validate and normalise a spec from plain mappings.
+
+        Perturbations may be given flat (``failure_fraction`` /
+        ``failure_times`` / ``clock_skew``) *or* bundled as a
+        :class:`Perturbations` — the two forms are mutually exclusive, so
+        a bundle can never silently overwrite an explicit flat argument.
+        """
         get_family(family)  # raises KeyError for unknown families
         if source not in SOURCE_POLICIES:
             raise ValueError(
                 f"source must be one of {SOURCE_POLICIES}, got {source!r}"
             )
+        if perturbations is not None:
+            if failure_fraction or failure_times is not None or clock_skew is not None:
+                raise ValueError(
+                    "pass perturbations either flat (failure_fraction / "
+                    "failure_times / clock_skew) or as a Perturbations "
+                    "bundle, not both"
+                )
+            failure_fraction = perturbations.failure_fraction
+            failure_times = perturbations.failure_times
+            clock_skew = perturbations.clock_skew
         if not 0.0 <= failure_fraction < 1.0:
             raise ValueError(
                 f"failure_fraction must be in [0, 1), got {failure_fraction}"
+            )
+        if failure_times is not None and not isinstance(failure_times, FailureTimes):
+            raise TypeError(
+                f"failure_times must be a FailureTimes, "
+                f"got {type(failure_times).__name__}"
+            )
+        if clock_skew is not None and not isinstance(clock_skew, ClockSkew):
+            raise TypeError(
+                f"clock_skew must be a ClockSkew, got {type(clock_skew).__name__}"
             )
         items = sorted((params or {}).items())
         for name, value in items:
@@ -109,6 +283,8 @@ class ScenarioSpec:
             params=tuple(items),
             source=source,
             failure_fraction=float(failure_fraction),
+            failure_times=failure_times,
+            clock_skew=clock_skew,
         )
 
     @classmethod
@@ -120,15 +296,24 @@ class ScenarioSpec:
         """The family parameters as a plain dict."""
         return dict(self.params)
 
+    @property
+    def perturbations(self) -> Perturbations:
+        """The spec's perturbations bundled as one value."""
+        return Perturbations(
+            failure_fraction=self.failure_fraction,
+            failure_times=self.failure_times,
+            clock_skew=self.clock_skew,
+        )
+
     # -- identity ----------------------------------------------------------
 
     @property
     def token(self) -> str:
         """Canonical string form: the value campaign axes carry.
 
-        Defaults (``center`` source, zero failures) are omitted, so adding
-        knobs later never re-keys existing scenarios — the same stability
-        contract the run cache relies on.
+        Defaults (``center`` source, zero failures, no death schedule, no
+        skew) are omitted, so adding knobs later never re-keys existing
+        scenarios — the same stability contract the run cache relies on.
         """
         payload: Dict[str, Any] = {
             "family": self.family,
@@ -138,6 +323,10 @@ class ScenarioSpec:
             payload["source"] = self.source
         if self.failure_fraction:
             payload["failure_fraction"] = self.failure_fraction
+        if self.failure_times is not None:
+            payload["failure_times"] = self.failure_times.to_payload()
+        if self.clock_skew is not None:
+            payload["clock_skew"] = self.clock_skew.to_payload()
         return canonical_json(payload)
 
     @classmethod
@@ -149,11 +338,23 @@ class ScenarioSpec:
             raise ValueError(f"malformed scenario token {token!r}: {exc}") from None
         if not isinstance(payload, dict) or "family" not in payload:
             raise ValueError(f"malformed scenario token {token!r}")
+        failure_times = payload.get("failure_times")
+        clock_skew = payload.get("clock_skew")
         return cls.build(
             family=payload["family"],
             params=payload.get("params") or {},
             source=payload.get("source", DEFAULT_SOURCE),
             failure_fraction=payload.get("failure_fraction", 0.0),
+            failure_times=(
+                FailureTimes.from_payload(failure_times)
+                if failure_times is not None
+                else None
+            ),
+            clock_skew=(
+                ClockSkew.from_payload(clock_skew)
+                if clock_skew is not None
+                else None
+            ),
         )
 
     def content_hash(self) -> str:
@@ -166,6 +367,13 @@ class ScenarioSpec:
         bits = [f"{self.family}({params})", f"source={self.source}"]
         if self.failure_fraction:
             bits.append(f"failures={self.failure_fraction:g}")
+        if self.failure_times is not None:
+            ft = self.failure_times
+            bits.append(
+                f"midrun_failures={ft.fraction:g}@[{ft.start:g},{ft.end:g}]s"
+            )
+        if self.clock_skew is not None:
+            bits.append(f"skew={self.clock_skew.std:g}s")
         return " ".join(bits)
 
     # -- realization -------------------------------------------------------
@@ -174,9 +382,11 @@ class ScenarioSpec:
         """Build the concrete world for one run.
 
         Randomness comes from named streams rooted at
-        ``fold_seed(seed, "scenario")`` — placement, source choice and
-        failure sampling are independent streams, so e.g. raising the
-        failure fraction never perturbs node placement at the same seed.
+        ``fold_seed(seed, "scenario")`` — placement, source choice,
+        failure sampling, death scheduling and skew draws are independent
+        streams, so e.g. adding a death schedule never perturbs node
+        placement at the same seed (common random numbers for paired
+        nominal-vs-perturbed comparisons).
         """
         streams = RandomStreams(fold_seed(seed, "scenario"))
         topology = build_topology(
@@ -184,8 +394,17 @@ class ScenarioSpec:
         )
         source = self._place_source(topology, streams)
         failed = self._sample_failures(topology, source, streams)
+        failure_times = self._sample_failure_times(
+            topology, source, failed, streams
+        )
+        clock_offsets = self._sample_clock_offsets(topology, streams)
         return RealizedScenario(
-            spec=self, topology=topology, source=source, failed_nodes=failed
+            spec=self,
+            topology=topology,
+            source=source,
+            failed_nodes=failed,
+            failure_times=failure_times,
+            clock_offsets=clock_offsets,
         )
 
     def _place_source(self, topology: Topology, streams: RandomStreams) -> int:
@@ -227,3 +446,43 @@ class ScenarioSpec:
             return ()
         candidates = [v for v in topology.nodes() if v != source]
         return tuple(sorted(streams.stream("failures").sample(candidates, k)))
+
+    def _sample_failure_times(
+        self,
+        topology: Topology,
+        source: int,
+        pre_failed: Tuple[int, ...],
+        streams: RandomStreams,
+    ) -> Tuple[Tuple[int, float], ...]:
+        """Draw the mid-run death schedule from its dedicated stream.
+
+        Victims are sampled from the nodes still alive after the
+        pre-broadcast failures (source excluded), then sorted by id
+        *before* the per-victim time draws — so the (node, time) mapping
+        depends only on the sampled set, never on sampling order.
+        """
+        ft = self.failure_times
+        if ft is None:
+            return ()
+        excluded = {source} | set(pre_failed)
+        candidates = [v for v in topology.nodes() if v not in excluded]
+        k = min(int(round(ft.fraction * topology.n_nodes)), len(candidates))
+        if k <= 0:
+            return ()
+        rng = streams.stream("failure_times")
+        victims = sorted(rng.sample(candidates, k))
+        return tuple(
+            (victim, rng.uniform(ft.start, ft.end)) for victim in victims
+        )
+
+    def _sample_clock_offsets(
+        self, topology: Topology, streams: RandomStreams
+    ) -> Tuple[float, ...]:
+        """Draw one half-normal schedule offset per node (all nodes)."""
+        cs = self.clock_skew
+        if cs is None:
+            return ()
+        rng = streams.stream("clock_skew")
+        return tuple(
+            abs(rng.gauss(0.0, cs.std)) for _ in range(topology.n_nodes)
+        )

@@ -16,6 +16,14 @@ import math
 from typing import Callable, List, Optional, Tuple
 
 
+#: Priority for control-plane events (scenario node deaths and similar
+#: world mutations) scheduled alongside protocol traffic: lower than the
+#: default 0, so a node dying at time t is silenced *before* any frame it
+#: would have sent or heard at that same instant — deaths are first-class
+#: scheduled events, not post-hoc filters.
+CONTROL_PRIORITY = -1
+
+
 class SimulationError(RuntimeError):
     """Raised for invalid engine operations (e.g. scheduling in the past)."""
 

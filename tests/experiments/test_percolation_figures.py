@@ -51,3 +51,49 @@ class TestFigureConsistency:
         assert len(result.series) == len(TINY.reliability_levels)
         for series in result.series:
             assert series.xs() == [float(s) for s in TINY.percolation_sizes]
+
+
+class TestPerc02:
+    def test_one_series_per_family_and_process(self):
+        from repro.experiments.percolation_figures import (
+            PERC02_PROCESSES,
+            run_perc02,
+        )
+        from repro.experiments.scenario_figures import portability_scenarios
+
+        result = run_perc02(TINY)
+        panel = portability_scenarios(TINY)
+        labels = [series.label for series in result.series]
+        assert len(labels) == len(PERC02_PROCESSES) * len(panel)
+        for process in PERC02_PROCESSES:
+            for family_label, _ in panel:
+                assert f"{process} {family_label}" in labels
+
+    def test_x_axis_is_the_reliability_levels(self):
+        from repro.experiments.percolation_figures import run_perc02
+
+        result = run_perc02(TINY)
+        assert result.series[0].xs() == list(TINY.reliability_levels)
+
+    def test_site_threshold_at_least_bond_threshold(self):
+        """Killing a node severs all its bonds: site percolation needs a
+        larger occupied fraction than bond percolation on every family."""
+        from repro.experiments.percolation_figures import run_perc02
+        from repro.experiments.scenario_figures import portability_scenarios
+
+        result = run_perc02(TINY)
+        for family_label, _ in portability_scenarios(TINY):
+            bond = dict(result.get_series(f"bond {family_label}").points)
+            site = dict(result.get_series(f"site {family_label}").points)
+            for level in TINY.reliability_levels:
+                assert site[level] >= bond[level] - 0.05
+
+    def test_higher_reliability_needs_more_bonds(self):
+        from repro.experiments.percolation_figures import run_perc02
+        from repro.experiments.scenario_figures import portability_scenarios
+
+        result = run_perc02(TINY)
+        low, high = min(TINY.reliability_levels), max(TINY.reliability_levels)
+        for family_label, _ in portability_scenarios(TINY):
+            series = dict(result.get_series(f"bond {family_label}").points)
+            assert series[high] >= series[low] - 1e-9

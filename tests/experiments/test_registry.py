@@ -12,8 +12,10 @@ class TestRegistry:
             {"table1", "table2"}
             | {f"fig{n:02d}" for n in range(4, 19)}
             | {"scen01", "scen02"}  # scenario-layer extension figures
+            | {"scen03", "scen04"}  # detailed-scenario perturbations
             | {"pareto01", "pareto02", "pareto03"}  # trade-off analysis
             | {"sched01"}  # scheduler-portability extension
+            | {"perc02"}  # percolation across families
         )
         assert set(ids) == expected
 

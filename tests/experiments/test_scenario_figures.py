@@ -82,3 +82,71 @@ class TestCampaignSharing:
             dataclasses.replace(TINY, scenario_q=0.9)
         )
         assert spec_a.content_hash() != spec_b.content_hash()
+
+
+class TestScen03:
+    def test_three_metrics_per_scheduler(self):
+        result = scenario_figures.run_scen03(TINY)
+        labels = [series.label for series in result.series]
+        for scheduler in scenario_figures.SCEN03_SCHEDULERS:
+            assert f"delivery {scheduler.upper()}" in labels
+            assert f"latency {scheduler.upper()}" in labels
+            assert f"J/update {scheduler.upper()}" in labels
+        assert len(labels) == 3 * len(scenario_figures.SCEN03_SCHEDULERS)
+
+    def test_x_axis_is_the_midrun_fractions(self):
+        result = scenario_figures.run_scen03(TINY)
+        assert result.series[0].xs() == list(TINY.midrun_failure_fractions)
+
+    def test_deaths_never_improve_delivery(self):
+        result = scenario_figures.run_scen03(TINY)
+        fractions = TINY.midrun_failure_fractions
+        for scheduler in scenario_figures.SCEN03_SCHEDULERS:
+            delivery = dict(
+                result.get_series(f"delivery {scheduler.upper()}").points
+            )
+            assert delivery[fractions[-1]] <= delivery[fractions[0]] + 1e-9
+
+    def test_nominal_point_has_no_failure_times(self):
+        panel = scenario_figures.midrun_failure_scenarios(TINY)
+        fraction0, spec0 = panel[0]
+        assert fraction0 == 0.0
+        assert spec0.failure_times is None
+        assert "failure_times" not in spec0.token
+
+    def test_seeds_fold_only_the_operating_point(self):
+        """Every cell shares a seed: paired worlds across the panel."""
+        spec = scenario_figures.midrun_failure_campaign(TINY)
+        seeds = {spec.point_seed(point, 0) for point in spec.points()}
+        assert len(seeds) == 1
+
+
+class TestScen04:
+    def test_renders_a_hypervolume_comparison(self):
+        result = scenario_figures.run_scen04(TINY)
+        text = "\n".join(result.notes)
+        assert "hypervolume" in text
+        assert "nominal" in text and "perturbed" in text
+
+    def test_scenarios_share_placement_at_equal_seed(self):
+        (label_n, nominal), (label_p, perturbed) = (
+            scenario_figures.frontier_robustness_scenarios(TINY)
+        )
+        assert (label_n, label_p) == ("nominal", "perturbed")
+        seed = 123
+        topo_n = nominal.realize(seed).topology
+        topo_p = perturbed.realize(seed).topology
+        assert [topo_n.position(v) for v in topo_n.nodes()] == [
+            topo_p.position(v) for v in topo_p.nodes()
+        ]
+
+    def test_perturbed_spec_carries_both_perturbations(self):
+        _, perturbed = scenario_figures.frontier_robustness_scenarios(TINY)[1]
+        assert perturbed.failure_times is not None
+        assert perturbed.clock_skew is not None
+
+    def test_frontier_block_rendered_when_feasible(self):
+        result = scenario_figures.run_scen04(TINY)
+        if result.frontier_rows:
+            rendered = result.render()
+            assert "frontier" in rendered

@@ -1,0 +1,210 @@
+"""Config precedence for the ambient execution context.
+
+The contract under test: an explicit constructor/call argument always
+beats the ambient :class:`ExecutionConfig`, which in turn beats the
+built-in default — for the fast-path switch, the jobs count, and the
+cache settings — and the CLI installs its flags as the ambient layer.
+"""
+
+import pytest
+
+from repro.runners import (
+    CampaignSpec,
+    ExecutionConfig,
+    execution,
+    get_execution,
+    run_campaign,
+    set_execution,
+)
+from repro.runners.campaign import clear_memo
+
+SPEC = CampaignSpec.build(
+    kind="percolation",
+    axes={"reliability": (0.8,)},
+    fixed={"grid_side": 6, "runs": 2, "process": "bond"},
+    seed_params=("grid_side", "reliability"),
+)
+
+
+class TestAmbientLayer:
+    def test_builtin_defaults(self):
+        config = ExecutionConfig()
+        assert config.jobs == 1
+        assert config.use_cache is True
+        assert config.cache_dir is None
+        assert config.cache_max_size_mb is None
+        assert config.fast_path is True
+
+    def test_execution_scopes_and_restores(self):
+        before = get_execution()
+        with execution(jobs=7, fast_path=False, cache_max_size_mb=12.0):
+            inside = get_execution()
+            assert inside.jobs == 7
+            assert inside.fast_path is False
+            assert inside.cache_max_size_mb == 12.0
+        assert get_execution() == before
+
+    def test_nested_scopes_inner_wins_then_unwinds(self):
+        with execution(jobs=4):
+            with execution(jobs=2):
+                assert get_execution().jobs == 2
+            assert get_execution().jobs == 4
+
+    def test_set_execution_replaces_only_named_fields(self):
+        before = get_execution()
+        try:
+            config = set_execution(jobs=3)
+            assert config.jobs == 3
+            assert config.use_cache == before.use_cache
+            assert config.fast_path == before.fast_path
+        finally:
+            set_execution(**{
+                "jobs": before.jobs,
+                "use_cache": before.use_cache,
+                "fast_path": before.fast_path,
+            })
+
+
+class _RecordingPool:
+    """Stands in for ProcessPoolBackend; records construction, runs serial."""
+
+    constructed = []
+
+    def __init__(self, jobs):
+        type(self).constructed.append(jobs)
+        from repro.runners.backends import SerialBackend
+
+        self._serial = SerialBackend()
+
+    def execute(self, runs, on_result=None):
+        return self._serial.execute(runs, on_result=on_result)
+
+
+class TestJobsPrecedence:
+    @pytest.fixture(autouse=True)
+    def _patch_pool(self, monkeypatch):
+        _RecordingPool.constructed = []
+        monkeypatch.setattr(
+            "repro.runners.campaign.ProcessPoolBackend", _RecordingPool
+        )
+
+    def test_ambient_jobs_selects_the_pool(self):
+        clear_memo()
+        with execution(jobs=3, use_cache=False):
+            run_campaign(SPEC)
+        assert _RecordingPool.constructed == [3]
+
+    def test_explicit_jobs_beats_ambient(self):
+        clear_memo()
+        with execution(jobs=3, use_cache=False):
+            run_campaign(SPEC, jobs=1)  # explicit serial wins
+        assert _RecordingPool.constructed == []
+
+    def test_explicit_backend_beats_both(self):
+        from repro.runners.backends import SerialBackend
+
+        clear_memo()
+        with execution(jobs=3, use_cache=False):
+            run_campaign(SPEC, backend=SerialBackend())
+        assert _RecordingPool.constructed == []
+
+
+class TestFastPathPrecedence:
+    def _simulator(self, fast_path=None):
+        from repro.core.params import PBBFParams
+        from repro.ideal.config import AnalysisParameters
+        from repro.ideal.simulator import IdealSimulator
+        from repro.net.topology import GridTopology
+
+        return IdealSimulator(
+            GridTopology(5),
+            PBBFParams(p=0.5, q=0.5),
+            AnalysisParameters(grid_side=5),
+            seed=1,
+            fast_path=fast_path,
+        )
+
+    def test_ambient_default_is_fast(self):
+        assert self._simulator()._use_fast_path() is True
+
+    def test_ambient_override_reaches_the_simulator(self):
+        with execution(fast_path=False):
+            assert self._simulator()._use_fast_path() is False
+
+    def test_explicit_constructor_arg_beats_ambient(self):
+        with execution(fast_path=False):
+            assert self._simulator(fast_path=True)._use_fast_path() is True
+        with execution(fast_path=True):
+            assert self._simulator(fast_path=False)._use_fast_path() is False
+
+
+class TestCachePrecedence:
+    def test_ambient_cache_dir_receives_the_points(self, tmp_path):
+        from repro.runners import ResultCache
+
+        clear_memo()
+        with execution(cache_dir=str(tmp_path), use_cache=True):
+            run_campaign(SPEC)
+        assert list(ResultCache(tmp_path).entry_paths())
+
+    def test_explicit_use_cache_false_beats_ambient_dir(self, tmp_path):
+        from repro.runners import ResultCache
+
+        clear_memo()
+        with execution(cache_dir=str(tmp_path), use_cache=True):
+            run_campaign(SPEC, use_cache=False)
+        assert not list(ResultCache(tmp_path).entry_paths())
+
+    def test_explicit_cache_path_beats_ambient_dir(self, tmp_path):
+        from repro.runners import ResultCache
+
+        ambient = tmp_path / "ambient"
+        explicit = tmp_path / "explicit"
+        clear_memo()
+        with execution(cache_dir=str(ambient), use_cache=True):
+            run_campaign(SPEC, cache=str(explicit))
+        assert list(ResultCache(explicit).entry_paths())
+        assert not list(ResultCache(ambient).entry_paths())
+
+
+class TestCliInstallsTheAmbientLayer:
+    def test_run_flags_reach_the_experiment(self, monkeypatch, tmp_path):
+        """CLI flags become the ambient config the figure runner sees."""
+        from repro.experiments.spec import ExperimentResult, ExperimentSpec
+
+        captured = {}
+
+        def runner(scale):
+            captured.update(vars(get_execution()))
+            captured["config"] = get_execution()
+            return ExperimentResult(
+                experiment_id="stub",
+                title="stub",
+                x_label="x",
+                y_label="y",
+                series=(),
+                expectation="none",
+            )
+
+        stub = ExperimentSpec(
+            experiment_id="stub",
+            title="stub",
+            section="ext",
+            expectation="none",
+            runner=runner,
+        )
+        monkeypatch.setattr("repro.cli.get_experiment", lambda eid: stub)
+        from repro.cli import main
+
+        assert main([
+            "run", "stub",
+            "--jobs", "2",
+            "--cache-dir", str(tmp_path),
+            "--cache-max-size-mb", "9",
+            "--no-fast-path",
+        ]) == 0
+        config = captured["config"]
+        assert config.jobs == 2
+        assert config.cache_dir == str(tmp_path)
+        assert config.cache_max_size_mb == 9.0
+        assert config.fast_path is False

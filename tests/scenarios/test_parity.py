@@ -11,6 +11,8 @@ They lock two contracts:
   from the seed streams.
 """
 
+import pytest
+
 from repro.core.params import PBBFParams
 from repro.ideal.config import AnalysisParameters
 from repro.ideal.simulator import IdealSimulator, SchedulingMode
@@ -147,3 +149,85 @@ class TestScenarioEquivalence:
         assert a == b
         assert _detailed_run.cache_info().currsize == size_after_first
         assert size_after_first == before + 1
+
+
+#: The scenario the detailed-parity checks resolve: the legacy world's
+#: shape (connected random unit-disk deployment, random source) as data.
+DETAILED_SCENARIO = {
+    "family": "random",
+    "params": {"n_nodes": 16, "radio_range": 40.0, "density": 10.0},
+    "source": "random",
+}
+
+
+class TestDetailedScenarioEquivalence:
+    """The scenario-resolved detailed evaluator mirrors the ideal one's
+    contracts: distinct run keys, bit-identical direct-construction
+    metrics, and an untouched legacy path (no CACHE_VERSION bump)."""
+
+    def test_cache_version_unbumped(self):
+        from repro.runners.cache import CACHE_VERSION
+
+        assert CACHE_VERSION == 1
+
+    def test_scenario_key_differs_from_legacy_key(self):
+        from repro.scenarios import ScenarioSpec
+
+        params = dict(DETAILED_PARAMS)
+        del params["density"]
+        params["scenario"] = ScenarioSpec.build(
+            DETAILED_SCENARIO["family"],
+            DETAILED_SCENARIO["params"],
+            source=DETAILED_SCENARIO["source"],
+        ).token
+        assert run_key("detailed", params, 7) != run_key(
+            "detailed", DETAILED_PARAMS, 7
+        )
+
+    def test_scenario_token_matches_direct_simulator(self):
+        """Evaluator resolution equals hand-building with the scenario."""
+        from repro.detailed.config import CodeDistributionParameters
+        from repro.detailed.simulator import DetailedSimulator
+        from repro.runners.points import (
+            _detailed_scenario_point,
+            _summarize_detailed,
+        )
+        from repro.scenarios import ScenarioSpec
+
+        spec = ScenarioSpec.build(
+            DETAILED_SCENARIO["family"],
+            DETAILED_SCENARIO["params"],
+            source=DETAILED_SCENARIO["source"],
+        )
+        via_evaluator = _detailed_scenario_point(
+            spec.token, 0.5, 0.5, "psm_pbbf", 60.0, 7
+        )
+        realized = spec.realize(7)
+        direct = DetailedSimulator(
+            PBBFParams(p=0.5, q=0.5),
+            CodeDistributionParameters.for_topology(
+                realized.topology, duration=60.0
+            ),
+            seed=7,
+            mode=SchedulingMode.PSM_PBBF,
+            scenario=realized,
+        )
+        assert via_evaluator == _summarize_detailed(direct.run().metrics)
+
+    def test_legacy_layout_never_touches_scenario_resolution(self):
+        """A legacy point leaves the scenario evaluator's memo cold."""
+        from repro.runners.points import _detailed_scenario_point
+
+        before = _detailed_scenario_point.cache_info().currsize
+        evaluate_run("detailed", DETAILED_PARAMS, 7)
+        assert _detailed_scenario_point.cache_info().currsize == before
+
+    def test_adaptive_with_scenario_rejected(self):
+        from repro.scenarios import ScenarioSpec
+
+        params = dict(DETAILED_PARAMS)
+        del params["density"]
+        params["scenario"] = ScenarioSpec.grid_default(4).token
+        params["adaptive"] = "{}"
+        with pytest.raises(ValueError, match="adaptive"):
+            evaluate_run("detailed", params, 7)

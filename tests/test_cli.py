@@ -78,6 +78,12 @@ class TestScenarios:
         assert "center" in out and "max_degree" in out
         assert "failure_fraction" in out
 
+    def test_lists_time_varying_perturbations(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "failure_times" in out
+        assert "clock_skew" in out
+
 
 class TestCacheSubcommand:
     def test_stats_on_empty_cache(self, tmp_path, capsys):
@@ -195,3 +201,67 @@ class TestParetoSubcommand:
         ]) == 1
         out = capsys.readouterr().out
         assert "no operating point met the coverage floor" in out
+
+
+class TestParetoDetailed:
+    @pytest.fixture(autouse=True)
+    def _tiny_fast_scale(self, monkeypatch):
+        # The detailed q-sweep at true fast scale is minutes of simulation;
+        # the smoke preset keeps this a unit test.
+        from repro.experiments.scale import Scale
+        from tests.experiments.test_figures_smoke import TINY
+
+        monkeypatch.setattr(Scale, "fast", classmethod(lambda cls: TINY))
+
+    def test_prints_detailed_frontier(self, capsys):
+        assert main(["pareto", "--simulator", "detailed"]) == 0
+        out = capsys.readouterr().out
+        assert "pareto frontier for the detailed q-sweep" in out
+        assert "update latency" in out
+        assert "delivery >=" in out
+        assert "knee:" in out
+
+    def test_detailed_lifetime_denomination(self, capsys):
+        assert main([
+            "pareto", "--simulator", "detailed", "--lifetime",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "battery-days" in out
+
+    def test_detailed_latency_budget(self, capsys):
+        assert main([
+            "pareto", "--simulator", "detailed", "--latency-budget", "1000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "within latency <= 1000s:" in out
+
+    def test_detailed_impossible_floor_returns_nonzero(self, capsys):
+        assert main([
+            "pareto", "--simulator", "detailed", "--coverage", "1.1",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "no operating point met the delivery floor" in out
+
+    def test_unknown_simulator_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["pareto", "--simulator", "quantum"])
+
+    def test_explicit_family_rejected_for_detailed(self, capsys):
+        assert main([
+            "pareto", "--simulator", "detailed", "--family", "torus",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--family applies to the ideal simulator only" in err
+
+
+class TestCacheBudgetFlag:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--cache-max-size-mb", "-5"])
+
+    def test_budget_flag_accepted(self, capsys, tmp_path):
+        assert main([
+            "run", "table1",
+            "--cache-dir", str(tmp_path),
+            "--cache-max-size-mb", "64",
+        ]) == 0
