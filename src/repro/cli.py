@@ -89,6 +89,12 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                              "instead of the vectorized fast path "
                              "(results are bit-identical; this is an "
                              "escape hatch and parity-debugging aid)")
+    parser.add_argument("--no-detailed-fast-path", action="store_true",
+                        help="use the event-heap reference loop for "
+                             "detailed-simulator runs instead of the "
+                             "seed-batched kernel (results are "
+                             "bit-identical; escape hatch and "
+                             "parity-debugging aid)")
     parser.add_argument("--progress", action="store_true",
                         help="print periodic campaign progress lines "
                              "(completed/total with cached vs computed) "
@@ -166,6 +172,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="fast (default) or full (paper scale)")
     run.add_argument("--chart", action="store_true",
                      help="also draw an ASCII chart of the series")
+    run.add_argument("--profile", action="store_true",
+                     help="wrap the regeneration in cProfile and print a "
+                          "per-phase (realize/simulate/analyze/cache) "
+                          "time table")
     _add_execution_flags(run)
 
     run_all = sub.add_parser("run-all", help="run every experiment")
@@ -173,6 +183,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="fast (default) or full (paper scale)")
     run_all.add_argument("--out", default=None,
                          help="also write the report to this file")
+    run_all.add_argument("--profile", action="store_true",
+                         help="wrap every regeneration in cProfile and "
+                              "print one per-phase (realize/simulate/"
+                              "analyze/cache) time table at the end")
     _add_execution_flags(run_all)
     return parser
 
@@ -195,6 +209,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         use_cache=not args.no_cache,
         cache_max_size_mb=args.cache_max_size_mb,
         fast_path=not args.no_fast_path,
+        detailed_fast_path=not args.no_detailed_fast_path,
         progress=_progress_printer() if args.progress else None,
     ):
         if args.command == "run":
@@ -440,12 +455,71 @@ def _report_frontier(
     return 0
 
 
+#: Phase buckets for ``--profile``: package path fragments (under
+#: ``repro/``) mapped, first match wins, onto the pipeline stage whose
+#: regression a hot function would indicate.
+_PROFILE_PHASES = (
+    ("realize", ("scenarios",)),
+    ("simulate", ("detailed", "ideal", "percolation", "mac", "net", "sim",
+                  "apps", "core", "energy", "adaptive")),
+    ("analyze", ("analysis", "experiments", "util")),
+    ("cache", ("runners",)),
+)
+
+
+def _print_profile(profiler) -> None:
+    """Per-phase time table from one cProfile capture.
+
+    Each profiled function's exclusive (``tottime``) cost is attributed
+    to the pipeline phase owning its module, so the table sums to the
+    profiled wall-clock and a hot path shows up as its phase swelling —
+    diagnosable without re-running under ad-hoc scripts.
+    """
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    totals = {name: 0.0 for name, _ in _PROFILE_PHASES}
+    other = 0.0
+    for (filename, _lineno, _name), stat in stats.stats.items():
+        tottime = stat[2]
+        path = filename.replace("\\", "/")
+        marker = path.rfind("/repro/")
+        phase = None
+        if marker >= 0:
+            subpackage = path[marker + len("/repro/"):].split("/", 1)[0]
+            for name, subpackages in _PROFILE_PHASES:
+                if subpackage in subpackages:
+                    phase = name
+                    break
+        if phase is None:
+            other += tottime
+        else:
+            totals[phase] += tottime
+    total = sum(totals.values()) + other
+    print("profile (exclusive time by phase):")
+    for name, _ in _PROFILE_PHASES:
+        share = 100.0 * totals[name] / total if total else 0.0
+        print(f"  {name:10s} {totals[name]:8.3f}s  {share:5.1f}%")
+    share = 100.0 * other / total if total else 0.0
+    print(f"  {'other':10s} {other:8.3f}s  {share:5.1f}%")
+
+
 def _run_one(args: argparse.Namespace) -> int:
     spec = get_experiment(args.experiment_id)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
     started = time.perf_counter()
-    result = spec.run(args.scale)
+    if profiler is not None:
+        result = profiler.runcall(spec.run, args.scale)
+    else:
+        result = spec.run(args.scale)
     elapsed = time.perf_counter() - started
     print(result.render())
+    if profiler is not None:
+        _print_profile(profiler)
     if args.chart:
         from repro.experiments.ascii_plot import render_ascii_chart
 
@@ -460,11 +534,21 @@ def _run_one(args: argparse.Namespace) -> int:
 
 def _run_all(args: argparse.Namespace) -> int:
     reset_stats()
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
     chunks: List[str] = []
     for experiment_id in all_experiment_ids():
         spec = get_experiment(experiment_id)
         started = time.perf_counter()
-        result = spec.run(args.scale)
+        if profiler is not None:
+            # One capture across every experiment, enabled only around
+            # the regenerations so rendering/IO stay out of the table.
+            result = profiler.runcall(spec.run, args.scale)
+        else:
+            result = spec.run(args.scale)
         elapsed = time.perf_counter() - started
         text = result.render() + f"\n  ({elapsed:.1f}s at scale={args.scale.name})"
         print(text)
@@ -476,6 +560,8 @@ def _run_all(args: argparse.Namespace) -> int:
         f"{stats.reused_disk} from disk cache, "
         f"{stats.reused_memory} from memory"
     )
+    if profiler is not None:
+        _print_profile(profiler)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write("\n\n".join(chunks) + "\n")

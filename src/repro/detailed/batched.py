@@ -1,0 +1,826 @@
+"""Seed-batched structure-of-arrays kernel for the detailed simulator.
+
+The heap-loop :class:`~repro.detailed.simulator.DetailedSimulator` spends
+the bulk of its time on beacon-interval *machinery*: two events per node
+per BI (window open, Sleep-Decision-Handler) that every node executes at
+schedule-determined instants regardless of traffic.  This kernel advances
+**all seeds of a campaign point simultaneously**: per-node radio/energy/
+PBBF state lives in numpy arrays of shape ``(n_nodes, n_seeds)`` and each
+machinery instant is a handful of vectorized mask operations instead of
+``n_nodes * n_seeds`` Python callbacks.  Sparse *traffic* (CSMA
+contention, transmissions, receptions, application updates, node deaths)
+runs per seed through a lean tuple-event heap that replaces the engine's
+``EventHandle``/closure plumbing with direct dispatch.
+
+Bit-identical parity with the heap loop is a hard contract (the figures
+must not move by one ulp), which pins three design rules:
+
+* **Float expressions are transcribed, not simplified.**  Machinery
+  instants accumulate (``t + BI`` from the previous instant, exactly as
+  self-rescheduling ``engine.schedule`` calls do) while gate times use
+  the closed forms in :mod:`repro.mac.pbbf`; energy accumulates at
+  exactly the instants the heap loop calls ``set_state`` — splitting a
+  ``w*(c-a)`` rectangle at ``b`` is not an IEEE no-op.
+* **Per-stream draw order is preserved.**  Every named
+  :class:`~repro.util.rng.RandomStreams` stream is independently seeded,
+  so only the draw sequence *within* a stream must match — which it
+  does, because each node's backoff/pbbf draws happen at the same
+  simulated instants for the same reasons.
+* **Event ordering replicates the engine's ``(time, priority, seq)``
+  heap.**  Deaths (control priority) precede same-instant traffic;
+  machinery precedes same-instant traffic because machinery events are
+  always scheduled at least one ATIM window ahead while every traffic
+  delay (gate wait, DIFS+backoff, busy-defer, airtime) is shorter;
+  within a machinery instant, window opens precede window ends and nodes
+  are processed in ascending id order, matching the seq order their
+  self-rescheduling callbacks hold in the engine heap.
+
+Scope: the PSM scheduler under ``PSM_PBBF`` mode with default agents and
+MACs (loss, k > 1, pre-failed nodes, mid-run deaths, scenario clock
+offsets and half-normal skew all supported).  Everything else —
+smac/tmac, ``ALWAYS_ON``, adaptive agents, custom MAC factories,
+tracers — falls back to the heap loop via :func:`supports_batch`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.apps.code_distribution import CodeDistributionApp, UpdateRecord
+from repro.apps.metrics import BroadcastMetrics
+from repro.ideal.simulator import SchedulingMode
+from repro.mac.base import MacStats
+from repro.mac.csma import CsmaConfig
+from repro.mac.pbbf import bi_index_at, data_gate_at, in_atim_window_at
+from repro.net.channel import ChannelStats
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import Engine, SimulationError
+from repro.util.validation import check_positive
+
+# Radio state codes (power_lut index); LISTEN is the boot state.
+_LISTEN, _TX, _SLEEP = 0, 1, 2
+
+# Traffic event kinds, dispatched per seed in (time, priority, seq) order.
+_ATTEMPT, _FIRE, _CH_DONE, _TX_DONE, _GEN, _DIE = 0, 1, 2, 3, 4, 5
+
+# CSMA frame tags mapping completions to the MAC's stats hooks.
+_TAG_BEACON, _TAG_ATIM, _TAG_NORMAL, _TAG_IMMEDIATE = 0, 1, 2, 3
+
+
+def supports_batch(sim) -> bool:
+    """Can ``sim`` run on the batched kernel with bit-identical results?"""
+    return (
+        sim.mode is SchedulingMode.PSM_PBBF
+        and sim.scheduler == "psm"
+        and sim._agent_factory is None
+        and sim._mac_factory is None
+        and sim._tracer is None
+    )
+
+
+class _Transmission:
+    """On-air frame (identity-compared, like the channel's dataclass)."""
+
+    __slots__ = ("sender", "packet", "start", "end")
+
+    def __init__(self, sender: int, packet: Packet, start: float, end: float) -> None:
+        self.sender = sender
+        self.packet = packet
+        self.start = start
+        self.end = end
+
+
+class _SeedState:
+    """Per-seed scalar state: traffic heap, CSMA queues, RNGs, stats."""
+
+    __slots__ = (
+        "sim", "s", "n", "source", "heap", "seq", "offsets",
+        "neighbors", "audible", "recent", "max_duration",
+        "channel_stats", "mac_stats", "loss_p", "loss_rng",
+        "backoff_rngs", "pbbf_rngs", "p", "q", "seen",
+        "normal_queue", "queued_nodes", "csma_queue", "pending_id",
+        "transmitting", "failed", "updates", "receptions",
+        "next_update_id", "state_l", "since_l", "mirror_fresh",
+    )
+
+    def __init__(self, sim, s: int) -> None:
+        topology = sim.topology
+        n = topology.n_nodes
+        streams = sim._streams
+        self.sim = sim
+        self.s = s
+        self.n = n
+        self.source = sim.source
+        self.heap: List[tuple] = []
+        self.seq = 0
+        self.neighbors = [topology.neighbors(node) for node in topology.nodes()]
+        self.audible = [frozenset(nbrs) for nbrs in self.neighbors]
+        self.recent: List[_Transmission] = []
+        self.max_duration = 0.0
+        self.channel_stats = ChannelStats()
+        self.mac_stats = [MacStats() for _ in range(n)]
+        self.loss_p = sim._loss_probability
+        self.loss_rng = streams.stream("loss")
+        self.backoff_rngs = [
+            streams.stream(f"node.{node_id}.backoff") for node_id in range(n)
+        ]
+        self.pbbf_rngs = [
+            streams.stream(f"node.{node_id}.pbbf") for node_id in range(n)
+        ]
+        self.p = sim.params.p
+        self.q = sim.params.q
+        self.seen: List[Set[Tuple[int, int]]] = [set() for _ in range(n)]
+        self.normal_queue: List[List[Packet]] = [[] for _ in range(n)]
+        self.queued_nodes: Set[int] = set()
+        self.csma_queue: List[List[Tuple[Packet, bool, int]]] = [
+            [] for _ in range(n)
+        ]
+        self.pending_id: List[Optional[int]] = [None] * n
+        self.transmitting = [False] * n
+        self.failed = [False] * n
+        self.updates: List[UpdateRecord] = []
+        self.receptions: Dict[int, Dict[int, float]] = {
+            node: {} for node in range(n)
+        }
+        self.next_update_id = 0
+        # Read-cache of this seed's state / state_since columns for the
+        # per-receiver listening checks (the arrays stay authoritative).
+        # Machinery instants invalidate it; completions refresh lazily.
+        self.state_l: List[int] = []
+        self.since_l: List[float] = []
+        self.mirror_fresh = False
+        # Per-node clock offsets, replicating the simulator's draw order:
+        # scenario phase first, half-normal skew on top, wrapped into one
+        # beacon interval by the MAC.
+        bi = sim.config.beacon_interval
+        offsets = []
+        for node_id in range(n):
+            offset = 0.0
+            if sim._scenario_offsets:
+                offset = sim._scenario_offsets[node_id]
+            if sim._clock_skew_std > 0.0:
+                offset += abs(
+                    streams.stream(f"node.{node_id}.skew").gauss(
+                        0.0, sim._clock_skew_std
+                    )
+                )
+            offsets.append(float(offset) % bi)
+        self.offsets = offsets
+
+    def push(self, time: float, priority: int, *payload) -> int:
+        """Queue a traffic event; returns its seq (the cancellation token)."""
+        seq = self.seq
+        self.seq += 1
+        heapq.heappush(self.heap, (time, priority, seq) + payload)
+        return seq
+
+    def has_pending(self, node: int) -> bool:
+        return bool(self.csma_queue[node]) or self.transmitting[node]
+
+
+class _Group:
+    """Nodes sharing one schedule offset (one machinery stream)."""
+
+    __slots__ = ("offset", "mask")
+
+    def __init__(self, offset: float, n: int, n_seeds: int) -> None:
+        self.offset = offset
+        self.mask = np.zeros((n, n_seeds), dtype=bool)
+
+
+class _Batch:
+    """All seeds of one campaign point, stepped in lockstep."""
+
+    def __init__(self, sims, duration: float) -> None:
+        first = sims[0]
+        cfg = first.config
+        n = first.topology.n_nodes
+        S = len(sims)
+        for sim in sims:
+            if sim.topology.n_nodes != n:
+                raise ValueError("batched sims must share a network size")
+            if sim.config != cfg:
+                raise ValueError("batched sims must share a configuration")
+        self.sims = sims
+        self.cfg = cfg
+        self.n = n
+        self.S = S
+        self.duration = duration
+        self.bi = cfg.beacon_interval
+        self.aw = cfg.atim_window
+        self.bit_rate = cfg.bit_rate_bps
+        self.data_size = cfg.total_packet_bytes
+        csma = CsmaConfig()
+        self.slot_time = csma.slot_time
+        self.difs = csma.difs
+        self.cw = csma.contention_window
+        # MacConfig defaults carried by the simulator's wiring.
+        self.atim_size = 28
+        self.beacon_size = 28
+        self.send_beacons = True
+        power = cfg.power
+        self.power_lut = np.array(
+            [power.listen_w, power.tx_w, power.sleep_w], dtype=np.float64
+        )
+        # SoA radio/energy/PBBF state, trailing seed axis.
+        self.state = np.full((n, S), _LISTEN, dtype=np.int8)
+        self.state_since = np.zeros((n, S), dtype=np.float64)
+        self.last_time = np.zeros((n, S), dtype=np.float64)
+        self.joules = np.zeros((n, S), dtype=np.float64)
+        self.awake = np.ones((n, S), dtype=bool)
+        self.announced_tx = np.zeros((n, S), dtype=bool)
+        self.announced_rx = np.zeros((n, S), dtype=bool)
+        self.started = np.ones((n, S), dtype=bool)
+        self.stopped = np.zeros((n, S), dtype=bool)
+        self.pending = np.zeros((n, S), dtype=bool)
+        self.bi_index = np.full((n, S), -1, dtype=np.int64)
+        self.all_nodes = list(range(n))
+        self.states = [_SeedState(sim, s) for s, sim in enumerate(sims)]
+        groups: Dict[float, _Group] = {}
+        for st in self.states:
+            for node_id, offset in enumerate(st.offsets):
+                group = groups.get(offset)
+                if group is None:
+                    group = groups[offset] = _Group(offset, n, S)
+                group.mask[node_id, st.s] = True
+        self.groups = list(groups.values())
+        # Pre-broadcast failures: the MAC never starts, the radio sleeps
+        # from t=0 (set_state at the boot instant changes no energy).
+        for st in self.states:
+            for node_id in st.sim._pre_failed:
+                st.failed[node_id] = True
+                self.started[node_id, st.s] = False
+                self.stopped[node_id, st.s] = True
+                self.state[node_id, st.s] = _SLEEP
+        # Incrementally-maintained ``started & ~stopped`` (deaths are rare).
+        self.live = self.started & ~self.stopped
+
+    # -- energy bookkeeping ---------------------------------------------------
+
+    def _accumulate(self, st: _SeedState, node: int, now: float) -> None:
+        """Scalar ``RadioEnergyModel._accumulate`` (traffic path)."""
+        elapsed = now - self.last_time[node, st.s]
+        if elapsed > 0.0:
+            self.joules[node, st.s] += (
+                self.power_lut[self.state[node, st.s]] * elapsed
+            )
+            self.last_time[node, st.s] = now
+
+    def _accumulate_bulk(self, now: float, sel: np.ndarray) -> None:
+        """Vectorized accumulate at one shared instant.
+
+        Adding ``w * 0.0`` where a node's meter already sits at ``now`` is
+        an exact IEEE no-op for the non-negative totals involved, so the
+        ``elapsed > 0`` guard can be dropped under the mask.
+        """
+        idx = np.nonzero(sel)
+        elapsed = now - self.last_time[idx]
+        self.joules[idx] += self.power_lut[self.state[idx]] * elapsed
+        self.last_time[idx] = now
+
+    def _set_state(self, st: _SeedState, node: int, code: int, now: float) -> None:
+        """Scalar ``RadioEnergyModel.set_state`` (traffic path)."""
+        self._accumulate(st, node, now)
+        if self.state[node, st.s] != code:
+            self.state[node, st.s] = code
+            self.state_since[node, st.s] = now
+            if st.mirror_fresh:
+                st.state_l[node] = code
+                st.since_l[node] = now
+
+    def _scheduled_code(self, st: _SeedState, node: int, now: float) -> int:
+        """``PBBFMac._scheduled_state`` against the SoA arrays."""
+        if st.failed[node]:
+            return _SLEEP
+        if in_atim_window_at(now, st.offsets[node], self.bi, self.aw):
+            return _LISTEN
+        if self.awake[node, st.s] or st.has_pending(node):
+            return _LISTEN
+        return _SLEEP
+
+    # -- beacon interval machinery --------------------------------------------
+
+    def _on_bi_start(self, now: float, group: _Group) -> None:
+        active = group.mask & self.live
+        if not active.any():
+            return
+        non_tx = active & (self.state != _TX)
+        self._accumulate_bulk(now, non_tx)
+        to_listen = non_tx & (self.state != _LISTEN)
+        self.state[to_listen] = _LISTEN
+        self.state_since[to_listen] = now
+        for st in self.states:
+            st.mirror_fresh = False
+        bi = bi_index_at(now, group.offset, self.bi)
+        self.bi_index[active] = bi
+        self.announced_tx[active] = False
+        self.announced_rx[active] = False
+        self.awake[active] = True
+        beacon_node = bi % self.n if self.send_beacons else -1
+        for st in self.states:
+            column = active[:, st.s]
+            candidates = set(st.queued_nodes)
+            if beacon_node >= 0:
+                candidates.add(beacon_node)
+            for node in sorted(candidates):
+                if not column[node]:
+                    continue
+                if node == beacon_node:
+                    beacon = Packet(
+                        kind=PacketKind.BEACON,
+                        origin=node,
+                        sender=node,
+                        seqno=bi,
+                        size_bytes=self.beacon_size,
+                    )
+                    self._enqueue(st, node, beacon, False, _TAG_BEACON, now)
+                if st.normal_queue[node]:
+                    self._announce_pending(st, node, now)
+
+    def _on_window_end(self, now: float, group: _Group) -> None:
+        active = group.mask & self.live
+        if not active.any():
+            return
+        # Sleep-Decision-Handler: the q-coin is drawn (in ascending node
+        # order, matching the heap's event seq order) only when the node
+        # neither holds pending frames nor was announced to.
+        for st in self.states:
+            column = active[:, st.s]
+            if column.all():
+                nodes = self.all_nodes
+            elif column.any():
+                nodes = np.nonzero(column)[0].tolist()
+            else:
+                continue
+            announced = self.announced_rx[:, st.s].tolist()
+            queue = st.csma_queue
+            transmitting = st.transmitting
+            rngs = st.pbbf_rngs
+            q = st.q
+            stay = []
+            for node in nodes:
+                if announced[node] or queue[node] or transmitting[node]:
+                    stay.append(True)
+                else:
+                    stay.append(rngs[node].random() < q)
+            self.awake[nodes, st.s] = stay
+        non_tx = active & (self.state != _TX)
+        self._accumulate_bulk(now, non_tx)
+        if in_atim_window_at(now, group.offset, self.bi, self.aw):
+            listen = non_tx
+        else:
+            listen = non_tx & (self.awake | self.pending)
+        to_listen = listen & (self.state != _LISTEN)
+        to_sleep = (non_tx & ~listen) & (self.state != _SLEEP)
+        self.state[to_listen] = _LISTEN
+        self.state_since[to_listen] = now
+        self.state[to_sleep] = _SLEEP
+        self.state_since[to_sleep] = now
+        for st in self.states:
+            st.mirror_fresh = False
+
+    # -- MAC ------------------------------------------------------------------
+
+    def _announce_pending(self, st: _SeedState, node: int, now: float) -> None:
+        if not st.normal_queue[node]:
+            return
+        if not self.announced_tx[node, st.s]:
+            atim = Packet(
+                kind=PacketKind.ATIM,
+                origin=node,
+                sender=node,
+                seqno=int(self.bi_index[node, st.s]),
+                size_bytes=self.atim_size,
+            )
+            self._enqueue(st, node, atim, False, _TAG_ATIM, now)
+            self.announced_tx[node, st.s] = True
+        queued, st.normal_queue[node] = st.normal_queue[node], []
+        st.queued_nodes.discard(node)
+        for packet in queued:
+            self._enqueue(st, node, packet, True, _TAG_NORMAL, now)
+
+    def _handle_receive(
+        self,
+        st: _SeedState,
+        node: int,
+        packet: Packet,
+        now: float,
+        kind: PacketKind,
+        broadcast_id: tuple,
+    ) -> None:
+        if st.failed[node]:
+            return
+        if kind is not PacketKind.DATA:
+            if kind is PacketKind.ATIM:
+                st.mac_stats[node].atims_received += 1
+                self.announced_rx[node, st.s] = True
+            return  # beacons carry no payload; synchronisation is assumed
+        stats = st.mac_stats[node]
+        seen = st.seen[node]
+        if broadcast_id in seen:
+            stats.duplicates_dropped += 1
+            return
+        seen.add(broadcast_id)
+        immediate = st.pbbf_rngs[node].random() < st.p
+        stats.data_received += 1
+        records = st.receptions[node]
+        for update_id in packet.updates:
+            if update_id not in records:
+                records[update_id] = now
+        forward = packet.forwarded_by(node)
+        if immediate:
+            self._enqueue(st, node, forward, True, _TAG_IMMEDIATE, now)
+        else:
+            st.normal_queue[node].append(forward)
+            st.queued_nodes.add(node)
+            if in_atim_window_at(now, st.offsets[node], self.bi, self.aw):
+                self._announce_pending(st, node, now)
+
+    def _generate(self, st: _SeedState, now: float) -> None:
+        update_id = st.next_update_id
+        st.next_update_id += 1
+        st.updates.append(UpdateRecord(update_id, now))
+        st.receptions[st.source][update_id] = now
+        recent = tuple(
+            record.update_id for record in st.updates[-self.cfg.k:]
+        )
+        packet = Packet(
+            kind=PacketKind.DATA,
+            origin=st.source,
+            sender=st.source,
+            seqno=update_id,
+            size_bytes=self.data_size,
+            updates=recent,
+        )
+        # PBBFMac.broadcast at the source.
+        node = st.source
+        if st.failed[node]:
+            return
+        st.seen[node].add(packet.broadcast_id)
+        st.normal_queue[node].append(packet)
+        st.queued_nodes.add(node)
+        if in_atim_window_at(now, st.offsets[node], self.bi, self.aw):
+            self._announce_pending(st, node, now)
+
+    def _die(self, st: _SeedState, node: int, now: float) -> None:
+        if st.failed[node]:
+            return
+        st.failed[node] = True
+        self.stopped[node, st.s] = True
+        self.live[node, st.s] = False
+        st.csma_queue[node].clear()
+        st.pending_id[node] = None
+        self.pending[node, st.s] = st.transmitting[node]
+        st.normal_queue[node].clear()
+        st.queued_nodes.discard(node)
+        if self.state[node, st.s] != _SLEEP:
+            self._set_state(st, node, _SLEEP, now)
+
+    # -- CSMA -----------------------------------------------------------------
+
+    def _enqueue(
+        self, st: _SeedState, node: int, packet: Packet, gated: bool, tag: int, now: float
+    ) -> None:
+        st.csma_queue[node].append((packet, gated, tag))
+        self.pending[node, st.s] = True
+        if st.transmitting[node] or st.pending_id[node] is not None:
+            return
+        self._attempt(st, node, now)
+
+    def _attempt(self, st: _SeedState, node: int, now: float) -> None:
+        st.pending_id[node] = None
+        queue = st.csma_queue[node]
+        if not queue:
+            return
+        packet, gated, _tag = queue[0]
+        gate_time = (
+            data_gate_at(now, st.offsets[node], self.bi, self.aw) if gated else now
+        )
+        if gate_time > now:
+            st.pending_id[node] = st.push(
+                now + (gate_time - now), 0, _ATTEMPT, node
+            )
+            return
+        if self._is_busy(st, node, now):
+            resume = self._busy_until(st, node, now) - now
+            jitter = st.backoff_rngs[node].random() * self.slot_time
+            st.pending_id[node] = st.push(
+                now + (resume + jitter), 0, _ATTEMPT, node
+            )
+            return
+        wait = self.difs + st.backoff_rngs[node].randrange(self.cw) * self.slot_time
+        st.pending_id[node] = st.push(now + wait, 0, _FIRE, node, now)
+
+    def _fire(self, st: _SeedState, node: int, now: float, countdown_start: float) -> None:
+        st.pending_id[node] = None
+        queue = st.csma_queue[node]
+        if not queue:
+            return
+        packet, gated, tag = queue[0]
+        gate_time = (
+            data_gate_at(now, st.offsets[node], self.bi, self.aw) if gated else now
+        )
+        if gate_time > now:
+            self._attempt(st, node, now)
+            return
+        if self._busy_during(st, node, countdown_start, now):
+            self._attempt(st, node, now)
+            return
+        queue.pop(0)
+        st.transmitting[node] = True
+        self._set_state(st, node, _TX, now)
+        duration = packet.size_bytes * 8.0 / self.bit_rate
+        transmission = _Transmission(node, packet, now, now + duration)
+        st.recent.append(transmission)
+        st.max_duration = max(st.max_duration, duration)
+        st.channel_stats.transmissions += 1
+        kind = packet.kind.value
+        st.channel_stats.by_kind[kind] = (
+            st.channel_stats.by_kind.get(kind, 0) + 1
+        )
+        # The channel's completion resolves first, then the MAC's (the
+        # channel schedules before the transmitter, so its event holds the
+        # lower seq); their instants can differ by an ulp, so both delay
+        # expressions are transcribed from their sources.
+        seq = st.seq
+        heapq.heappush(st.heap, (now + duration, 0, seq, _CH_DONE, transmission))
+        mac_delay = transmission.end - transmission.start
+        heapq.heappush(
+            st.heap, (now + mac_delay, 0, seq + 1, _TX_DONE, node, (packet, gated, tag))
+        )
+        st.seq = seq + 2
+
+    def _tx_done(self, st: _SeedState, node: int, frame, now: float) -> None:
+        st.transmitting[node] = False
+        self.pending[node, st.s] = bool(st.csma_queue[node])
+        self._set_state(st, node, self._scheduled_code(st, node, now), now)
+        packet, _gated, tag = frame
+        stats = st.mac_stats[node]
+        if tag == _TAG_BEACON:
+            stats.beacons_sent += 1
+        elif tag == _TAG_ATIM:
+            stats.atims_sent += 1
+        elif tag == _TAG_NORMAL:
+            stats.data_sent += 1
+            stats.normal_sends += 1
+        else:
+            stats.data_sent += 1
+            stats.immediate_sends += 1
+        if (
+            not st.transmitting[node]
+            and st.pending_id[node] is None
+            and st.csma_queue[node]
+        ):
+            self._attempt(st, node, now)
+
+    # -- channel --------------------------------------------------------------
+
+    def _is_busy(self, st: _SeedState, node: int, now: float) -> bool:
+        audible = st.audible[node]
+        for tx in st.recent:
+            if tx.start <= now < tx.end and (
+                tx.sender in audible or tx.sender == node
+            ):
+                return True
+        return False
+
+    def _busy_until(self, st: _SeedState, node: int, now: float) -> float:
+        audible = st.audible[node]
+        latest = now
+        for tx in st.recent:
+            if tx.start <= now < tx.end and (
+                tx.sender in audible or tx.sender == node
+            ):
+                latest = max(latest, tx.end)
+        return latest
+
+    def _busy_during(
+        self, st: _SeedState, node: int, start: float, end: float
+    ) -> bool:
+        audible = st.audible[node]
+        for tx in st.recent:
+            if (
+                (tx.sender in audible or tx.sender == node)
+                and tx.start < end
+                and tx.end > start
+            ):
+                return True
+        return False
+
+    def _channel_complete(
+        self, st: _SeedState, transmission: _Transmission, now: float
+    ) -> None:
+        packet = transmission.packet
+        stats = st.channel_stats
+        s = st.s
+        tx_start = transmission.start
+        tx_end = transmission.end
+        # A reception at r is corrupted iff some *other* transmission with
+        # sender r or sender audible at r overlaps this one.  The set of
+        # overlapping senders is receiver-independent, so hoist it out of
+        # the per-receiver loop (it is empty for most completions).
+        overlap_senders = set()
+        for other in st.recent:
+            if (
+                other is not transmission
+                and other.start < tx_end
+                and other.end > tx_start
+            ):
+                overlap_senders.add(other.sender)
+        if not st.mirror_fresh:
+            st.state_l = self.state[:, s].tolist()
+            st.since_l = self.state_since[:, s].tolist()
+            st.mirror_fresh = True
+        state_l = st.state_l
+        since_l = st.since_l
+        failed = st.failed
+        audible = st.audible
+        loss_p = st.loss_p
+        # Packet attributes are receiver-independent: resolve the kind and
+        # the (property-computed) broadcast id once per completion.
+        kind = packet.kind
+        broadcast_id = packet.broadcast_id if kind is PacketKind.DATA else ()
+        for receiver in st.neighbors[transmission.sender]:
+            if (
+                failed[receiver]
+                or state_l[receiver] != _LISTEN
+                or since_l[receiver] > tx_start
+            ):
+                stats.missed_asleep += 1
+                continue
+            if overlap_senders and (
+                receiver in overlap_senders
+                or not overlap_senders.isdisjoint(audible[receiver])
+            ):
+                stats.collisions += 1
+                st.mac_stats[receiver].collisions_heard += 1
+                continue
+            if loss_p > 0.0 and not (st.loss_rng.random() >= loss_p):
+                stats.lost_random += 1
+                continue
+            stats.deliveries += 1
+            self._handle_receive(st, receiver, packet, now, kind, broadcast_id)
+        self._prune(st, now)
+
+    def _prune(self, st: _SeedState, now: float) -> None:
+        keep_for = max(2.0 * st.max_duration, 1.0)
+        horizon = now - keep_for
+        for tx in st.recent:
+            if tx.end < horizon:
+                st.recent = [t for t in st.recent if t.end >= horizon]
+                return
+
+    # -- event dispatch -------------------------------------------------------
+
+    def _dispatch(self, st: _SeedState, event: tuple) -> None:
+        time = event[0]
+        kind = event[3]
+        if kind == _ATTEMPT:
+            node = event[4]
+            if st.pending_id[node] != event[2]:
+                return
+            self._attempt(st, node, time)
+        elif kind == _FIRE:
+            node = event[4]
+            if st.pending_id[node] != event[2]:
+                return
+            self._fire(st, node, time, event[5])
+        elif kind == _CH_DONE:
+            self._channel_complete(st, event[4], time)
+        elif kind == _TX_DONE:
+            self._tx_done(st, event[4], event[5], time)
+        elif kind == _GEN:
+            self._generate(st, time)
+        else:
+            self._die(st, event[4], time)
+
+    def _drain_before(self, st: _SeedState, instant: float) -> None:
+        """Run traffic strictly before ``instant`` (deaths at it included).
+
+        Machinery at a shared instant precedes same-time default-priority
+        traffic (its events always hold lower seqs — see module docstring)
+        but follows control-priority deaths.
+        """
+        heap = st.heap
+        while heap:
+            head = heap[0]
+            if head[0] < instant or (head[0] == instant and head[1] < 0):
+                self._dispatch(st, heapq.heappop(heap))
+            else:
+                break
+
+    def _drain_through(self, st: _SeedState, until: float) -> None:
+        """Run all remaining traffic with ``time <= until`` (engine.run)."""
+        heap = st.heap
+        while heap and heap[0][0] <= until:
+            self._dispatch(st, heapq.heappop(heap))
+
+    # -- top-level ------------------------------------------------------------
+
+    def run(self) -> List:
+        duration = self.duration
+        machinery: List[Tuple[float, int, int]] = []
+        for gid, group in enumerate(self.groups):
+            if group.offset == 0.0:
+                # The heap loop runs t=0 window opens synchronously during
+                # node start-up, before traffic generation or deaths are
+                # scheduled; replicate that seq order here.
+                self._on_bi_start(0.0, group)
+                heapq.heappush(machinery, (0.0 + self.aw, 1, gid))
+                heapq.heappush(machinery, (0.0 + self.bi, 0, gid))
+            else:
+                heapq.heappush(machinery, (group.offset, 0, gid))
+        for st in self.states:
+            t = 0.01  # CodeDistributionApp first_offset default
+            while t < duration:
+                st.push(t, 0, _GEN)
+                t += self.cfg.update_interval
+        for st in self.states:
+            for node_id, fail_time in sorted(st.sim._node_failures.items()):
+                if not 0 <= node_id < self.n:
+                    raise IndexError(f"failing node {node_id} outside topology")
+                if math.isnan(fail_time) or fail_time < 0.0:
+                    raise SimulationError(
+                        f"cannot schedule at t={fail_time} before current "
+                        "time t=0.0"
+                    )
+                st.push(fail_time, -1, _DIE, node_id)
+        while machinery:
+            now, cls, gid = heapq.heappop(machinery)
+            if now >= duration:
+                # At-or-past-horizon machinery is unobservable: its energy
+                # split coincides with the final settlement instant and
+                # its coin draws are stream tails nothing consumes after.
+                break
+            for st in self.states:
+                self._drain_before(st, now)
+            group = self.groups[gid]
+            if cls == 0:
+                self._on_bi_start(now, group)
+                heapq.heappush(machinery, (now + self.aw, 1, gid))
+                heapq.heappush(machinery, (now + self.bi, 0, gid))
+            else:
+                self._on_window_end(now, group)
+        for st in self.states:
+            self._drain_through(st, duration)
+        self._accumulate_bulk(duration, np.ones((self.n, self.S), dtype=bool))
+        return [self._result(st) for st in self.states]
+
+    def _result(self, st: _SeedState):
+        from repro.detailed.simulator import DetailedResult
+
+        sim = st.sim
+        node_joules = [float(j) for j in self.joules[:, st.s]]
+        app = CodeDistributionApp(
+            Engine(),
+            source=st.source,
+            n_nodes=self.n,
+            update_interval=self.cfg.update_interval,
+            k=self.cfg.k,
+            packet_size_bytes=self.data_size,
+        )
+        app.updates = st.updates
+        app.receptions = st.receptions
+        app._next_update_id = st.next_update_id
+        metrics = BroadcastMetrics(
+            app,
+            sim.topology.hop_distances_from(st.source),
+            node_joules,
+        )
+        return DetailedResult(
+            params=sim.params,
+            mode=sim.mode,
+            config=self.cfg,
+            source=st.source,
+            topology=sim.topology,
+            metrics=metrics,
+            channel_stats=st.channel_stats,
+            mac_stats=st.mac_stats,
+            node_joules=node_joules,
+        )
+
+
+def run_batch(sims, duration: Optional[float] = None) -> List:
+    """Run every simulator in ``sims`` through the batched kernel.
+
+    All sims must satisfy :func:`supports_batch` and share a
+    configuration (they may differ in seed, and therefore in topology,
+    source, offsets and coin flips).  Returns one
+    :class:`~repro.detailed.simulator.DetailedResult` per sim, in order,
+    bit-identical to what each ``sim.run(duration)`` heap loop produces.
+    """
+    if not sims:
+        return []
+    for sim in sims:
+        if not supports_batch(sim):
+            raise ValueError(
+                "sim not supported by the batched kernel; route through "
+                "DetailedSimulator.run() for automatic fallback"
+            )
+    effective = duration if duration is not None else sims[0].config.duration
+    check_positive("duration", effective)
+    return _Batch(list(sims), effective).run()

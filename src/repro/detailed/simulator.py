@@ -8,7 +8,7 @@ protocol comparisons in Figures 13-18 meaningful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.apps.code_distribution import CodeDistributionApp
@@ -46,15 +46,29 @@ class DetailedResult:
     channel_stats: ChannelStats
     mac_stats: List[MacStats]
     node_joules: List[float]
+    # Aggregates reduced once on first access; the analysis layer reads
+    # them inside tight loops over whole campaigns.
+    _n_updates: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _total_data_transmissions: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n_updates(self) -> int:
         """Updates generated at the source during the run."""
-        return self.metrics.n_updates
+        if self._n_updates is None:
+            self._n_updates = self.metrics.n_updates
+        return self._n_updates
 
     def total_data_transmissions(self) -> int:
         """Data frames put on the air across all nodes."""
-        return sum(stats.data_sent for stats in self.mac_stats)
+        if self._total_data_transmissions is None:
+            self._total_data_transmissions = sum(
+                stats.data_sent for stats in self.mac_stats
+            )
+        return self._total_data_transmissions
 
 
 class DetailedSimulator:
@@ -113,6 +127,13 @@ class DetailedSimulator:
         clock offsets model the PSM schedule phase; a skew-carrying
         scenario on any other scheduler/mode raises rather than silently
         caching nominal results under the perturbed token.
+    fast_path:
+        Kernel selection: ``True`` forces the seed-batched kernel
+        (:mod:`repro.detailed.batched`), ``False`` forces the heap-loop
+        reference, ``None`` (default) defers to the ambient
+        ``ExecutionConfig.detailed_fast_path``.  Configurations the
+        batched kernel does not support fall back to the reference
+        automatically; results are bit-identical either way.
     """
 
     def __init__(
@@ -130,6 +151,7 @@ class DetailedSimulator:
         tracer=None,
         mac_factory=None,
         scenario: Optional[RealizedScenario] = None,
+        fast_path: Optional[bool] = None,
     ) -> None:
         if scheduler not in ("psm", "smac", "tmac"):
             raise ValueError(
@@ -209,9 +231,33 @@ class DetailedSimulator:
                 topology.n_nodes
             )
         self._loss_probability = loss_probability
+        self._fast_path = fast_path
+
+    def _use_fast_path(self) -> bool:
+        """Batched kernel selection: explicit flag wins, else ambient config."""
+        if self._fast_path is not None:
+            return self._fast_path
+        from repro.runners.context import get_execution
+
+        return get_execution().detailed_fast_path
 
     def run(self, duration: Optional[float] = None) -> DetailedResult:
-        """Execute the scenario and return its measurements."""
+        """Execute the scenario and return its measurements.
+
+        Routes through the seed-batched kernel
+        (:mod:`repro.detailed.batched`) when selected and supported —
+        bit-identical to the heap loop — and falls back to
+        :meth:`run_reference` otherwise.
+        """
+        if self._use_fast_path():
+            from repro.detailed.batched import run_batch, supports_batch
+
+            if supports_batch(self):
+                return run_batch([self], duration=duration)[0]
+        return self.run_reference(duration)
+
+    def run_reference(self, duration: Optional[float] = None) -> DetailedResult:
+        """Execute via the event-heap reference loop (the parity baseline)."""
         duration = duration if duration is not None else self.config.duration
         cfg = self.config
         engine = Engine()

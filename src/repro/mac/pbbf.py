@@ -36,6 +36,50 @@ from repro.net.packet import Packet, PacketKind
 from repro.sim.engine import Engine
 
 
+# -- pure slot geometry ---------------------------------------------------------
+#
+# The beacon-interval arithmetic is shared between this event-driven MAC and
+# the seed-batched kernel (repro.detailed.batched).  Both must agree
+# float-for-float — interval indices come from the same floor division and
+# interval boundaries from the same multiply-add — so the formulas live here
+# as pure functions of (time, offset, config scalars) and the MAC delegates.
+
+
+def bi_index_at(now: float, clock_offset: float, beacon_interval: float) -> int:
+    """Index of the beacon interval containing ``now``.
+
+    Interval k spans ``[offset + k*BI, offset + (k+1)*BI)`` in the node's
+    (possibly skewed) local schedule.
+    """
+    return int(math.floor((now - clock_offset) / beacon_interval))
+
+
+def bi_start_time(bi: int, clock_offset: float, beacon_interval: float) -> float:
+    """Absolute start time of beacon interval ``bi``."""
+    return bi * beacon_interval + clock_offset
+
+
+def in_atim_window_at(
+    now: float, clock_offset: float, beacon_interval: float, atim_window: float
+) -> bool:
+    """Is ``now`` inside an ATIM window of the given schedule?"""
+    bi = bi_index_at(now, clock_offset, beacon_interval)
+    phase = now - bi_start_time(bi, clock_offset, beacon_interval)
+    return phase < atim_window
+
+
+def data_gate_at(
+    now: float, clock_offset: float, beacon_interval: float, atim_window: float
+) -> float:
+    """Earliest start for a data frame: never inside an ATIM window."""
+    bi_start = bi_start_time(
+        bi_index_at(now, clock_offset, beacon_interval), clock_offset, beacon_interval
+    )
+    if now - bi_start < atim_window:
+        return bi_start + atim_window
+    return now
+
+
 class PBBFMac:
     """One node's PSM + PBBF MAC.
 
@@ -116,28 +160,30 @@ class PBBFMac:
         Interval k spans ``[offset + k*BI, offset + (k+1)*BI)`` in this
         node's (possibly skewed) local schedule.
         """
-        return int(
-            math.floor(
-                (self._engine.now - self._clock_offset)
-                / self.config.beacon_interval
-            )
+        return bi_index_at(
+            self._engine.now, self._clock_offset, self.config.beacon_interval
         )
 
     def _bi_start_time(self, bi: int) -> float:
-        return bi * self.config.beacon_interval + self._clock_offset
+        return bi_start_time(bi, self._clock_offset, self.config.beacon_interval)
 
     def in_atim_window(self) -> bool:
         """Is the current instant inside an ATIM window?"""
-        phase = self._engine.now - self._bi_start_time(self.current_bi())
-        return phase < self.config.atim_window
+        return in_atim_window_at(
+            self._engine.now,
+            self._clock_offset,
+            self.config.beacon_interval,
+            self.config.atim_window,
+        )
 
     def _data_gate(self, packet: Packet) -> float:
         """Earliest start for a data frame: never inside an ATIM window."""
-        now = self._engine.now
-        bi_start = self._bi_start_time(self.current_bi())
-        if now - bi_start < self.config.atim_window:
-            return bi_start + self.config.atim_window
-        return now
+        return data_gate_at(
+            self._engine.now,
+            self._clock_offset,
+            self.config.beacon_interval,
+            self.config.atim_window,
+        )
 
     # -- lifecycle --------------------------------------------------------------
 

@@ -5,6 +5,14 @@ cache have been consulted) and return one flat metrics dict per run, in
 order.  Because point evaluation is a pure function of ``(kind, params,
 seed)`` (see :mod:`repro.runners.points`), the two are bit-identical for
 a fixed spec — ``ProcessPoolBackend`` is purely a wall-clock optimisation.
+
+Seed batching: consecutive ``detailed`` runs differing only in their seed
+(how :meth:`CampaignSpec.runs` orders them) are grouped into one task and
+evaluated through :func:`repro.runners.points.evaluate_run_batch`, which
+hands the whole seed list to the seed-batched kernel in a single call
+when the point is inside its scope.  Grouping only changes *who* computes
+each run's metrics — per-run results, their order and completion ticks
+are identical to the ungrouped loop.
 """
 
 from __future__ import annotations
@@ -14,10 +22,12 @@ import os
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runners.context import get_execution, set_execution
-from repro.runners.points import evaluate_run, metrics_to_dict
+from repro.runners.points import evaluate_run, evaluate_run_batch, metrics_to_dict
 from repro.runners.spec import CampaignRun
 
 _Task = Tuple[str, Dict[str, Any], int]
+#: One grouped unit of work: a point and the (consecutive) seeds to run.
+_BatchTask = Tuple[str, Dict[str, Any], Tuple[int, ...]]
 
 #: Per-run completion tick, invoked in the parent process after each run's
 #: metrics materialise (the campaign layer turns ticks into progress lines).
@@ -33,14 +43,49 @@ def _evaluate_task(task: _Task) -> Dict[str, Any]:
     return metrics_to_dict(evaluate_run(kind, params, seed))
 
 
-def _init_worker(fast_path: bool) -> None:
+def _evaluate_batch_task(task: _BatchTask) -> List[Dict[str, Any]]:
+    """Pool worker: evaluate one point's grouped seeds, one dict per seed."""
+    kind, params, seeds = task
+    return [
+        metrics_to_dict(metrics)
+        for metrics in evaluate_run_batch(kind, params, seeds)
+    ]
+
+
+def _group_runs(runs: Sequence[CampaignRun]) -> List[_BatchTask]:
+    """Group consecutive same-point ``detailed`` runs into batch tasks.
+
+    Only the ``detailed`` kind batches (its kernel amortises machinery
+    across seeds); other kinds stay singleton tasks so pool scheduling
+    granularity is unchanged for them.  ``run.params`` is the hashable
+    point identity, so equality is exact.
+    """
+    groups: List[_BatchTask] = []
+    last_params: Optional[Tuple] = None
+    for run in runs:
+        if (
+            groups
+            and run.kind == "detailed"
+            and groups[-1][0] == "detailed"
+            and run.params == last_params
+        ):
+            kind, params, seeds = groups[-1]
+            groups[-1] = (kind, params, seeds + (run.seed,))
+        else:
+            groups.append((run.kind, run.params_dict(), (run.seed,)))
+            last_params = run.params
+    return groups
+
+
+def _init_worker(fast_path: bool, detailed_fast_path: bool) -> None:
     """Install the parent's evaluation-affecting execution flags.
 
     The ambient :class:`ExecutionConfig` is a module global, so spawned
     (or forkserver) workers re-import it with defaults; without this the
-    parent's ``--no-fast-path`` would silently not reach the pool.
+    parent's ``--no-fast-path`` / ``--no-detailed-fast-path`` would
+    silently not reach the pool.
     """
-    set_execution(fast_path=fast_path)
+    set_execution(fast_path=fast_path, detailed_fast_path=detailed_fast_path)
 
 
 class SerialBackend:
@@ -51,10 +96,11 @@ class SerialBackend:
     ) -> List[Dict[str, Any]]:
         """Metrics dicts for ``runs``, in order."""
         results: List[Dict[str, Any]] = []
-        for run in runs:
-            results.append(_evaluate_task((run.kind, run.params_dict(), run.seed)))
-            if on_result is not None:
-                on_result()
+        for task in _group_runs(runs):
+            for flat in _evaluate_batch_task(task):
+                results.append(flat)
+                if on_result is not None:
+                    on_result()
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -79,15 +125,14 @@ class ProcessPoolBackend:
         self, runs: Sequence[CampaignRun], on_result: OnResult = None
     ) -> List[Dict[str, Any]]:
         """Metrics dicts for ``runs``, in order (workers may interleave)."""
-        tasks: List[_Task] = [
-            (run.kind, run.params_dict(), run.seed) for run in runs
-        ]
+        tasks = _group_runs(runs)
         results: List[Dict[str, Any]] = []
         if len(tasks) <= 1 or self.jobs == 1:
             for task in tasks:
-                results.append(_evaluate_task(task))
-                if on_result is not None:
-                    on_result()
+                for flat in _evaluate_batch_task(task):
+                    results.append(flat)
+                    if on_result is not None:
+                        on_result()
             return results
         jobs = min(self.jobs, len(tasks))
         # ~4 chunks per worker balances scheduling overhead against the
@@ -96,14 +141,20 @@ class ProcessPoolBackend:
         with multiprocessing.Pool(
             processes=jobs,
             initializer=_init_worker,
-            initargs=(get_execution().fast_path,),
+            initargs=(
+                get_execution().fast_path,
+                get_execution().detailed_fast_path,
+            ),
         ) as pool:
             # imap (not map) so completion ticks fire as results stream
             # back; order and values are identical to pool.map.
-            for flat in pool.imap(_evaluate_task, tasks, chunksize=chunksize):
-                results.append(flat)
-                if on_result is not None:
-                    on_result()
+            for flats in pool.imap(
+                _evaluate_batch_task, tasks, chunksize=chunksize
+            ):
+                for flat in flats:
+                    results.append(flat)
+                    if on_result is not None:
+                        on_result()
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

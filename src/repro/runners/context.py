@@ -41,6 +41,10 @@ class ExecutionConfig:
     #: kernel (bit-identical to the scalar loop; ``--no-fast-path`` and
     #: parity tests flip this off to exercise the reference path).
     fast_path: bool = True
+    #: Route detailed-simulator runs through the seed-batched SoA kernel
+    #: (bit-identical to the event-heap loop; ``--no-detailed-fast-path``
+    #: and parity tests flip this off to exercise the reference path).
+    detailed_fast_path: bool = True
     #: Campaign-level progress reporting: called in the *parent* process
     #: after the cache scan and then after every computed point, whatever
     #: backend runs it (the CLI's ``--progress`` installs a printer).

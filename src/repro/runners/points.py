@@ -30,7 +30,7 @@ from __future__ import annotations
 import random
 from dataclasses import asdict, dataclass
 from functools import lru_cache
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.params import PBBFParams
 from repro.ideal.config import AnalysisParameters
@@ -367,6 +367,109 @@ def _percolation_scenario_point(
     )
 
 
+@lru_cache(maxsize=512)
+def _detailed_seed_batch(
+    p: float,
+    q: float,
+    density: Optional[float],
+    scenario_token: Optional[str],
+    mode_value: str,
+    duration: float,
+    loss_probability: float,
+    seeds: Tuple[int, ...],
+) -> Optional[Tuple[DetailedPointMetrics, ...]]:
+    """One point's whole seed list through the seed-batched kernel.
+
+    Builds the same per-seed :class:`DetailedSimulator` objects the
+    singular evaluators would and hands them to
+    :func:`repro.detailed.batched.run_batch` in one call, so machinery
+    instants are advanced once for every seed instead of once per seed.
+    Results are bit-identical to the per-seed evaluators (the parity
+    suite locks this in), so memo entries, run keys and cache payloads
+    are interchangeable with theirs.  Returns ``None`` when the
+    configuration falls outside the kernel's scope (the caller then
+    falls back to the per-seed path).
+    """
+    from repro.detailed.batched import run_batch, supports_batch
+    from repro.detailed.config import CodeDistributionParameters
+    from repro.detailed.simulator import DetailedSimulator
+
+    pbbf = PBBFParams(p=p, q=q)
+    mode = SchedulingMode(mode_value)
+    sims = []
+    for seed in seeds:
+        if scenario_token is None:
+            config = CodeDistributionParameters(
+                density=density, duration=duration
+            )
+            sim = DetailedSimulator(
+                pbbf,
+                config,
+                seed=seed,
+                mode=mode,
+                loss_probability=loss_probability,
+            )
+        else:
+            realized = _realized_scenario(scenario_token, seed)
+            config = CodeDistributionParameters.for_topology(
+                realized.topology, duration=duration
+            )
+            sim = DetailedSimulator(
+                pbbf,
+                config,
+                seed=seed,
+                mode=mode,
+                loss_probability=loss_probability,
+                scenario=realized,
+            )
+        sims.append(sim)
+    if not all(supports_batch(sim) for sim in sims):
+        return None
+    return tuple(
+        _summarize_detailed(result.metrics) for result in run_batch(sims)
+    )
+
+
+def evaluate_run_batch(
+    kind: str, params: Mapping[str, Any], seeds: Sequence[int]
+) -> List[Any]:
+    """Evaluate one campaign point at every seed, batching when possible.
+
+    The batched path triggers for multi-seed ``detailed`` points inside
+    the seed-batched kernel's scope (PSM scheduler, no adaptive
+    controller) when the ambient ``detailed_fast_path`` flag is on;
+    everything else — other kinds, single seeds, out-of-scope
+    configurations, ``--no-detailed-fast-path`` — degrades to a plain
+    :func:`evaluate_run` loop.  Either way the returned bundles are
+    bit-identical and in seed order, so callers need not know which path
+    ran.
+    """
+    from repro.runners.context import get_execution
+
+    seeds = list(seeds)
+    if (
+        kind == "detailed"
+        and len(seeds) > 1
+        and get_execution().detailed_fast_path
+        and "adaptive" not in params
+        and str(params.get("scheduler", "psm")) == "psm"
+        and str(params["mode"]) == SchedulingMode.PSM_PBBF.value
+    ):
+        batch = _detailed_seed_batch(
+            float(params["p"]),
+            float(params["q"]),
+            None if "scenario" in params else float(params["density"]),
+            str(params["scenario"]) if "scenario" in params else None,
+            str(params["mode"]),
+            float(params["duration"]),
+            float(params.get("loss_probability", 0.0)),
+            tuple(seeds),
+        )
+        if batch is not None:
+            return list(batch)
+    return [evaluate_run(kind, params, seed) for seed in seeds]
+
+
 def evaluate_run(kind: str, params: Mapping[str, Any], seed: int):
     """Evaluate one campaign run and return its typed metrics bundle.
 
@@ -474,6 +577,7 @@ def clear_point_caches() -> None:
     _detailed_run.cache_clear()
     _detailed_scenario_point.cache_clear()
     _detailed_adaptive_run.cache_clear()
+    _detailed_seed_batch.cache_clear()
     _percolation_point.cache_clear()
     _percolation_scenario_point.cache_clear()
     _realized_scenario.cache_clear()

@@ -1,0 +1,261 @@
+"""Heap-loop vs seed-batched parity contract for the detailed simulator.
+
+The seed-batched SoA kernel (:mod:`repro.detailed.batched`) must produce
+*bit-identical* :class:`DetailedResult`\\ s to the event-heap reference
+loop — same per-node joules (float-for-float), same MAC and channel
+counters (including dict insertion order), same reception times — across
+schedulers, loss probabilities, perturbation specs and a wide seed
+matrix.  This equality is what lets the kernel replace the reference in
+every Section 5 campaign without changing a single plotted number.
+"""
+
+import pytest
+
+from repro.core.params import PBBFParams
+from repro.detailed.batched import run_batch, supports_batch
+from repro.detailed.config import CodeDistributionParameters
+from repro.detailed.simulator import DetailedSimulator
+from repro.ideal.simulator import SchedulingMode
+from repro.runners.context import execution, get_execution
+from repro.scenarios import ScenarioSpec
+
+CONFIG = CodeDistributionParameters(n_nodes=16, density=9.0, duration=150.0)
+
+OPERATING_POINTS = [(0.0, 0.0), (0.5, 0.5), (1.0, 0.25), (0.25, 1.0)]
+
+
+def results_pair(seed, params=None, config=CONFIG, **kwargs):
+    """(reference, batched) results for one configuration at one seed."""
+    params = params if params is not None else PBBFParams(0.5, 0.5)
+    reference = DetailedSimulator(
+        params, config, seed=seed, **kwargs
+    ).run_reference()
+    batched = run_batch(
+        [DetailedSimulator(params, config, seed=seed, **kwargs)]
+    )[0]
+    return reference, batched
+
+
+def assert_identical(reference, batched):
+    assert reference.node_joules == batched.node_joules
+    assert reference.source == batched.source
+    assert [vars(s) for s in reference.mac_stats] == [
+        vars(s) for s in batched.mac_stats
+    ]
+    # by_kind is insertion-ordered by first transmission of each kind;
+    # the kernel must replicate even that.
+    assert list(reference.channel_stats.by_kind.items()) == list(
+        batched.channel_stats.by_kind.items()
+    )
+    ref_chan = {
+        k: v for k, v in vars(reference.channel_stats).items() if k != "by_kind"
+    }
+    got_chan = {
+        k: v for k, v in vars(batched.channel_stats).items() if k != "by_kind"
+    }
+    assert ref_chan == got_chan
+    assert reference.n_updates == batched.n_updates
+    assert (
+        reference.total_data_transmissions()
+        == batched.total_data_transmissions()
+    )
+    rm, gm = reference.metrics, batched.metrics
+    assert rm.total_joules() == gm.total_joules()
+    assert rm.mean_update_latency() == gm.mean_update_latency()
+    assert [
+        rm.updates_received_fraction(v) for v in range(reference.config.n_nodes)
+    ] == [
+        gm.updates_received_fraction(v) for v in range(batched.config.n_nodes)
+    ]
+    for distance in range(6):
+        assert rm.latencies_at_distance(distance) == gm.latencies_at_distance(
+            distance
+        )
+
+
+class TestBatchedParity:
+    @pytest.mark.parametrize("p,q", OPERATING_POINTS)
+    def test_operating_point_matrix_over_20_seeds(self, p, q):
+        for seed in range(20):
+            assert_identical(*results_pair(seed, PBBFParams(p, q)))
+
+    def test_quick_operating_points(self):
+        """The quick tier CI runs on both kernels: 3 points x 3 seeds."""
+        for p, q in [(0.0, 0.0), (0.5, 0.5), (1.0, 0.25)]:
+            for seed in (0, 1, 2):
+                assert_identical(*results_pair(seed, PBBFParams(p, q)))
+
+    @pytest.mark.parametrize("loss", [0.3, 0.6, 1.0])
+    def test_loss_probability(self, loss):
+        for seed in range(5):
+            assert_identical(
+                *results_pair(
+                    seed, PBBFParams(0.5, 0.25), loss_probability=loss
+                )
+            )
+
+    def test_quick_loss(self):
+        assert_identical(
+            *results_pair(3, PBBFParams(0.5, 0.25), loss_probability=0.3)
+        )
+
+    def test_midrun_deaths(self):
+        deaths = {2: 35.5, 7: 90.0, 11: 111.3}
+        for seed in range(5):
+            assert_identical(
+                *results_pair(seed, PBBFParams(0.5, 0.5), node_failures=deaths)
+            )
+
+    def test_clock_skew(self):
+        for seed in range(5):
+            assert_identical(
+                *results_pair(seed, PBBFParams(0.5, 0.5), clock_skew_std=0.8)
+            )
+
+    def test_combined_perturbations(self):
+        for seed in range(3):
+            assert_identical(
+                *results_pair(
+                    seed,
+                    PBBFParams(0.25, 0.75),
+                    clock_skew_std=0.5,
+                    loss_probability=0.2,
+                    node_failures={3: 60.0},
+                )
+            )
+
+    def test_quick_scenario(self):
+        """Scenario-resolved worlds (pre-failures + realized topology)."""
+        spec = ScenarioSpec.build("grid", {"side": 5}, failure_fraction=0.2)
+        for seed in (21, 22):
+            realized = spec.realize(seed)
+            config = CodeDistributionParameters.for_topology(
+                realized.topology, duration=120.0
+            )
+            assert_identical(
+                *results_pair(
+                    seed, PBBFParams(0.5, 0.5), config=config, scenario=realized
+                )
+            )
+
+    def test_one_kernel_call_for_many_seeds(self):
+        """run_batch over a seed list equals per-seed reference runs."""
+        seeds = range(8)
+        sims = [
+            DetailedSimulator(PBBFParams(0.5, 0.25), CONFIG, seed=s)
+            for s in seeds
+        ]
+        batched = run_batch(sims)
+        for seed, got in zip(seeds, batched):
+            ref = DetailedSimulator(
+                PBBFParams(0.5, 0.25), CONFIG, seed=seed
+            ).run_reference()
+            assert_identical(ref, got)
+
+
+class TestBatchedScope:
+    """Out-of-scope configurations fall back to the reference loop."""
+
+    @pytest.mark.parametrize("scheduler", ["smac", "tmac"])
+    def test_extension_schedulers_fall_back(self, scheduler):
+        sim = DetailedSimulator(
+            PBBFParams(0.5, 0.5), CONFIG, seed=1, scheduler=scheduler
+        )
+        assert not supports_batch(sim)
+        # run() silently takes the reference path and agrees with it.
+        fresh = DetailedSimulator(
+            PBBFParams(0.5, 0.5), CONFIG, seed=1, scheduler=scheduler
+        )
+        assert sim.run().node_joules == fresh.run_reference().node_joules
+
+    def test_always_on_falls_back(self):
+        sim = DetailedSimulator(
+            PBBFParams(0.5, 0.5), CONFIG, seed=1, mode=SchedulingMode.ALWAYS_ON
+        )
+        assert not supports_batch(sim)
+
+    def test_run_batch_rejects_unsupported(self):
+        sim = DetailedSimulator(
+            PBBFParams(0.5, 0.5), CONFIG, seed=1, scheduler="smac"
+        )
+        with pytest.raises(ValueError):
+            run_batch([sim])
+
+    def test_run_batch_empty(self):
+        assert run_batch([]) == []
+
+
+class TestBatchedEnergyBookkeeping:
+    """Per-slot charge accounting must sum to the heap loop exactly."""
+
+    def test_node_dying_mid_window_charges_identically(self):
+        # Deaths inside the ATIM window (t % 10 < 1) and inside the data
+        # phase both truncate the charge integral at the same instants
+        # the heap loop's set_state calls would.
+        deaths = {1: 40.3, 4: 70.5, 9: 100.2}
+        for seed in range(5):
+            ref, got = results_pair(
+                seed, PBBFParams(0.5, 0.5), node_failures=deaths
+            )
+            assert ref.node_joules == got.node_joules
+            assert sum(ref.node_joules) == sum(got.node_joules)
+
+    def test_death_at_atim_window_boundary(self):
+        for fail_time in (30.0, 30.999, 31.0):
+            ref, got = results_pair(
+                2, PBBFParams(0.5, 0.5), node_failures={5: fail_time}
+            )
+            assert ref.node_joules == got.node_joules
+
+    def test_skewed_schedules_charge_identically(self):
+        # Skewed nodes accumulate at machinery instants of their own
+        # offset group; totals must still match float-for-float.
+        for seed in range(5):
+            ref, got = results_pair(
+                seed, PBBFParams(0.25, 0.25), clock_skew_std=1.5
+            )
+            assert ref.node_joules == got.node_joules
+            assert sum(ref.node_joules) == sum(got.node_joules)
+
+    def test_pre_failed_nodes_sleep_from_boot(self):
+        spec = ScenarioSpec.build("grid", {"side": 4}, failure_fraction=0.3)
+        realized = spec.realize(7)
+        config = CodeDistributionParameters.for_topology(
+            realized.topology, duration=100.0
+        )
+        ref, got = results_pair(
+            7, PBBFParams(0.5, 0.5), config=config, scenario=realized
+        )
+        assert ref.node_joules == got.node_joules
+        sleep_w = config.power.sleep_w
+        for node in realized.failed_nodes:
+            assert got.node_joules[node] == sleep_w * config.duration
+
+
+class TestDetailedFastPathSelection:
+    def test_defaults_to_ambient_execution_config(self):
+        sim = DetailedSimulator(PBBFParams(0.5, 0.5), CONFIG, seed=0)
+        assert get_execution().detailed_fast_path is True
+        assert sim._use_fast_path() is True
+        with execution(detailed_fast_path=False):
+            assert sim._use_fast_path() is False
+        assert sim._use_fast_path() is True
+
+    def test_explicit_flag_wins_over_context(self):
+        forced = DetailedSimulator(
+            PBBFParams(0.5, 0.5), CONFIG, seed=0, fast_path=True
+        )
+        with execution(detailed_fast_path=False):
+            assert forced._use_fast_path() is True
+        reference = DetailedSimulator(
+            PBBFParams(0.5, 0.5), CONFIG, seed=0, fast_path=False
+        )
+        assert reference._use_fast_path() is False
+
+    def test_run_respects_context_flip(self):
+        with execution(detailed_fast_path=False):
+            ref = DetailedSimulator(
+                PBBFParams(0.5, 0.5), CONFIG, seed=3
+            ).run()
+        fast = DetailedSimulator(PBBFParams(0.5, 0.5), CONFIG, seed=3).run()
+        assert ref.node_joules == fast.node_joules

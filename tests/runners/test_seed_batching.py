@@ -1,0 +1,177 @@
+"""Seed batching in the runner layer must be invisible in the results.
+
+``evaluate_run_batch`` and the backend-level grouping exist purely to
+amortise the batched kernel's machinery across a point's seed list; this
+suite pins the contract that they change *nothing* observable — per-run
+metrics, ordering and progress ticks all match the per-seed loop.
+"""
+
+import pytest
+
+from repro.ideal.simulator import SchedulingMode
+from repro.runners import CampaignSpec, SerialBackend, clear_run_caches
+from repro.runners.backends import _group_runs
+from repro.runners.context import execution
+from repro.runners.points import (
+    evaluate_run,
+    evaluate_run_batch,
+    metrics_to_dict,
+)
+
+PSM_PBBF = SchedulingMode.PSM_PBBF.value
+
+DETAILED_POINT = {
+    "p": 0.5,
+    "q": 0.25,
+    "density": 9.0,
+    "mode": PSM_PBBF,
+    "duration": 120.0,
+    "scheduler": "psm",
+}
+
+
+def small_detailed_spec(n_seeds=3):
+    return CampaignSpec.build(
+        kind="detailed",
+        axes={"p": (0.25, 0.75)},
+        fixed={
+            "q": 0.25,
+            "density": 9.0,
+            "mode": PSM_PBBF,
+            "duration": 120.0,
+            "scheduler": "psm",
+        },
+        seed_params=("p", "q", "density", "mode"),
+        n_seeds=n_seeds,
+        seed_with_run_index=True,
+    )
+
+
+class TestEvaluateRunBatch:
+    def test_matches_per_seed_evaluation(self):
+        clear_run_caches()
+        seeds = (11, 12, 13, 14)
+        batched = evaluate_run_batch("detailed", DETAILED_POINT, seeds)
+        clear_run_caches()
+        loop = [evaluate_run("detailed", DETAILED_POINT, s) for s in seeds]
+        assert [metrics_to_dict(m) for m in batched] == [
+            metrics_to_dict(m) for m in loop
+        ]
+
+    def test_matches_with_loss_probability(self):
+        clear_run_caches()
+        point = dict(DETAILED_POINT, loss_probability=0.3)
+        seeds = (5, 6)
+        batched = evaluate_run_batch("detailed", point, seeds)
+        clear_run_caches()
+        loop = [evaluate_run("detailed", point, s) for s in seeds]
+        assert [metrics_to_dict(m) for m in batched] == [
+            metrics_to_dict(m) for m in loop
+        ]
+
+    def test_disabled_context_falls_back_identically(self):
+        seeds = (11, 12)
+        clear_run_caches()
+        with execution(detailed_fast_path=False):
+            reference = evaluate_run_batch("detailed", DETAILED_POINT, seeds)
+        clear_run_caches()
+        batched = evaluate_run_batch("detailed", DETAILED_POINT, seeds)
+        assert [metrics_to_dict(m) for m in reference] == [
+            metrics_to_dict(m) for m in batched
+        ]
+
+    def test_single_seed_takes_per_run_path(self):
+        clear_run_caches()
+        (only,) = evaluate_run_batch("detailed", DETAILED_POINT, (7,))
+        assert metrics_to_dict(only) == metrics_to_dict(
+            evaluate_run("detailed", DETAILED_POINT, 7)
+        )
+
+    def test_extension_scheduler_falls_back(self):
+        point = dict(DETAILED_POINT, scheduler="smac", duration=60.0)
+        clear_run_caches()
+        batched = evaluate_run_batch("detailed", point, (1, 2))
+        clear_run_caches()
+        loop = [evaluate_run("detailed", point, s) for s in (1, 2)]
+        assert [metrics_to_dict(m) for m in batched] == [
+            metrics_to_dict(m) for m in loop
+        ]
+
+    def test_ideal_kind_is_untouched(self):
+        point = {
+            "grid_side": 7,
+            "p": 0.5,
+            "q": 0.5,
+            "mode": PSM_PBBF,
+            "n_broadcasts": 2,
+            "hop_near": 2,
+            "hop_far": 4,
+        }
+        clear_run_caches()
+        batched = evaluate_run_batch("ideal", point, (1, 2))
+        loop = [evaluate_run("ideal", point, s) for s in (1, 2)]
+        assert [metrics_to_dict(m) for m in batched] == [
+            metrics_to_dict(m) for m in loop
+        ]
+
+
+class TestGroupRuns:
+    def test_consecutive_detailed_seeds_group(self):
+        runs = small_detailed_spec(n_seeds=3).runs()
+        groups = _group_runs(runs)
+        # Two points x three seeds collapse to two tasks.
+        assert len(groups) == 2
+        assert [len(seeds) for _, _, seeds in groups] == [3, 3]
+        flat = [
+            (kind, tuple(sorted(params.items())), seed)
+            for kind, params, seeds in groups
+            for seed in seeds
+        ]
+        assert flat == [(r.kind, r.params, r.seed) for r in runs]
+
+    def test_non_detailed_runs_stay_singleton(self):
+        spec = CampaignSpec.build(
+            kind="ideal",
+            axes={"p": (0.5,)},
+            fixed={
+                "grid_side": 5,
+                "q": 0.5,
+                "mode": PSM_PBBF,
+                "n_broadcasts": 1,
+                "hop_near": 1,
+                "hop_far": 2,
+            },
+            seed_params=("p", "q", "mode"),
+            n_seeds=4,
+        )
+        groups = _group_runs(spec.runs())
+        assert len(groups) == 4
+        assert all(len(seeds) == 1 for _, _, seeds in groups)
+
+    def test_point_boundary_breaks_the_group(self):
+        runs = small_detailed_spec(n_seeds=2).runs()
+        # Interleave the two points so no two consecutive runs share params.
+        interleaved = [runs[0], runs[2], runs[1], runs[3]]
+        groups = _group_runs(interleaved)
+        assert [len(seeds) for _, _, seeds in groups] == [1, 1, 1, 1]
+
+    def test_empty_input(self):
+        assert _group_runs([]) == []
+
+
+class TestSerialBackendBatching:
+    def test_grouped_execution_matches_ungrouped(self):
+        runs = small_detailed_spec(n_seeds=3).runs()
+        clear_run_caches()
+        grouped = SerialBackend().execute(runs)
+        clear_run_caches()
+        with execution(detailed_fast_path=False):
+            ungrouped = SerialBackend().execute(runs)
+        assert grouped == ungrouped
+
+    def test_one_tick_per_run_not_per_group(self):
+        runs = small_detailed_spec(n_seeds=3).runs()
+        ticks = []
+        clear_run_caches()
+        SerialBackend().execute(runs, on_result=lambda: ticks.append(1))
+        assert len(ticks) == len(runs)
