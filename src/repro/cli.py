@@ -34,7 +34,7 @@ import time
 from typing import List, Optional
 
 from repro.experiments import Scale, all_experiment_ids, get_experiment
-from repro.runners import execution, get_stats, reset_stats
+from repro.runners import FailurePolicy, execution, get_stats, reset_stats
 
 
 def _scale_from_name(name: str) -> Scale:
@@ -53,6 +53,32 @@ def _positive_jobs(value: str) -> int:
     if jobs < 1:
         raise argparse.ArgumentTypeError(f"--jobs must be >= 1, got {jobs}")
     return jobs
+
+
+def _nonnegative_int(value: str) -> int:
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--max-retries must be an integer, got {value!r}"
+        )
+    if count < 0:
+        raise argparse.ArgumentTypeError(f"--max-retries must be >= 0, got {count}")
+    return count
+
+
+def _positive_seconds(value: str) -> float:
+    try:
+        seconds = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--task-timeout-s must be a number, got {value!r}"
+        )
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError(
+            f"--task-timeout-s must be > 0, got {seconds:g}"
+        )
+    return seconds
 
 
 def _nonnegative_mb(value: str) -> float:
@@ -99,6 +125,28 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                         help="print periodic campaign progress lines "
                              "(completed/total with cached vs computed) "
                              "to stderr")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay the campaign journals an interrupted "
+                             "invocation left beside the cache and "
+                             "simulate only the remaining points")
+    parser.add_argument("--max-retries", type=_nonnegative_int, default=None,
+                        help="re-attempts per simulation task after a "
+                             "failure (worker crash, hang past the "
+                             "timeout, invalid result) before the "
+                             "exhaustion action applies (default 3)")
+    parser.add_argument("--task-timeout-s", type=_positive_seconds,
+                        default=None,
+                        help="wall-clock budget per simulation task; a "
+                             "task past it counts as one failed attempt "
+                             "and is retried (default: no timeout)")
+    parser.add_argument("--on-exhausted",
+                        choices=("raise", "skip", "degrade"), default=None,
+                        help="what to do with a task that stays failed "
+                             "after every retry: raise (abort after the "
+                             "rest of the campaign completes; default), "
+                             "skip (record the failure and keep going), "
+                             "or degrade (one last in-process attempt on "
+                             "the reference kernels)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -211,12 +259,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         fast_path=not args.no_fast_path,
         detailed_fast_path=not args.no_detailed_fast_path,
         progress=_progress_printer() if args.progress else None,
+        failure_policy=_failure_policy_from(args),
+        resume=args.resume,
     ):
         if args.command == "run":
             return _run_one(args)
         if args.command == "pareto":
             return _run_pareto(args)
         return _run_all(args)
+
+
+def _failure_policy_from(args: argparse.Namespace) -> Optional[FailurePolicy]:
+    """A policy from the retry flags, or ``None`` (built-in defaults)."""
+    if (
+        args.max_retries is None
+        and args.task_timeout_s is None
+        and args.on_exhausted is None
+    ):
+        return None
+    defaults = FailurePolicy()
+    return FailurePolicy(
+        max_retries=(
+            args.max_retries
+            if args.max_retries is not None
+            else defaults.max_retries
+        ),
+        timeout_s=args.task_timeout_s,
+        on_exhausted=(
+            args.on_exhausted
+            if args.on_exhausted is not None
+            else defaults.on_exhausted
+        ),
+    )
 
 
 def _progress_printer(min_interval: float = 1.0):
@@ -284,6 +358,11 @@ def _run_cache(args: argparse.Namespace) -> int:
             f"entries: {stats.n_entries} "
             f"({_format_bytes(stats.total_bytes)}, {stats.n_stale} stale)"
         )
+        if stats.n_quarantined:
+            print(
+                f"quarantined: {stats.n_quarantined} corrupt entries moved "
+                "aside (removed by `cache purge`)"
+            )
         for kind, count in stats.by_kind:
             print(f"  {kind:12s} {count}")
         return 0
@@ -303,6 +382,13 @@ def _run_cache(args: argparse.Namespace) -> int:
         criteria.append(f"shrunk to {args.max_size_mb:g} MiB")
     suffix = f" ({', '.join(criteria)})" if criteria else ""
     print(f"purged {removed} cache entries from {store.root}{suffix}")
+    if removed.tmp_swept:
+        print(
+            f"swept {removed.tmp_swept} stale tmp files from crashed "
+            f"writers ({_format_bytes(removed.tmp_bytes)} reclaimed)"
+        )
+    if removed.corrupt_swept:
+        print(f"removed {removed.corrupt_swept} quarantined corrupt entries")
     return 0
 
 
@@ -532,6 +618,26 @@ def _run_one(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resume_invocation(args: argparse.Namespace) -> str:
+    """The exact ``run-all`` command that picks this invocation back up."""
+    parts = ["pbbf-experiments", "run-all", "--resume"]
+    if args.scale.name != "fast":
+        parts.append(f"--scale {args.scale.name}")
+    if args.jobs != 1:
+        parts.append(f"--jobs {args.jobs}")
+    if args.cache_dir:
+        parts.append(f"--cache-dir {args.cache_dir}")
+    if args.out:
+        parts.append(f"--out {args.out}")
+    if args.max_retries is not None:
+        parts.append(f"--max-retries {args.max_retries}")
+    if args.task_timeout_s is not None:
+        parts.append(f"--task-timeout-s {args.task_timeout_s:g}")
+    if args.on_exhausted is not None:
+        parts.append(f"--on-exhausted {args.on_exhausted}")
+    return " ".join(parts)
+
+
 def _run_all(args: argparse.Namespace) -> int:
     reset_stats()
     profiler = None
@@ -540,25 +646,57 @@ def _run_all(args: argparse.Namespace) -> int:
 
         profiler = cProfile.Profile()
     chunks: List[str] = []
-    for experiment_id in all_experiment_ids():
+    experiment_ids = all_experiment_ids()
+    for finished, experiment_id in enumerate(experiment_ids):
         spec = get_experiment(experiment_id)
         started = time.perf_counter()
-        if profiler is not None:
-            # One capture across every experiment, enabled only around
-            # the regenerations so rendering/IO stay out of the table.
-            result = profiler.runcall(spec.run, args.scale)
-        else:
-            result = spec.run(args.scale)
+        try:
+            if profiler is not None:
+                # One capture across every experiment, enabled only around
+                # the regenerations so rendering/IO stay out of the table.
+                result = profiler.runcall(spec.run, args.scale)
+            else:
+                result = spec.run(args.scale)
+        except KeyboardInterrupt:
+            # Completed points are already in the cache and the journal;
+            # a clean summary beats the pool's traceback storm.
+            stats = get_stats()
+            remaining = experiment_ids[finished:]
+            print(file=sys.stderr)
+            print("interrupted.", file=sys.stderr)
+            print(
+                f"  experiments finished: {finished}/{len(experiment_ids)} "
+                f"(remaining: {', '.join(remaining)})",
+                file=sys.stderr,
+            )
+            print(
+                f"  campaign points so far: {stats.computed} simulated, "
+                f"{stats.reused} reused (cache/journal/memory)",
+                file=sys.stderr,
+            )
+            print(
+                "  completed points are saved; pick up where this left "
+                "off with:",
+                file=sys.stderr,
+            )
+            print(f"    {_resume_invocation(args)}", file=sys.stderr)
+            return 130
         elapsed = time.perf_counter() - started
         text = result.render() + f"\n  ({elapsed:.1f}s at scale={args.scale.name})"
         print(text)
         print()
         chunks.append(text)
     stats = get_stats()
+    journal_note = (
+        f", {stats.reused_journal} from journal"
+        if stats.reused_journal
+        else ""
+    )
     print(
         f"campaign points: {stats.computed} simulated, "
         f"{stats.reused_disk} from disk cache, "
         f"{stats.reused_memory} from memory"
+        f"{journal_note}"
     )
     if profiler is not None:
         _print_profile(profiler)

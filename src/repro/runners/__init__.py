@@ -47,10 +47,25 @@ sets from ``--jobs`` / ``--cache-dir`` / ``--no-cache``; ``--progress``
 installs a campaign-progress printer
 (``progress(completed, total, cached, computed)`` callbacks honoured by
 both backends).
+
+Fault tolerance: execution runs under a
+:class:`~repro.runners.failures.FailurePolicy` (retries with
+deterministic backoff, per-task timeouts, ``raise``/``skip``/``degrade``
+exhaustion handling), completed runs stream into a crash-safe journal
+backing ``run_campaign(resume=True)`` / ``run-all --resume``, and
+:class:`~repro.runners.faults.FaultPlan` injects deterministic worker
+crashes, hangs and corrupt results/cache writes so every recovery path
+is provable in tests and CI.
 """
 
 from repro.runners.backends import ProcessPoolBackend, SerialBackend
-from repro.runners.cache import CACHE_VERSION, CacheStats, ResultCache, default_cache_dir
+from repro.runners.cache import (
+    CACHE_VERSION,
+    CacheStats,
+    PurgeReport,
+    ResultCache,
+    default_cache_dir,
+)
 from repro.runners.campaign import CampaignResult, clear_memo, run_campaign
 from repro.runners.context import (
     ExecutionConfig,
@@ -61,6 +76,15 @@ from repro.runners.context import (
     reset_stats,
     set_execution,
 )
+from repro.runners.failures import (
+    CampaignExecutionError,
+    FailurePolicy,
+    RunFailure,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.runners.faults import FaultPlan
+from repro.runners.journal import CampaignJournal
 from repro.runners.points import (
     DetailedPointMetrics,
     IdealPointMetrics,
@@ -88,17 +112,25 @@ __all__ = [
     "DEFAULT_BASE_SEED",
     "KINDS",
     "CacheStats",
+    "CampaignExecutionError",
+    "CampaignJournal",
     "CampaignResult",
     "CampaignRun",
     "CampaignSpec",
     "DetailedPointMetrics",
     "ExecutionConfig",
     "ExecutionStats",
+    "FailurePolicy",
+    "FaultPlan",
     "IdealPointMetrics",
     "PercolationPointMetrics",
     "ProcessPoolBackend",
+    "PurgeReport",
     "ResultCache",
+    "RunFailure",
     "SerialBackend",
+    "TaskTimeoutError",
+    "WorkerCrashError",
     "clear_memo",
     "clear_point_caches",
     "clear_run_caches",

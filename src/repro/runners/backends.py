@@ -13,43 +13,91 @@ hands the whole seed list to the seed-batched kernel in a single call
 when the point is inside its scope.  Grouping only changes *who* computes
 each run's metrics — per-run results, their order and completion ticks
 are identical to the ungrouped loop.
+
+Fault tolerance: each grouped task is a *lease* executed under a
+:class:`~repro.runners.failures.FailurePolicy`.  A task that raises,
+returns schema-invalid metrics, hangs past the policy's ``timeout_s`` or
+takes its worker process down with it is retried (deterministic backoff,
+bounded attempts) and, once exhausted, handled per ``on_exhausted`` —
+recorded as a :class:`~repro.runners.failures.RunFailure` (``skip``),
+given one last in-parent attempt on the reference kernels (``degrade``),
+or surfaced in a :class:`CampaignExecutionError` *after* the rest of the
+batch completes (``raise``, the default).  The pool backend rebuilds its
+executor when workers die and falls back to in-parent serial execution
+when rebuilds exceed the policy's bound, so serial and pool behave
+identically under the same injected faults.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.runners.context import get_execution, set_execution
-from repro.runners.points import evaluate_run, evaluate_run_batch, metrics_to_dict
+from repro.runners import faults
+from repro.runners.context import execution, get_execution, set_execution
+from repro.runners.failures import (
+    CampaignExecutionError,
+    CorruptResultError,
+    FailurePolicy,
+    RunFailure,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.runners.points import (
+    evaluate_run_batch,
+    metrics_to_dict,
+    validate_flat_metrics,
+)
 from repro.runners.spec import CampaignRun
 
-_Task = Tuple[str, Dict[str, Any], int]
 #: One grouped unit of work: a point and the (consecutive) seeds to run.
 _BatchTask = Tuple[str, Dict[str, Any], Tuple[int, ...]]
 
-#: Per-run completion tick, invoked in the parent process after each run's
-#: metrics materialise (the campaign layer turns ticks into progress lines).
-OnResult = Optional[Callable[[], None]]
+#: Per-run completion hook, invoked in the parent process as each run's
+#: metrics materialise: ``on_result(index, flat)`` with ``index`` into
+#: the ``runs`` sequence (the campaign layer persists and reports
+#: progress from these, so completed work survives a later crash).
+OnResult = Optional[Callable[[int, Dict[str, Any]], None]]
 
+#: Per-run failure hook: one :class:`RunFailure` per covered run once a
+#: lease exhausts its retries.
+OnFailure = Optional[Callable[[RunFailure], None]]
 
-def _evaluate_task(task: _Task) -> Dict[str, Any]:
-    """Pool worker: evaluate one (kind, params, seed) task to a flat dict.
-
-    Module-level so it pickles under every multiprocessing start method.
-    """
-    kind, params, seed = task
-    return metrics_to_dict(evaluate_run(kind, params, seed))
+#: How often the pool loop wakes to check deadlines and top up leases.
+_POLL_INTERVAL_S = 0.05
 
 
 def _evaluate_batch_task(task: _BatchTask) -> List[Dict[str, Any]]:
-    """Pool worker: evaluate one point's grouped seeds, one dict per seed."""
+    """Evaluate one point's grouped seeds, one flat dict per seed."""
     kind, params, seeds = task
     return [
         metrics_to_dict(metrics)
         for metrics in evaluate_run_batch(kind, params, seeds)
     ]
+
+
+def _evaluate_leased_task(
+    payload: Tuple[_BatchTask, str, int]
+) -> List[Dict[str, Any]]:
+    """Task body for both backends: faults applied around the evaluation.
+
+    Module-level so it pickles under every multiprocessing start method.
+    Fault injection wraps — never enters — the evaluators: a
+    corrupt-result fault substitutes the *returned* dicts, leaving the
+    evaluators' in-process caches clean for the retry.
+    """
+    task, lease_key, attempt = payload
+    marker = faults.apply_task_fault(lease_key, attempt)
+    flats = _evaluate_batch_task(task)
+    if marker == "corrupt_result":
+        return [dict(faults.CORRUPT_RESULT_MARKER) for _ in flats]
+    return flats
 
 
 def _group_runs(runs: Sequence[CampaignRun]) -> List[_BatchTask]:
@@ -77,38 +125,299 @@ def _group_runs(runs: Sequence[CampaignRun]) -> List[_BatchTask]:
     return groups
 
 
-def _init_worker(fast_path: bool, detailed_fast_path: bool) -> None:
+def _init_worker(
+    fast_path: bool,
+    detailed_fast_path: bool,
+    fault_plan_token: Optional[str] = None,
+) -> None:
     """Install the parent's evaluation-affecting execution flags.
 
     The ambient :class:`ExecutionConfig` is a module global, so spawned
     (or forkserver) workers re-import it with defaults; without this the
-    parent's ``--no-fast-path`` / ``--no-detailed-fast-path`` would
-    silently not reach the pool.
+    parent's ``--no-fast-path`` / ``--no-detailed-fast-path`` — and any
+    context-installed fault plan — would silently not reach the pool.
     """
-    set_execution(fast_path=fast_path, detailed_fast_path=detailed_fast_path)
+    plan = (
+        faults.FaultPlan.from_token(fault_plan_token)
+        if fault_plan_token
+        else None
+    )
+    set_execution(
+        fast_path=fast_path,
+        detailed_fast_path=detailed_fast_path,
+        fault_plan=plan,
+    )
+    faults.mark_pool_worker()
+
+
+@dataclass
+class _Lease:
+    """One task's claim on a slice of the result list, across retries."""
+
+    task: _BatchTask
+    #: Index of the lease's first run in the ``execute`` input sequence.
+    start: int
+    #: Run key of the first covered run — the lease's identity in the
+    #: fault and backoff streams.
+    key: str
+    #: Attempt about to run (0 = the original try).
+    attempt: int = 0
+    #: Monotonic time before which the lease must not be resubmitted
+    #: (retry backoff).
+    not_before: float = 0.0
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.task[2])
+
+
+def _build_leases(runs: Sequence[CampaignRun]) -> List[_Lease]:
+    leases: List[_Lease] = []
+    start = 0
+    for task in _group_runs(runs):
+        leases.append(_Lease(task=task, start=start, key=runs[start].key))
+        start += len(task[2])
+    return leases
+
+
+def _resolve_policy(policy: Optional[FailurePolicy]) -> FailurePolicy:
+    """Explicit argument, else ambient context, else the defaults."""
+    if policy is not None:
+        return policy
+    ambient = get_execution().failure_policy
+    return ambient if ambient is not None else FailurePolicy()
+
+
+class _ExecutionState:
+    """Bookkeeping one ``execute`` call shares across leases and retries."""
+
+    def __init__(
+        self,
+        runs: Sequence[CampaignRun],
+        policy: FailurePolicy,
+        on_result: OnResult,
+        on_failure: OnFailure,
+    ) -> None:
+        self.runs = list(runs)
+        self.policy = policy
+        self.on_result = on_result
+        self.on_failure = on_failure
+        self.results: List[Optional[Dict[str, Any]]] = [None] * len(self.runs)
+        self.failures: List[RunFailure] = []
+
+    def deliver(self, lease: _Lease, flats: List[Dict[str, Any]]) -> None:
+        """Land one completed lease's per-run metrics, firing the hook."""
+        for offset, flat in enumerate(flats):
+            index = lease.start + offset
+            self.results[index] = flat
+            if self.on_result is not None:
+                self.on_result(index, flat)
+
+    def record_exhausted(self, lease: _Lease, error: BaseException) -> None:
+        """Turn one spent lease into per-run failure records."""
+        for offset in range(lease.n_runs):
+            run = self.runs[lease.start + offset]
+            failure = RunFailure(
+                key=run.key,
+                kind=run.kind,
+                params=run.params,
+                seed=run.seed,
+                attempts=lease.attempt + 1,
+                error_type=type(error).__name__,
+                error=str(error),
+            )
+            self.failures.append(failure)
+            if self.on_failure is not None:
+                self.on_failure(failure)
+
+    def finish(self) -> List[Optional[Dict[str, Any]]]:
+        """The aligned results; raises last if the policy says so.
+
+        Raising *after* the loop means one poisoned point costs only
+        itself — every other run completed and (through ``on_result``)
+        was already persisted by the campaign layer.
+        """
+        if self.failures and self.policy.on_exhausted == "raise":
+            raise CampaignExecutionError(self.failures)
+        return self.results
+
+
+def _validated(lease: _Lease, flats: Any) -> List[Dict[str, Any]]:
+    """A lease's raw task output, or :class:`CorruptResultError`."""
+    kind = lease.task[0]
+    if (
+        not isinstance(flats, list)
+        or len(flats) != lease.n_runs
+        or not all(validate_flat_metrics(kind, flat) for flat in flats)
+    ):
+        raise CorruptResultError(
+            f"task returned metrics that do not rebuild as kind {kind!r}"
+        )
+    return flats
+
+
+def _degraded_attempt(
+    lease: _Lease,
+) -> Tuple[Optional[List[Dict[str, Any]]], Optional[BaseException]]:
+    """Last-resort in-parent attempt on the reference kernels.
+
+    Mirrors ``on_exhausted="degrade"``'s promise: no pool, no fast-path
+    kernels, no fault injection — if the reference implementation can
+    produce the point, the campaign gets it.
+    """
+    try:
+        with execution(fast_path=False, detailed_fast_path=False):
+            with faults.suppress_faults():
+                flats = _evaluate_batch_task(lease.task)
+        return _validated(lease, flats), None
+    except KeyboardInterrupt:
+        raise
+    except BaseException as exc:  # even the reference kernels failed
+        return None, exc
+
+
+def _handle_failed_attempt(
+    state: _ExecutionState,
+    lease: _Lease,
+    error: BaseException,
+    requeue: Callable[[_Lease], None],
+) -> None:
+    """One failed attempt: schedule a retry, degrade, or record failure."""
+    policy = state.policy
+    if lease.attempt < policy.max_retries:
+        delay = policy.backoff_s(lease.key, lease.attempt + 1)
+        lease.attempt += 1
+        lease.not_before = time.monotonic() + delay if delay > 0 else 0.0
+        requeue(lease)
+        return
+    if policy.on_exhausted == "degrade":
+        flats, degrade_error = _degraded_attempt(lease)
+        if flats is not None:
+            state.deliver(lease, flats)
+            return
+        error = degrade_error if degrade_error is not None else error
+    state.record_exhausted(lease, error)
+
+
+def _timed_attempt(
+    payload: Tuple[_BatchTask, str, int], timeout_s: Optional[float]
+) -> List[Dict[str, Any]]:
+    """Evaluate in-process, bounding wall-clock when a deadline is set.
+
+    The evaluation runs in a daemon thread joined for ``timeout_s``; a
+    hung attempt cannot be killed in-process, so it is *abandoned* and
+    reported as :class:`TaskTimeoutError`.  The evaluators are pure, so
+    an abandoned thread that eventually finishes merely warms their
+    caches — the retry still returns the same bits.
+    """
+    if not timeout_s:
+        return _evaluate_leased_task(payload)
+    box: Dict[str, Any] = {}
+
+    def _target() -> None:
+        try:
+            box["flats"] = _evaluate_leased_task(payload)
+        except BaseException as exc:  # rethrown in the joining thread
+            box["error"] = exc
+
+    thread = threading.Thread(target=_target, daemon=True, name="repro-task")
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise TaskTimeoutError(f"task exceeded timeout_s={timeout_s:g}")
+    if "error" in box:
+        raise box["error"]
+    return box["flats"]
+
+
+def _drain_serial(state: _ExecutionState, leases: Sequence[_Lease]) -> None:
+    """Run leases to completion in-process under the retry envelope."""
+    queue: Deque[_Lease] = deque(leases)
+    while queue:
+        lease = queue.popleft()
+        delay = lease.not_before - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        payload = (lease.task, lease.key, lease.attempt)
+        try:
+            flats = _validated(
+                lease, _timed_attempt(payload, state.policy.timeout_s)
+            )
+        except KeyboardInterrupt:
+            raise
+        except Exception as error:
+            _handle_failed_attempt(state, lease, error, queue.appendleft)
+            continue
+        state.deliver(lease, flats)
 
 
 class SerialBackend:
-    """Evaluate runs one after another in the current process."""
+    """Evaluate runs one after another in the current process.
+
+    Same retry/timeout/exhaustion envelope as the pool backend, so a
+    campaign behaves identically under injected faults whichever backend
+    runs it — only crashes differ mechanically (an in-process "crash"
+    raises :class:`WorkerCrashError` instead of killing a worker).
+    """
 
     def execute(
-        self, runs: Sequence[CampaignRun], on_result: OnResult = None
-    ) -> List[Dict[str, Any]]:
-        """Metrics dicts for ``runs``, in order."""
-        results: List[Dict[str, Any]] = []
-        for task in _group_runs(runs):
-            for flat in _evaluate_batch_task(task):
-                results.append(flat)
-                if on_result is not None:
-                    on_result()
-        return results
+        self,
+        runs: Sequence[CampaignRun],
+        on_result: OnResult = None,
+        failure_policy: Optional[FailurePolicy] = None,
+        on_failure: OnFailure = None,
+    ) -> List[Optional[Dict[str, Any]]]:
+        """Metrics dicts for ``runs`` in order; ``None`` for failed runs."""
+        state = _ExecutionState(
+            runs, _resolve_policy(failure_policy), on_result, on_failure
+        )
+        _drain_serial(state, _build_leases(runs))
+        return state.finish()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SerialBackend()"
 
 
+def _kill_executor(executor: ProcessPoolExecutor) -> None:
+    """Tear a pool down even when its workers are hung or dead.
+
+    ``shutdown()`` alone would join a hung worker forever; terminating
+    the worker processes first (CPython tracks them in ``_processes``)
+    reclaims them, and the non-blocking shutdown then just retires the
+    executor machinery.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, ValueError):
+            pass
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+    for process in list(processes.values()):
+        try:
+            process.join(1.0)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+
 class ProcessPoolBackend:
-    """Chunked fan-out over a ``multiprocessing`` pool.
+    """Leased fan-out over a process pool, resilient to worker loss.
+
+    Each grouped task is leased to one worker via async submission (at
+    most one in-flight task per worker, so a submission-time deadline
+    approximates a start-time one).  A worker that raises or returns
+    garbage charges its lease one attempt; a worker that *dies* breaks
+    the whole pool, so every in-flight lease is charged one attempt
+    (the guilty one is unknowable) and the pool is rebuilt — bounded by
+    ``FailurePolicy.max_pool_rebuilds``, after which the remaining
+    leases degrade to in-parent serial execution, where crash faults
+    raise instead of exiting and attribution is exact.  A lease past its
+    deadline times out alone; its hung worker is reclaimed by a pool
+    rebuild that requeues the innocent in-flight leases at their
+    *current* attempt (no charge).
 
     Parameters
     ----------
@@ -122,40 +431,168 @@ class ProcessPoolBackend:
         self.jobs = jobs
 
     def execute(
-        self, runs: Sequence[CampaignRun], on_result: OnResult = None
-    ) -> List[Dict[str, Any]]:
-        """Metrics dicts for ``runs``, in order (workers may interleave)."""
-        tasks = _group_runs(runs)
-        results: List[Dict[str, Any]] = []
-        if len(tasks) <= 1 or self.jobs == 1:
-            for task in tasks:
-                for flat in _evaluate_batch_task(task):
-                    results.append(flat)
-                    if on_result is not None:
-                        on_result()
-            return results
-        jobs = min(self.jobs, len(tasks))
-        # ~4 chunks per worker balances scheduling overhead against the
-        # skew between cheap (sub-threshold) and expensive points.
-        chunksize = max(1, len(tasks) // (jobs * 4))
-        with multiprocessing.Pool(
-            processes=jobs,
+        self,
+        runs: Sequence[CampaignRun],
+        on_result: OnResult = None,
+        failure_policy: Optional[FailurePolicy] = None,
+        on_failure: OnFailure = None,
+    ) -> List[Optional[Dict[str, Any]]]:
+        """Metrics dicts for ``runs`` in order; ``None`` for failed runs.
+
+        Workers may interleave, but delivery (and ``on_result``) order
+        within a lease — and the returned alignment — match the serial
+        backend exactly.
+        """
+        state = _ExecutionState(
+            runs, _resolve_policy(failure_policy), on_result, on_failure
+        )
+        leases = _build_leases(runs)
+        if len(leases) <= 1 or self.jobs == 1:
+            _drain_serial(state, leases)
+        else:
+            self._drain_pool(state, leases)
+        return state.finish()
+
+    def _new_executor(self, workers: int) -> ProcessPoolExecutor:
+        config = get_execution()
+        plan = faults.active_fault_plan()
+        return ProcessPoolExecutor(
+            max_workers=workers,
             initializer=_init_worker,
             initargs=(
-                get_execution().fast_path,
-                get_execution().detailed_fast_path,
+                config.fast_path,
+                config.detailed_fast_path,
+                plan.token if plan is not None else None,
             ),
-        ) as pool:
-            # imap (not map) so completion ticks fire as results stream
-            # back; order and values are identical to pool.map.
-            for flats in pool.imap(
-                _evaluate_batch_task, tasks, chunksize=chunksize
-            ):
-                for flat in flats:
-                    results.append(flat)
-                    if on_result is not None:
-                        on_result()
-        return results
+        )
+
+    def _drain_pool(self, state: _ExecutionState, leases: List[_Lease]) -> None:
+        policy = state.policy
+        workers = min(self.jobs, len(leases))
+        # An innocent lease loses one attempt per pool collapse, so the
+        # rebuild budget must never exceed the retry budget — otherwise
+        # a single poisoned task could exhaust its neighbours.
+        rebuild_cap = min(policy.max_pool_rebuilds, policy.max_retries)
+        rebuilds = 0
+        queue: Deque[_Lease] = deque(leases)
+        waiting: List[_Lease] = []  # backoff-delayed leases
+        in_flight: Dict[Any, Tuple[_Lease, Optional[float]]] = {}
+
+        def requeue(lease: _Lease) -> None:
+            if lease.not_before > time.monotonic():
+                waiting.append(lease)
+            else:
+                queue.append(lease)
+
+        def fail_over_to_serial() -> None:
+            remaining = [lease for lease, _ in in_flight.values()]
+            in_flight.clear()
+            remaining.extend(queue)
+            remaining.extend(waiting)
+            queue.clear()
+            waiting.clear()
+            remaining.sort(key=lambda lease: lease.start)
+            _drain_serial(state, remaining)
+
+        executor = self._new_executor(workers)
+        try:
+            while queue or waiting or in_flight:
+                now = time.monotonic()
+                due = [lease for lease in waiting if lease.not_before <= now]
+                for lease in due:
+                    waiting.remove(lease)
+                    queue.append(lease)
+                broken = False
+                while queue and len(in_flight) < workers:
+                    lease = queue.popleft()
+                    payload = (lease.task, lease.key, lease.attempt)
+                    try:
+                        future = executor.submit(_evaluate_leased_task, payload)
+                    except BrokenExecutor:
+                        queue.appendleft(lease)
+                        broken = True
+                        break
+                    deadline = (
+                        time.monotonic() + policy.timeout_s
+                        if policy.timeout_s
+                        else None
+                    )
+                    in_flight[future] = (lease, deadline)
+                if not in_flight and not broken:
+                    if waiting:
+                        pause = min(l.not_before for l in waiting) - time.monotonic()
+                        if pause > 0:
+                            time.sleep(min(pause, 0.25))
+                    continue
+                if in_flight and not broken:
+                    done, _ = wait(
+                        list(in_flight),
+                        timeout=_POLL_INTERVAL_S,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        lease, _deadline = in_flight.pop(future)
+                        try:
+                            flats = _validated(lease, future.result())
+                        except BrokenExecutor as error:
+                            broken = True
+                            _handle_failed_attempt(state, lease, error, requeue)
+                        except KeyboardInterrupt:
+                            raise
+                        except Exception as error:
+                            _handle_failed_attempt(state, lease, error, requeue)
+                        else:
+                            state.deliver(lease, flats)
+                expired: List[Any] = []
+                if not broken and policy.timeout_s:
+                    now = time.monotonic()
+                    expired = [
+                        future
+                        for future, (_lease, deadline) in in_flight.items()
+                        if deadline is not None and now >= deadline
+                    ]
+                    for future in expired:
+                        lease, _deadline = in_flight.pop(future)
+                        _handle_failed_attempt(
+                            state,
+                            lease,
+                            TaskTimeoutError(
+                                f"task exceeded timeout_s={policy.timeout_s:g}"
+                            ),
+                            requeue,
+                        )
+                if broken or expired:
+                    # The pool is unusable: workers died (pool poisoned)
+                    # or are hung holding expired leases.  Re-lease the
+                    # in-flight tasks and start a fresh pool — a worker
+                    # death charges them one attempt (guilty unknown), a
+                    # timeout elsewhere does not (they are innocent and
+                    # merely rescheduled).
+                    stranded = list(in_flight.values())
+                    in_flight.clear()
+                    for lease, _deadline in stranded:
+                        if broken:
+                            _handle_failed_attempt(
+                                state,
+                                lease,
+                                WorkerCrashError(
+                                    "worker pool collapsed mid-task"
+                                ),
+                                requeue,
+                            )
+                        else:
+                            requeue(lease)
+                    _kill_executor(executor)
+                    rebuilds += 1
+                    if rebuilds > rebuild_cap:
+                        # The pool keeps dying: finish in-parent, where
+                        # attribution is exact and nothing can take the
+                        # process down but the task itself.
+                        fail_over_to_serial()
+                        return
+                    executor = self._new_executor(workers)
+        finally:
+            _kill_executor(executor)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProcessPoolBackend(jobs={self.jobs})"

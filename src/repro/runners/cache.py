@@ -6,10 +6,14 @@ so re-running a campaign only computes points whose spec actually changed.
 Files live under ``~/.cache/repro`` by default; override with the
 ``REPRO_CACHE_DIR`` environment variable or the CLI's ``--cache-dir``.
 
-The cache is strictly a performance layer: a corrupted, truncated or
-version-mismatched entry reads as a miss and the point is recomputed.
+The cache is strictly a performance layer: a version-mismatched entry
+reads as a miss and the point is recomputed.  A *corrupt* entry (torn
+JSON, wrong shape) also reads as a miss, but is additionally quarantined
+— renamed to ``<key>.corrupt`` — so the damage is visible in ``cache
+stats`` and the bad file can never be re-read as a miss forever.
 Writes are atomic (temp file + ``os.replace``) so a crashed run never
-leaves a half-written entry behind.
+leaves a half-written entry behind; tmp files orphaned by a killed
+writer are swept by ``purge`` once they are stale.
 
 Size budget: ``ResultCache(max_size_mb=...)`` (or the
 ``REPRO_CACHE_MAX_MB`` environment variable, or the CLI's
@@ -28,6 +32,8 @@ import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.runners.faults import cache_write_corrupted
 
 #: Bumped whenever the serialized payload layout or the semantics of a
 #: cached metric change; old entries then read as misses.
@@ -54,6 +60,44 @@ class CacheStats:
     n_stale: int
     #: Valid entries per simulator kind, name-sorted.
     by_kind: Tuple[Tuple[str, int], ...]
+    #: ``<key>.corrupt`` files quarantined by earlier corrupt reads.
+    n_quarantined: int = 0
+
+
+class PurgeReport(int):
+    """``ResultCache.purge``'s return value: the removed-entry count,
+    plus what the stale-tmp/quarantine sweep reclaimed.
+
+    An ``int`` subclass so existing ``purge(...) == n`` call sites keep
+    working unchanged; the sweep details ride along as attributes.
+    """
+
+    tmp_swept: int
+    tmp_bytes: int
+    corrupt_swept: int
+
+    def __new__(
+        cls,
+        removed: int,
+        tmp_swept: int = 0,
+        tmp_bytes: int = 0,
+        corrupt_swept: int = 0,
+    ) -> "PurgeReport":
+        self = super().__new__(cls, removed)
+        self.tmp_swept = tmp_swept
+        self.tmp_bytes = tmp_bytes
+        self.corrupt_swept = corrupt_swept
+        return self
+
+    def __str__(self) -> str:
+        # Formats like the plain count it replaces ("purged {n} entries").
+        return str(int(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PurgeReport(removed={int(self)}, tmp_swept={self.tmp_swept}, "
+            f"tmp_bytes={self.tmp_bytes}, corrupt_swept={self.corrupt_swept})"
+        )
 
 
 def default_max_size_mb() -> Optional[float]:
@@ -97,6 +141,8 @@ class ResultCache:
         if max_size_mb is not None and max_size_mb < 0:
             raise ValueError(f"max_size_mb must be >= 0, got {max_size_mb}")
         self.max_size_mb = max_size_mb
+        #: Corrupt entries this instance moved aside (see ``_quarantine``).
+        self.quarantined = 0
         self._write_failed = False
         #: Running byte total of stored entries, maintained across writes
         #: once the first budget check scans the directory (so each
@@ -107,19 +153,39 @@ class ResultCache:
         return self.root / "points" / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored payload for ``key``, or ``None`` on any miss."""
+        """The stored payload for ``key``, or ``None`` on any miss.
+
+        A missing or version-mismatched entry is a plain miss; an entry
+        that is *corrupt* — unparsable JSON, or parsable but not shaped
+        like a result — is quarantined to ``<key>.corrupt`` so it stops
+        masquerading as an eternal miss and shows up in :meth:`stats`.
+        """
+        path = self._path(key)
         try:
-            with open(self._path(key), "r", encoding="utf-8") as handle:
+            with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
+            return None
+        except ValueError:
+            self._quarantine(path)
             return None
         if not isinstance(payload, dict):
+            self._quarantine(path)
             return None
         if payload.get("version") != CACHE_VERSION:
-            return None
+            return None  # a different-era entry, not a damaged one
         if "metrics" not in payload:
+            self._quarantine(path)
             return None
         return payload
+
+    def _quarantine(self, path: Path) -> None:
+        """Move one corrupt entry aside (best-effort, crash-race safe)."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            return
+        self.quarantined += 1
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Atomically store ``payload`` (stamped with the cache version).
@@ -133,11 +199,17 @@ class ResultCache:
         record = dict(payload)
         record["version"] = CACHE_VERSION
         path = self._path(key)
+        text = json.dumps(record, sort_keys=True)
+        if cache_write_corrupted(key):
+            # Injected torn write (see repro.runners.faults): what a
+            # kill between write and rename would leave if writes were
+            # not atomic — exercised so quarantine-on-read stays proven.
+            text = text[: max(1, len(text) // 2)]
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".{os.getpid()}.tmp")
             with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(record, handle, sort_keys=True)
+                handle.write(text)
             try:
                 replaced_size = path.stat().st_size
             except OSError:
@@ -234,29 +306,47 @@ class ResultCache:
                 continue
             kind = str(payload.get("kind", "?"))
             by_kind[kind] = by_kind.get(kind, 0) + 1
+        points = self.root / "points"
+        n_quarantined = (
+            sum(1 for _ in points.glob("*/*.corrupt")) if points.is_dir() else 0
+        )
         return CacheStats(
             root=str(self.root),
             n_entries=n_entries,
             total_bytes=total_bytes,
             n_stale=stale,
             by_kind=tuple(sorted(by_kind.items())),
+            n_quarantined=n_quarantined,
         )
+
+    #: Orphaned ``.tmp`` files younger than this many seconds are left
+    #: alone by the sweep — they may belong to a write in flight right
+    #: now.  Atomic writes live milliseconds, so an hour is generous.
+    TMP_SWEEP_AGE_S = 3600.0
 
     def purge(
         self,
         max_age_days: Optional[float] = None,
         max_size_mb: Optional[float] = None,
         now: Optional[float] = None,
-    ) -> int:
+        tmp_age_s: Optional[float] = None,
+    ) -> "PurgeReport":
         """Delete stored entries; returns how many were removed.
 
-        With no criteria every entry goes (the original ``cache purge``).
-        ``max_age_days`` evicts entries whose file modification time is
-        older than that many days.  ``max_size_mb`` then shrinks whatever
-        remains to the byte budget by evicting *oldest-first* (mtime,
-        path-tie-broken), so full-scale result sets age out before the
-        points a recent campaign just warmed.  Both criteria may be
-        combined; ``now`` pins the age reference for tests.
+        With no criteria every entry goes (the original ``cache purge``),
+        and quarantined ``.corrupt`` files go with them.  ``max_age_days``
+        evicts entries whose file modification time is older than that
+        many days.  ``max_size_mb`` then shrinks whatever remains to the
+        byte budget by evicting *oldest-first* (mtime, path-tie-broken),
+        so full-scale result sets age out before the points a recent
+        campaign just warmed.  Both criteria may be combined; ``now``
+        pins the age reference for tests.
+
+        Every purge also sweeps ``.tmp`` files orphaned by killed
+        writers once they are older than ``tmp_age_s`` (default
+        :data:`TMP_SWEEP_AGE_S`); the return value is an ``int``-
+        compatible :class:`PurgeReport` carrying what the sweep
+        reclaimed.
 
         Empty shard directories are cleaned up too; the root itself is
         left in place (it may be a shared cache directory).
@@ -265,6 +355,8 @@ class ResultCache:
             raise ValueError(f"max_age_days must be >= 0, got {max_age_days}")
         if max_size_mb is not None and max_size_mb < 0:
             raise ValueError(f"max_size_mb must be >= 0, got {max_size_mb}")
+        if tmp_age_s is None:
+            tmp_age_s = self.TMP_SWEEP_AGE_S
         # Any purge invalidates the evict-on-insert running total; the
         # next budgeted write re-measures.
         self._tracked_bytes = None
@@ -313,13 +405,48 @@ class ResultCache:
                     removed += 1
                     total -= size
         points = self.root / "points"
+        reference = now if now is not None else time.time()
+        tmp_swept = 0
+        tmp_bytes = 0
+        corrupt_swept = 0
         if points.is_dir():
+            # Stale-tmp sweep: a writer killed between write and rename
+            # leaves its `<key>.<pid>.tmp` behind forever (the atomic
+            # protocol never reads them back).  Age-gate the sweep so a
+            # concurrent writer's fresh tmp file survives.
+            for tmp in points.glob("*/*.tmp"):
+                try:
+                    stat = tmp.stat()
+                except OSError:
+                    continue  # raced with a concurrent sweep
+                if reference - stat.st_mtime <= tmp_age_s:
+                    continue
+                try:
+                    tmp.unlink()
+                except OSError:
+                    continue
+                tmp_swept += 1
+                tmp_bytes += stat.st_size
+            if max_age_days is None and max_size_mb is None:
+                # A full purge clears the quarantine too — the damaged
+                # entries it preserved as evidence go with the data.
+                for corrupt in points.glob("*/*.corrupt"):
+                    try:
+                        corrupt.unlink()
+                        corrupt_swept += 1
+                    except OSError:
+                        continue
             for shard in points.iterdir():
                 try:
                     shard.rmdir()
                 except OSError:
-                    continue  # non-empty (leftover tmp files) or gone
-        return removed
+                    continue  # non-empty or gone
+        return PurgeReport(
+            removed,
+            tmp_swept=tmp_swept,
+            tmp_bytes=tmp_bytes,
+            corrupt_swept=corrupt_swept,
+        )
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None

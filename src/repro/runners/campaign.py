@@ -3,9 +3,20 @@
 The pipeline for every run of a spec:
 
 1. **in-process memo** — results already materialised this process;
-2. **disk cache** — JSON entries keyed by the run's content hash;
-3. **backend** — whatever is left is simulated, serially or fanned out
-   over a process pool, then written back to both layers.
+2. **campaign journal** — with ``resume=True``, results a killed
+   invocation already journaled (see :mod:`repro.runners.journal`);
+3. **disk cache** — JSON entries keyed by the run's content hash;
+4. **backend** — whatever is left is simulated, serially or fanned out
+   over a process pool, under the ambient
+   :class:`~repro.runners.failures.FailurePolicy`.
+
+Results stream back: each computed run is written to the cache *and*
+the journal as it completes, so an interrupted campaign keeps every
+finished point.  Runs that exhaust their retries become
+:class:`~repro.runners.failures.RunFailure` records on the result (or a
+:class:`~repro.runners.failures.CampaignExecutionError` under the
+default ``on_exhausted="raise"``) — the campaign, like the paper's
+broadcasts, completes around its dead members.
 
 Results are returned as a :class:`CampaignResult`, which resolves points
 by parameter values (not enumeration position), so callers read metrics
@@ -15,11 +26,14 @@ the same way regardless of which layer produced them.
 from __future__ import annotations
 
 import inspect
-from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.runners.backends import ProcessPoolBackend, SerialBackend
 from repro.runners.cache import ResultCache
 from repro.runners.context import ProgressCallback, get_execution, get_stats
+from repro.runners.failures import FailurePolicy, RunFailure
+from repro.runners.journal import CampaignJournal
 from repro.runners.points import metrics_from_dict, metrics_to_dict
 from repro.runners.spec import CampaignRun, CampaignSpec, run_key
 
@@ -40,31 +54,49 @@ def _execute_with_progress(
     reused: int,
     total: int,
     progress: Optional[ProgressCallback],
-) -> List[Dict[str, Any]]:
-    """Run the backend, streaming per-completion progress when possible.
+    policy: FailurePolicy,
+    persist_run: Callable[[int, Dict[str, Any]], None],
+    note_failure: Callable[[RunFailure], None],
+) -> List[Optional[Dict[str, Any]]]:
+    """Run the backend, streaming persistence and progress when possible.
 
-    Both built-in backends accept an ``on_result`` completion tick;
-    third-party backends that predate the hook (anything exposing only
-    ``execute(runs)``) still work — the caller just sees one final
-    progress call instead of a stream.
+    Both built-in backends accept the ``on_result`` / ``on_failure`` /
+    ``failure_policy`` hooks; third-party backends that predate them
+    (anything exposing only ``execute(runs)``) still work — results are
+    persisted after the batch and the caller sees one final progress
+    call instead of a stream.
     """
-    on_result = None
-    if progress is not None:
-        done = 0
+    done = 0
 
-        def on_result() -> None:
-            nonlocal done
-            done += 1
+    def on_result(index: int, flat: Dict[str, Any]) -> None:
+        nonlocal done
+        # Persist before reporting: a kill right after the progress line
+        # must never lose the point the line just claimed.
+        persist_run(index, flat)
+        done += 1
+        if progress is not None:
             progress(reused + done, total, reused, done)
 
-    accepts_hook = False
     try:
-        accepts_hook = "on_result" in inspect.signature(backend.execute).parameters
+        parameters = inspect.signature(backend.execute).parameters
     except (TypeError, ValueError):  # builtins / odd callables
-        accepts_hook = False
-    if on_result is not None and accepts_hook:
-        return backend.execute(pending, on_result=on_result)
+        parameters = {}
+    if "on_result" in parameters:
+        kwargs: Dict[str, Any] = {"on_result": on_result}
+        if "failure_policy" in parameters:
+            kwargs["failure_policy"] = policy
+        if "on_failure" in parameters:
+            kwargs["on_failure"] = note_failure
+        return backend.execute(pending, **kwargs)
     flat_results = backend.execute(pending)
+    if len(flat_results) != len(pending):
+        raise RuntimeError(
+            f"backend returned {len(flat_results)} results "
+            f"for {len(pending)} runs"
+        )
+    for index, flat in enumerate(flat_results):
+        if flat is not None:
+            persist_run(index, flat)
     if progress is not None:
         progress(reused + len(pending), total, reused, len(pending))
     return flat_results
@@ -90,6 +122,7 @@ class CampaignResult:
         by_key: Dict[str, Any],
         computed: int,
         reused: int,
+        failures: Sequence[RunFailure] = (),
     ) -> None:
         self.spec = spec
         self.runs = runs
@@ -98,6 +131,11 @@ class CampaignResult:
         self.computed = computed
         #: Points served without simulating in this call.
         self.reused = reused
+        #: Runs that exhausted their retry policy (``on_exhausted`` of
+        #: ``skip`` — or ``degrade`` whose last-resort attempt also
+        #: failed); empty for a fully-successful campaign.
+        self.failures: tuple = tuple(failures)
+        self._failed_keys = {failure.key for failure in self.failures}
         #: Post-processing outputs by hook name (see ``run_campaign``'s
         #: ``post_process``): derived artifacts — Pareto frontiers, knee
         #: selections, summaries — computed once per execution and carried
@@ -115,16 +153,32 @@ class CampaignResult:
         try:
             return self._by_key[key]
         except KeyError:
+            if key in self._failed_keys:
+                failure = next(f for f in self.failures if f.key == key)
+                raise KeyError(
+                    f"campaign run failed for params={params} "
+                    f"seed_index={seed_index}: {failure.error_type} after "
+                    f"{failure.attempts} attempt(s): {failure.error}"
+                ) from None
             raise KeyError(
                 f"campaign has no run for params={params} seed_index={seed_index}"
             ) from None
 
     def metrics_over_seeds(self, **overrides: Any) -> List[Any]:
-        """The point's metrics bundles for every seed index, in order."""
-        return [
-            self.metrics(seed_index=index, **overrides)
-            for index in range(self.spec.n_seeds)
-        ]
+        """The point's metrics bundles for every seed index, in order.
+
+        Seeds whose run *failed* (see :attr:`failures`) are skipped —
+        the same convention :meth:`mean_metric` applies to undefined
+        metrics, mirroring the paper's averaging over surviving runs.
+        """
+        params = self.spec.merge(overrides)
+        bundles: List[Any] = []
+        for index in range(self.spec.n_seeds):
+            seed = self.spec.point_seed(params, index)
+            if run_key(self.spec.kind, params, seed) in self._failed_keys:
+                continue
+            bundles.append(self.metrics(seed_index=index, **overrides))
+        return bundles
 
     def points(self) -> List[Dict[str, Any]]:
         """Every distinct parameter point of the campaign, in spec order."""
@@ -169,7 +223,8 @@ class CampaignResult:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CampaignResult({self.spec!r}, runs={len(self.runs)}, "
-            f"computed={self.computed}, reused={self.reused})"
+            f"computed={self.computed}, reused={self.reused}, "
+            f"failures={len(self.failures)})"
         )
 
 
@@ -181,6 +236,9 @@ def run_campaign(
     backend: Optional[Any] = None,
     progress: Optional[ProgressCallback] = None,
     post_process: Optional[Mapping[str, Callable[["CampaignResult"], Any]]] = None,
+    failure_policy: Optional[FailurePolicy] = None,
+    resume: Optional[bool] = None,
+    journal: Optional[Union[CampaignJournal, str, Path, bool]] = None,
 ) -> CampaignResult:
     """Execute every run of ``spec`` and return its results.
 
@@ -193,6 +251,22 @@ def run_campaign(
     the cache scan and then after every computed point (both built-in
     backends stream per-run completions; a custom backend without the
     ``on_result`` hook degrades to one final call).
+
+    ``failure_policy`` is the retry/timeout/exhaustion envelope (see
+    :class:`~repro.runners.failures.FailurePolicy`; the CLI sets it from
+    ``--max-retries`` / ``--task-timeout-s`` / ``--on-exhausted``).
+    Under the default ``on_exhausted="raise"`` a run that stays failed
+    raises :class:`~repro.runners.failures.CampaignExecutionError` *after*
+    the rest of the campaign completed and persisted; with ``skip`` or
+    ``degrade`` the campaign returns with ``result.failures`` populated.
+
+    While the campaign executes, completed runs are appended to a
+    crash-safe ``journal`` (default: ``<cache root>/journal/<spec
+    hash>.jsonl``; pass ``False`` to disable).  ``resume=True`` (or the
+    CLI's ``--resume``) replays that journal first, so a re-invoked
+    campaign simulates only what its killed predecessor never finished.
+    A campaign that completes with zero failures discards its journal —
+    the cache owns the results from then on.
 
     ``post_process`` maps artifact names to hooks run *after* every point
     has materialised; each hook receives the finished
@@ -210,6 +284,13 @@ def run_campaign(
         use_cache = config.use_cache
     if progress is None:
         progress = config.progress
+    if resume is None:
+        resume = config.resume
+    policy = failure_policy
+    if policy is None:
+        policy = config.failure_policy
+    if policy is None:
+        policy = FailurePolicy()
     store: Optional[ResultCache] = None
     if use_cache:
         if isinstance(cache, ResultCache):
@@ -221,7 +302,23 @@ def run_campaign(
                 config.cache_dir, max_size_mb=config.cache_max_size_mb
             )
 
+    journal_store: Optional[CampaignJournal] = None
+    if isinstance(journal, CampaignJournal):
+        journal_store = journal
+    elif isinstance(journal, (str, Path)):
+        journal_store = CampaignJournal(journal)
+    elif journal is None and store is not None:
+        journal_store = CampaignJournal.for_campaign(
+            store.root, spec.content_hash()
+        )
+    # journal=False (or no cache to sit beside) disables journaling.
+
     runs = spec.runs()
+
+    journal_hits: Dict[str, Dict[str, Any]] = {}
+    if resume and journal_store is not None and journal_store.exists:
+        journal_hits = journal_store.load().results
+
     by_key: Dict[str, Any] = {}
     pending: List[CampaignRun] = []
     pending_keys = set()
@@ -239,6 +336,21 @@ def run_campaign(
                 # was configured must still survive the process.
                 store.put(run.key, _payload_for(run, metrics))
             continue
+        if run.key in journal_hits:
+            try:
+                metrics = metrics_from_dict(spec.kind, journal_hits[run.key])
+            except TypeError:
+                metrics = None  # journal from a different metrics schema
+            if metrics is not None:
+                _MEMO[run.key] = metrics
+                by_key[run.key] = metrics
+                stats.reused_journal += 1
+                reused += 1
+                if store is not None and not store.has(run.key):
+                    # The predecessor died between journal append and
+                    # cache write (or the cache was purged since).
+                    store.put(run.key, _payload_for(run, metrics))
+                continue
         if store is not None:
             payload = store.get(run.key)
             if payload is not None:
@@ -261,33 +373,63 @@ def run_campaign(
     if progress is not None:
         progress(reused, total, reused, 0)
 
+    failures: List[RunFailure] = []
     if pending:
         if backend is None:
             backend = (
                 ProcessPoolBackend(jobs) if jobs and jobs > 1 else SerialBackend()
             )
-        flat_results = _execute_with_progress(
-            backend, pending, reused, total, progress
-        )
-        if len(flat_results) != len(pending):
-            raise RuntimeError(
-                f"backend returned {len(flat_results)} results "
-                f"for {len(pending)} runs"
-            )
-        for run, flat in zip(pending, flat_results):
+
+        def persist_run(index: int, flat: Dict[str, Any]) -> None:
+            run = pending[index]
             metrics = metrics_from_dict(spec.kind, flat)
             _MEMO[run.key] = metrics
             by_key[run.key] = metrics
+            stats.computed += 1
             if store is not None:
                 store.put(run.key, _payload_for(run, metrics))
-        stats.computed += len(pending)
+            if journal_store is not None:
+                journal_store.append_result(run.key, run.kind, run.seed, flat)
+
+        def note_failure(failure: RunFailure) -> None:
+            failures.append(failure)
+            if journal_store is not None:
+                journal_store.append_failure(failure)
+
+        try:
+            flat_results = _execute_with_progress(
+                backend, pending, reused, total, progress, policy,
+                persist_run, note_failure,
+            )
+        except BaseException:
+            # Interrupted (or raising on exhausted retries): everything
+            # completed so far is already in cache + journal; flush the
+            # journal so ``--resume`` replays it.
+            if journal_store is not None:
+                journal_store.close()
+            raise
+        delivered = sum(1 for flat in flat_results if flat is not None)
+        if delivered + len(failures) < len(pending):
+            raise RuntimeError(
+                f"backend returned {delivered} results and "
+                f"{len(failures)} failures for {len(pending)} runs"
+            )
+
+    if journal_store is not None:
+        if failures:
+            # Keep the journal: a later --resume (or a rerun after the
+            # flaky cause is fixed) picks up the completed majority.
+            journal_store.close()
+        else:
+            journal_store.discard()
 
     result = CampaignResult(
         spec=spec,
         runs=runs,
         by_key=by_key,
-        computed=len(pending),
+        computed=len(pending) - len(failures),
         reused=reused,
+        failures=failures,
     )
     if post_process:
         for name in sorted(post_process):

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
+
+from repro.runners.failures import FailurePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> context)
+    from repro.runners.faults import FaultPlan
 
 #: Campaign progress callback: ``(completed, total, cached, computed)``
 #: where ``completed = cached + computed`` counts delivered points.
@@ -49,6 +54,17 @@ class ExecutionConfig:
     #: after the cache scan and then after every computed point, whatever
     #: backend runs it (the CLI's ``--progress`` installs a printer).
     progress: Optional[ProgressCallback] = None
+    #: Retry/timeout/exhaustion envelope for campaign tasks; ``None``
+    #: means the built-in :class:`~repro.runners.failures.FailurePolicy`
+    #: defaults (3 retries, no timeout, raise on exhaustion).
+    failure_policy: Optional[FailurePolicy] = None
+    #: Deterministic fault injection for tests/CI; ``None`` falls back to
+    #: ``$REPRO_FAULT_PLAN`` (see :mod:`repro.runners.faults`).
+    fault_plan: Optional["FaultPlan"] = None
+    #: Replay campaign journals before executing (the CLI's ``--resume``):
+    #: results a killed invocation already persisted are reused instead of
+    #: re-simulated.
+    resume: bool = False
 
 
 @dataclass
@@ -58,11 +74,13 @@ class ExecutionStats:
     computed: int = 0
     reused_memory: int = 0
     reused_disk: int = 0
+    #: Results replayed from a campaign journal (``--resume``).
+    reused_journal: int = 0
 
     @property
     def reused(self) -> int:
         """Results served without running a simulator."""
-        return self.reused_memory + self.reused_disk
+        return self.reused_memory + self.reused_disk + self.reused_journal
 
     @property
     def total(self) -> int:
@@ -74,6 +92,7 @@ class ExecutionStats:
         self.computed = 0
         self.reused_memory = 0
         self.reused_disk = 0
+        self.reused_journal = 0
 
 
 _config = ExecutionConfig()

@@ -570,6 +570,23 @@ def metrics_from_dict(kind: str, payload: Mapping[str, Any]):
     return cls(**payload)
 
 
+def validate_flat_metrics(kind: str, flat: Any) -> bool:
+    """Whether ``flat`` rebuilds into ``kind``'s metrics bundle.
+
+    The backends' sanity gate on whatever a worker hands back: a result
+    that would blow up later in :func:`metrics_from_dict` — or one
+    substituted by a corrupt-result fault — is rejected here so the
+    failure charges the task's retry budget instead of the campaign.
+    """
+    if not isinstance(flat, Mapping):
+        return False
+    try:
+        metrics_from_dict(kind, flat)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
 def clear_point_caches() -> None:
     """Drop the in-process memo of every point evaluator (benchmarks)."""
     _ideal_point.cache_clear()

@@ -73,6 +73,11 @@ class CampaignRun:
         """The point's parameters as a plain dict."""
         return dict(self.params)
 
+    def describe(self) -> str:
+        """One human-readable line (progress, failure and resume output)."""
+        point = ", ".join(f"{name}={value}" for name, value in self.params)
+        return f"{self.kind}[{point}] seed={self.seed}"
+
 
 @dataclass(frozen=True)
 class CampaignSpec:

@@ -118,6 +118,89 @@ class TestCombinedAndCompat:
         assert payload is not None and payload["version"] == CACHE_VERSION
 
 
+class TestQuarantine:
+    def test_corrupt_entry_moved_aside_not_reread(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (key,) = seed_entries(cache, 1)
+        cache._path(key).write_text("{ torn mid-json")
+        assert cache.get(key) is None
+        assert not cache._path(key).exists()  # no eternal corrupt miss
+        assert cache._path(key).with_suffix(".corrupt").exists()
+        assert cache.quarantined == 1
+
+    def test_wrong_shape_quarantined_version_mismatch_not(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = seed_entries(cache, 2)
+        cache._path(keys[0]).write_text(json.dumps(["not", "a", "dict"]))
+        old = json.loads(cache._path(keys[1]).read_text())
+        old["version"] = CACHE_VERSION + 1
+        cache._path(keys[1]).write_text(json.dumps(old))
+        assert cache.get(keys[0]) is None and cache.get(keys[1]) is None
+        # Damage is quarantined; a different-era entry is a plain miss.
+        assert cache.quarantined == 1
+        assert cache._path(keys[1]).exists()
+
+    def test_stats_count_quarantined_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (key,) = seed_entries(cache, 1)
+        cache._path(key).write_text("garbage")
+        cache.get(key)
+        assert cache.stats().n_quarantined == 1
+        assert cache.stats().n_entries == 0
+
+    def test_full_purge_clears_the_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (key,) = seed_entries(cache, 1)
+        cache._path(key).write_text("garbage")
+        cache.get(key)
+        report = cache.purge()
+        assert report.corrupt_swept == 1
+        assert cache.stats().n_quarantined == 0
+
+    def test_criteria_purge_keeps_the_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = seed_entries(cache, 2)
+        cache._path(keys[0]).write_text("garbage")
+        cache.get(keys[0])
+        report = cache.purge(max_size_mb=10.0)
+        assert report.corrupt_swept == 0
+        assert cache.stats().n_quarantined == 1
+
+
+class TestTmpSweep:
+    def _orphan_tmp(self, cache, key, age_s, now, size=100):
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".12345.tmp")
+        tmp.write_text("x" * size)
+        os.utime(tmp, (now - age_s, now - age_s))
+        return tmp
+
+    def test_stale_tmp_swept_fresh_kept(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        now = time.time()
+        stale = self._orphan_tmp(cache, "aa" * 32, 7200.0, now, size=150)
+        fresh = self._orphan_tmp(cache, "bb" * 32, 10.0, now)
+        report = cache.purge(max_size_mb=10.0, now=now)
+        assert report.tmp_swept == 1
+        assert report.tmp_bytes == 150
+        assert not stale.exists() and fresh.exists()
+
+    def test_tmp_age_threshold_is_overridable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        now = time.time()
+        tmp = self._orphan_tmp(cache, "aa" * 32, 30.0, now)
+        assert cache.purge(max_size_mb=10.0, now=now, tmp_age_s=5.0).tmp_swept == 1
+        assert not tmp.exists()
+
+    def test_purge_report_is_int_compatible(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        seed_entries(cache, 2)
+        report = cache.purge()
+        assert report == 2 and report + 1 == 3
+        assert f"{report}" == "2"  # formats as the count it replaces
+
+
 class TestCliFlags:
     def test_purge_flags_reach_the_cache(self, tmp_path, capsys):
         from repro.cli import main

@@ -173,5 +173,8 @@ class TestSerialBackendBatching:
         runs = small_detailed_spec(n_seeds=3).runs()
         ticks = []
         clear_run_caches()
-        SerialBackend().execute(runs, on_result=lambda: ticks.append(1))
-        assert len(ticks) == len(runs)
+        SerialBackend().execute(
+            runs, on_result=lambda index, flat: ticks.append(index)
+        )
+        # One hook call per run (not per grouped task), in run order.
+        assert ticks == list(range(len(runs)))

@@ -50,6 +50,92 @@ class TestRunAll:
         assert "fig18" in text
 
 
+class TestRunAllInterrupt:
+    def test_keyboard_interrupt_prints_resume_summary(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import repro.cli as cli
+
+        real_get = cli.get_experiment
+
+        class _Interrupted:
+            def run(self, scale):
+                raise KeyboardInterrupt
+
+        def fake_get(experiment_id):
+            if experiment_id == "fig04":
+                return _Interrupted()
+            return real_get(experiment_id)
+
+        monkeypatch.setattr(
+            cli, "all_experiment_ids", lambda: ["table1", "fig04"]
+        )
+        monkeypatch.setattr(cli, "get_experiment", fake_get)
+        code = main(
+            ["run-all", "--cache-dir", str(tmp_path), "--jobs", "2"]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted." in err
+        assert "experiments finished: 1/2" in err
+        assert "remaining: fig04" in err
+        assert "pbbf-experiments run-all --resume" in err
+        assert "--jobs 2" in err and str(tmp_path) in err
+
+    def test_resume_invocation_reflects_retry_flags(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import repro.cli as cli
+
+        class _Interrupted:
+            def run(self, scale):
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "all_experiment_ids", lambda: ["fig04"])
+        monkeypatch.setattr(
+            cli, "get_experiment", lambda experiment_id: _Interrupted()
+        )
+        code = main(
+            [
+                "run-all", "--cache-dir", str(tmp_path),
+                "--max-retries", "5", "--on-exhausted", "skip",
+            ]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "--max-retries 5" in err
+        assert "--on-exhausted skip" in err
+
+
+class TestFaultToleranceFlags:
+    def test_retry_flags_accepted(self, capsys):
+        assert main(
+            [
+                "run", "fig07", "--no-cache", "--max-retries", "1",
+                "--task-timeout-s", "300", "--on-exhausted", "skip",
+            ]
+        ) == 0
+        assert "fig07" in capsys.readouterr().out
+
+    def test_resume_flag_accepted_without_a_journal(self, tmp_path, capsys):
+        assert main(
+            ["run", "fig07", "--cache-dir", str(tmp_path), "--resume"]
+        ) == 0
+        assert "fig07" in capsys.readouterr().out
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig07", "--max-retries", "-1"])
+
+    def test_zero_timeout_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig07", "--task-timeout-s", "0"])
+
+    def test_unknown_exhaustion_action_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig07", "--on-exhausted", "explode"])
+
+
 class TestChart:
     def test_chart_flag_renders(self, capsys):
         assert main(["run", "fig07", "--chart"]) == 0
@@ -112,6 +198,37 @@ class TestCacheSubcommand:
     def test_unknown_action_rejected(self):
         with pytest.raises(SystemExit):
             main(["cache", "gc"])
+
+    def test_stats_report_quarantined_entries(self, tmp_path, capsys):
+        from repro.runners import ResultCache
+
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        cache.put(key, {"kind": "ideal", "metrics": {}})
+        cache._path(key).write_text("{ torn mid-json")
+        cache.get(key)  # quarantines
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined: 1 corrupt entries" in out
+
+    def test_purge_reports_swept_tmp_files(self, tmp_path, capsys):
+        import os
+        import time
+
+        from repro.runners import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"kind": "ideal", "metrics": {}})
+        orphan = cache._path("cd" * 32).with_suffix(".999.tmp")
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_text("x" * 64)
+        stale = time.time() - 7200.0
+        os.utime(orphan, (stale, stale))
+        assert main(["cache", "purge", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "purged 1 cache entries" in out
+        assert "swept 1 stale tmp files" in out
+        assert not orphan.exists()
 
 
 class TestProgressFlag:
