@@ -1,0 +1,170 @@
+"""Incremental frontier extraction from a streaming campaign.
+
+``run_campaign(on_point=...)`` delivers each run's typed metrics the
+moment it materialises — reused points during the cache scan, computed
+points as workers finish them.  :class:`StreamingFrontier` is the
+consumer side: feed it those ``(run, metrics)`` events and ask for the
+current :class:`~repro.analysis.pareto.Frontier` whenever a panel wants
+to redraw::
+
+    stream = StreamingFrontier((latency, energy), constraints=(floor,),
+                               base_seed=spec.base_seed)
+    result = run_campaign(spec, on_point=stream.on_point)
+    frontier = stream.frontier()     # == batch extraction, same bits
+
+Snapshots are deterministic functions of the points fed so far: samples
+are ordered by seed index (never arrival order), constraint and
+objective means match :func:`~repro.analysis.objectives.operating_points`
+exactly, and with ``base_seed`` set the bootstrap confidence intervals
+reuse the batch layer's named streams — so the *final* snapshot of a
+completed campaign is bit-identical to the batch frontier, whichever
+backend computed the points and in whatever order they arrived.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.bootstrap import bootstrap_ci95
+from repro.analysis.objectives import (
+    Constraint,
+    Objective,
+    OperatingPoint,
+    _default_label,
+)
+from repro.analysis.pareto import Frontier, pareto_frontier
+from repro.util.canonical import canonical_json
+
+
+class StreamingFrontier:
+    """Accumulate streamed campaign points into an updatable frontier.
+
+    Parameters mirror :func:`~repro.analysis.objectives.operating_points`:
+    the objective axes, epsilon-constraints, an optional parameter
+    filter and label builder.  ``base_seed`` (the campaign spec's) turns
+    on the batch layer's deterministic bootstrap half-widths; without it
+    snapshots carry zero half-widths (objective means, constraint
+    filtering and Pareto membership are unaffected).
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[Objective],
+        constraints: Sequence[Constraint] = (),
+        where: Optional[Callable[[Mapping[str, Any]], bool]] = None,
+        label: Optional[Callable[[Mapping[str, Any]], str]] = None,
+        base_seed: Optional[int] = None,
+        n_resamples: int = 200,
+    ) -> None:
+        if not objectives:
+            raise ValueError("StreamingFrontier needs at least one objective")
+        self.objectives = tuple(objectives)
+        self.constraints = tuple(constraints)
+        self.where = where
+        self.label = label
+        self.base_seed = base_seed
+        self.n_resamples = n_resamples
+        #: Streamed metrics bundles: token -> {seed_index -> metrics}.
+        self._bundles: Dict[str, Dict[int, Any]] = {}
+        #: The params behind each token (first arrival wins; identical).
+        self._params: Dict[str, Dict[str, Any]] = {}
+        #: Points fed so far (post-filter), counting duplicates once.
+        self.n_seen = 0
+
+    def on_point(self, run: Any, metrics: Any) -> None:
+        """Consume one streamed result (pass this to ``run_campaign``).
+
+        ``run`` is the :class:`~repro.runners.spec.CampaignRun`; points
+        rejected by ``where`` are ignored, re-deliveries of a seen
+        (point, seed) overwrite with identical bits.
+        """
+        params = run.params_dict()
+        if self.where is not None and not self.where(params):
+            return
+        token = canonical_json(params)
+        bundle = self._bundles.setdefault(token, {})
+        if run.seed_index not in bundle:
+            self.n_seen += 1
+        bundle[run.seed_index] = metrics
+        self._params.setdefault(token, params)
+
+    def operating_points(self) -> List[OperatingPoint]:
+        """The accumulated points in objective space (current snapshot).
+
+        Constraint filtering, None-skipping and sample ordering follow
+        :func:`~repro.analysis.objectives.operating_points`; points are
+        emitted in token order so the snapshot is independent of arrival
+        order.
+        """
+        result: List[OperatingPoint] = []
+        for token in sorted(self._bundles):
+            params = self._params[token]
+            bundles = [
+                self._bundles[token][index]
+                for index in sorted(self._bundles[token])
+            ]
+            satisfied = True
+            for constraint in self.constraints:
+                values = [
+                    v
+                    for v in (constraint.metric(b) for b in bundles)
+                    if v is not None
+                ]
+                mean = sum(values) / len(values) if values else None
+                if not constraint.satisfied(mean):
+                    satisfied = False
+                    break
+            if not satisfied:
+                continue
+            values_t: List[float] = []
+            ci_t: List[float] = []
+            samples_t: List[Tuple[float, ...]] = []
+            defined = True
+            for objective in self.objectives:
+                samples = tuple(
+                    v
+                    for v in (objective.metric(b) for b in bundles)
+                    if v is not None
+                )
+                if not samples:
+                    defined = False
+                    break
+                values_t.append(sum(samples) / len(samples))
+                if self.base_seed is not None:
+                    ci_t.append(
+                        bootstrap_ci95(
+                            samples,
+                            self.base_seed,
+                            "bootstrap",
+                            token,
+                            objective.name,
+                            n_resamples=self.n_resamples,
+                        )
+                    )
+                else:
+                    ci_t.append(0.0)
+                samples_t.append(samples)
+            if not defined:
+                continue
+            result.append(
+                OperatingPoint(
+                    params=tuple(sorted(params.items())),
+                    label=(
+                        self.label(params)
+                        if self.label is not None
+                        else _default_label(params)
+                    ),
+                    values=tuple(values_t),
+                    ci95=tuple(ci_t),
+                    samples=tuple(samples_t),
+                )
+            )
+        return result
+
+    def frontier(self) -> Frontier:
+        """The Pareto frontier of everything streamed so far."""
+        return pareto_frontier(self.operating_points(), self.objectives)
+
+    def __len__(self) -> int:
+        """Distinct (point, seed) results accumulated."""
+        return self.n_seen

@@ -7,9 +7,10 @@ Usage::
     pbbf-experiments run fig08 [--scale fast|full] [--jobs N] [--progress]
     pbbf-experiments run-all [--scale fast|full] [--out results.txt]
                              [--jobs N] [--cache-dir DIR] [--no-cache]
-    pbbf-experiments cache stats [--cache-dir DIR]
+    pbbf-experiments cache stats [--cache-dir DIR] [--cache-tier sqlite]
     pbbf-experiments cache purge [--cache-dir DIR]
                                  [--max-age-days N] [--max-size-mb M]
+    pbbf-experiments worker --queue DIR [--linger-s S]
     pbbf-experiments pareto [--scale fast|full] [--simulator ideal|detailed]
                             [--family grid] [--coverage 0.9] [--lifetime]
                             [--latency-budget S]
@@ -24,6 +25,11 @@ parameters changed.  ``--no-cache`` forces fresh simulation;
 ``--cache-dir`` relocates the cache (default ``~/.cache/repro`` or
 ``$REPRO_CACHE_DIR``); ``--cache-max-size-mb`` (or
 ``$REPRO_CACHE_MAX_MB``) arms the evict-on-insert size budget.
+``--backend sharded [--queue DIR]`` fans the campaign out through an
+on-disk work queue that ``pbbf-experiments worker --queue DIR``
+processes on other machines can join, and ``--cache-tier sqlite``
+serves warm campaigns from batched SQLite reads — results are
+bit-identical on every backend and tier.
 """
 
 from __future__ import annotations
@@ -99,9 +105,29 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=_positive_jobs, default=1,
                         help="worker processes for simulation points "
                              "(default 1: serial; results are identical)")
+    parser.add_argument("--backend", choices=("auto", "serial", "pool", "sharded"),
+                        default="auto",
+                        help="execution backend: auto (serial or pool from "
+                             "--jobs; default), serial, pool, or sharded "
+                             "(fan out through an on-disk work queue that "
+                             "`pbbf-experiments worker` processes on other "
+                             "machines can join; results are identical on "
+                             "all of them)")
+    parser.add_argument("--queue", default=None, metavar="DIR",
+                        help="work-queue directory for --backend sharded "
+                             "(default: a private temporary queue; point "
+                             "it at a shared directory to let workers on "
+                             "other machines join)")
     parser.add_argument("--cache-dir", default=None,
                         help="result cache directory "
                              "(default ~/.cache/repro or $REPRO_CACHE_DIR)")
+    parser.add_argument("--cache-tier", choices=("file", "sqlite"),
+                        default="file",
+                        help="result-cache tier: file (one JSON entry per "
+                             "point; default) or sqlite (batched reads and "
+                             "concurrent-writer-safe writes through one "
+                             "WAL database, write-through to the file "
+                             "layer)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache entirely")
     parser.add_argument("--cache-max-size-mb", type=_nonnegative_mb, default=None,
@@ -179,6 +205,28 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--max-size-mb", type=float, default=None,
                        help="purge only: evict oldest entries until the "
                             "cache fits this many megabytes")
+    cache.add_argument("--cache-tier", choices=("file", "sqlite"),
+                       default="file",
+                       help="operate on the file layer (default) or the "
+                            "SQLite tier (which cascades to the file "
+                            "layer)")
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a work-queue worker for a sharded campaign "
+             "(started on any machine sharing the queue/cache directory)",
+    )
+    worker.add_argument("--queue", required=True, metavar="DIR",
+                        help="the campaign's work-queue directory "
+                             "(the parent's `run ... --backend sharded "
+                             "--queue DIR`)")
+    worker.add_argument("--poll-s", type=float, default=0.05,
+                        help="idle sleep between claim attempts "
+                             "(default 0.05s)")
+    worker.add_argument("--linger-s", type=float, default=0.0,
+                        help="keep polling this long after the queue "
+                             "drains, for long-lived shared queues "
+                             "(default 0: exit once drained)")
 
     pareto = sub.add_parser(
         "pareto",
@@ -251,9 +299,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_scenarios()
     if args.command == "cache":
         return _run_cache(args)
+    if args.command == "worker":
+        return _run_worker(args)
     with execution(
         jobs=args.jobs,
+        backend=args.backend,
+        queue_dir=args.queue,
         cache_dir=args.cache_dir,
+        cache_tier=args.cache_tier,
         use_cache=not args.no_cache,
         cache_max_size_mb=args.cache_max_size_mb,
         fast_path=not args.no_fast_path,
@@ -348,9 +401,12 @@ def _format_bytes(n: int) -> str:
 
 def _run_cache(args: argparse.Namespace) -> int:
     """The ``cache stats`` / ``cache purge`` subcommand."""
-    from repro.runners import ResultCache
+    from repro.runners import ResultCache, SQLiteCacheTier
 
-    store = ResultCache(args.cache_dir)
+    if args.cache_tier == "sqlite":
+        store = SQLiteCacheTier(args.cache_dir)
+    else:
+        store = ResultCache(args.cache_dir)
     if args.action == "stats":
         stats = store.stats()
         print(f"cache directory: {stats.root}")
@@ -362,6 +418,13 @@ def _run_cache(args: argparse.Namespace) -> int:
             print(
                 f"quarantined: {stats.n_quarantined} corrupt entries moved "
                 "aside (removed by `cache purge`)"
+            )
+        if stats.n_journals:
+            print(
+                f"journals: {stats.n_journals} orphaned campaign journals "
+                f"({_format_bytes(stats.journal_bytes)}; interrupted "
+                "campaigns resume from these — swept by `cache purge` "
+                "[--max-age-days N])"
             )
         for kind, count in stats.by_kind:
             print(f"  {kind:12s} {count}")
@@ -389,6 +452,31 @@ def _run_cache(args: argparse.Namespace) -> int:
         )
     if removed.corrupt_swept:
         print(f"removed {removed.corrupt_swept} quarantined corrupt entries")
+    if removed.journals_swept:
+        print(
+            f"swept {removed.journals_swept} orphaned campaign journals "
+            f"({_format_bytes(removed.journal_bytes)} reclaimed)"
+        )
+    return 0
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    """The ``worker`` subcommand: serve one sharded campaign's queue."""
+    from repro.runners.queue import new_worker_id, worker_loop
+
+    worker_id = new_worker_id()
+    print(f"worker {worker_id} serving queue at {args.queue}", file=sys.stderr)
+    try:
+        completed = worker_loop(
+            args.queue,
+            worker_id=worker_id,
+            poll_s=args.poll_s,
+            linger_s=args.linger_s,
+        )
+    except KeyboardInterrupt:
+        print(f"worker {worker_id} interrupted", file=sys.stderr)
+        return 130
+    print(f"worker {worker_id} done: {completed} tasks", file=sys.stderr)
     return 0
 
 

@@ -85,6 +85,7 @@ from repro.runners.failures import (
 )
 from repro.runners.faults import FaultPlan
 from repro.runners.journal import CampaignJournal
+from repro.runners.queue import ShardedBackend, WorkQueue, worker_loop
 from repro.runners.points import (
     DetailedPointMetrics,
     IdealPointMetrics,
@@ -99,6 +100,7 @@ from repro.runners.spec import (
     CampaignSpec,
     run_key,
 )
+from repro.runners.sqlite_tier import SQLiteCacheTier
 
 
 def clear_run_caches() -> None:
@@ -128,8 +130,11 @@ __all__ = [
     "PurgeReport",
     "ResultCache",
     "RunFailure",
+    "SQLiteCacheTier",
     "SerialBackend",
+    "ShardedBackend",
     "TaskTimeoutError",
+    "WorkQueue",
     "WorkerCrashError",
     "clear_memo",
     "clear_point_caches",
@@ -143,4 +148,5 @@ __all__ = [
     "run_campaign",
     "run_key",
     "set_execution",
+    "worker_loop",
 ]

@@ -31,7 +31,17 @@ import time
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.runners.faults import cache_write_corrupted
 
@@ -62,19 +72,30 @@ class CacheStats:
     by_kind: Tuple[Tuple[str, int], ...]
     #: ``<key>.corrupt`` files quarantined by earlier corrupt reads.
     n_quarantined: int = 0
+    #: Campaign journals (``journal/*.jsonl``) left beside the cache by
+    #: interrupted or failed campaigns — orphaned resume state until a
+    #: ``--resume`` replays them or an age-gated purge sweeps them.
+    n_journals: int = 0
+    journal_bytes: int = 0
 
 
 class PurgeReport(int):
     """``ResultCache.purge``'s return value: the removed-entry count,
-    plus what the stale-tmp/quarantine sweep reclaimed.
+    plus what the stale-tmp/quarantine/journal sweeps reclaimed.
 
     An ``int`` subclass so existing ``purge(...) == n`` call sites keep
     working unchanged; the sweep details ride along as attributes.
+    ``entry_bytes`` is what the removed entries occupied — the
+    evict-on-insert budget keeps its running byte total incremental by
+    subtracting it instead of re-walking the directory.
     """
 
     tmp_swept: int
     tmp_bytes: int
     corrupt_swept: int
+    entry_bytes: int
+    journals_swept: int
+    journal_bytes: int
 
     def __new__(
         cls,
@@ -82,11 +103,17 @@ class PurgeReport(int):
         tmp_swept: int = 0,
         tmp_bytes: int = 0,
         corrupt_swept: int = 0,
+        entry_bytes: int = 0,
+        journals_swept: int = 0,
+        journal_bytes: int = 0,
     ) -> "PurgeReport":
         self = super().__new__(cls, removed)
         self.tmp_swept = tmp_swept
         self.tmp_bytes = tmp_bytes
         self.corrupt_swept = corrupt_swept
+        self.entry_bytes = entry_bytes
+        self.journals_swept = journals_swept
+        self.journal_bytes = journal_bytes
         return self
 
     def __str__(self) -> str:
@@ -96,7 +123,10 @@ class PurgeReport(int):
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"PurgeReport(removed={int(self)}, tmp_swept={self.tmp_swept}, "
-            f"tmp_bytes={self.tmp_bytes}, corrupt_swept={self.corrupt_swept})"
+            f"tmp_bytes={self.tmp_bytes}, corrupt_swept={self.corrupt_swept}, "
+            f"entry_bytes={self.entry_bytes}, "
+            f"journals_swept={self.journals_swept}, "
+            f"journal_bytes={self.journal_bytes})"
         )
 
 
@@ -179,6 +209,28 @@ class ResultCache:
             return None
         return payload
 
+    def get_many(self, keys: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+        """Payloads for every hit among ``keys`` (misses simply absent).
+
+        On the file layer this is a convenience loop — one ``open`` per
+        key — kept signature-compatible with
+        :meth:`repro.runners.sqlite_tier.SQLiteCacheTier.get_many`, where
+        the same call is a handful of batched ``SELECT``s.  The campaign
+        scan always goes through this entry point, so swapping tiers
+        swaps the read path wholesale.
+        """
+        found: Dict[str, Dict[str, Any]] = {}
+        for key in keys:
+            payload = self.get(key)
+            if payload is not None:
+                found[key] = payload
+        return found
+
+    def put_many(self, items: Mapping[str, Dict[str, Any]]) -> None:
+        """Store every ``key -> payload``; one atomic write per entry."""
+        for key, payload in items.items():
+            self.put(key, payload)
+
     def _quarantine(self, path: Path) -> None:
         """Move one corrupt entry aside (best-effort, crash-race safe)."""
         try:
@@ -235,8 +287,13 @@ class ResultCache:
         *delta* (``replaced_size`` is what the write displaced); over
         budget, the standard oldest-first purge runs (the just-written
         entry has the newest mtime, so it survives unless the budget is
-        smaller than that single entry) and the total is re-measured from
-        what remains.
+        smaller than that single entry) and the total drops by the
+        purge's reclaimed ``entry_bytes``.  A cache sitting *at* its
+        budget therefore pays one directory walk per purge (the eviction
+        scan itself, which needs every entry's mtime), never a second
+        full ``_scan_bytes`` re-measure per ``put``.  Concurrent writers
+        can drift the incremental total; a total that goes negative is
+        the tell, and triggers one corrective re-scan.
         """
         try:
             written_size = just_written.stat().st_size
@@ -248,8 +305,12 @@ class ResultCache:
             self._tracked_bytes += written_size - replaced_size
         if self._tracked_bytes <= self.max_size_mb * 1024.0 * 1024.0:
             return
-        self.purge(max_size_mb=self.max_size_mb)
-        self._tracked_bytes = self._scan_bytes()
+        before = self._tracked_bytes
+        report = self.purge(max_size_mb=self.max_size_mb)
+        remaining = before - report.entry_bytes
+        # purge() invalidated the total (it must, for external callers);
+        # restore it from the reclaimed-bytes report.
+        self._tracked_bytes = remaining if remaining >= 0 else self._scan_bytes()
 
     def _scan_bytes(self) -> int:
         """Total size of stored entries (one directory walk)."""
@@ -310,6 +371,14 @@ class ResultCache:
         n_quarantined = (
             sum(1 for _ in points.glob("*/*.corrupt")) if points.is_dir() else 0
         )
+        n_journals = 0
+        journal_bytes = 0
+        for path in self.journal_paths():
+            try:
+                journal_bytes += path.stat().st_size
+            except OSError:
+                continue  # raced with a concurrent sweep
+            n_journals += 1
         return CacheStats(
             root=str(self.root),
             n_entries=n_entries,
@@ -317,6 +386,8 @@ class ResultCache:
             n_stale=stale,
             by_kind=tuple(sorted(by_kind.items())),
             n_quarantined=n_quarantined,
+            n_journals=n_journals,
+            journal_bytes=journal_bytes,
         )
 
     #: Orphaned ``.tmp`` files younger than this many seconds are left
@@ -344,8 +415,11 @@ class ResultCache:
 
         Every purge also sweeps ``.tmp`` files orphaned by killed
         writers once they are older than ``tmp_age_s`` (default
-        :data:`TMP_SWEEP_AGE_S`); the return value is an ``int``-
-        compatible :class:`PurgeReport` carrying what the sweep
+        :data:`TMP_SWEEP_AGE_S`), and campaign journals under
+        ``journal/`` — all of them on a full purge, those older than
+        ``max_age_days`` on an age-gated one (a journal that old belongs
+        to a campaign nobody is resuming).  The return value is an
+        ``int``-compatible :class:`PurgeReport` carrying what each sweep
         reclaimed.
 
         Empty shard directories are cleaned up too; the root itself is
@@ -358,22 +432,24 @@ class ResultCache:
         if tmp_age_s is None:
             tmp_age_s = self.TMP_SWEEP_AGE_S
         # Any purge invalidates the evict-on-insert running total; the
-        # next budgeted write re-measures.
+        # budget path restores it from this report's ``entry_bytes``.
         self._tracked_bytes = None
         removed = 0
+        entry_bytes = 0
         entries: List[Tuple[float, int, Path]] = []
         for path in list(self.entry_paths()):
-            if max_age_days is None and max_size_mb is None:
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    continue
-                continue
             try:
                 stat = path.stat()
             except OSError:
                 continue  # raced with a concurrent purge
+            if max_age_days is None and max_size_mb is None:
+                try:
+                    path.unlink()
+                    removed += 1
+                    entry_bytes += stat.st_size
+                except OSError:
+                    continue
+                continue
             entries.append((stat.st_mtime, stat.st_size, path))
         if entries:
             reference = now if now is not None else time.time()
@@ -386,6 +462,7 @@ class ResultCache:
                     try:
                         path.unlink()
                         removed += 1
+                        entry_bytes += size
                     except OSError:
                         continue
                 else:
@@ -403,6 +480,7 @@ class ResultCache:
                     except OSError:
                         continue
                     removed += 1
+                    entry_bytes += size
                     total -= size
         points = self.root / "points"
         reference = now if now is not None else time.time()
@@ -441,12 +519,56 @@ class ResultCache:
                     shard.rmdir()
                 except OSError:
                     continue  # non-empty or gone
+        journals_swept = 0
+        journal_bytes = 0
+        if max_size_mb is None or max_age_days is not None:
+            # Journal sweep: a full purge clears every journal with the
+            # results they protected; an age-gated purge clears only the
+            # orphans nobody will resume.  A pure size purge leaves them
+            # alone — it is about the entry budget, not resume state.
+            sweep_age_s = (
+                max_age_days * 86_400.0 if max_age_days is not None else None
+            )
+            journals_swept, journal_bytes = self._sweep_journals(
+                sweep_age_s, reference
+            )
         return PurgeReport(
             removed,
             tmp_swept=tmp_swept,
             tmp_bytes=tmp_bytes,
             corrupt_swept=corrupt_swept,
+            entry_bytes=entry_bytes,
+            journals_swept=journals_swept,
+            journal_bytes=journal_bytes,
         )
+
+    def journal_paths(self) -> Iterator[Path]:
+        """Every campaign journal beside this cache, in no set order."""
+        journals = self.root / "journal"
+        if not journals.is_dir():
+            return
+        yield from journals.glob("*.jsonl")
+
+    def _sweep_journals(
+        self, older_than_s: Optional[float], reference: float
+    ) -> Tuple[int, int]:
+        """Remove journals (all, or older than the age); returns count+bytes."""
+        swept = 0
+        swept_bytes = 0
+        for path in list(self.journal_paths()):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced with a concurrent sweep
+            if older_than_s is not None and reference - stat.st_mtime <= older_than_s:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            swept += 1
+            swept_bytes += stat.st_size
+        return swept, swept_bytes
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None

@@ -35,7 +35,15 @@ from repro.runners.context import ProgressCallback, get_execution, get_stats
 from repro.runners.failures import FailurePolicy, RunFailure
 from repro.runners.journal import CampaignJournal
 from repro.runners.points import metrics_from_dict, metrics_to_dict
+from repro.runners.queue import ShardedBackend
 from repro.runners.spec import CampaignRun, CampaignSpec, run_key
+
+#: Per-point streaming hook: ``on_point(run, metrics)`` fires in the
+#: parent for every unique run of the campaign — reused points during
+#: the scan, computed points as each completes (before it is visible in
+#: the returned result) — so frontiers and figure panels can render
+#: incrementally.  Failed runs never fire it.
+OnPoint = Callable[[CampaignRun, Any], None]
 
 #: Results materialised in this process, keyed by run content hash.  This
 #: is what lets several figures share one campaign's points without
@@ -231,7 +239,7 @@ class CampaignResult:
 def run_campaign(
     spec: CampaignSpec,
     jobs: Optional[int] = None,
-    cache: Optional[Union[ResultCache, str]] = None,
+    cache: Optional[Union[ResultCache, str, Path, Any]] = None,
     use_cache: Optional[bool] = None,
     backend: Optional[Any] = None,
     progress: Optional[ProgressCallback] = None,
@@ -239,18 +247,31 @@ def run_campaign(
     failure_policy: Optional[FailurePolicy] = None,
     resume: Optional[bool] = None,
     journal: Optional[Union[CampaignJournal, str, Path, bool]] = None,
+    on_point: Optional[OnPoint] = None,
 ) -> CampaignResult:
     """Execute every run of ``spec`` and return its results.
 
     Parameters left ``None`` fall back to the ambient
     :class:`~repro.runners.context.ExecutionConfig` (which the CLI sets
-    from its flags).  ``cache`` accepts a ready :class:`ResultCache` or a
-    directory path; ``backend`` overrides the jobs-based choice entirely
-    (any object with ``execute(runs) -> list[dict]``).  ``progress`` is
-    called as ``progress(completed, total, cached, computed)`` once after
-    the cache scan and then after every computed point (both built-in
-    backends stream per-run completions; a custom backend without the
-    ``on_result`` hook degrades to one final call).
+    from its flags).  ``cache`` accepts a ready :class:`ResultCache` (or
+    any object with its ``get``/``put`` protocol, e.g. a
+    :class:`~repro.runners.sqlite_tier.SQLiteCacheTier`) or a directory
+    path; ``backend`` overrides the config-based choice entirely (any
+    object with ``execute(runs) -> list[dict]``; the ambient
+    ``config.backend`` otherwise picks serial, pool or sharded).
+    ``progress`` is called as ``progress(completed, total, cached,
+    computed)`` once after the cache scan and then after every computed
+    point (all built-in backends stream per-run completions; a custom
+    backend without the ``on_result`` hook degrades to one final call).
+
+    ``on_point`` streams typed results: it fires in the parent as
+    ``on_point(run, metrics)`` for every unique run of the campaign —
+    reused points during the scan, computed points as each completes,
+    whatever backend runs them — and every fired point is visible
+    before the final :class:`CampaignResult` returns, so frontiers and
+    figure panels can render incrementally (see
+    :class:`repro.analysis.StreamingFrontier`).  Failed runs fire the
+    journal/failure paths instead, never ``on_point``.
 
     ``failure_policy`` is the retry/timeout/exhaustion envelope (see
     :class:`~repro.runners.failures.FailurePolicy`; the CLI sets it from
@@ -291,16 +312,24 @@ def run_campaign(
         policy = config.failure_policy
     if policy is None:
         policy = FailurePolicy()
-    store: Optional[ResultCache] = None
+    store: Optional[Any] = None
     if use_cache:
-        if isinstance(cache, ResultCache):
+        if cache is not None and not isinstance(cache, (str, Path)):
+            # A ready store: ResultCache, SQLiteCacheTier, or anything
+            # speaking the get/put protocol.
             store = cache
-        elif cache is not None:
-            store = ResultCache(cache, max_size_mb=config.cache_max_size_mb)
         else:
-            store = ResultCache(
-                config.cache_dir, max_size_mb=config.cache_max_size_mb
-            )
+            cache_dir = cache if cache is not None else config.cache_dir
+            if config.cache_tier == "sqlite":
+                from repro.runners.sqlite_tier import SQLiteCacheTier
+
+                store = SQLiteCacheTier(
+                    cache_dir, max_size_mb=config.cache_max_size_mb
+                )
+            else:
+                store = ResultCache(
+                    cache_dir, max_size_mb=config.cache_max_size_mb
+                )
 
     journal_store: Optional[CampaignJournal] = None
     if isinstance(journal, CampaignJournal):
@@ -321,16 +350,24 @@ def run_campaign(
 
     by_key: Dict[str, Any] = {}
     pending: List[CampaignRun] = []
-    pending_keys = set()
+    probe: List[CampaignRun] = []
+    probe_keys = set()
     reused = 0
+
+    def reuse(run: CampaignRun, metrics: Any) -> None:
+        nonlocal reused
+        by_key[run.key] = metrics
+        reused += 1
+        if on_point is not None:
+            on_point(run, metrics)
+
     for run in runs:
-        if run.key in by_key or run.key in pending_keys:
+        if run.key in by_key or run.key in probe_keys:
             continue  # duplicate point within the spec
         if run.key in _MEMO:
             metrics = _MEMO[run.key]
-            by_key[run.key] = metrics
             stats.reused_memory += 1
-            reused += 1
+            reuse(run, metrics)
             if store is not None and not store.has(run.key):
                 # Backfill: a result computed before this cache directory
                 # was configured must still survive the process.
@@ -343,31 +380,45 @@ def run_campaign(
                 metrics = None  # journal from a different metrics schema
             if metrics is not None:
                 _MEMO[run.key] = metrics
-                by_key[run.key] = metrics
                 stats.reused_journal += 1
-                reused += 1
+                reuse(run, metrics)
                 if store is not None and not store.has(run.key):
                     # The predecessor died between journal append and
                     # cache write (or the cache was purged since).
                     store.put(run.key, _payload_for(run, metrics))
                 continue
-        if store is not None:
-            payload = store.get(run.key)
-            if payload is not None:
-                try:
-                    metrics = metrics_from_dict(spec.kind, payload["metrics"])
-                except TypeError:
-                    # Metrics schema drifted without a CACHE_VERSION bump:
-                    # honour the cache contract and treat it as a miss.
-                    metrics = None
-                if metrics is not None:
-                    _MEMO[run.key] = metrics
-                    by_key[run.key] = metrics
-                    stats.reused_disk += 1
-                    reused += 1
-                    continue
+        probe.append(run)
+        probe_keys.add(run.key)
+
+    # Disk probes batch: the SQLite tier answers a warm million-point
+    # campaign in a handful of queries (the file layer's get_many is the
+    # same per-key loop it always ran).
+    payloads: Dict[str, Dict[str, Any]] = {}
+    if store is not None and probe:
+        keys = [run.key for run in probe]
+        if hasattr(store, "get_many"):
+            payloads = store.get_many(keys)
+        else:  # a minimal third-party store
+            payloads = {
+                key: payload
+                for key in keys
+                if (payload := store.get(key)) is not None
+            }
+    for run in probe:
+        payload = payloads.get(run.key)
+        if payload is not None:
+            try:
+                metrics = metrics_from_dict(spec.kind, payload["metrics"])
+            except TypeError:
+                # Metrics schema drifted without a CACHE_VERSION bump:
+                # honour the cache contract and treat it as a miss.
+                metrics = None
+            if metrics is not None:
+                _MEMO[run.key] = metrics
+                stats.reused_disk += 1
+                reuse(run, metrics)
+                continue
         pending.append(run)
-        pending_keys.add(run.key)
 
     total = reused + len(pending)
     if progress is not None:
@@ -376,9 +427,21 @@ def run_campaign(
     failures: List[RunFailure] = []
     if pending:
         if backend is None:
-            backend = (
-                ProcessPoolBackend(jobs) if jobs and jobs > 1 else SerialBackend()
-            )
+            choice = config.backend
+            if choice == "sharded":
+                backend = ShardedBackend(
+                    jobs or 0, queue_dir=config.queue_dir
+                )
+            elif choice == "serial":
+                backend = SerialBackend()
+            elif choice == "pool":
+                backend = ProcessPoolBackend(jobs)
+            else:  # "auto": the historical jobs-based choice
+                backend = (
+                    ProcessPoolBackend(jobs)
+                    if jobs and jobs > 1
+                    else SerialBackend()
+                )
 
         def persist_run(index: int, flat: Dict[str, Any]) -> None:
             run = pending[index]
@@ -390,6 +453,8 @@ def run_campaign(
                 store.put(run.key, _payload_for(run, metrics))
             if journal_store is not None:
                 journal_store.append_result(run.key, run.kind, run.seed, flat)
+            if on_point is not None:
+                on_point(run, metrics)
 
         def note_failure(failure: RunFailure) -> None:
             failures.append(failure)

@@ -35,6 +35,19 @@ class ExecutionConfig:
 
     #: Worker processes; 1 means in-process serial execution.
     jobs: int = 1
+    #: Backend family: ``auto`` picks serial or pool from ``jobs``;
+    #: ``serial`` / ``pool`` force those; ``sharded`` runs through the
+    #: on-disk work queue (see :mod:`repro.runners.queue`).
+    backend: str = "auto"
+    #: Work-queue directory for the sharded backend; ``None`` uses a
+    #: private temporary queue.  Point it at a shared directory (beside
+    #: the cache) so ``pbbf-experiments worker`` processes on other
+    #: machines can join the campaign.
+    queue_dir: Optional[str] = None
+    #: Result-cache tier: ``file`` (per-key JSON entries) or ``sqlite``
+    #: (batched reads/writes through one WAL database, write-through to
+    #: the file layer — see :mod:`repro.runners.sqlite_tier`).
+    cache_tier: str = "file"
     #: Cache root; ``None`` selects the default (env var or ~/.cache/repro).
     cache_dir: Optional[str] = None
     #: Master switch for the on-disk cache.

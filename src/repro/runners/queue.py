@@ -1,0 +1,816 @@
+"""Sharded campaign execution over a crash-safe on-disk work queue.
+
+The pool backend fans a campaign across the processes of *one* machine;
+this module fans it across *any number of workers that can see the same
+directory*.  A :class:`WorkQueue` is a SQLite database (WAL mode) of
+point-hash tasks; workers — spawned by :class:`ShardedBackend` or
+started by hand via ``pbbf-experiments worker --queue DIR`` on other
+machines sharing the cache/queue directory — claim the oldest due task
+under a lease, evaluate it with the exact same task body the serial and
+pool backends use, and write the flat metrics back as a result row.
+
+The retry envelope is PR 7's, relocated into the queue rows:
+
+* a worker that *fails* a task (raise, garbage metrics, in-worker
+  timeout) charges the row one attempt and re-queues it with the
+  policy's deterministic backoff — or marks it ``exhausted``;
+* a worker that *dies* leaves its row leased until the lease expires
+  (or, for spawned workers, until the parent reaps the corpse), after
+  which the row is charged one :class:`WorkerCrashError` attempt and
+  re-queued — exactly the pool backend's collateral-death accounting;
+* ``exhausted`` rows are handled by the campaign parent per the
+  policy's ``on_exhausted`` (skip / degrade / raise), like any backend.
+
+Because point evaluation is a pure function of ``(kind, params, seed)``
+(see :mod:`repro.runners.points`), results are bit-identical to
+:class:`~repro.runners.backends.SerialBackend` regardless of which
+worker runs what, how many die mid-task, or how leases interleave — the
+queue decides *scheduling*, never *values*.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import socket
+import sqlite3
+import tempfile
+import time
+import uuid
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.runners import faults
+from repro.runners.backends import (
+    OnFailure,
+    OnResult,
+    _BatchTask,
+    _build_leases,
+    _degraded_attempt,
+    _drain_serial,
+    _ExecutionState,
+    _Lease,
+    _resolve_policy,
+    _timed_attempt,
+    _validated,
+)
+from repro.runners.context import get_execution, set_execution
+from repro.runners.failures import (
+    CorruptResultError,
+    FailurePolicy,
+    RunFailure,
+    WorkerCrashError,
+)
+from repro.runners.points import validate_flat_metrics
+from repro.runners.spec import CampaignRun
+
+#: Database file name inside a queue directory.
+QUEUE_FILENAME = "queue.sqlite"
+
+#: Lease duration when the policy has no ``timeout_s`` to derive one
+#: from: long enough that no healthy task expires, short enough that a
+#: machine lost with its leases re-queues within minutes.
+DEFAULT_LEASE_S = 300.0
+
+#: How long a writer waits on the database lock (seconds).
+BUSY_TIMEOUT_S = 30.0
+
+#: Idle sleep between claim attempts in a worker.
+DEFAULT_POLL_S = 0.05
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta(
+    name   TEXT PRIMARY KEY,
+    value  TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS tasks(
+    key            TEXT PRIMARY KEY,
+    payload        TEXT NOT NULL,
+    status         TEXT NOT NULL DEFAULT 'pending',
+    attempt        INTEGER NOT NULL DEFAULT 0,
+    not_before     REAL NOT NULL DEFAULT 0,
+    worker         TEXT,
+    lease_expires  REAL,
+    error_type     TEXT,
+    error          TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_tasks_claim ON tasks(status, not_before);
+CREATE TABLE IF NOT EXISTS results(
+    key        TEXT PRIMARY KEY,
+    flats      TEXT NOT NULL,
+    worker     TEXT,
+    completed  REAL NOT NULL
+);
+"""
+
+#: Task row statuses.  ``done`` and ``exhausted`` are terminal; the
+#: queue is *drained* when no row is ``pending`` or ``leased``.
+STATUSES = ("pending", "leased", "done", "exhausted")
+
+
+def _task_to_json(task: _BatchTask) -> str:
+    kind, params, seeds = task
+    return json.dumps(
+        {"kind": kind, "params": params, "seeds": list(seeds)},
+        sort_keys=True,
+    )
+
+
+def _task_from_json(text: str) -> _BatchTask:
+    payload = json.loads(text)
+    return (
+        str(payload["kind"]),
+        dict(payload["params"]),
+        tuple(int(seed) for seed in payload["seeds"]),
+    )
+
+
+def new_worker_id() -> str:
+    """A worker identity unique across the machines sharing a queue."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+class WorkQueue:
+    """One campaign work queue: a SQLite database in a shared directory.
+
+    Every method is one transaction (``BEGIN IMMEDIATE`` for writes, with
+    SQLite's busy-timeout arbitrating concurrent claimers), so the queue
+    is safe for any number of worker processes on any number of machines
+    that share the directory.  Unlike the cache tier, a broken queue
+    *raises* — there is no file layer to degrade to.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.dir = Path(path)
+        self.db_path = self.dir / QUEUE_FILENAME
+        self._con: Optional[sqlite3.Connection] = None
+        self._pid: Optional[int] = None
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._con is not None and self._pid == os.getpid():
+            return self._con
+        self.dir.mkdir(parents=True, exist_ok=True)
+        con = sqlite3.connect(
+            str(self.db_path), timeout=BUSY_TIMEOUT_S, check_same_thread=False
+        )
+        con.execute("PRAGMA journal_mode=WAL")
+        con.execute("PRAGMA synchronous=NORMAL")
+        con.executescript(_SCHEMA)
+        con.commit()
+        self._con = con
+        self._pid = os.getpid()
+        return con
+
+    def close(self) -> None:
+        """Release the connection (reopened lazily on next use)."""
+        if self._con is not None and self._pid == os.getpid():
+            try:
+                self._con.close()
+            except sqlite3.Error:  # pragma: no cover - defensive
+                pass
+        self._con = None
+        self._pid = None
+
+    def _write(self, operate) -> Any:
+        con = self._connect()
+        con.execute("BEGIN IMMEDIATE")
+        try:
+            outcome = operate(con)
+        except BaseException:
+            con.rollback()
+            raise
+        con.commit()
+        return outcome
+
+    # -- campaign setup ----------------------------------------------------
+
+    def configure(
+        self,
+        policy: FailurePolicy,
+        lease_s: float = DEFAULT_LEASE_S,
+        fault_plan_token: Optional[str] = None,
+    ) -> None:
+        """Publish the campaign's execution contract to the workers.
+
+        Workers on other machines read the failure policy, the lease
+        duration, the parent's kernel-selection flags and any fault plan
+        from the ``meta`` table — the same hand-off ``_init_worker``
+        performs for the pool backend, durable on disk.
+        """
+        config = get_execution()
+        rows = {
+            "policy": json.dumps(asdict(policy), sort_keys=True),
+            "lease_s": json.dumps(lease_s),
+            "fast_path": json.dumps(config.fast_path),
+            "detailed_fast_path": json.dumps(config.detailed_fast_path),
+            "fault_plan": json.dumps(fault_plan_token),
+        }
+        self._write(
+            lambda con: con.executemany(
+                "INSERT OR REPLACE INTO meta(name, value) VALUES (?, ?)",
+                list(rows.items()),
+            )
+        )
+
+    def read_config(self) -> Dict[str, Any]:
+        """The published execution contract (defaults when unconfigured)."""
+        rows = dict(
+            self._connect().execute("SELECT name, value FROM meta").fetchall()
+        )
+        policy = (
+            FailurePolicy(**json.loads(rows["policy"]))
+            if "policy" in rows
+            else FailurePolicy()
+        )
+        return {
+            "policy": policy,
+            "lease_s": json.loads(rows.get("lease_s", "null")) or DEFAULT_LEASE_S,
+            "fast_path": json.loads(rows.get("fast_path", "true")),
+            "detailed_fast_path": json.loads(
+                rows.get("detailed_fast_path", "true")
+            ),
+            "fault_plan": json.loads(rows.get("fault_plan", "null")),
+        }
+
+    def enqueue(self, leases: Sequence[_Lease]) -> None:
+        """Add leases as pending tasks (idempotent by run key).
+
+        A key already in the queue keeps its row: ``done`` rows serve
+        their stored result immediately, in-progress rows are simply
+        awaited, and ``exhausted`` rows are re-armed with a fresh retry
+        budget (a new campaign deserves its own attempts).
+        """
+        rows = [(lease.key, _task_to_json(lease.task)) for lease in leases]
+
+        def operate(con: sqlite3.Connection) -> None:
+            con.executemany(
+                "INSERT OR IGNORE INTO tasks(key, payload) VALUES (?, ?)",
+                rows,
+            )
+            con.executemany(
+                "UPDATE tasks SET status='pending', attempt=0, not_before=0, "
+                "worker=NULL, lease_expires=NULL, error_type=NULL, error=NULL "
+                "WHERE key = ? AND status = 'exhausted'",
+                [(key,) for key, _ in rows],
+            )
+
+        self._write(operate)
+
+    # -- the worker protocol -----------------------------------------------
+
+    def claim(
+        self, worker_id: str, lease_s: float, now: Optional[float] = None
+    ) -> Optional[Tuple[str, _BatchTask, int]]:
+        """Lease the oldest due pending task; ``None`` when nothing is due.
+
+        Returns ``(key, task, attempt)`` — the attempt index the worker
+        must evaluate under (it keys the fault and backoff streams, so a
+        re-queued task faults exactly as it would have on any backend).
+        """
+        reference = now if now is not None else time.time()
+
+        def operate(con: sqlite3.Connection):
+            row = con.execute(
+                "SELECT key, payload, attempt FROM tasks "
+                "WHERE status = 'pending' AND not_before <= ? "
+                "ORDER BY rowid LIMIT 1",
+                (reference,),
+            ).fetchone()
+            if row is None:
+                return None
+            key, payload, attempt = row
+            con.execute(
+                "UPDATE tasks SET status='leased', worker=?, lease_expires=? "
+                "WHERE key = ?",
+                (worker_id, reference + lease_s, key),
+            )
+            return key, _task_from_json(payload), int(attempt)
+
+        return self._write(operate)
+
+    def complete(
+        self,
+        key: str,
+        flats: List[Dict[str, Any]],
+        worker_id: str,
+        now: Optional[float] = None,
+    ) -> None:
+        """Land one task's per-seed metrics; idempotent.
+
+        A late double-completion (a hung worker finishing after its lease
+        expired and the task re-ran elsewhere) rewrites the row with the
+        same bits — evaluation is pure, so there is nothing to race over.
+        """
+        reference = now if now is not None else time.time()
+
+        def operate(con: sqlite3.Connection) -> None:
+            con.execute(
+                "UPDATE tasks SET status='done', worker=?, lease_expires=NULL, "
+                "error_type=NULL, error=NULL WHERE key = ?",
+                (worker_id, key),
+            )
+            con.execute(
+                "INSERT OR REPLACE INTO results(key, flats, worker, completed) "
+                "VALUES (?, ?, ?, ?)",
+                (key, json.dumps(flats), worker_id, reference),
+            )
+
+        self._write(operate)
+
+    def fail(
+        self,
+        key: str,
+        error_type: str,
+        error: str,
+        policy: FailurePolicy,
+        now: Optional[float] = None,
+    ) -> None:
+        """Charge one failed attempt: re-queue with backoff, or exhaust."""
+        reference = now if now is not None else time.time()
+        self._write(
+            lambda con: self._charge(
+                con, [key], error_type, error, policy, reference
+            )
+        )
+
+    def _charge(
+        self,
+        con: sqlite3.Connection,
+        keys: Sequence[str],
+        error_type: str,
+        error: str,
+        policy: FailurePolicy,
+        reference: float,
+    ) -> None:
+        """Apply one failed attempt to each key inside a held transaction."""
+        for key in keys:
+            row = con.execute(
+                "SELECT attempt FROM tasks WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                continue
+            attempt = int(row[0])
+            if attempt < policy.max_retries:
+                delay = policy.backoff_s(key, attempt + 1)
+                con.execute(
+                    "UPDATE tasks SET status='pending', attempt=?, "
+                    "not_before=?, worker=NULL, lease_expires=NULL, "
+                    "error_type=?, error=? WHERE key = ?",
+                    (attempt + 1, reference + delay, error_type, error, key),
+                )
+            else:
+                con.execute(
+                    "UPDATE tasks SET status='exhausted', worker=NULL, "
+                    "lease_expires=NULL, error_type=?, error=? WHERE key = ?",
+                    (error_type, error, key),
+                )
+
+    def requeue_expired(
+        self, policy: FailurePolicy, now: Optional[float] = None
+    ) -> int:
+        """Charge every expired lease one attempt; returns how many.
+
+        An expired lease means its worker died or hung past the lease —
+        either way the pool backend's accounting applies: one
+        :class:`WorkerCrashError`-flavoured attempt, then re-queue.
+        """
+        reference = now if now is not None else time.time()
+
+        def operate(con: sqlite3.Connection) -> int:
+            keys = [
+                key
+                for (key,) in con.execute(
+                    "SELECT key FROM tasks "
+                    "WHERE status = 'leased' AND lease_expires < ?",
+                    (reference,),
+                )
+            ]
+            self._charge(
+                con,
+                keys,
+                WorkerCrashError.__name__,
+                "lease expired (worker lost or hung)",
+                policy,
+                reference,
+            )
+            return len(keys)
+
+        return self._write(operate)
+
+    def release_worker(
+        self,
+        worker_id: str,
+        policy: FailurePolicy,
+        now: Optional[float] = None,
+    ) -> int:
+        """Charge a known-dead worker's leases one attempt; returns count."""
+        reference = now if now is not None else time.time()
+
+        def operate(con: sqlite3.Connection) -> int:
+            keys = [
+                key
+                for (key,) in con.execute(
+                    "SELECT key FROM tasks "
+                    "WHERE status = 'leased' AND worker = ?",
+                    (worker_id,),
+                )
+            ]
+            self._charge(
+                con,
+                keys,
+                WorkerCrashError.__name__,
+                f"worker {worker_id} died mid-task",
+                policy,
+                reference,
+            )
+            return len(keys)
+
+        return self._write(operate)
+
+    # -- the parent protocol -----------------------------------------------
+
+    def fetch_results(
+        self, after_rowid: int = 0
+    ) -> List[Tuple[int, str, List[Dict[str, Any]]]]:
+        """Result rows newer than ``after_rowid``: ``(rowid, key, flats)``."""
+        rows = self._connect().execute(
+            "SELECT rowid, key, flats FROM results WHERE rowid > ? "
+            "ORDER BY rowid",
+            (after_rowid,),
+        ).fetchall()
+        return [(int(rid), key, json.loads(flats)) for rid, key, flats in rows]
+
+    def fetch_exhausted(self) -> List[Tuple[str, int, str, str]]:
+        """Exhausted rows: ``(key, attempt, error_type, error)``."""
+        rows = self._connect().execute(
+            "SELECT key, attempt, error_type, error FROM tasks "
+            "WHERE status = 'exhausted'"
+        ).fetchall()
+        return [
+            (key, int(attempt), str(error_type or "Exception"), str(error or ""))
+            for key, attempt, error_type, error in rows
+        ]
+
+    def attempts_for(self, keys: Sequence[str]) -> Dict[str, int]:
+        """Current attempt index per key (serial-failover bookkeeping)."""
+        attempts: Dict[str, int] = {}
+        con = self._connect()
+        keys = list(keys)
+        for start in range(0, len(keys), 500):
+            chunk = keys[start:start + 500]
+            marks = ",".join("?" for _ in chunk)
+            for key, attempt in con.execute(
+                f"SELECT key, attempt FROM tasks WHERE key IN ({marks})",
+                tuple(chunk),
+            ):
+                attempts[key] = int(attempt)
+        return attempts
+
+    def counts(self) -> Dict[str, int]:
+        """Task counts by status."""
+        rows = self._connect().execute(
+            "SELECT status, COUNT(*) FROM tasks GROUP BY status"
+        ).fetchall()
+        return {str(status): int(count) for status, count in rows}
+
+    def drained(self) -> bool:
+        """Whether every enqueued task reached a terminal status."""
+        counts = self.counts()
+        total = sum(counts.values())
+        return total > 0 and not (
+            counts.get("pending", 0) or counts.get("leased", 0)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkQueue({str(self.dir)!r})"
+
+
+# -- workers ---------------------------------------------------------------
+
+
+def worker_loop(
+    queue_dir: Union[str, Path],
+    worker_id: Optional[str] = None,
+    poll_s: float = DEFAULT_POLL_S,
+    linger_s: float = 0.0,
+    max_tasks: Optional[int] = None,
+) -> int:
+    """Claim-and-evaluate until the queue drains; returns tasks completed.
+
+    This is the body of both the spawned :class:`ShardedBackend` workers
+    and the stand-alone ``pbbf-experiments worker`` process on another
+    machine.  The queue's published config installs the parent's kernel
+    flags, failure policy and fault plan, so evaluation — and fault
+    decisions, keyed by ``(run key, attempt)`` — matches the serial and
+    pool backends bit for bit.
+
+    ``linger_s`` keeps an idle worker polling that long after the queue
+    drains (a shared long-lived queue may receive more campaigns); 0
+    exits as soon as the queue is drained.  A worker started before any
+    task exists waits for work rather than exiting.
+    """
+    queue = WorkQueue(queue_dir)
+    if worker_id is None:
+        worker_id = new_worker_id()
+    config = queue.read_config()
+    policy: FailurePolicy = config["policy"]
+    lease_s: float = config["lease_s"]
+    plan = (
+        faults.FaultPlan.from_token(config["fault_plan"])
+        if config["fault_plan"]
+        else None
+    )
+    set_execution(
+        fast_path=config["fast_path"],
+        detailed_fast_path=config["detailed_fast_path"],
+        fault_plan=plan,
+    )
+    faults.mark_pool_worker()
+    completed = 0
+    idle_since: Optional[float] = None
+    while True:
+        claimed = queue.claim(worker_id, lease_s)
+        if claimed is None:
+            now = time.time()
+            if queue.drained():
+                if idle_since is None:
+                    idle_since = now
+                if now - idle_since >= linger_s:
+                    break
+            time.sleep(poll_s)
+            continue
+        idle_since = None
+        key, task, attempt = claimed
+        try:
+            flats = _timed_attempt((task, key, attempt), policy.timeout_s)
+            kind, _params, seeds = task
+            if (
+                not isinstance(flats, list)
+                or len(flats) != len(seeds)
+                or not all(validate_flat_metrics(kind, flat) for flat in flats)
+            ):
+                raise CorruptResultError(
+                    f"task returned metrics that do not rebuild as "
+                    f"kind {kind!r}"
+                )
+        except KeyboardInterrupt:
+            raise
+        except BaseException as error:
+            queue.fail(key, type(error).__name__, str(error), policy)
+        else:
+            queue.complete(key, flats, worker_id)
+            completed += 1
+            if max_tasks is not None and completed >= max_tasks:
+                break
+    return completed
+
+
+def _worker_entry(queue_dir: str, worker_id: str, poll_s: float) -> None:
+    """Process target for spawned workers (module-level: picklable)."""
+    try:
+        worker_loop(queue_dir, worker_id=worker_id, poll_s=poll_s)
+    except KeyboardInterrupt:  # pragma: no cover - parent-driven shutdown
+        pass
+
+
+# -- the backend -----------------------------------------------------------
+
+
+class ShardedBackend:
+    """Campaign execution through a shared on-disk work queue.
+
+    Drop-in for the serial and pool backends (same
+    ``execute(runs, on_result, failure_policy, on_failure)`` contract,
+    same delivery alignment and ordering within a lease).  The parent
+    enqueues one task per lease, spawns ``jobs`` local workers, and
+    polls the queue: harvesting result rows (whoever computed them —
+    the spawned workers or stand-alone ``pbbf-experiments worker``
+    processes on other machines), re-queueing expired leases, replacing
+    dead workers, and applying ``on_exhausted`` to spent tasks.
+
+    If spawned workers keep dying past the policy's rebuild budget
+    (``max_pool_rebuilds`` respawns per slot) the remaining leases fall
+    back to in-parent serial execution — the same last-resort path the
+    pool backend takes, with attempts synced from the queue rows so the
+    retry budget is honoured end to end.
+
+    Parameters
+    ----------
+    jobs:
+        Local worker processes to spawn; ``None`` or 0 means
+        ``os.cpu_count()``.
+    queue_dir:
+        Queue directory; ``None`` uses a private temporary directory
+        removed when ``execute`` returns.  Point it somewhere shared
+        (beside the cache) to let other machines' workers join.
+    lease_s:
+        Lease duration; ``None`` derives it from the policy's
+        ``timeout_s`` (plus slack) or :data:`DEFAULT_LEASE_S`.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 0,
+        queue_dir: Optional[Union[str, Path]] = None,
+        lease_s: Optional[float] = None,
+        poll_s: float = DEFAULT_POLL_S,
+    ) -> None:
+        if jobs is None or jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+        self.queue_dir = Path(queue_dir) if queue_dir is not None else None
+        self.lease_s = lease_s
+        self.poll_s = poll_s
+
+    def execute(
+        self,
+        runs: Sequence[CampaignRun],
+        on_result: OnResult = None,
+        failure_policy: Optional[FailurePolicy] = None,
+        on_failure: OnFailure = None,
+    ) -> List[Optional[Dict[str, Any]]]:
+        """Metrics dicts for ``runs`` in order; ``None`` for failed runs."""
+        state = _ExecutionState(
+            runs, _resolve_policy(failure_policy), on_result, on_failure
+        )
+        leases = _build_leases(runs)
+        if leases:
+            self._drain_queue(state, leases)
+        return state.finish()
+
+    def _lease_duration(self, policy: FailurePolicy) -> float:
+        if self.lease_s is not None:
+            return self.lease_s
+        if policy.timeout_s:
+            # The worker's own deadline fires first; the lease is the
+            # backstop for a worker that died holding the task.
+            return policy.timeout_s + 30.0
+        return DEFAULT_LEASE_S
+
+    def _spawn(
+        self, queue_dir: Path, workers: Dict[str, Any]
+    ) -> None:
+        worker_id = new_worker_id()
+        process = multiprocessing.get_context().Process(
+            target=_worker_entry,
+            args=(str(queue_dir), worker_id, self.poll_s),
+            daemon=True,
+            name=worker_id,
+        )
+        process.start()
+        workers[worker_id] = process
+
+    def _drain_queue(
+        self, state: _ExecutionState, leases: List[_Lease]
+    ) -> None:
+        policy = state.policy
+        temp_dir: Optional[str] = None
+        if self.queue_dir is not None:
+            queue_dir = self.queue_dir
+        else:
+            temp_dir = tempfile.mkdtemp(prefix="repro-queue-")
+            queue_dir = Path(temp_dir)
+        queue = WorkQueue(queue_dir)
+        plan = faults.active_fault_plan()
+        queue.configure(
+            policy,
+            lease_s=self._lease_duration(policy),
+            fault_plan_token=plan.token if plan is not None else None,
+        )
+        queue.enqueue(leases)
+        outstanding: Dict[str, _Lease] = {lease.key: lease for lease in leases}
+        workers: Dict[str, Any] = {}
+        jobs = min(self.jobs, len(leases))
+        # One original crew plus max_pool_rebuilds replacements per slot
+        # — the pool backend's rebuild budget, per worker.
+        spawn_cap = jobs * (min(policy.max_pool_rebuilds, policy.max_retries) + 1)
+        spawns = 0
+        cursor = 0
+        try:
+            while spawns < jobs:
+                self._spawn(queue_dir, workers)
+                spawns += 1
+            while outstanding:
+                rows = queue.fetch_results(cursor)
+                for rowid, key, flats in rows:
+                    cursor = max(cursor, rowid)
+                    lease = outstanding.get(key)
+                    if lease is None:
+                        continue
+                    try:
+                        validated = _validated(lease, flats)
+                    except CorruptResultError as error:
+                        # A torn row (or schema drift): charge the
+                        # attempt and let the queue retry it.
+                        queue.fail(
+                            key, type(error).__name__, str(error), policy
+                        )
+                        continue
+                    del outstanding[key]
+                    state.deliver(lease, validated)
+                for key, attempt, error_type, error in queue.fetch_exhausted():
+                    lease = outstanding.pop(key, None)
+                    if lease is None:
+                        continue
+                    lease.attempt = attempt
+                    self._handle_exhausted(
+                        state, queue, lease, attempt + 1, error_type, error
+                    )
+                if not outstanding:
+                    break
+                queue.requeue_expired(policy)
+                dead = [
+                    (worker_id, process)
+                    for worker_id, process in workers.items()
+                    if not process.is_alive()
+                ]
+                for worker_id, process in dead:
+                    del workers[worker_id]
+                    if process.exitcode != 0:
+                        queue.release_worker(worker_id, policy)
+                if not workers and jobs > 0:
+                    counts = queue.counts()
+                    live_work = counts.get("pending", 0) + counts.get("leased", 0)
+                    if live_work:
+                        if spawns < spawn_cap:
+                            while spawns < spawn_cap and len(workers) < jobs:
+                                self._spawn(queue_dir, workers)
+                                spawns += 1
+                        else:
+                            # Workers keep dying: finish in-parent, where
+                            # attribution is exact (the pool backend's
+                            # same last resort), attempts synced from the
+                            # queue so the retry budget carries over.
+                            self._fail_over_serial(state, queue, outstanding)
+                            break
+                time.sleep(self.poll_s)
+        finally:
+            for process in workers.values():
+                try:
+                    process.terminate()
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+            for process in workers.values():
+                process.join(5.0)
+            queue.close()
+            if temp_dir is not None:
+                shutil.rmtree(temp_dir, ignore_errors=True)
+
+    def _handle_exhausted(
+        self,
+        state: _ExecutionState,
+        queue: WorkQueue,
+        lease: _Lease,
+        attempts: int,
+        error_type: str,
+        error: str,
+    ) -> None:
+        """Apply ``on_exhausted`` to one spent task, parent-side."""
+        if state.policy.on_exhausted == "degrade":
+            flats, degrade_error = _degraded_attempt(lease)
+            if flats is not None:
+                state.deliver(lease, flats)
+                queue.complete(lease.key, flats, "parent-degraded")
+                return
+            if degrade_error is not None:
+                error_type = type(degrade_error).__name__
+                error = str(degrade_error)
+        for offset in range(lease.n_runs):
+            run = state.runs[lease.start + offset]
+            failure = RunFailure(
+                key=run.key,
+                kind=run.kind,
+                params=run.params,
+                seed=run.seed,
+                attempts=attempts,
+                error_type=error_type,
+                error=error,
+            )
+            state.failures.append(failure)
+            if state.on_failure is not None:
+                state.on_failure(failure)
+
+    def _fail_over_serial(
+        self,
+        state: _ExecutionState,
+        queue: WorkQueue,
+        outstanding: Dict[str, _Lease],
+    ) -> None:
+        remaining = sorted(outstanding.values(), key=lambda lease: lease.start)
+        attempts = queue.attempts_for(list(outstanding))
+        for lease in remaining:
+            lease.attempt = attempts.get(lease.key, lease.attempt)
+            lease.not_before = 0.0
+        outstanding.clear()
+        _drain_serial(state, remaining)
+        for lease in remaining:
+            flats = state.results[lease.start:lease.start + lease.n_runs]
+            if all(flat is not None for flat in flats):
+                queue.complete(lease.key, list(flats), "parent-serial")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self.queue_dir) if self.queue_dir else "<temp>"
+        return f"ShardedBackend(jobs={self.jobs}, queue_dir={where!r})"

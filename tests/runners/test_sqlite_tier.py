@@ -1,0 +1,325 @@
+"""The SQLite cache tier: batched reads, migration, concurrent writers.
+
+The tier must be a drop-in for :class:`ResultCache` under the campaign
+layer — same payloads, same ``CACHE_VERSION`` contract, same
+quarantine-on-corruption semantics — while surviving any number of
+concurrent writer processes (the sharded backend's parents and workers
+sharing one cache directory) without losing or tearing a write.
+"""
+
+import json
+import multiprocessing
+import sqlite3
+import time
+
+import pytest
+
+from repro.runners import ResultCache, SQLiteCacheTier
+from repro.runners.cache import CACHE_VERSION
+from repro.runners.sqlite_tier import DB_FILENAME, _BATCH
+
+
+def payload(value=1.0, kind="ideal"):
+    return {"kind": kind, "metrics": {"value": value}}
+
+
+def raw_connection(root):
+    return sqlite3.connect(str(root / DB_FILENAME))
+
+
+KEY = "ab" * 32
+
+
+class TestRoundTrip:
+    def test_put_get_roundtrip_stamps_the_version(self, tmp_path):
+        tier = SQLiteCacheTier(tmp_path)
+        tier.put(KEY, payload(2.5))
+        stored = tier.get(KEY)
+        assert stored["metrics"] == {"value": 2.5}
+        assert stored["version"] == CACHE_VERSION
+        assert tier.get("cd" * 32) is None
+
+    def test_get_many_batches_across_the_chunk_size(self, tmp_path):
+        # The table holds 3x the queried keys, so this request takes the
+        # chunked IN(...) probe path (not the whole-table scan) and must
+        # cross the per-query bound-variable budget.
+        tier = SQLiteCacheTier(tmp_path, write_through=False)
+        items = {
+            f"{index:04d}" + "ab" * 30: payload(index)
+            for index in range(3 * (_BATCH + 20))
+        }
+        tier.put_many(items)
+        queried = list(items)[: _BATCH + 20]
+        found = tier.get_many(queried + ["ff" * 32])
+        assert set(found) == set(queried)  # the unknown key is simply absent
+        assert all(
+            found[key]["metrics"] == items[key]["metrics"] for key in queried
+        )
+
+    def test_get_many_whole_table_scan_matches_probes(self, tmp_path):
+        # Asking for (essentially) every stored row takes the sequential
+        # scan path; the answer must be identical to key-by-key probes.
+        tier = SQLiteCacheTier(tmp_path, write_through=False)
+        items = {f"{index:04d}" + "ab" * 30: payload(index) for index in range(40)}
+        tier.put_many(items)
+        scanned = tier.get_many(list(items))
+        probed = {key: tier.get(key) for key in items}
+        assert scanned == probed
+        assert set(scanned) == set(items)
+
+    def test_has_and_contains(self, tmp_path):
+        tier = SQLiteCacheTier(tmp_path)
+        tier.put(KEY, payload())
+        assert tier.has(KEY) and KEY in tier
+        assert not tier.has("cd" * 32) and "cd" * 32 not in tier
+
+
+class TestFileLayerInterplay:
+    def test_writes_mirror_into_the_file_layer(self, tmp_path):
+        tier = SQLiteCacheTier(tmp_path)
+        tier.put(KEY, payload(3.0))
+        mirrored = ResultCache(tmp_path).get(KEY)
+        assert mirrored is not None and mirrored["metrics"] == {"value": 3.0}
+
+    def test_write_through_off_keeps_the_database_only(self, tmp_path):
+        tier = SQLiteCacheTier(tmp_path, write_through=False)
+        tier.put(KEY, payload())
+        assert ResultCache(tmp_path).get(KEY) is None
+        assert tier.get(KEY) is not None
+
+    def test_file_hits_migrate_into_the_database(self, tmp_path):
+        files = ResultCache(tmp_path)
+        files.put(KEY, payload(7.0))
+        tier = SQLiteCacheTier(tmp_path)
+        assert tier.get(KEY)["metrics"] == {"value": 7.0}
+        # The hit was copied in: remove the file, the database still serves.
+        files._path(KEY).unlink()
+        assert tier.get(KEY)["metrics"] == {"value": 7.0}
+
+    def test_migrate_files_bulk_imports_everything(self, tmp_path):
+        files = ResultCache(tmp_path)
+        items = {f"{index:04d}" + "cd" * 30: payload(index) for index in range(25)}
+        for key, value in items.items():
+            files.put(key, value)
+        tier = SQLiteCacheTier(tmp_path)
+        assert tier.migrate_files() == 25
+        for path in list(files.entry_paths()):
+            path.unlink()
+        assert set(tier.get_many(list(items))) == set(items)
+
+
+class TestCorruption:
+    def test_corrupt_row_quarantines(self, tmp_path):
+        tier = SQLiteCacheTier(tmp_path, write_through=False)
+        tier.put(KEY, payload())
+        con = raw_connection(tmp_path)
+        con.execute(
+            "UPDATE entries SET payload = '{ torn' WHERE key = ?", (KEY,)
+        )
+        con.commit()
+        con.close()
+        assert tier.get(KEY) is None
+        assert tier.quarantined == 1
+        stats = tier.stats()
+        assert stats.n_quarantined == 1
+        assert stats.n_entries == 0  # the row left the entries table
+
+    def test_version_mismatch_is_a_miss_not_damage(self, tmp_path):
+        tier = SQLiteCacheTier(tmp_path, write_through=False)
+        tier.put(KEY, payload())
+        con = raw_connection(tmp_path)
+        con.execute("UPDATE entries SET version = 0 WHERE key = ?", (KEY,))
+        con.commit()
+        con.close()
+        assert tier.get(KEY) is None
+        assert tier.quarantined == 0
+        assert tier.stats().n_stale == 1
+
+
+class TestStats:
+    def test_counts_group_by_kind(self, tmp_path):
+        tier = SQLiteCacheTier(tmp_path)
+        tier.put_many(
+            {
+                "aa" * 32: payload(1, kind="ideal"),
+                "bb" * 32: payload(2, kind="ideal"),
+                "cc" * 32: payload(3, kind="percolation"),
+            }
+        )
+        stats = tier.stats()
+        assert stats.n_entries == 3
+        assert stats.by_kind == (("ideal", 2), ("percolation", 1))
+        assert stats.total_bytes > 0
+
+    def test_journals_come_from_the_shared_directory(self, tmp_path):
+        journals = tmp_path / "journal"
+        journals.mkdir(parents=True)
+        (journals / "run.jsonl").write_text('{"x": 1}\n')
+        stats = SQLiteCacheTier(tmp_path).stats()
+        assert stats.n_journals == 1 and stats.journal_bytes > 0
+
+
+class TestPurge:
+    def test_full_purge_clears_rows_mirrors_and_quarantine(self, tmp_path):
+        tier = SQLiteCacheTier(tmp_path)
+        tier.put_many({"aa" * 32: payload(1), "bb" * 32: payload(2)})
+        con = raw_connection(tmp_path)
+        con.execute(
+            "INSERT INTO quarantine(key, payload, quarantined) "
+            "VALUES ('xx', '{', 0)"
+        )
+        con.commit()
+        con.close()
+        report = tier.purge()
+        assert report == 2 and report.entry_bytes > 0
+        assert tier.stats().n_entries == 0
+        assert tier.stats().n_quarantined == 0
+        assert ResultCache(tmp_path).get("aa" * 32) is None  # mirror gone
+
+    def test_age_purge_honours_the_pinned_now(self, tmp_path):
+        tier = SQLiteCacheTier(tmp_path)
+        tier.put_many({"aa" * 32: payload(1), "bb" * 32: payload(2)})
+        now = time.time()
+        con = raw_connection(tmp_path)
+        con.execute(
+            "UPDATE entries SET created = ? WHERE key = ?",
+            (now - 3 * 86_400.0, "aa" * 32),
+        )
+        con.commit()
+        con.close()
+        assert tier.purge(max_age_days=1.0, now=now) == 1
+        assert tier.get("aa" * 32) is None
+        assert tier.get("bb" * 32) is not None
+
+    def test_size_purge_evicts_oldest_first(self, tmp_path):
+        tier = SQLiteCacheTier(tmp_path)
+        keys = ["aa" * 32, "bb" * 32, "cc" * 32]
+        tier.put_many({key: payload(index) for index, key in enumerate(keys)})
+        now = time.time()
+        con = raw_connection(tmp_path)
+        for age, key in enumerate(keys):
+            con.execute(
+                "UPDATE entries SET created = ? WHERE key = ?",
+                (now - age * 100.0, key),  # cc oldest, aa newest
+            )
+        nbytes = con.execute("SELECT nbytes FROM entries").fetchone()[0]
+        con.commit()
+        con.close()
+        budget_mb = (nbytes * 1.5) / (1024.0 * 1024.0)  # room for one entry
+        assert tier.purge(max_size_mb=budget_mb, now=now) == 2
+        assert tier.get("aa" * 32) is not None
+        assert tier.get("bb" * 32) is None and tier.get("cc" * 32) is None
+
+    def test_budget_enforced_once_per_put_batch(self, tmp_path):
+        tier = SQLiteCacheTier(tmp_path, max_size_mb=0.0005)  # ~512 bytes
+        items = {
+            f"{index:04d}" + "ef" * 30: payload(index) for index in range(12)
+        }
+        tier.put_many(items)
+        stats = tier.stats()
+        assert 0 < stats.n_entries < 12
+        assert stats.total_bytes <= 0.0005 * 1024 * 1024
+
+
+class TestDegraded:
+    def test_unusable_database_degrades_to_the_file_layer(self, tmp_path):
+        (tmp_path / DB_FILENAME).mkdir(parents=True)  # connect() must fail
+        tier = SQLiteCacheTier(tmp_path)
+        with pytest.warns(RuntimeWarning, match="file layer"):
+            tier.put(KEY, payload(9.0))
+        assert tier.get(KEY)["metrics"] == {"value": 9.0}  # via the files
+        assert ResultCache(tmp_path).get(KEY) is not None
+        assert tier.stats().n_entries == 1  # the file layer's stats
+
+
+# -- concurrent-writer torture (module level: fork/spawn picklable) --------
+
+
+def _torture_payload(value):
+    return {"kind": "ideal", "metrics": {"value": float(value)}}
+
+
+def _torture_writer(root, writer, n_batches, batch_size):
+    """Write batches and re-read everything written so far, verifying."""
+    tier = SQLiteCacheTier(root)
+    written = {}
+    for batch in range(n_batches):
+        items = {
+            f"w{writer}-{batch:02d}-{j:02d}": _torture_payload(
+                writer * 10_000 + batch * 100 + j
+            )
+            for j in range(batch_size)
+        }
+        tier.put_many(items)
+        written.update(items)
+        found = tier.get_many(list(written))
+        if set(found) != set(written):
+            raise SystemExit(11)  # lost write
+        for key, stored in found.items():
+            if stored["metrics"] != written[key]["metrics"]:
+                raise SystemExit(12)  # corrupt read
+    if tier.quarantined:
+        raise SystemExit(13)
+
+
+def _torture_purger(root, n_purges):
+    """Churn the purge transaction path while the writers hammer away.
+
+    The 30-day age gate matches nothing (every row is seconds old), so
+    the purges contend for the write lock without legitimately deleting
+    anything — any missing key afterwards is a *lost* write.
+    """
+    tier = SQLiteCacheTier(root)
+    for _ in range(n_purges):
+        tier.purge(max_age_days=30.0)
+        time.sleep(0.005)
+
+
+class TestConcurrentWriters:
+    def test_torture_writers_with_purge_running(self, tmp_path):
+        n_writers, n_batches, batch_size = 3, 6, 20
+        ctx = multiprocessing.get_context()
+        processes = [
+            ctx.Process(
+                target=_torture_writer,
+                args=(str(tmp_path), writer, n_batches, batch_size),
+            )
+            for writer in range(n_writers)
+        ]
+        processes.append(
+            ctx.Process(target=_torture_purger, args=(str(tmp_path), 30))
+        )
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(120.0)
+        assert [process.exitcode for process in processes] == [0] * len(processes)
+        tier = SQLiteCacheTier(tmp_path)
+        keys = [
+            f"w{writer}-{batch:02d}-{j:02d}"
+            for writer in range(n_writers)
+            for batch in range(n_batches)
+            for j in range(batch_size)
+        ]
+        found = tier.get_many(keys)
+        assert set(found) == set(keys)
+        assert all(
+            found[key]["metrics"]["value"]
+            == float(int(key[1]) * 10_000 + int(key[3:5]) * 100 + int(key[6:8]))
+            for key in keys
+        )
+        assert tier.quarantined == 0
+
+    def test_quarantine_still_works_after_contention(self, tmp_path):
+        tier = SQLiteCacheTier(tmp_path, write_through=False)
+        tier.put_many({f"k{index}" * 16: payload(index) for index in range(4)})
+        victim = "k0" * 16
+        con = raw_connection(tmp_path)
+        con.execute(
+            "UPDATE entries SET payload = 'not json' WHERE key = ?", (victim,)
+        )
+        con.commit()
+        con.close()
+        found = tier.get_many([f"k{index}" * 16 for index in range(4)])
+        assert victim not in found and len(found) == 3
+        assert tier.stats().n_quarantined == 1
