@@ -10,11 +10,15 @@ Two jobs share this module:
 * ``python benchmarks/bench_campaign_throughput.py`` — measure (1)
   warm-read throughput of the batched SQLite tier against the per-file
   JSON layer on a campaign-scale key set, (2) end-to-end campaign
-  points/sec on each backend, and (3) cold-vs-warm campaign wall time on
-  each cache tier, writing the report to ``BENCH_campaign.json`` at the
-  repo root.  The committed copy pins the ≥5x warm-read speedup this
-  repo claims for ``--cache-tier sqlite``; regenerate it on quiet
-  hardware after touching the cache layers.
+  points/sec on each backend, (3) cold-vs-warm campaign wall time on
+  each cache tier, and (4) the telemetry fabric's overhead — campaign
+  points/sec with recording disabled (the no-op recorder) vs enabled,
+  plus the disabled span's per-call cost in nanoseconds — writing the
+  report to ``BENCH_campaign.json`` at the repo root.  The committed
+  copy pins the ≥5x warm-read speedup this repo claims for
+  ``--cache-tier sqlite`` and the near-zero disabled-telemetry cost;
+  regenerate it on quiet hardware after touching the cache or
+  telemetry layers.
 
 Timing methodology matches the kernel baseline: contenders are
 interleaved rep by rep, gc is disabled inside timed regions, and the
@@ -111,6 +115,20 @@ def test_both_tiers_serve_identical_warm_results(tmp_path):
         fingerprints.append(_campaign_fingerprint(result))
     assert fingerprints[0] == fingerprints[1]
     clear_run_caches()
+
+
+def test_telemetry_overhead_stays_bounded(tmp_path):
+    """Enabled telemetry must not halve campaign throughput (smoke).
+
+    The real guard is the committed BENCH report's disabled-vs-enabled
+    points/sec; this smoke run bounds the ratio loosely enough to stay
+    robust on noisy CI hosts while still catching an accidental
+    hot-loop write (which costs an order of magnitude, not a factor).
+    """
+    spec = bench_spec(n_points=2, n_seeds=2)
+    row = measure_telemetry(spec, reps=2, telemetry_root=tmp_path)
+    assert row["enabled_seconds"] < row["disabled_seconds"] * 3.0
+    assert row["noop_span_ns"] < 50_000  # a disabled span is ~a µs at worst
 
 
 def test_warm_read_parity_on_synthetic_keys(tmp_path):
@@ -242,6 +260,77 @@ def measure_tiers(spec: CampaignSpec) -> list:
     return rows
 
 
+def measure_telemetry(
+    spec: CampaignSpec, reps: int, telemetry_root: Path = None
+) -> dict:
+    """Campaign points/sec with telemetry disabled vs enabled (serial).
+
+    Also micro-measures the disabled path itself — one no-op span enter/
+    exit — since that is the cost every instrumented call site pays when
+    telemetry is off (the fabric's zero-overhead-by-default claim).
+    """
+    from repro import obs
+
+    n_runs = len(spec.runs())
+    root = telemetry_root or Path(tempfile.mkdtemp(prefix="bench-telemetry-"))
+    owns_root = telemetry_root is None
+    disabled_s, enabled_s = [], []
+    fingerprints = []
+    try:
+        for rep in range(reps):
+            clear_run_caches()
+            obs.reset_recorder()
+            with execution(use_cache=False):
+                gc.collect()
+                start = time.perf_counter()
+                result = run_campaign(spec)
+                disabled_s.append(time.perf_counter() - start)
+            fingerprints.append(_campaign_fingerprint(result))
+
+            clear_run_caches()
+            obs.install_recorder(root / f"rep-{rep}", role="parent")
+            with execution(
+                use_cache=False, telemetry_dir=str(root / f"rep-{rep}")
+            ):
+                gc.collect()
+                start = time.perf_counter()
+                result = run_campaign(spec)
+                enabled_s.append(time.perf_counter() - start)
+            obs.reset_recorder()
+            fingerprints.append(_campaign_fingerprint(result))
+        # The fabric's hard invariant rides along with the timing run:
+        # recorded and unrecorded campaigns are bit-identical.
+        assert all(prints == fingerprints[0] for prints in fingerprints)
+
+        recorder = obs.NULL_RECORDER
+        n_calls = 200_000
+        gc.collect()
+        gc.disable()
+        start = time.perf_counter()
+        for _ in range(n_calls):
+            with recorder.span("bench"):
+                pass
+        noop_span_ns = (time.perf_counter() - start) / n_calls * 1e9
+        gc.enable()
+    finally:
+        obs.reset_recorder()
+        if owns_root:
+            shutil.rmtree(root, ignore_errors=True)
+    return {
+        "n_runs": n_runs,
+        "disabled_seconds": min(disabled_s),
+        "enabled_seconds": min(enabled_s),
+        "disabled_points_per_second": round(n_runs / min(disabled_s), 1),
+        "enabled_points_per_second": round(n_runs / min(enabled_s), 1),
+        "overhead_percent": round(
+            100.0 * (min(enabled_s) / min(disabled_s) - 1.0), 2
+        ),
+        "noop_span_ns": round(noop_span_ns, 1),
+        "disabled_seconds_reps": [round(t, 4) for t in disabled_s],
+        "enabled_seconds_reps": [round(t, 4) for t in enabled_s],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Measure campaign backends and cache-tier throughput"
@@ -295,13 +384,25 @@ def main(argv=None) -> int:
             flush=True,
         )
 
+    print("measuring telemetry overhead ...", flush=True)
+    telemetry = measure_telemetry(spec, reps=args.reps)
+    print(
+        f"  disabled {telemetry['disabled_seconds']:.3f}s"
+        f"  enabled {telemetry['enabled_seconds']:.3f}s"
+        f"  (+{telemetry['overhead_percent']:.1f}%;"
+        f" no-op span {telemetry['noop_span_ns']:.0f}ns)",
+        flush=True,
+    )
+
     report = {
         "benchmark": "campaign-fabric-throughput",
         "description": (
             "Warm-read throughput of the batched SQLite cache tier vs "
             "per-file JSON reads on a campaign-scale key set; campaign "
             "points/sec on the serial, process-pool and sharded-queue "
-            "backends; cold-vs-warm campaign wall time per cache tier. "
+            "backends; cold-vs-warm campaign wall time per cache tier; "
+            "campaign throughput with telemetry recording disabled vs "
+            "enabled (plus the disabled span's per-call cost). "
             "Payload parity verified inside every timed rep."
         ),
         "method": (
@@ -313,6 +414,7 @@ def main(argv=None) -> int:
         "warm_read": warm,
         "backends": backends,
         "tiers": tiers,
+        "telemetry": telemetry,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

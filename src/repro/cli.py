@@ -11,9 +11,11 @@ Usage::
     pbbf-experiments cache purge [--cache-dir DIR]
                                  [--max-age-days N] [--max-size-mb M]
     pbbf-experiments worker --queue DIR [--linger-s S]
+    pbbf-experiments queue status --queue DIR [--window-s S]
+    pbbf-experiments trace export [--telemetry DIR] [--out trace.json]
     pbbf-experiments pareto [--scale fast|full] [--simulator ideal|detailed]
                             [--family grid] [--coverage 0.9] [--lifetime]
-                            [--latency-budget S]
+                            [--latency-budget S] [--watch-frontier]
 
 (Equivalently: ``python -m repro.cli ...``.)
 
@@ -29,12 +31,19 @@ parameters changed.  ``--no-cache`` forces fresh simulation;
 on-disk work queue that ``pbbf-experiments worker --queue DIR``
 processes on other machines can join, and ``--cache-tier sqlite``
 serves warm campaigns from batched SQLite reads — results are
-bit-identical on every backend and tier.
+bit-identical on every backend and tier.  ``--telemetry [DIR]`` (or
+``$REPRO_TELEMETRY``) records structured spans/counters/events as JSONL
+under DIR and prints a metrics summary at exit; ``trace export`` turns
+the logs into a Perfetto-loadable Chrome trace, and ``queue status``
+shows a live sharded-queue snapshot.  Telemetry never perturbs results:
+campaign outputs are bit-identical with it on, off, or crashing
+mid-write.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -155,6 +164,14 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                         help="replay the campaign journals an interrupted "
                              "invocation left beside the cache and "
                              "simulate only the remaining points")
+    parser.add_argument("--telemetry", nargs="?", const="telemetry",
+                        default=None, metavar="DIR",
+                        help="record structured telemetry (phase spans, "
+                             "queue/retry events, cache counters) as JSONL "
+                             "under DIR (default ./telemetry; or set "
+                             "$REPRO_TELEMETRY) and print a metrics "
+                             "summary at exit; results are bit-identical "
+                             "with telemetry on or off")
     parser.add_argument("--max-retries", type=_nonnegative_int, default=None,
                         help="re-attempts per simulation task after a "
                              "failure (worker crash, hang past the "
@@ -228,6 +245,35 @@ def _build_parser() -> argparse.ArgumentParser:
                              "drains, for long-lived shared queues "
                              "(default 0: exit once drained)")
 
+    queue = sub.add_parser(
+        "queue",
+        help="inspect a sharded campaign's work queue "
+             "(live depth, worker heartbeats, completion-rate ETA)",
+    )
+    queue.add_argument("action", choices=("status",),
+                       help="status: one snapshot of task counts, per-"
+                            "worker heartbeat ages and the recent "
+                            "completion rate with an ETA")
+    queue.add_argument("--queue", required=True, metavar="DIR",
+                       help="the campaign's work-queue directory")
+    queue.add_argument("--window-s", type=float, default=60.0,
+                       help="completion-rate window in seconds "
+                            "(default 60)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="export recorded telemetry as a Chrome trace-event file "
+             "(load in Perfetto / chrome://tracing)",
+    )
+    trace.add_argument("action", choices=("export",),
+                       help="export: convert a telemetry directory's "
+                            "JSONL event logs into one trace file")
+    trace.add_argument("--telemetry", default=None, metavar="DIR",
+                       help="telemetry directory to export "
+                            "(default $REPRO_TELEMETRY)")
+    trace.add_argument("--out", default="trace.json", metavar="FILE",
+                       help="output trace file (default trace.json)")
+
     pareto = sub.add_parser(
         "pareto",
         help="extract the energy-latency Pareto frontier from a campaign "
@@ -260,6 +306,10 @@ def _build_parser() -> argparse.ArgumentParser:
                              "with latency at or below this bound "
                              "(seconds, per-hop for ideal / end-to-end "
                              "for detailed; epsilon-constraint selection)")
+    pareto.add_argument("--watch-frontier", action="store_true",
+                        help="redraw the frontier and knee live on stderr "
+                             "as points stream in (the final stdout table "
+                             "is unchanged and bit-identical)")
     _add_execution_flags(pareto)
 
     run = sub.add_parser("run", help="run one experiment")
@@ -301,25 +351,59 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_cache(args)
     if args.command == "worker":
         return _run_worker(args)
-    with execution(
-        jobs=args.jobs,
-        backend=args.backend,
-        queue_dir=args.queue,
-        cache_dir=args.cache_dir,
-        cache_tier=args.cache_tier,
-        use_cache=not args.no_cache,
-        cache_max_size_mb=args.cache_max_size_mb,
-        fast_path=not args.no_fast_path,
-        detailed_fast_path=not args.no_detailed_fast_path,
-        progress=_progress_printer() if args.progress else None,
-        failure_policy=_failure_policy_from(args),
-        resume=args.resume,
-    ):
-        if args.command == "run":
-            return _run_one(args)
-        if args.command == "pareto":
-            return _run_pareto(args)
-        return _run_all(args)
+    if args.command == "queue":
+        return _run_queue(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    telemetry_dir = args.telemetry or os.environ.get("REPRO_TELEMETRY")
+    if telemetry_dir:
+        from repro.obs import install_recorder
+
+        install_recorder(telemetry_dir, role="parent")
+    try:
+        with execution(
+            jobs=args.jobs,
+            backend=args.backend,
+            queue_dir=args.queue,
+            cache_dir=args.cache_dir,
+            cache_tier=args.cache_tier,
+            use_cache=not args.no_cache,
+            cache_max_size_mb=args.cache_max_size_mb,
+            fast_path=not args.no_fast_path,
+            detailed_fast_path=not args.no_detailed_fast_path,
+            progress=_progress_printer() if args.progress else None,
+            failure_policy=_failure_policy_from(args),
+            resume=args.resume,
+            telemetry_dir=telemetry_dir,
+        ):
+            if args.command == "run":
+                return _run_one(args)
+            if args.command == "pareto":
+                return _run_pareto(args)
+            return _run_all(args)
+    finally:
+        if telemetry_dir:
+            _close_telemetry(telemetry_dir)
+
+
+def _close_telemetry(telemetry_dir: str) -> None:
+    """Flush the recorder and print the end-of-run metrics summary.
+
+    Runs in a ``finally`` so an interrupted campaign still reports what
+    its telemetry captured; stderr, so stdout stays the deterministic
+    report.
+    """
+    from repro.obs import aggregate_metrics, render_metrics_table, reset_recorder
+
+    reset_recorder()
+    try:
+        summary = aggregate_metrics(telemetry_dir)
+    except OSError:  # pragma: no cover - unreadable directory
+        return
+    if not summary["n_records"]:
+        return
+    for line in render_metrics_table(summary):
+        print(line, file=sys.stderr)
 
 
 def _failure_policy_from(args: argparse.Namespace) -> Optional[FailurePolicy]:
@@ -352,18 +436,38 @@ def _progress_printer(min_interval: float = 1.0):
     Campaigns fire one callback per completed point; printing each would
     swamp small terminals, so lines are rate-limited to one per
     ``min_interval`` seconds — except the final one, which always prints.
+    Each line breaks completions down (cached vs computed, plus failed
+    and retried tasks when the failure machinery fired) and carries an
+    ETA extrapolated from the campaign's own completion rate.
     """
+    from repro.obs import format_duration
+
     last = 0.0
+    started: Optional[float] = None
 
     def progress(completed: int, total: int, cached: int, computed: int) -> None:
-        nonlocal last
+        nonlocal last, started
         now = time.monotonic()
+        if started is None:
+            started = now
         if completed < total and now - last < min_interval:
             return
         last = now
+        stats = get_stats()
+        extra = ""
+        if stats.failed:
+            extra += f", {stats.failed} failed"
+        if stats.retried:
+            extra += f", {stats.retried} retried"
+        eta = ""
+        elapsed = now - started
+        if 0 < completed < total and elapsed > 0:
+            rate = completed / elapsed
+            if rate > 0:
+                eta = f"; ETA {format_duration((total - completed) / rate)}"
         print(
             f"  campaign progress: {completed}/{total} points "
-            f"({cached} cached, {computed} computed)",
+            f"({cached} cached, {computed} computed{extra}){eta}",
             file=sys.stderr,
         )
 
@@ -480,6 +584,49 @@ def _run_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_queue(args: argparse.Namespace) -> int:
+    """The ``queue status`` subcommand: one live snapshot of a queue."""
+    from pathlib import Path
+
+    from repro.obs import render_queue_status
+    from repro.runners.queue import QUEUE_FILENAME, WorkQueue
+
+    if args.window_s <= 0:
+        print("--window-s must be > 0", file=sys.stderr)
+        return 2
+    queue_dir = Path(args.queue)
+    if not (queue_dir / QUEUE_FILENAME).exists():
+        print(f"no work queue at {queue_dir}", file=sys.stderr)
+        return 1
+    snapshot = WorkQueue(queue_dir).status_snapshot(window_s=args.window_s)
+    for line in render_queue_status(snapshot):
+        print(line)
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    """The ``trace export`` subcommand: telemetry JSONL -> Chrome trace."""
+    from repro.obs import event_files, export_chrome_trace
+
+    telemetry_dir = args.telemetry or os.environ.get("REPRO_TELEMETRY")
+    if not telemetry_dir:
+        print(
+            "trace export needs a telemetry directory "
+            "(--telemetry DIR or $REPRO_TELEMETRY)",
+            file=sys.stderr,
+        )
+        return 2
+    if not event_files(telemetry_dir):
+        print(f"no telemetry event logs under {telemetry_dir}", file=sys.stderr)
+        return 1
+    count = export_chrome_trace(telemetry_dir, args.out)
+    print(
+        f"wrote {count} trace events to {args.out} "
+        "(load in https://ui.perfetto.dev or chrome://tracing)"
+    )
+    return 0
+
+
 def _run_pareto(args: argparse.Namespace) -> int:
     """The ``pareto`` subcommand: frontier + operating-point selection.
 
@@ -528,7 +675,7 @@ def _run_pareto(args: argparse.Namespace) -> int:
         update_interval = CodeDistributionParameters().update_interval
         constraint = delivery_constraint(scale)
         floor_name = "delivery"
-        campaign = run_campaign(q_sweep_campaign(scale))
+        spec = q_sweep_campaign(scale)
         where = static_pbbf_where()
     else:
         from repro.ideal.config import AnalysisParameters
@@ -543,7 +690,7 @@ def _run_pareto(args: argparse.Namespace) -> int:
         update_interval = AnalysisParameters().update_interval
         constraint = coverage_constraint(scale)
         floor_name = "coverage"
-        campaign = run_campaign(static_frontier_campaign(scale))
+        spec = static_frontier_campaign(scale)
         where = lambda params: params.get("scenario") == token  # noqa: E731
 
     if args.lifetime:
@@ -553,6 +700,29 @@ def _run_pareto(args: argparse.Namespace) -> int:
     objectives = (latency, second)
     if args.coverage is not None:
         constraint = replace(constraint, bound=args.coverage)
+
+    watcher = None
+    if args.watch_frontier:
+        # Live view only: the watcher folds the on_point stream into
+        # stderr redraws, while the final stdout table below is still
+        # computed by the batch path from the completed campaign.
+        from repro.analysis.streaming import StreamingFrontier
+        from repro.obs import FrontierWatcher
+
+        watcher = FrontierWatcher(
+            StreamingFrontier(
+                objectives,
+                constraints=(constraint,),
+                where=where,
+                base_seed=spec.base_seed,
+                n_resamples=scale.bootstrap_resamples,
+            )
+        )
+    campaign = run_campaign(
+        spec, on_point=watcher.on_point if watcher is not None else None
+    )
+    if watcher is not None:
+        watcher.final()
     points = operating_points(
         campaign,
         objectives,

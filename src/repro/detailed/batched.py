@@ -823,4 +823,9 @@ def run_batch(sims, duration: Optional[float] = None) -> List:
             )
     effective = duration if duration is not None else sims[0].config.duration
     check_positive("duration", effective)
-    return _Batch(list(sims), effective).run()
+    from repro.obs import get_recorder
+
+    with get_recorder().span(
+        "kernel.detailed.batched", seeds=len(sims), duration=effective
+    ):
+        return _Batch(list(sims), effective).run()

@@ -381,7 +381,14 @@ class DetailedSimulator:
             engine.schedule_at(
                 fail_time, nodes[node_id].fail, priority=CONTROL_PRIORITY
             )
-        engine.run(until=duration)
+        from repro.obs import get_recorder
+
+        with get_recorder().span(
+            "kernel.detailed.reference",
+            nodes=self.topology.n_nodes,
+            duration=duration,
+        ):
+            engine.run(until=duration)
         node_joules = [node.radio.consumed_joules(duration) for node in nodes]
         metrics = BroadcastMetrics(
             app,

@@ -703,7 +703,15 @@ class IdealSimulator:
         """
         if n_broadcasts <= 0:
             raise ValueError(f"n_broadcasts must be > 0, got {n_broadcasts}")
-        outcomes = [self.run_broadcast(i) for i in range(n_broadcasts)]
+        from repro.obs import get_recorder
+
+        with get_recorder().span(
+            "kernel.ideal",
+            broadcasts=n_broadcasts,
+            nodes=self.topology.n_nodes,
+            fast_path=self._use_fast_path(),
+        ):
+            outcomes = [self.run_broadcast(i) for i in range(n_broadcasts)]
         duration = n_broadcasts * self.config.update_interval
         total_joules = self._campaign_energy(outcomes, duration)
         return CampaignResult(

@@ -39,8 +39,14 @@ from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import ensure_recorder, get_recorder
 from repro.runners import faults
-from repro.runners.context import execution, get_execution, set_execution
+from repro.runners.context import (
+    execution,
+    get_execution,
+    get_stats,
+    set_execution,
+)
 from repro.runners.failures import (
     CampaignExecutionError,
     CorruptResultError,
@@ -93,8 +99,15 @@ def _evaluate_leased_task(
     evaluators' in-process caches clean for the retry.
     """
     task, lease_key, attempt = payload
-    marker = faults.apply_task_fault(lease_key, attempt)
-    flats = _evaluate_batch_task(task)
+    with get_recorder().span(
+        "task",
+        key=lease_key[:12],
+        attempt=attempt,
+        kind=task[0],
+        seeds=len(task[2]),
+    ):
+        marker = faults.apply_task_fault(lease_key, attempt)
+        flats = _evaluate_batch_task(task)
     if marker == "corrupt_result":
         return [dict(faults.CORRUPT_RESULT_MARKER) for _ in flats]
     return flats
@@ -129,6 +142,7 @@ def _init_worker(
     fast_path: bool,
     detailed_fast_path: bool,
     fault_plan_token: Optional[str] = None,
+    telemetry_dir: Optional[str] = None,
 ) -> None:
     """Install the parent's evaluation-affecting execution flags.
 
@@ -136,6 +150,8 @@ def _init_worker(
     (or forkserver) workers re-import it with defaults; without this the
     parent's ``--no-fast-path`` / ``--no-detailed-fast-path`` — and any
     context-installed fault plan — would silently not reach the pool.
+    ``telemetry_dir`` rides along so pool workers append their own event
+    files beside the parent's (observation only; it affects no result).
     """
     plan = (
         faults.FaultPlan.from_token(fault_plan_token)
@@ -146,7 +162,9 @@ def _init_worker(
         fast_path=fast_path,
         detailed_fast_path=detailed_fast_path,
         fault_plan=plan,
+        telemetry_dir=telemetry_dir,
     )
+    ensure_recorder(telemetry_dir, role="pool-worker")
     faults.mark_pool_worker()
 
 
@@ -229,6 +247,16 @@ class _ExecutionState:
             self.failures.append(failure)
             if self.on_failure is not None:
                 self.on_failure(failure)
+        get_stats().failed += lease.n_runs
+        recorder = get_recorder()
+        recorder.counter("task.exhausted")
+        recorder.event(
+            "task.exhausted",
+            key=lease.key[:12],
+            attempts=lease.attempt + 1,
+            runs=lease.n_runs,
+            error=type(error).__name__,
+        )
 
     def finish(self) -> List[Optional[Dict[str, Any]]]:
         """The aligned results; raises last if the policy says so.
@@ -284,13 +312,26 @@ def _handle_failed_attempt(
 ) -> None:
     """One failed attempt: schedule a retry, degrade, or record failure."""
     policy = state.policy
+    recorder = get_recorder()
+    if isinstance(error, TaskTimeoutError):
+        recorder.counter("task.timeout")
     if lease.attempt < policy.max_retries:
         delay = policy.backoff_s(lease.key, lease.attempt + 1)
         lease.attempt += 1
         lease.not_before = time.monotonic() + delay if delay > 0 else 0.0
+        get_stats().retried += 1
+        recorder.counter("task.retry")
+        recorder.event(
+            "task.retry",
+            key=lease.key[:12],
+            attempt=lease.attempt,
+            backoff_s=round(delay, 4),
+            error=type(error).__name__,
+        )
         requeue(lease)
         return
     if policy.on_exhausted == "degrade":
+        recorder.event("task.degraded", key=lease.key[:12])
         flats, degrade_error = _degraded_attempt(lease)
         if flats is not None:
             state.deliver(lease, flats)
@@ -463,6 +504,7 @@ class ProcessPoolBackend:
                 config.fast_path,
                 config.detailed_fast_path,
                 plan.token if plan is not None else None,
+                config.telemetry_dir,
             ),
         )
 
@@ -584,10 +626,20 @@ class ProcessPoolBackend:
                             requeue(lease)
                     _kill_executor(executor)
                     rebuilds += 1
+                    recorder = get_recorder()
+                    recorder.counter("pool.rebuild")
+                    recorder.event(
+                        "pool.rebuild",
+                        rebuilds=rebuilds,
+                        cause="broken" if broken else "timeout",
+                    )
                     if rebuilds > rebuild_cap:
                         # The pool keeps dying: finish in-parent, where
                         # attribution is exact and nothing can take the
                         # process down but the task itself.
+                        recorder.event(
+                            "pool.serial_failover", rebuilds=rebuilds
+                        )
                         fail_over_to_serial()
                         return
                     executor = self._new_executor(workers)

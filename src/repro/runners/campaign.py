@@ -29,6 +29,7 @@ import inspect
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.obs import ensure_recorder
 from repro.runners.backends import ProcessPoolBackend, SerialBackend
 from repro.runners.cache import ResultCache
 from repro.runners.context import ProgressCallback, get_execution, get_stats
@@ -299,6 +300,9 @@ def run_campaign(
     """
     config = get_execution()
     stats = get_stats()
+    # Telemetry observes the pipeline; nothing it records (wall-clock
+    # timestamps included) flows back into keys, seeds or results.
+    recorder = ensure_recorder(config.telemetry_dir)
     if jobs is None:
         jobs = config.jobs
     if use_cache is None:
@@ -343,6 +347,12 @@ def run_campaign(
     # journal=False (or no cache to sit beside) disables journaling.
 
     runs = spec.runs()
+    recorder.event(
+        "campaign.begin",
+        spec=spec.content_hash()[:12],
+        kind=spec.kind,
+        n_runs=len(runs),
+    )
 
     journal_hits: Dict[str, Dict[str, Any]] = {}
     if resume and journal_store is not None and journal_store.exists:
@@ -396,14 +406,15 @@ def run_campaign(
     payloads: Dict[str, Dict[str, Any]] = {}
     if store is not None and probe:
         keys = [run.key for run in probe]
-        if hasattr(store, "get_many"):
-            payloads = store.get_many(keys)
-        else:  # a minimal third-party store
-            payloads = {
-                key: payload
-                for key in keys
-                if (payload := store.get(key)) is not None
-            }
+        with recorder.span("phase.cache-get", keys=len(keys)):
+            if hasattr(store, "get_many"):
+                payloads = store.get_many(keys)
+            else:  # a minimal third-party store
+                payloads = {
+                    key: payload
+                    for key in keys
+                    if (payload := store.get(key)) is not None
+                }
     for run in probe:
         payload = payloads.get(run.key)
         if payload is not None:
@@ -450,7 +461,8 @@ def run_campaign(
             by_key[run.key] = metrics
             stats.computed += 1
             if store is not None:
-                store.put(run.key, _payload_for(run, metrics))
+                with recorder.span("phase.cache-put"):
+                    store.put(run.key, _payload_for(run, metrics))
             if journal_store is not None:
                 journal_store.append_result(run.key, run.kind, run.seed, flat)
             if on_point is not None:
@@ -488,6 +500,14 @@ def run_campaign(
         else:
             journal_store.discard()
 
+    recorder.event(
+        "campaign.end",
+        spec=spec.content_hash()[:12],
+        computed=len(pending) - len(failures),
+        reused=reused,
+        failures=len(failures),
+    )
+    recorder.flush()
     result = CampaignResult(
         spec=spec,
         runs=runs,

@@ -78,6 +78,14 @@ class ExecutionConfig:
     #: results a killed invocation already persisted are reused instead of
     #: re-simulated.
     resume: bool = False
+    #: Structured-telemetry directory (the CLI's ``--telemetry``); ``None``
+    #: leaves the process-wide recorder alone (no-op unless
+    #: ``$REPRO_TELEMETRY`` is set).  Workers inherit it — pool workers
+    #: through initializer args, queue workers through the published queue
+    #: config — and each process appends its own event file there.
+    #: Telemetry never feeds back into execution: run keys and campaign
+    #: outputs are bit-identical with it on, off, or failing mid-write.
+    telemetry_dir: Optional[str] = None
 
 
 @dataclass
@@ -89,6 +97,10 @@ class ExecutionStats:
     reused_disk: int = 0
     #: Results replayed from a campaign journal (``--resume``).
     reused_journal: int = 0
+    #: Runs whose task exhausted its retry budget (counted parent-side).
+    failed: int = 0
+    #: Task retries scheduled (parent-side requeues and expired leases).
+    retried: int = 0
 
     @property
     def reused(self) -> int:
@@ -106,6 +118,8 @@ class ExecutionStats:
         self.reused_memory = 0
         self.reused_disk = 0
         self.reused_journal = 0
+        self.failed = 0
+        self.retried = 0
 
 
 _config = ExecutionConfig()

@@ -113,7 +113,20 @@ class FailurePolicy:
         jitter = hash_to_unit_interval(
             fold_seed(_BACKOFF_STREAM_SEED, "retry-backoff", key), attempt
         )
-        return slot * (0.5 + 0.5 * jitter)
+        delay = slot * (0.5 + 0.5 * jitter)
+        # Observation only: the delay above is already fixed by (key,
+        # attempt), so recording it cannot perturb scheduling.
+        from repro.obs import get_recorder
+
+        recorder = get_recorder()
+        recorder.counter("retry.backoff_total_s", delay)
+        recorder.event(
+            "retry.backoff",
+            key=key[:12],
+            attempt=attempt,
+            delay_s=round(delay, 4),
+        )
+        return delay
 
 
 @dataclass(frozen=True)

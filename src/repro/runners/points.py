@@ -36,6 +36,7 @@ from repro.core.params import PBBFParams
 from repro.ideal.config import AnalysisParameters
 from repro.ideal.simulator import IdealSimulator, SchedulingMode
 from repro.net.topology import Topology
+from repro.obs import get_recorder
 from repro.percolation.site import coverage_site_fraction
 from repro.percolation.threshold import estimate_critical_bond_fraction
 from repro.scenarios import ScenarioSpec
@@ -93,23 +94,27 @@ def _realized_scenario(scenario_token: str, seed: int):
     rebuild the same topology (including connectivity resampling for the
     random families).
     """
-    return ScenarioSpec.from_token(scenario_token).realize(seed)
+    with get_recorder().span("phase.realize", kind="scenario", seed=seed):
+        return ScenarioSpec.from_token(scenario_token).realize(seed)
 
 
 def _summarize_ideal_campaign(
     simulator: IdealSimulator, n_broadcasts: int, hop_near: int, hop_far: int
 ) -> IdealPointMetrics:
     """Run one ideal-simulator campaign and summarise the figure metrics."""
-    campaign = simulator.run_campaign(n_broadcasts)
-    return IdealPointMetrics(
-        reliability_90=campaign.reliability(0.90),
-        reliability_99=campaign.reliability(0.99),
-        joules_per_update_per_node=campaign.joules_per_update_per_node(),
-        mean_per_hop_latency=campaign.mean_per_hop_latency(),
-        mean_hops_near=campaign.mean_hops_at_distance(hop_near),
-        mean_hops_far=campaign.mean_hops_at_distance(hop_far),
-        mean_coverage=campaign.mean_coverage(),
-    )
+    recorder = get_recorder()
+    with recorder.span("phase.simulate", kind="ideal"):
+        campaign = simulator.run_campaign(n_broadcasts)
+    with recorder.span("phase.analyze", kind="ideal"):
+        return IdealPointMetrics(
+            reliability_90=campaign.reliability(0.90),
+            reliability_99=campaign.reliability(0.99),
+            joules_per_update_per_node=campaign.joules_per_update_per_node(),
+            mean_per_hop_latency=campaign.mean_per_hop_latency(),
+            mean_hops_near=campaign.mean_hops_at_distance(hop_near),
+            mean_hops_far=campaign.mean_hops_at_distance(hop_far),
+            mean_coverage=campaign.mean_coverage(),
+        )
 
 
 @lru_cache(maxsize=4096)
@@ -130,7 +135,8 @@ def _ideal_point(
     is bit-identical to the pre-scenario ``GridTopology(grid_side)`` path
     — the parity goldens in tests/scenarios lock that in.
     """
-    realized = ScenarioSpec.grid_default(grid_side).realize(seed)
+    with get_recorder().span("phase.realize", kind="grid", seed=seed):
+        realized = ScenarioSpec.grid_default(grid_side).realize(seed)
     simulator = IdealSimulator(
         realized.topology,
         PBBFParams(p=p, q=q),
@@ -207,7 +213,11 @@ def _detailed_run(
         scheduler=scheduler,
         loss_probability=loss_probability,
     )
-    return _summarize_detailed(simulator.run().metrics)
+    recorder = get_recorder()
+    with recorder.span("phase.simulate", kind="detailed", seed=seed):
+        result = simulator.run()
+    with recorder.span("phase.analyze", kind="detailed"):
+        return _summarize_detailed(result.metrics)
 
 
 @lru_cache(maxsize=8192)
@@ -245,7 +255,11 @@ def _detailed_scenario_point(
         loss_probability=loss_probability,
         scenario=realized,
     )
-    return _summarize_detailed(simulator.run().metrics)
+    recorder = get_recorder()
+    with recorder.span("phase.simulate", kind="detailed-scenario", seed=seed):
+        result = simulator.run()
+    with recorder.span("phase.analyze", kind="detailed-scenario"):
+        return _summarize_detailed(result.metrics)
 
 
 @lru_cache(maxsize=2048)
@@ -288,7 +302,11 @@ def _detailed_adaptive_run(
         loss_probability=loss_probability,
         agent_factory=factory,
     )
-    return _summarize_detailed(simulator.run().metrics)
+    recorder = get_recorder()
+    with recorder.span("phase.simulate", kind="detailed-adaptive", seed=seed):
+        result = simulator.run()
+    with recorder.span("phase.analyze", kind="detailed-adaptive"):
+        return _summarize_detailed(result.metrics)
 
 
 def _percolation_summary(
@@ -302,19 +320,22 @@ def _percolation_summary(
     """Critical bond/site fraction summary on one concrete topology."""
     if process not in ("bond", "site"):
         raise ValueError(f"process must be 'bond' or 'site', got {process!r}")
+    recorder = get_recorder()
     rng = random.Random(seed)
-    if process == "bond":
-        thresholds = estimate_critical_bond_fraction(
-            topology, (reliability,), rng, runs=runs, grid_label=label
+    with recorder.span("phase.simulate", kind="percolation", seed=seed):
+        if process == "bond":
+            thresholds = estimate_critical_bond_fraction(
+                topology, (reliability,), rng, runs=runs, grid_label=label
+            )
+            summary = thresholds.threshold_for(reliability)
+        else:
+            summary = summarize(
+                coverage_site_fraction(topology, reliability, rng, runs=runs)
+            )
+    with recorder.span("phase.analyze", kind="percolation"):
+        return PercolationPointMetrics(
+            critical_fraction=summary.mean, ci95=summary.ci95, n_runs=summary.n
         )
-        summary = thresholds.threshold_for(reliability)
-    else:
-        summary = summarize(
-            coverage_site_fraction(topology, reliability, rng, runs=runs)
-        )
-    return PercolationPointMetrics(
-        critical_fraction=summary.mean, ci95=summary.ci95, n_runs=summary.n
-    )
 
 
 @lru_cache(maxsize=512)
@@ -331,7 +352,8 @@ def _percolation_point(
     grid, so results and run keys are bit-identical to the pre-scenario
     ``GridTopology(grid_side)`` path.
     """
-    realized = ScenarioSpec.grid_default(grid_side).realize(seed)
+    with get_recorder().span("phase.realize", kind="grid", seed=seed):
+        realized = ScenarioSpec.grid_default(grid_side).realize(seed)
     return _percolation_summary(
         realized.topology,
         f"{grid_side}x{grid_side}",
@@ -394,40 +416,47 @@ def _detailed_seed_batch(
     from repro.detailed.config import CodeDistributionParameters
     from repro.detailed.simulator import DetailedSimulator
 
+    recorder = get_recorder()
     pbbf = PBBFParams(p=p, q=q)
     mode = SchedulingMode(mode_value)
     sims = []
-    for seed in seeds:
-        if scenario_token is None:
-            config = CodeDistributionParameters(
-                density=density, duration=duration
-            )
-            sim = DetailedSimulator(
-                pbbf,
-                config,
-                seed=seed,
-                mode=mode,
-                loss_probability=loss_probability,
-            )
-        else:
-            realized = _realized_scenario(scenario_token, seed)
-            config = CodeDistributionParameters.for_topology(
-                realized.topology, duration=duration
-            )
-            sim = DetailedSimulator(
-                pbbf,
-                config,
-                seed=seed,
-                mode=mode,
-                loss_probability=loss_probability,
-                scenario=realized,
-            )
-        sims.append(sim)
+    with recorder.span("phase.realize", kind="detailed-batch",
+                       seeds=len(seeds)):
+        for seed in seeds:
+            if scenario_token is None:
+                config = CodeDistributionParameters(
+                    density=density, duration=duration
+                )
+                sim = DetailedSimulator(
+                    pbbf,
+                    config,
+                    seed=seed,
+                    mode=mode,
+                    loss_probability=loss_probability,
+                )
+            else:
+                realized = _realized_scenario(scenario_token, seed)
+                config = CodeDistributionParameters.for_topology(
+                    realized.topology, duration=duration
+                )
+                sim = DetailedSimulator(
+                    pbbf,
+                    config,
+                    seed=seed,
+                    mode=mode,
+                    loss_probability=loss_probability,
+                    scenario=realized,
+                )
+            sims.append(sim)
     if not all(supports_batch(sim) for sim in sims):
         return None
-    return tuple(
-        _summarize_detailed(result.metrics) for result in run_batch(sims)
-    )
+    with recorder.span("phase.simulate", kind="detailed-batch",
+                       seeds=len(seeds)):
+        results = run_batch(sims)
+    with recorder.span("phase.analyze", kind="detailed-batch"):
+        return tuple(
+            _summarize_detailed(result.metrics) for result in results
+        )
 
 
 def evaluate_run_batch(

@@ -43,6 +43,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import ensure_recorder, get_recorder
 from repro.runners import faults
 from repro.runners.backends import (
     OnFailure,
@@ -57,7 +58,7 @@ from repro.runners.backends import (
     _timed_attempt,
     _validated,
 )
-from repro.runners.context import get_execution, set_execution
+from repro.runners.context import get_execution, get_stats, set_execution
 from repro.runners.failures import (
     CorruptResultError,
     FailurePolicy,
@@ -104,7 +105,17 @@ CREATE TABLE IF NOT EXISTS results(
     worker     TEXT,
     completed  REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS heartbeats(
+    worker      TEXT PRIMARY KEY,
+    started     REAL NOT NULL,
+    last_seen   REAL NOT NULL,
+    tasks_done  INTEGER NOT NULL DEFAULT 0
+);
 """
+
+#: Seconds between a worker's heartbeat rows (kept coarse: the heartbeat
+#: is liveness telemetry for ``queue status``, not a scheduling input).
+HEARTBEAT_INTERVAL_S = 1.0
 
 #: Task row statuses.  ``done`` and ``exhausted`` are terminal; the
 #: queue is *drained* when no row is ``pending`` or ``leased``.
@@ -207,6 +218,7 @@ class WorkQueue:
             "fast_path": json.dumps(config.fast_path),
             "detailed_fast_path": json.dumps(config.detailed_fast_path),
             "fault_plan": json.dumps(fault_plan_token),
+            "telemetry": json.dumps(config.telemetry_dir),
         }
         self._write(
             lambda con: con.executemany(
@@ -233,6 +245,7 @@ class WorkQueue:
                 rows.get("detailed_fast_path", "true")
             ),
             "fault_plan": json.loads(rows.get("fault_plan", "null")),
+            "telemetry": json.loads(rows.get("telemetry", "null")),
         }
 
     def enqueue(self, leases: Sequence[_Lease]) -> None:
@@ -484,6 +497,99 @@ class WorkQueue:
             counts.get("pending", 0) or counts.get("leased", 0)
         )
 
+    # -- liveness and status -------------------------------------------------
+
+    def heartbeat(
+        self, worker_id: str, tasks_done: int = 0, now: Optional[float] = None
+    ) -> None:
+        """Record (or refresh) one worker's liveness row.
+
+        Observation only: nothing schedules off a heartbeat — it feeds
+        the ``queue status`` view and the telemetry stream.
+        """
+        reference = now if now is not None else time.time()
+        self._write(
+            lambda con: con.execute(
+                "INSERT INTO heartbeats(worker, started, last_seen, tasks_done) "
+                "VALUES (?, ?, ?, ?) "
+                "ON CONFLICT(worker) DO UPDATE SET "
+                "last_seen=excluded.last_seen, tasks_done=excluded.tasks_done",
+                (worker_id, reference, reference, tasks_done),
+            )
+        )
+
+    def worker_heartbeats(
+        self, now: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """Every worker ever seen on this queue, with heartbeat ages."""
+        reference = now if now is not None else time.time()
+        rows = self._connect().execute(
+            "SELECT worker, started, last_seen, tasks_done FROM heartbeats "
+            "ORDER BY worker"
+        ).fetchall()
+        return [
+            {
+                "worker": str(worker),
+                "started": float(started),
+                "last_seen": float(last_seen),
+                "age_s": max(0.0, reference - float(last_seen)),
+                "tasks_done": int(tasks_done),
+            }
+            for worker, started, last_seen, tasks_done in rows
+        ]
+
+    def completion_rate(
+        self, window_s: float = 60.0, now: Optional[float] = None
+    ) -> Tuple[int, float]:
+        """``(completions, per-second rate)`` over the trailing window."""
+        reference = now if now is not None else time.time()
+        (count,) = self._connect().execute(
+            "SELECT COUNT(*) FROM results WHERE completed > ?",
+            (reference - window_s,),
+        ).fetchone()
+        rate = int(count) / window_s if window_s > 0 else 0.0
+        return int(count), rate
+
+    def status_snapshot(
+        self, window_s: float = 60.0, now: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Everything ``pbbf-experiments queue status`` renders.
+
+        Counts by status, the published execution contract, worker
+        heartbeat ages and the trailing completion rate (from result-row
+        timestamps) that the ETA is computed from.
+        """
+        reference = now if now is not None else time.time()
+        counts = self.counts()
+        meta = dict(
+            self._connect().execute("SELECT name, value FROM meta").fetchall()
+        )
+        config: Dict[str, Any] = {}
+        if "lease_s" in meta:
+            config["lease_s"] = json.loads(meta["lease_s"])
+        if "policy" in meta:
+            policy = json.loads(meta["policy"])
+            config["policy"] = (
+                f"max_retries={policy.get('max_retries')}, "
+                f"on_exhausted={policy.get('on_exhausted')}"
+            )
+        telemetry = json.loads(meta.get("telemetry", "null"))
+        if telemetry:
+            config["telemetry"] = telemetry
+        completed_in_window, rate = self.completion_rate(
+            window_s, now=reference
+        )
+        return {
+            "queue_dir": str(self.dir),
+            "counts": counts,
+            "total": sum(counts.values()),
+            "config": config,
+            "window_s": window_s,
+            "completed_in_window": completed_in_window,
+            "rate_per_s": rate,
+            "workers": self.worker_heartbeats(now=reference),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"WorkQueue({str(self.dir)!r})"
 
@@ -527,44 +633,88 @@ def worker_loop(
         fast_path=config["fast_path"],
         detailed_fast_path=config["detailed_fast_path"],
         fault_plan=plan,
+        telemetry_dir=config["telemetry"],
+    )
+    recorder = ensure_recorder(
+        config["telemetry"], role="queue-worker"
     )
     faults.mark_pool_worker()
     completed = 0
     idle_since: Optional[float] = None
-    while True:
-        claimed = queue.claim(worker_id, lease_s)
-        if claimed is None:
-            now = time.time()
-            if queue.drained():
-                if idle_since is None:
-                    idle_since = now
-                if now - idle_since >= linger_s:
-                    break
-            time.sleep(poll_s)
-            continue
-        idle_since = None
-        key, task, attempt = claimed
-        try:
-            flats = _timed_attempt((task, key, attempt), policy.timeout_s)
-            kind, _params, seeds = task
-            if (
-                not isinstance(flats, list)
-                or len(flats) != len(seeds)
-                or not all(validate_flat_metrics(kind, flat) for flat in flats)
-            ):
-                raise CorruptResultError(
-                    f"task returned metrics that do not rebuild as "
-                    f"kind {kind!r}"
+    last_beat = 0.0
+
+    def beat(force: bool = False) -> None:
+        """Refresh the liveness row, rate-limited to the heartbeat cadence."""
+        nonlocal last_beat
+        mono = time.monotonic()
+        if not force and mono - last_beat < HEARTBEAT_INTERVAL_S:
+            return
+        last_beat = mono
+        queue.heartbeat(worker_id, tasks_done=completed)
+        recorder.event(
+            "worker.heartbeat", worker=worker_id, tasks_done=completed
+        )
+
+    beat(force=True)
+    try:
+        while True:
+            claim_start = time.perf_counter()
+            claimed = queue.claim(worker_id, lease_s)
+            beat()
+            if claimed is None:
+                now = time.time()
+                if queue.drained():
+                    if idle_since is None:
+                        idle_since = now
+                    if now - idle_since >= linger_s:
+                        break
+                time.sleep(poll_s)
+                continue
+            idle_since = None
+            key, task, attempt = claimed
+            recorder.event(
+                "queue.claimed",
+                key=key[:12],
+                attempt=attempt,
+                claim_s=round(time.perf_counter() - claim_start, 6),
+            )
+            try:
+                flats = _timed_attempt((task, key, attempt), policy.timeout_s)
+                kind, _params, seeds = task
+                if (
+                    not isinstance(flats, list)
+                    or len(flats) != len(seeds)
+                    or not all(
+                        validate_flat_metrics(kind, flat) for flat in flats
+                    )
+                ):
+                    raise CorruptResultError(
+                        f"task returned metrics that do not rebuild as "
+                        f"kind {kind!r}"
+                    )
+            except KeyboardInterrupt:
+                raise
+            except BaseException as error:
+                recorder.counter("queue.task_failed")
+                queue.fail(key, type(error).__name__, str(error), policy)
+            else:
+                complete_start = time.perf_counter()
+                queue.complete(key, flats, worker_id)
+                completed += 1
+                recorder.event(
+                    "queue.completed",
+                    key=key[:12],
+                    attempt=attempt,
+                    complete_s=round(
+                        time.perf_counter() - complete_start, 6
+                    ),
                 )
-        except KeyboardInterrupt:
-            raise
-        except BaseException as error:
-            queue.fail(key, type(error).__name__, str(error), policy)
-        else:
-            queue.complete(key, flats, worker_id)
-            completed += 1
-            if max_tasks is not None and completed >= max_tasks:
-                break
+                beat()
+                if max_tasks is not None and completed >= max_tasks:
+                    break
+    finally:
+        beat(force=True)
+        recorder.flush()
     return completed
 
 
@@ -662,6 +812,7 @@ class ShardedBackend:
         )
         process.start()
         workers[worker_id] = process
+        get_recorder().event("queue.worker_spawned", worker=worker_id)
 
     def _drain_queue(
         self, state: _ExecutionState, leases: List[_Lease]
@@ -721,7 +872,12 @@ class ShardedBackend:
                     )
                 if not outstanding:
                     break
-                queue.requeue_expired(policy)
+                expired = queue.requeue_expired(policy)
+                if expired:
+                    get_stats().retried += expired
+                    recorder = get_recorder()
+                    recorder.counter("queue.lease_expired", expired)
+                    recorder.event("queue.lease_expired", count=expired)
                 dead = [
                     (worker_id, process)
                     for worker_id, process in workers.items()
@@ -770,6 +926,7 @@ class ShardedBackend:
     ) -> None:
         """Apply ``on_exhausted`` to one spent task, parent-side."""
         if state.policy.on_exhausted == "degrade":
+            get_recorder().event("task.degraded", key=lease.key[:12])
             flats, degrade_error = _degraded_attempt(lease)
             if flats is not None:
                 state.deliver(lease, flats)
@@ -792,6 +949,16 @@ class ShardedBackend:
             state.failures.append(failure)
             if state.on_failure is not None:
                 state.on_failure(failure)
+        get_stats().failed += lease.n_runs
+        recorder = get_recorder()
+        recorder.counter("task.exhausted")
+        recorder.event(
+            "task.exhausted",
+            key=lease.key[:12],
+            attempts=attempts,
+            runs=lease.n_runs,
+            error=error_type,
+        )
 
     def _fail_over_serial(
         self,
@@ -800,6 +967,9 @@ class ShardedBackend:
         outstanding: Dict[str, _Lease],
     ) -> None:
         remaining = sorted(outstanding.values(), key=lambda lease: lease.start)
+        get_recorder().event(
+            "queue.serial_failover", remaining=len(remaining)
+        )
         attempts = queue.attempts_for(list(outstanding))
         for lease in remaining:
             lease.attempt = attempts.get(lease.key, lease.attempt)

@@ -38,6 +38,7 @@ import warnings
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
+from repro.obs import get_recorder
 from repro.runners.cache import (
     CACHE_VERSION,
     CacheStats,
@@ -169,6 +170,11 @@ class SQLiteCacheTier:
         if self._degraded:
             return
         self._degraded = True
+        recorder = get_recorder()
+        recorder.counter("cache.sqlite.degraded")
+        recorder.event(
+            "cache.degraded", tier="sqlite", error=type(exc).__name__
+        )
         warnings.warn(
             f"sqlite cache tier at {self.db_path} is unusable ({exc}); "
             "continuing on the JSON file layer",
@@ -244,6 +250,11 @@ class SQLiteCacheTier:
 
         if self._write(operate) or self._degraded:
             self.quarantined += len(rows)
+            recorder = get_recorder()
+            recorder.counter("cache.sqlite.quarantined", len(rows))
+            recorder.event(
+                "cache.quarantine", tier="sqlite", entries=len(rows)
+            )
 
     def _rows_for(
         self, items: Mapping[str, Dict[str, Any]]
@@ -339,6 +350,9 @@ class SQLiteCacheTier:
 
         self._read(operate)
         self._quarantine_rows(corrupt)
+        recorder = get_recorder()
+        if found:
+            recorder.counter("cache.sqlite.hit", len(found))
         if len(found) == len(keys):
             return found
         missing = [key for key in keys if key not in found]
@@ -346,6 +360,7 @@ class SQLiteCacheTier:
             migrated = self.files.get_many(missing)
             if migrated:
                 found.update(migrated)
+                recorder.counter("cache.sqlite.migrated", len(migrated))
                 self._write(
                     lambda con: con.executemany(
                         "INSERT OR REPLACE INTO entries"
@@ -354,6 +369,8 @@ class SQLiteCacheTier:
                         self._rows_for(migrated),
                     )
                 )
+        if len(found) < len(keys):
+            recorder.counter("cache.sqlite.miss", len(keys) - len(found))
         return found
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
@@ -370,6 +387,7 @@ class SQLiteCacheTier:
         """
         if not items:
             return
+        get_recorder().counter("cache.sqlite.put", len(items))
         rows = self._rows_for(items)
         self._write(
             lambda con: con.executemany(

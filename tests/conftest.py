@@ -19,8 +19,17 @@ def _isolated_result_cache(tmp_path, monkeypatch):
 
     Keeps the suite hermetic: no test reads results a previous run wrote
     to the user's real ~/.cache/repro, and none litters it either.
+    Telemetry is likewise reset to the no-op default: an ambient
+    ``$REPRO_TELEMETRY`` (or a recorder a prior test installed) must
+    never leak event files across tests.
     """
+    from repro import obs
+
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    obs.reset_recorder()
+    yield
+    obs.reset_recorder()
 
 
 @pytest.fixture

@@ -1,0 +1,1 @@
+"""PBBF reproduction test suite: telemetry-fabric tests."""

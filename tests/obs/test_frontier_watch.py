@@ -1,0 +1,65 @@
+"""The --watch-frontier view: throttled live redraws of the frontier."""
+
+from __future__ import annotations
+
+import io
+from types import SimpleNamespace
+
+from repro.analysis.objectives import Objective
+from repro.analysis.streaming import StreamingFrontier
+from repro.obs import FrontierWatcher
+
+
+def _objectives():
+    return (
+        Objective("latency", "latency (s)", lambda m: m.latency),
+        Objective("energy", "energy (J)", lambda m: m.energy),
+    )
+
+
+def _point(index: int, latency: float, energy: float):
+    run = SimpleNamespace(
+        params_dict=lambda: {"q": index / 10.0},
+        seed_index=0,
+    )
+    return run, SimpleNamespace(latency=latency, energy=energy)
+
+
+def test_watcher_throttles_redraws_and_always_draws_final():
+    out = io.StringIO()
+    clock = iter(float(tick) for tick in range(100))
+    watcher = FrontierWatcher(
+        StreamingFrontier(_objectives()),
+        interval_s=5.0,
+        out=out,
+        clock=lambda: next(clock),
+    )
+    # Points arrive one clock-second apart: only every 5th can redraw.
+    points = [
+        _point(0, 4.0, 1.0),
+        _point(1, 3.0, 2.0),
+        _point(2, 2.0, 3.0),
+        _point(3, 5.0, 5.0),  # dominated
+        _point(4, 1.0, 4.0),
+        _point(5, 0.5, 6.0),
+        _point(6, 6.0, 7.0),  # dominated
+    ]
+    for run, metrics in points:
+        watcher.on_point(run, metrics)
+    throttled_draws = watcher.n_draws
+    assert 1 <= throttled_draws < len(points)
+    watcher.final()
+    assert watcher.n_draws == throttled_draws + 1
+
+    text = out.getvalue()
+    assert "[final frontier]" in text
+    assert "7 results in, 5 non-dominated, 2 dominated" in text
+    assert "<- knee" in text
+    assert "latency=" in text and "energy=" in text
+
+
+def test_watcher_survives_an_empty_stream():
+    out = io.StringIO()
+    watcher = FrontierWatcher(StreamingFrontier(_objectives()), out=out)
+    watcher.final()
+    assert "0 results in, 0 non-dominated" in out.getvalue()

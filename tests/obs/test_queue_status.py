@@ -1,0 +1,117 @@
+"""The live queue view: heartbeats, completion rate, status rendering."""
+
+from __future__ import annotations
+
+from repro.obs import format_duration, render_queue_status
+from repro.runners.backends import _Lease
+from repro.runners.failures import FailurePolicy
+from repro.runners.queue import WorkQueue
+
+
+def _lease(key: str, index: int) -> _Lease:
+    task = ("percolation", {"reliability": 0.9, "index": index}, (0,))
+    return _Lease(task=task, start=index, key=key)
+
+
+def make_queue(tmp_path) -> WorkQueue:
+    queue = WorkQueue(tmp_path / "queue")
+    queue.configure(FailurePolicy(max_retries=2, on_exhausted="skip"),
+                    lease_s=120.0)
+    queue.enqueue([_lease(f"key-{index:04d}" + "ab" * 28, index)
+                   for index in range(4)])
+    return queue
+
+
+def test_format_duration():
+    assert format_duration(None) == "-"
+    assert format_duration(-1) == "-"
+    assert format_duration(12) == "12s"
+    assert format_duration(95) == "1m35s"
+    assert format_duration(3_700) == "1h01m"
+
+
+def test_heartbeats_round_trip(tmp_path):
+    queue = make_queue(tmp_path)
+    queue.heartbeat("worker-a", tasks_done=0, now=100.0)
+    queue.heartbeat("worker-a", tasks_done=3, now=104.0)
+    queue.heartbeat("worker-b", tasks_done=1, now=105.0)
+    beats = queue.worker_heartbeats(now=106.0)
+    assert [beat["worker"] for beat in beats] == ["worker-a", "worker-b"]
+    alpha, beta = beats
+    assert alpha["started"] == 100.0  # first beat wins the start time
+    assert alpha["age_s"] == 2.0
+    assert alpha["tasks_done"] == 3
+    assert beta["age_s"] == 1.0
+
+
+def test_completion_rate_windows(tmp_path):
+    queue = make_queue(tmp_path)
+    for index, when in enumerate((10.0, 40.0, 58.0)):
+        queue.complete(f"key-{index:04d}" + "ab" * 28, [{"m": 1}],
+                       "worker-a", now=when)
+    count, rate = queue.completion_rate(window_s=30.0, now=60.0)
+    assert count == 2  # the completion at t=10 is outside the window
+    assert rate == 2 / 30.0
+    count, rate = queue.completion_rate(window_s=60.0, now=200.0)
+    assert count == 0 and rate == 0.0
+
+
+def test_status_snapshot_counts_config_and_rate(tmp_path):
+    queue = make_queue(tmp_path)
+    claimed = queue.claim("worker-a", lease_s=120.0, now=50.0)
+    assert claimed is not None
+    queue.complete(claimed[0], [{"m": 1}], "worker-a", now=55.0)
+    queue.heartbeat("worker-a", tasks_done=1, now=55.0)
+    snapshot = queue.status_snapshot(window_s=60.0, now=60.0)
+    counts = snapshot["counts"]
+    assert counts.get("pending", 0) == 3
+    assert counts.get("leased", 0) == 0
+    assert counts.get("done", 0) == 1
+    assert counts.get("exhausted", 0) == 0
+    assert snapshot["total"] == 4
+    assert snapshot["config"]["lease_s"] == 120.0
+    assert "max_retries=2" in snapshot["config"]["policy"]
+    assert snapshot["completed_in_window"] == 1
+    assert snapshot["rate_per_s"] == 1 / 60.0
+    assert snapshot["workers"][0]["worker"] == "worker-a"
+
+
+def test_render_queue_status_full_story(tmp_path):
+    queue = make_queue(tmp_path)
+    claimed = queue.claim("worker-a", lease_s=120.0, now=50.0)
+    queue.complete(claimed[0], [{"m": 1}], "worker-a", now=55.0)
+    queue.heartbeat("worker-a", tasks_done=1, now=58.0)
+    text = "\n".join(
+        render_queue_status(queue.status_snapshot(window_s=60.0, now=60.0))
+    )
+    assert "3 pending" in text
+    assert "1 done" in text
+    assert "(4 total)" in text
+    assert "lease 120s" in text
+    assert "max_retries=2" in text
+    assert "ETA" in text  # 3 remaining at a measured rate
+    assert "worker-a" in text
+    assert "1 tasks done" in text
+
+
+def test_render_queue_status_without_workers_or_rate(tmp_path):
+    queue = make_queue(tmp_path)
+    text = "\n".join(
+        render_queue_status(queue.status_snapshot(window_s=60.0, now=60.0))
+    )
+    assert "4 pending" in text
+    assert "no completions" in text
+    assert "ETA unknown" in text
+    assert "workers: none have heartbeat yet" in text
+
+
+def test_drained_queue_renders_without_eta(tmp_path):
+    queue = make_queue(tmp_path)
+    for index in range(4):
+        claimed = queue.claim("worker-a", lease_s=120.0, now=50.0 + index)
+        queue.complete(claimed[0], [{"m": 1}], "worker-a", now=51.0 + index)
+    text = "\n".join(
+        render_queue_status(queue.status_snapshot(window_s=60.0, now=60.0))
+    )
+    assert "4 done" in text
+    assert "queue drained" in text
