@@ -29,6 +29,7 @@ same payloads), so a timing run doubles as a parity check.
 import argparse
 import gc
 import json
+import math
 import shutil
 import sys
 import tempfile
@@ -44,10 +45,12 @@ from repro.runners import (
     CampaignSpec,
     ResultCache,
     SQLiteCacheTier,
+    WorkQueue,
     clear_run_caches,
     execution,
     run_campaign,
 )
+from repro.runners.backends import _Lease
 
 
 def bench_spec(n_points: int = 8, n_seeds: int = 3) -> CampaignSpec:
@@ -62,6 +65,23 @@ def bench_spec(n_points: int = 8, n_seeds: int = 3) -> CampaignSpec:
         seed_params=("grid_side", "reliability"),
         n_seeds=n_seeds,
     )
+
+
+def synthetic_leases(n_leases: int) -> list:
+    """Queue-shaped leases with run-key-shaped keys, no evaluation cost.
+
+    The queue-overhead drill completes these with a canned payload, so a
+    timed rep measures pure queue I/O — exactly the per-point overhead a
+    million-point campaign pays on top of simulation.
+    """
+    return [
+        _Lease(
+            task=("percolation", {"index": index}, (0,)),
+            start=index,
+            key=f"{index:08x}" + "cd" * 28,
+        )
+        for index in range(n_leases)
+    ]
 
 
 def synthetic_entries(n_keys: int) -> dict:
@@ -129,6 +149,22 @@ def test_telemetry_overhead_stays_bounded(tmp_path):
     row = measure_telemetry(spec, reps=2, telemetry_root=tmp_path)
     assert row["enabled_seconds"] < row["disabled_seconds"] * 3.0
     assert row["noop_span_ns"] < 50_000  # a disabled span is ~a µs at worst
+
+
+def test_block_drill_respects_round_trip_bound(tmp_path):
+    """Block leasing must hold write txns <= ceil(n/block) + 1 (smoke).
+
+    The same assertion runs inside every timed rep of the full drill;
+    this small run keeps it under pytest so CI catches a protocol
+    regression without the 20k-lease version's wall time.
+    """
+    leases = synthetic_leases(120)
+    payload = [{"critical_fraction": 0.5, "ci95": 0.01, "n_runs": 12}]
+    for block in (1, 16):
+        row = _drain_drill(
+            tmp_path / f"q-{block}", leases, block, payload, False
+        )
+        assert row["write_txns"] <= math.ceil(len(leases) / block) + 1
 
 
 def test_warm_read_parity_on_synthetic_keys(tmp_path):
@@ -331,6 +367,142 @@ def measure_telemetry(
     }
 
 
+def _drain_drill(
+    root: Path, leases: list, block: int, payload: list, object_store: bool
+) -> dict:
+    """Drain a fresh queue through the block protocol; verify, then time.
+
+    Returns the elapsed seconds, the write transactions spent from
+    enqueue to drained (the round-trip bound under test), and the
+    checkpointed database size.  Every row is read back through the
+    paged harvest and compared against the payload — the parity check
+    rides inside the timed rep, exactly like the other sections.
+    """
+    queue = WorkQueue(root)
+    queue.object_store = object_store
+    queue.enqueue(leases)
+    start_txns = queue.round_trips
+    gc.collect()
+    gc.disable()
+    start = time.perf_counter()
+    claimed = queue.complete_and_claim([], "drill", 3600.0, block)
+    while claimed:
+        done = [(key, payload) for key, _task, _attempt in claimed]
+        claimed = queue.complete_and_claim(done, "drill", 3600.0, block)
+    elapsed = time.perf_counter() - start
+    gc.enable()
+    txns = queue.round_trips - start_txns
+    assert queue.drained()
+    assert txns <= math.ceil(len(leases) / block) + 1, (
+        f"block={block}: {txns} write txns for {len(leases)} leases"
+    )
+    after, fetched = 0, {}
+    while True:
+        rows = queue.fetch_results(after, limit=512)
+        for rowid, key, flats in rows:
+            fetched[key] = flats
+            after = max(after, rowid)
+        if len(rows) < 512:
+            break
+    assert len(fetched) == len(leases)
+    assert all(flats == payload for flats in fetched.values())
+    queue._connect().execute("PRAGMA wal_checkpoint(TRUNCATE)")
+    db_bytes = queue._disk_bytes()
+    n_objects, object_bytes = (
+        queue.objects.stats() if object_store else (0, 0)
+    )
+    return {
+        "seconds": elapsed,
+        "write_txns": txns,
+        "db_bytes": db_bytes,
+        "n_objects": n_objects,
+        "object_bytes": object_bytes,
+    }
+
+
+def measure_queue_overhead(
+    n_leases: int, reps: int, blocks=(1, 16, 64)
+) -> dict:
+    """Pure queue overhead per point at each lease-block size.
+
+    The drill is evaluation-free, so points/sec here is the ceiling the
+    queue imposes on any campaign; the committed report pins the >= 5x
+    per-point overhead reduction block leasing claims at block 64 vs the
+    original row-at-a-time protocol.  A second A/B drains an ~8 KiB
+    payload with the content-addressed object store off and on, at the
+    largest block, to report the database-size effect of indirecting
+    repeated large payloads.
+    """
+    leases = synthetic_leases(n_leases)
+    small_payload = [{"critical_fraction": 0.5, "ci95": 0.01, "n_runs": 12}]
+    big_payload = [
+        {f"metric_{index:03d}": float(index) for index in range(600)}
+    ]
+    n_store = min(n_leases, 2000)
+    store_leases = leases[:n_store]
+    block_s = {block: [] for block in blocks}
+    block_txns = {}
+    store_s = {False: [], True: []}
+    store_rows = {}
+    for _ in range(reps):
+        for block in blocks:  # interleaved: drift hits every block size
+            root = Path(tempfile.mkdtemp(prefix=f"bench-queue-{block}-"))
+            try:
+                row = _drain_drill(root, leases, block, small_payload, False)
+            finally:
+                shutil.rmtree(root, ignore_errors=True)
+            block_s[block].append(row["seconds"])
+            block_txns[block] = row["write_txns"]
+        for flag in (False, True):
+            root = Path(tempfile.mkdtemp(prefix="bench-queue-objstore-"))
+            try:
+                row = _drain_drill(
+                    root, store_leases, max(blocks), big_payload, flag
+                )
+            finally:
+                shutil.rmtree(root, ignore_errors=True)
+            store_s[flag].append(row["seconds"])
+            store_rows[flag] = row
+    biggest, smallest = max(blocks), min(blocks)
+    per_point = {
+        block: min(times) / n_leases for block, times in block_s.items()
+    }
+    return {
+        "n_leases": n_leases,
+        "blocks": [
+            {
+                "block": block,
+                "seconds": round(min(times), 4),
+                "points_per_second": round(n_leases / min(times), 1),
+                "write_txns": block_txns[block],
+                "txns_per_point": round(block_txns[block] / n_leases, 4),
+                "overhead_us_per_point": round(per_point[block] * 1e6, 2),
+                "seconds_reps": [round(t, 4) for t in times],
+            }
+            for block, times in block_s.items()
+        ],
+        "overhead_reduction_block64_vs_block1": round(
+            per_point[smallest] / per_point[biggest], 2
+        ),
+        "object_store": {
+            "n_leases": n_store,
+            "block": biggest,
+            "payload_bytes": len(json.dumps(big_payload)),
+            "off_seconds": round(min(store_s[False]), 4),
+            "on_seconds": round(min(store_s[True]), 4),
+            "off_db_bytes": store_rows[False]["db_bytes"],
+            "on_db_bytes": store_rows[True]["db_bytes"],
+            "on_object_bytes": store_rows[True]["object_bytes"],
+            "n_objects": store_rows[True]["n_objects"],
+            "db_bytes_reduction": round(
+                store_rows[False]["db_bytes"]
+                / max(1, store_rows[True]["db_bytes"]),
+                1,
+            ),
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Measure campaign backends and cache-tier throughput"
@@ -352,47 +524,18 @@ def main(argv=None) -> int:
         default=Path(__file__).resolve().parent.parent / "BENCH_campaign.json",
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--only",
+        choices=("all", "warm", "backends", "tiers", "telemetry", "queue"),
+        default="all",
+        help="run a single section (the CI queue-scale job runs "
+             "`--only queue`); the report contains just that section",
+    )
     args = parser.parse_args(argv)
 
     n_keys = 1000 if args.quick else 5000
+    n_leases = 2000 if args.quick else 20000
     spec = bench_spec(n_points=4 if args.quick else 8, n_seeds=3)
-
-    print(f"measuring warm reads over {n_keys} keys ...", flush=True)
-    warm = measure_warm_reads(n_keys, args.reps)
-    print(
-        f"  file {warm['file_seconds']:.3f}s"
-        f"  sqlite {warm['sqlite_seconds']:.3f}s"
-        f"  speedup {warm['speedup']:.2f}x",
-        flush=True,
-    )
-
-    print(f"measuring backends over {len(spec.runs())} runs ...", flush=True)
-    backends = measure_backends(spec, jobs=args.jobs, reps=args.reps)
-    for row in backends:
-        print(
-            f"  {row['backend']:8s} {row['seconds']:.3f}s"
-            f"  ({row['points_per_second']} points/s)",
-            flush=True,
-        )
-
-    print("measuring cache tiers cold/warm ...", flush=True)
-    tiers = measure_tiers(spec)
-    for row in tiers:
-        print(
-            f"  {row['tier']:8s} cold {row['cold_seconds']:.3f}s"
-            f"  warm {row['warm_seconds']:.3f}s",
-            flush=True,
-        )
-
-    print("measuring telemetry overhead ...", flush=True)
-    telemetry = measure_telemetry(spec, reps=args.reps)
-    print(
-        f"  disabled {telemetry['disabled_seconds']:.3f}s"
-        f"  enabled {telemetry['enabled_seconds']:.3f}s"
-        f"  (+{telemetry['overhead_percent']:.1f}%;"
-        f" no-op span {telemetry['noop_span_ns']:.0f}ns)",
-        flush=True,
-    )
 
     report = {
         "benchmark": "campaign-fabric-throughput",
@@ -402,7 +545,9 @@ def main(argv=None) -> int:
             "points/sec on the serial, process-pool and sharded-queue "
             "backends; cold-vs-warm campaign wall time per cache tier; "
             "campaign throughput with telemetry recording disabled vs "
-            "enabled (plus the disabled span's per-call cost). "
+            "enabled (plus the disabled span's per-call cost); pure "
+            "queue overhead per point at lease-block sizes 1/16/64 and "
+            "the object-store database-size effect. "
             "Payload parity verified inside every timed rep."
         ),
         "method": (
@@ -411,11 +556,78 @@ def main(argv=None) -> int:
         ),
         "command": "python benchmarks/bench_campaign_throughput.py",
         "quick": args.quick,
-        "warm_read": warm,
-        "backends": backends,
-        "tiers": tiers,
-        "telemetry": telemetry,
     }
+
+    if args.only in ("all", "warm"):
+        print(f"measuring warm reads over {n_keys} keys ...", flush=True)
+        warm = measure_warm_reads(n_keys, args.reps)
+        print(
+            f"  file {warm['file_seconds']:.3f}s"
+            f"  sqlite {warm['sqlite_seconds']:.3f}s"
+            f"  speedup {warm['speedup']:.2f}x",
+            flush=True,
+        )
+        report["warm_read"] = warm
+
+    if args.only in ("all", "backends"):
+        print(
+            f"measuring backends over {len(spec.runs())} runs ...", flush=True
+        )
+        backends = measure_backends(spec, jobs=args.jobs, reps=args.reps)
+        for row in backends:
+            print(
+                f"  {row['backend']:8s} {row['seconds']:.3f}s"
+                f"  ({row['points_per_second']} points/s)",
+                flush=True,
+            )
+        report["backends"] = backends
+
+    if args.only in ("all", "tiers"):
+        print("measuring cache tiers cold/warm ...", flush=True)
+        tiers = measure_tiers(spec)
+        for row in tiers:
+            print(
+                f"  {row['tier']:8s} cold {row['cold_seconds']:.3f}s"
+                f"  warm {row['warm_seconds']:.3f}s",
+                flush=True,
+            )
+        report["tiers"] = tiers
+
+    if args.only in ("all", "telemetry"):
+        print("measuring telemetry overhead ...", flush=True)
+        telemetry = measure_telemetry(spec, reps=args.reps)
+        print(
+            f"  disabled {telemetry['disabled_seconds']:.3f}s"
+            f"  enabled {telemetry['enabled_seconds']:.3f}s"
+            f"  (+{telemetry['overhead_percent']:.1f}%;"
+            f" no-op span {telemetry['noop_span_ns']:.0f}ns)",
+            flush=True,
+        )
+        report["telemetry"] = telemetry
+
+    if args.only in ("all", "queue"):
+        print(
+            f"measuring queue overhead over {n_leases} leases ...", flush=True
+        )
+        queue = measure_queue_overhead(n_leases, args.reps)
+        for row in queue["blocks"]:
+            print(
+                f"  block {row['block']:3d} {row['seconds']:.3f}s"
+                f"  ({row['points_per_second']} points/s,"
+                f" {row['overhead_us_per_point']}us/point,"
+                f" {row['write_txns']} txns)",
+                flush=True,
+            )
+        print(
+            f"  per-point overhead reduction block 64 vs 1: "
+            f"{queue['overhead_reduction_block64_vs_block1']:.1f}x;"
+            f" object store db "
+            f"{queue['object_store']['off_db_bytes']} -> "
+            f"{queue['object_store']['on_db_bytes']} bytes",
+            flush=True,
+        )
+        report["queue"] = queue
+
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
     return 0

@@ -10,8 +10,9 @@ Usage::
     pbbf-experiments cache stats [--cache-dir DIR] [--cache-tier sqlite]
     pbbf-experiments cache purge [--cache-dir DIR]
                                  [--max-age-days N] [--max-size-mb M]
-    pbbf-experiments worker --queue DIR [--linger-s S]
+    pbbf-experiments worker --queue DIR [--linger-s S] [--block N]
     pbbf-experiments queue status --queue DIR [--window-s S]
+    pbbf-experiments queue compact --queue DIR [--heartbeat-max-age-s S]
     pbbf-experiments trace export [--telemetry DIR] [--out trace.json]
     pbbf-experiments pareto [--scale fast|full] [--simulator ideal|detailed]
                             [--family grid] [--coverage 0.9] [--lifetime]
@@ -68,6 +69,18 @@ def _positive_jobs(value: str) -> int:
     if jobs < 1:
         raise argparse.ArgumentTypeError(f"--jobs must be >= 1, got {jobs}")
     return jobs
+
+
+def _positive_block(value: str) -> int:
+    try:
+        block = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--lease-block must be an integer, got {value!r}"
+        )
+    if block < 1:
+        raise argparse.ArgumentTypeError(f"--lease-block must be >= 1, got {block}")
+    return block
 
 
 def _nonnegative_int(value: str) -> int:
@@ -127,6 +140,21 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                              "(default: a private temporary queue; point "
                              "it at a shared directory to let workers on "
                              "other machines join)")
+    parser.add_argument("--lease-block", type=_positive_block, default=1,
+                        metavar="N",
+                        help="points a sharded-backend worker claims (and "
+                             "completes) per queue transaction (default 1; "
+                             "larger blocks amortize queue I/O over many "
+                             "points for million-point campaigns — a "
+                             "mid-block worker crash still re-queues only "
+                             "its unfinished points)")
+    parser.add_argument("--object-store", action="store_true",
+                        help="store large flat-metrics payloads once in a "
+                             "content-addressed object store and reference "
+                             "them by hash from queue rows, journal lines "
+                             "and both cache tiers (results are "
+                             "bit-identical; references stay readable "
+                             "after the flag is dropped)")
     parser.add_argument("--cache-dir", default=None,
                         help="result cache directory "
                              "(default ~/.cache/repro or $REPRO_CACHE_DIR)")
@@ -244,21 +272,33 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="keep polling this long after the queue "
                              "drains, for long-lived shared queues "
                              "(default 0: exit once drained)")
+    worker.add_argument("--block", type=_positive_block, default=None,
+                        metavar="N",
+                        help="points to claim per queue transaction "
+                             "(default: the block size the campaign "
+                             "parent published in the queue config)")
 
     queue = sub.add_parser(
         "queue",
         help="inspect a sharded campaign's work queue "
              "(live depth, worker heartbeats, completion-rate ETA)",
     )
-    queue.add_argument("action", choices=("status",),
+    queue.add_argument("action", choices=("status", "compact"),
                        help="status: one snapshot of task counts, per-"
                             "worker heartbeat ages and the recent "
-                            "completion rate with an ETA")
+                            "completion rate with an ETA; "
+                            "compact: drop completed rows, sweep dead "
+                            "heartbeats and unreferenced objects, and "
+                            "reclaim the freed database pages")
     queue.add_argument("--queue", required=True, metavar="DIR",
                        help="the campaign's work-queue directory")
     queue.add_argument("--window-s", type=float, default=60.0,
                        help="completion-rate window in seconds "
                             "(default 60)")
+    queue.add_argument("--heartbeat-max-age-s", type=float, default=3600.0,
+                       help="compact only: drop worker heartbeat rows "
+                            "not refreshed within this many seconds "
+                            "(default 3600)")
 
     trace = sub.add_parser(
         "trace",
@@ -374,6 +414,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             progress=_progress_printer() if args.progress else None,
             failure_policy=_failure_policy_from(args),
             resume=args.resume,
+            lease_block=args.lease_block,
+            object_store=args.object_store,
             telemetry_dir=telemetry_dir,
         ):
             if args.command == "run":
@@ -530,6 +572,12 @@ def _run_cache(args: argparse.Namespace) -> int:
                 "campaigns resume from these — swept by `cache purge` "
                 "[--max-age-days N])"
             )
+        if stats.n_objects:
+            print(
+                f"objects: {stats.n_objects} content-addressed payloads "
+                f"({_format_bytes(stats.object_bytes)}; unreferenced ones "
+                "swept by `cache purge`)"
+            )
         for kind, count in stats.by_kind:
             print(f"  {kind:12s} {count}")
         return 0
@@ -561,6 +609,11 @@ def _run_cache(args: argparse.Namespace) -> int:
             f"swept {removed.journals_swept} orphaned campaign journals "
             f"({_format_bytes(removed.journal_bytes)} reclaimed)"
         )
+    if removed.objects_swept:
+        print(
+            f"swept {removed.objects_swept} unreferenced objects "
+            f"({_format_bytes(removed.object_bytes)} reclaimed)"
+        )
     return 0
 
 
@@ -576,6 +629,7 @@ def _run_worker(args: argparse.Namespace) -> int:
             worker_id=worker_id,
             poll_s=args.poll_s,
             linger_s=args.linger_s,
+            block=args.block,
         )
     except KeyboardInterrupt:
         print(f"worker {worker_id} interrupted", file=sys.stderr)
@@ -585,7 +639,7 @@ def _run_worker(args: argparse.Namespace) -> int:
 
 
 def _run_queue(args: argparse.Namespace) -> int:
-    """The ``queue status`` subcommand: one live snapshot of a queue."""
+    """The ``queue status`` / ``queue compact`` subcommands."""
     from pathlib import Path
 
     from repro.obs import render_queue_status
@@ -598,6 +652,30 @@ def _run_queue(args: argparse.Namespace) -> int:
     if not (queue_dir / QUEUE_FILENAME).exists():
         print(f"no work queue at {queue_dir}", file=sys.stderr)
         return 1
+    if args.action == "compact":
+        if args.heartbeat_max_age_s < 0:
+            print("--heartbeat-max-age-s must be >= 0", file=sys.stderr)
+            return 2
+        report = WorkQueue(queue_dir).compact(
+            heartbeat_max_age_s=args.heartbeat_max_age_s
+        )
+        print(
+            f"compacted work queue at {queue_dir}: "
+            f"dropped {report['tasks_dropped']} completed tasks and "
+            f"{report['results_dropped']} orphaned results, "
+            f"swept {report['heartbeats_swept']} dead heartbeats"
+        )
+        if report["objects_swept"]:
+            print(
+                f"swept {report['objects_swept']} unreferenced objects "
+                f"({_format_bytes(report['object_bytes'])} reclaimed)"
+            )
+        print(
+            f"database: {_format_bytes(report['bytes_before'])} -> "
+            f"{_format_bytes(report['bytes_after'])} "
+            f"({_format_bytes(report['reclaimed_bytes'])} reclaimed)"
+        )
+        return 0
     snapshot = WorkQueue(queue_dir).status_snapshot(window_s=args.window_s)
     for line in render_queue_status(snapshot):
         print(line)

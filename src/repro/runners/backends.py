@@ -78,6 +78,11 @@ OnFailure = Optional[Callable[[RunFailure], None]]
 #: How often the pool loop wakes to check deadlines and top up leases.
 _POLL_INTERVAL_S = 0.05
 
+#: Campaigns with at most this many leases per worker count as "small":
+#: the pool groups their leases into one submission per worker, so IPC
+#: and future bookkeeping stop dominating short tasks.
+_SMALL_CAMPAIGN_PER_WORKER = 8
+
 
 def _evaluate_batch_task(task: _BatchTask) -> List[Dict[str, Any]]:
     """Evaluate one point's grouped seeds, one flat dict per seed."""
@@ -111,6 +116,47 @@ def _evaluate_leased_task(
     if marker == "corrupt_result":
         return [dict(faults.CORRUPT_RESULT_MARKER) for _ in flats]
     return flats
+
+
+def _evaluate_lease_chunk(
+    payloads: Sequence[Tuple[_BatchTask, str, int]]
+) -> List[Tuple[Any, ...]]:
+    """Evaluate several leases in one pool submission, outcomes aligned.
+
+    Used for small campaigns where per-lease submission overhead would
+    dominate.  Failures are captured per lease as ``("error", type
+    name, message)`` tuples instead of raising, so one bad lease never
+    charges its chunk-mates an attempt — only a worker *death* (which
+    no handler survives) keeps the whole-chunk collateral accounting.
+    """
+    outcomes: List[Tuple[Any, ...]] = []
+    for payload in payloads:
+        try:
+            outcomes.append(("ok", _evaluate_leased_task(payload)))
+        except KeyboardInterrupt:  # pragma: no cover - parent-driven
+            raise
+        except BaseException as error:
+            outcomes.append(("error", type(error).__name__, str(error)))
+    return outcomes
+
+
+_CHUNK_ERROR_TYPES = {
+    cls.__name__: cls
+    for cls in (CorruptResultError, TaskTimeoutError, WorkerCrashError)
+}
+
+
+def _chunk_error(name: str, message: str) -> BaseException:
+    """Rebuild a chunk lease's worker-side failure from its wire form.
+
+    Unknown types become a synthetic RuntimeError subclass carrying the
+    original name, so ``RunFailure.error_type`` reads the same whether
+    the lease ran chunked or singleton.
+    """
+    cls = _CHUNK_ERROR_TYPES.get(name)
+    if cls is None:
+        cls = type(name, (RuntimeError,), {})
+    return cls(message)
 
 
 def _group_runs(runs: Sequence[CampaignRun]) -> List[_BatchTask]:
@@ -282,6 +328,42 @@ def _validated(lease: _Lease, flats: Any) -> List[Dict[str, Any]]:
             f"task returned metrics that do not rebuild as kind {kind!r}"
         )
     return flats
+
+
+def _serve_from_memo(
+    state: _ExecutionState, leases: List[_Lease]
+) -> List[_Lease]:
+    """Deliver leases the in-process memo already covers; return the rest.
+
+    ``run_campaign`` filters memoised points before calling a backend,
+    but direct ``execute`` callers (and mixed warm/cold reruns) would
+    otherwise pay worker submission or queue round-trips for points the
+    parent can serve immediately.  Only fully covered leases
+    short-circuit — a partial hit goes to the backend whole so batch
+    grouping stays intact — and delivery runs through ``state.deliver``,
+    so ordering and hooks match a computed lease exactly.
+    """
+    from repro.runners.campaign import _MEMO  # import-time cycle guard
+
+    if not _MEMO:
+        return leases
+    remaining: List[_Lease] = []
+    served = 0
+    for lease in leases:
+        flats: List[Dict[str, Any]] = []
+        for offset in range(lease.n_runs):
+            metrics = _MEMO.get(state.runs[lease.start + offset].key)
+            if metrics is None:
+                break
+            flats.append(metrics_to_dict(metrics))
+        if len(flats) == lease.n_runs:
+            state.deliver(lease, flats)
+            served += 1
+        else:
+            remaining.append(lease)
+    if served:
+        get_recorder().counter("backend.memo_served", served)
+    return remaining
 
 
 def _degraded_attempt(
@@ -487,7 +569,7 @@ class ProcessPoolBackend:
         state = _ExecutionState(
             runs, _resolve_policy(failure_policy), on_result, on_failure
         )
-        leases = _build_leases(runs)
+        leases = _serve_from_memo(state, _build_leases(runs))
         if len(leases) <= 1 or self.jobs == 1:
             _drain_serial(state, leases)
         else:
@@ -518,7 +600,20 @@ class ProcessPoolBackend:
         rebuilds = 0
         queue: Deque[_Lease] = deque(leases)
         waiting: List[_Lease] = []  # backoff-delayed leases
-        in_flight: Dict[Any, Tuple[_Lease, Optional[float]]] = {}
+        in_flight: Dict[Any, Tuple[List[_Lease], Optional[float]]] = {}
+        # Small warm campaigns: one submission per worker instead of one
+        # per lease, so IPC and future bookkeeping stop dominating short
+        # tasks (the small-campaign pool regression).  Never chunked
+        # under a task deadline — the submission-time deadline only
+        # approximates a start-time one at one task per submission.
+        chunk_size = 1
+        if policy.timeout_s is None and len(leases) > workers:
+            per_worker = -(-len(leases) // workers)  # ceil
+            if (
+                per_worker > 1
+                and len(leases) <= workers * _SMALL_CAMPAIGN_PER_WORKER
+            ):
+                chunk_size = per_worker
 
         def requeue(lease: _Lease) -> None:
             if lease.not_before > time.monotonic():
@@ -527,7 +622,9 @@ class ProcessPoolBackend:
                 queue.append(lease)
 
         def fail_over_to_serial() -> None:
-            remaining = [lease for lease, _ in in_flight.values()]
+            remaining = [
+                lease for chunk, _ in in_flight.values() for lease in chunk
+            ]
             in_flight.clear()
             remaining.extend(queue)
             remaining.extend(waiting)
@@ -546,12 +643,25 @@ class ProcessPoolBackend:
                     queue.append(lease)
                 broken = False
                 while queue and len(in_flight) < workers:
-                    lease = queue.popleft()
-                    payload = (lease.task, lease.key, lease.attempt)
+                    chunk = [queue.popleft()]
+                    while len(chunk) < chunk_size and queue:
+                        chunk.append(queue.popleft())
+                    payloads = [
+                        (lease.task, lease.key, lease.attempt)
+                        for lease in chunk
+                    ]
                     try:
-                        future = executor.submit(_evaluate_leased_task, payload)
+                        if len(chunk) == 1:
+                            future = executor.submit(
+                                _evaluate_leased_task, payloads[0]
+                            )
+                        else:
+                            future = executor.submit(
+                                _evaluate_lease_chunk, payloads
+                            )
                     except BrokenExecutor:
-                        queue.appendleft(lease)
+                        for lease in reversed(chunk):
+                            queue.appendleft(lease)
                         broken = True
                         break
                     deadline = (
@@ -559,7 +669,7 @@ class ProcessPoolBackend:
                         if policy.timeout_s
                         else None
                     )
-                    in_flight[future] = (lease, deadline)
+                    in_flight[future] = (chunk, deadline)
                 if not in_flight and not broken:
                     if waiting:
                         pause = min(l.not_before for l in waiting) - time.monotonic()
@@ -573,36 +683,64 @@ class ProcessPoolBackend:
                         return_when=FIRST_COMPLETED,
                     )
                     for future in done:
-                        lease, _deadline = in_flight.pop(future)
+                        chunk, _deadline = in_flight.pop(future)
                         try:
-                            flats = _validated(lease, future.result())
+                            raw = future.result()
                         except BrokenExecutor as error:
                             broken = True
-                            _handle_failed_attempt(state, lease, error, requeue)
+                            for lease in chunk:
+                                _handle_failed_attempt(
+                                    state, lease, error, requeue
+                                )
+                            continue
                         except KeyboardInterrupt:
                             raise
                         except Exception as error:
-                            _handle_failed_attempt(state, lease, error, requeue)
-                        else:
-                            state.deliver(lease, flats)
+                            for lease in chunk:
+                                _handle_failed_attempt(
+                                    state, lease, error, requeue
+                                )
+                            continue
+                        outcomes = (
+                            [("ok", raw)] if len(chunk) == 1 else raw
+                        )
+                        for lease, outcome in zip(chunk, outcomes):
+                            if outcome[0] != "ok":
+                                _handle_failed_attempt(
+                                    state,
+                                    lease,
+                                    _chunk_error(outcome[1], outcome[2]),
+                                    requeue,
+                                )
+                                continue
+                            try:
+                                flats = _validated(lease, outcome[1])
+                            except CorruptResultError as error:
+                                _handle_failed_attempt(
+                                    state, lease, error, requeue
+                                )
+                            else:
+                                state.deliver(lease, flats)
                 expired: List[Any] = []
                 if not broken and policy.timeout_s:
                     now = time.monotonic()
                     expired = [
                         future
-                        for future, (_lease, deadline) in in_flight.items()
+                        for future, (_chunk, deadline) in in_flight.items()
                         if deadline is not None and now >= deadline
                     ]
                     for future in expired:
-                        lease, _deadline = in_flight.pop(future)
-                        _handle_failed_attempt(
-                            state,
-                            lease,
-                            TaskTimeoutError(
-                                f"task exceeded timeout_s={policy.timeout_s:g}"
-                            ),
-                            requeue,
-                        )
+                        chunk, _deadline = in_flight.pop(future)
+                        for lease in chunk:
+                            _handle_failed_attempt(
+                                state,
+                                lease,
+                                TaskTimeoutError(
+                                    f"task exceeded "
+                                    f"timeout_s={policy.timeout_s:g}"
+                                ),
+                                requeue,
+                            )
                 if broken or expired:
                     # The pool is unusable: workers died (pool poisoned)
                     # or are hung holding expired leases.  Re-lease the
@@ -612,18 +750,19 @@ class ProcessPoolBackend:
                     # merely rescheduled).
                     stranded = list(in_flight.values())
                     in_flight.clear()
-                    for lease, _deadline in stranded:
-                        if broken:
-                            _handle_failed_attempt(
-                                state,
-                                lease,
-                                WorkerCrashError(
-                                    "worker pool collapsed mid-task"
-                                ),
-                                requeue,
-                            )
-                        else:
-                            requeue(lease)
+                    for chunk, _deadline in stranded:
+                        for lease in chunk:
+                            if broken:
+                                _handle_failed_attempt(
+                                    state,
+                                    lease,
+                                    WorkerCrashError(
+                                        "worker pool collapsed mid-task"
+                                    ),
+                                    requeue,
+                                )
+                            else:
+                                requeue(lease)
                     _kill_executor(executor)
                     rebuilds += 1
                     recorder = get_recorder()

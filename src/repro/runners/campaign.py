@@ -328,11 +328,15 @@ def run_campaign(
                 from repro.runners.sqlite_tier import SQLiteCacheTier
 
                 store = SQLiteCacheTier(
-                    cache_dir, max_size_mb=config.cache_max_size_mb
+                    cache_dir,
+                    max_size_mb=config.cache_max_size_mb,
+                    object_store=config.object_store,
                 )
             else:
                 store = ResultCache(
-                    cache_dir, max_size_mb=config.cache_max_size_mb
+                    cache_dir,
+                    max_size_mb=config.cache_max_size_mb,
+                    object_store=config.object_store,
                 )
 
     journal_store: Optional[CampaignJournal] = None
@@ -341,8 +345,14 @@ def run_campaign(
     elif isinstance(journal, (str, Path)):
         journal_store = CampaignJournal(journal)
     elif journal is None and store is not None:
+        # Share the cache's object store so journal lines reference the
+        # same stored payloads (markers still resolve when disabled).
         journal_store = CampaignJournal.for_campaign(
-            store.root, spec.content_hash()
+            store.root,
+            spec.content_hash(),
+            object_store=(
+                getattr(store, "objects", None) if config.object_store else None
+            ),
         )
     # journal=False (or no cache to sit beside) disables journaling.
 
@@ -441,7 +451,9 @@ def run_campaign(
             choice = config.backend
             if choice == "sharded":
                 backend = ShardedBackend(
-                    jobs or 0, queue_dir=config.queue_dir
+                    jobs or 0,
+                    queue_dir=config.queue_dir,
+                    lease_block=config.lease_block,
                 )
             elif choice == "serial":
                 backend = SerialBackend()

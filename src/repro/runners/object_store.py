@@ -1,0 +1,255 @@
+"""Content-addressed payload store for campaign-scale metric blobs.
+
+Million-point campaigns repeat the same large flat-metrics dictionaries
+across queue result rows, journal lines and both cache tiers.  Storing
+each distinct payload once under its content hash keeps every one of
+those surfaces O(reference) instead of O(payload): rows carry a tiny
+``{"__object__": "<sha256>"}`` marker and readers resolve it back to
+the original dict on the way out.
+
+Design rules, in order of importance:
+
+* **Readers always resolve.**  Decoding a marker never depends on any
+  configuration flag, so payloads written with the store enabled stay
+  readable after it is switched off (and vice versa).
+* **Writers are gated.**  Markers are only *produced* when the caller
+  opted in (``--object-store`` / ``ExecutionConfig.object_store``) and
+  the encoded payload crosses :func:`default_object_threshold` — small
+  dicts are never indirected, so the hot path for typical campaigns is
+  untouched and ``CACHE_VERSION`` does not change.
+* **Dangling references degrade to a miss.**  A swept or corrupt object
+  makes :meth:`ObjectStore.resolve` return ``None`` and the caller
+  treats the row as absent — the point is recomputed and re-stored, the
+  same degrade-to-recompute contract the cache tiers already follow.
+
+Objects live under ``<root>/objects/<sha[:2]>/<sha>.json`` next to the
+cache's ``points/`` shards, are written atomically (tmp + rename) and
+verified against their hash on read, so a torn write can never serve a
+wrong payload for a key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Set, Tuple
+
+from repro.obs import get_recorder
+
+#: Key of the single-entry marker dict that replaces a stored payload.
+MARKER_KEY = "__object__"
+
+#: Payloads whose canonical JSON is at least this many bytes are stored
+#: once under their hash; anything smaller is kept inline.
+DEFAULT_THRESHOLD_BYTES = 2048
+
+_REF_PATTERN = re.compile(r'"__object__"\s*:\s*"([0-9a-f]{64})"')
+
+
+def default_object_threshold() -> int:
+    """The inline-vs-store size threshold, in bytes.
+
+    ``$REPRO_OBJECT_THRESHOLD`` overrides the default — handy for tests
+    and for campaigns whose metrics are uniformly mid-sized.
+    """
+    raw = os.environ.get("REPRO_OBJECT_THRESHOLD")
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_THRESHOLD_BYTES
+
+
+def object_marker_ref(value: Any) -> Optional[str]:
+    """The sha256 ref if ``value`` is a marker dict, else ``None``."""
+    if (
+        type(value) is dict
+        and len(value) == 1
+        and isinstance(value.get(MARKER_KEY), str)
+    ):
+        return value[MARKER_KEY]
+    return None
+
+
+def refs_in_text(text: str) -> Set[str]:
+    """Every object ref mentioned in a serialized row/entry/journal line.
+
+    Textual scanning (rather than parsing) keeps liveness sweeps cheap
+    over thousands of entries; the marker shape is distinctive enough
+    that false positives only ever *keep* an object alive, never sweep
+    a live one.
+    """
+    return set(_REF_PATTERN.findall(text))
+
+
+class ObjectStore:
+    """Content-addressed JSON blobs under ``<root>/objects/``.
+
+    The store is safe to share between the file cache, the SQLite tier
+    and the work queue: objects are immutable and named by content, so
+    concurrent writers of the same payload race benignly to an
+    identical file.  OSError on write degrades to inline storage (the
+    caller keeps the original payload); OSError on read degrades to a
+    miss.
+    """
+
+    def __init__(
+        self, root: Optional[Path] = None, threshold_bytes: Optional[int] = None
+    ) -> None:
+        if root is None:
+            from repro.runners.cache import default_cache_dir
+
+            root = default_cache_dir()
+        self.root = Path(root)
+        self.dir = self.root / "objects"
+        self.threshold_bytes = (
+            default_object_threshold()
+            if threshold_bytes is None
+            else int(threshold_bytes)
+        )
+
+    # ------------------------------------------------------------------
+    # Encode / resolve
+    # ------------------------------------------------------------------
+    def encode(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Replace ``payload`` with a marker when it is worth storing.
+
+        Returns the original dict unchanged when it is below the
+        threshold, already a marker, or the store write degraded — the
+        caller can test ``encode(x) is x`` to learn whether a marker
+        was produced.
+        """
+        if object_marker_ref(payload) is not None:
+            return payload
+        text = json.dumps(payload, sort_keys=True)
+        if len(text) < self.threshold_bytes:
+            return payload
+        ref = self.put_text(text)
+        if ref is None:
+            return payload
+        return {MARKER_KEY: ref}
+
+    def resolve(self, value: Any) -> Optional[Any]:
+        """Load a marker back into its payload.
+
+        Non-marker values pass through unchanged; a marker resolves to
+        the stored dict, or to ``None`` when the object is missing or
+        fails hash verification (the caller treats that as a miss).
+        """
+        ref = object_marker_ref(value)
+        if ref is None:
+            return value
+        text = self.get_text(ref)
+        if text is None:
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return None
+        get_recorder().counter("objstore.hit")
+        return payload
+
+    # ------------------------------------------------------------------
+    # Raw text I/O
+    # ------------------------------------------------------------------
+    def _path(self, ref: str) -> Path:
+        return self.dir / ref[:2] / f"{ref}.json"
+
+    def put_text(self, text: str) -> Optional[str]:
+        """Store canonical JSON ``text``, returning its ref.
+
+        Idempotent: an existing object with the same hash is a dedup
+        hit and nothing is written.  Returns ``None`` when the write
+        degrades (read-only or full disk) so the caller keeps the
+        payload inline.
+        """
+        recorder = get_recorder()
+        ref = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        path = self._path(ref)
+        if path.exists():
+            recorder.counter("objstore.dedup")
+            return ref
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(text, encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return None
+        recorder.counter("objstore.put")
+        return ref
+
+    def get_text(self, ref: str) -> Optional[str]:
+        """The stored text for ``ref``, hash-verified, or ``None``."""
+        try:
+            text = self._path(ref).read_text(encoding="utf-8")
+        except OSError:
+            return None
+        if hashlib.sha256(text.encode("utf-8")).hexdigest() != ref:
+            return None
+        return text
+
+    def has(self, ref: str) -> bool:
+        return self._path(ref).exists()
+
+    # ------------------------------------------------------------------
+    # Accounting and maintenance
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        """Whether any objects have ever been stored under this root."""
+        return self.dir.is_dir()
+
+    def object_paths(self) -> Iterable[Path]:
+        if not self.dir.is_dir():
+            return
+        yield from sorted(self.dir.glob("*/*.json"))
+
+    def stats(self) -> Tuple[int, int]:
+        """``(n_objects, total_bytes)`` currently stored."""
+        count = 0
+        total = 0
+        for path in self.object_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            count += 1
+        return count, total
+
+    def sweep(self, keep: Set[str]) -> Tuple[int, int]:
+        """Unlink every object whose ref is not in ``keep``.
+
+        Returns ``(n_swept, bytes_swept)``.  Shard directories left
+        empty are removed too, so a fully swept store leaves no trace.
+        """
+        swept = 0
+        swept_bytes = 0
+        for path in self.object_paths():
+            if path.stem in keep:
+                continue
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+            swept += 1
+            swept_bytes += size
+        if self.dir.is_dir():
+            for shard in sorted(self.dir.iterdir()):
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+            try:
+                self.dir.rmdir()
+            except OSError:
+                pass
+        return swept, swept_bytes

@@ -26,6 +26,21 @@ Because point evaluation is a pure function of ``(kind, params, seed)``
 :class:`~repro.runners.backends.SerialBackend` regardless of which
 worker runs what, how many die mid-task, or how leases interleave — the
 queue decides *scheduling*, never *values*.
+
+At campaign scale the queue must also be *cheap* per point.  Workers
+claim **blocks** of tasks in one ``BEGIN IMMEDIATE`` transaction
+(:meth:`WorkQueue.claim_block`), land a whole block with one
+``executemany`` batch (:meth:`WorkQueue.complete_many`), and in steady
+state fuse "complete the previous block, refresh the heartbeat, claim
+the next" into a single transaction
+(:meth:`WorkQueue.complete_and_claim`) — so queue round-trips per point
+fall as ``1/block`` while the per-lease attempt accounting is
+unchanged: a worker that dies mid-block re-queues only the leases it
+had not yet completed, each charged one :class:`WorkerCrashError`
+attempt.  The parent harvests result rows in pages rather than
+unbounded scans, and large flat-metrics payloads can ride the
+content-addressed object store (:mod:`repro.runners.object_store`)
+instead of being copied into every row.
 """
 
 from __future__ import annotations
@@ -55,10 +70,12 @@ from repro.runners.backends import (
     _ExecutionState,
     _Lease,
     _resolve_policy,
+    _serve_from_memo,
     _timed_attempt,
     _validated,
 )
 from repro.runners.context import get_execution, get_stats, set_execution
+from repro.runners.object_store import MARKER_KEY, ObjectStore, refs_in_text
 from repro.runners.failures import (
     CorruptResultError,
     FailurePolicy,
@@ -81,6 +98,15 @@ BUSY_TIMEOUT_S = 30.0
 
 #: Idle sleep between claim attempts in a worker.
 DEFAULT_POLL_S = 0.05
+
+#: Result rows the parent harvests per page.  Pages bound the memory and
+#: statement cost of each poll on million-point queues while the
+#: journal/``on_point`` stream rides the same ordered reads unchanged.
+RESULT_PAGE_ROWS = 512
+
+#: Heartbeat rows older than this are swept by ``compact`` — a worker
+#: silent for an hour is a corpse, not a participant.
+HEARTBEAT_MAX_AGE_S = 3600.0
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta(
@@ -159,16 +185,33 @@ class WorkQueue:
         self.db_path = self.dir / QUEUE_FILENAME
         self._con: Optional[sqlite3.Connection] = None
         self._pid: Optional[int] = None
+        #: Write transactions this instance has issued — the "round
+        #: trips" the block protocol amortizes; the scale drill asserts
+        #: this stays ~``ceil(points / block)``.
+        self.round_trips = 0
+        #: Whether *this writer* stores large result payloads in the
+        #: object store.  Set from ``configure``/``read_config`` so the
+        #: parent and every worker agree; readers always resolve
+        #: markers regardless.
+        self.object_store = False
+        self._objects: Optional[ObjectStore] = None
 
     def _connect(self) -> sqlite3.Connection:
         if self._con is not None and self._pid == os.getpid():
             return self._con
         self.dir.mkdir(parents=True, exist_ok=True)
+        # One long-lived connection per (instance, pid).  The statement
+        # cache is sized for the full protocol vocabulary so the hot
+        # claim/complete SQL is compiled once per worker, not per call.
         con = sqlite3.connect(
-            str(self.db_path), timeout=BUSY_TIMEOUT_S, check_same_thread=False
+            str(self.db_path),
+            timeout=BUSY_TIMEOUT_S,
+            check_same_thread=False,
+            cached_statements=256,
         )
         con.execute("PRAGMA journal_mode=WAL")
         con.execute("PRAGMA synchronous=NORMAL")
+        con.execute("PRAGMA temp_store=MEMORY")
         con.executescript(_SCHEMA)
         con.commit()
         self._con = con
@@ -194,7 +237,41 @@ class WorkQueue:
             con.rollback()
             raise
         con.commit()
+        self.round_trips += 1
         return outcome
+
+    # -- result payload encoding -------------------------------------------
+
+    @property
+    def objects(self) -> ObjectStore:
+        """The queue's object store (``<queue dir>/objects/``)."""
+        if self._objects is None:
+            self._objects = ObjectStore(self.dir)
+        return self._objects
+
+    def _encode_flats(self, flats: List[Dict[str, Any]]) -> str:
+        """Serialize a result payload, indirecting it when opted in."""
+        text = json.dumps(flats)
+        if self.object_store and len(text) >= self.objects.threshold_bytes:
+            ref = self.objects.put_text(text)
+            if ref is not None:
+                return json.dumps({MARKER_KEY: ref})
+        return text
+
+    def _decode_flats(self, text: str) -> Optional[List[Dict[str, Any]]]:
+        """Deserialize a result row; ``None`` when its object dangles.
+
+        The parent treats ``None`` like any torn row: the attempt is
+        charged and the task re-queued, so a swept object degrades to a
+        recompute rather than an error.
+        """
+        payload = json.loads(text)
+        if isinstance(payload, dict):
+            resolved = self.objects.resolve(payload)
+            if resolved is None or not isinstance(resolved, list):
+                return None
+            return resolved
+        return payload
 
     # -- campaign setup ----------------------------------------------------
 
@@ -203,15 +280,24 @@ class WorkQueue:
         policy: FailurePolicy,
         lease_s: float = DEFAULT_LEASE_S,
         fault_plan_token: Optional[str] = None,
+        lease_block: Optional[int] = None,
+        object_store: Optional[bool] = None,
     ) -> None:
         """Publish the campaign's execution contract to the workers.
 
         Workers on other machines read the failure policy, the lease
-        duration, the parent's kernel-selection flags and any fault plan
-        from the ``meta`` table — the same hand-off ``_init_worker``
-        performs for the pool backend, durable on disk.
+        duration, the parent's kernel-selection flags, the block size
+        and any fault plan from the ``meta`` table — the same hand-off
+        ``_init_worker`` performs for the pool backend, durable on
+        disk.  ``lease_block``/``object_store`` default to the ambient
+        :class:`~repro.runners.context.ExecutionConfig`.
         """
         config = get_execution()
+        if lease_block is None:
+            lease_block = config.lease_block
+        if object_store is None:
+            object_store = config.object_store
+        self.object_store = bool(object_store)
         rows = {
             "policy": json.dumps(asdict(policy), sort_keys=True),
             "lease_s": json.dumps(lease_s),
@@ -219,6 +305,8 @@ class WorkQueue:
             "detailed_fast_path": json.dumps(config.detailed_fast_path),
             "fault_plan": json.dumps(fault_plan_token),
             "telemetry": json.dumps(config.telemetry_dir),
+            "lease_block": json.dumps(max(1, int(lease_block))),
+            "object_store": json.dumps(bool(object_store)),
         }
         self._write(
             lambda con: con.executemany(
@@ -246,6 +334,10 @@ class WorkQueue:
             ),
             "fault_plan": json.loads(rows.get("fault_plan", "null")),
             "telemetry": json.loads(rows.get("telemetry", "null")),
+            "lease_block": max(
+                1, int(json.loads(rows.get("lease_block", "1")))
+            ),
+            "object_store": bool(json.loads(rows.get("object_store", "false"))),
         }
 
     def enqueue(self, leases: Sequence[_Lease]) -> None:
@@ -274,35 +366,101 @@ class WorkQueue:
 
     # -- the worker protocol -----------------------------------------------
 
+    def _claim_rows(
+        self,
+        con: sqlite3.Connection,
+        worker_id: str,
+        lease_s: float,
+        n: int,
+        reference: float,
+    ) -> List[Tuple[str, _BatchTask, int]]:
+        """Lease up to ``n`` due tasks inside a held write transaction."""
+        rows = con.execute(
+            "SELECT key, payload, attempt FROM tasks "
+            "WHERE status = 'pending' AND not_before <= ? "
+            "ORDER BY rowid LIMIT ?",
+            (reference, n),
+        ).fetchall()
+        if rows:
+            con.executemany(
+                "UPDATE tasks SET status='leased', worker=?, lease_expires=? "
+                "WHERE key = ?",
+                [(worker_id, reference + lease_s, key) for key, _, _ in rows],
+            )
+        return [
+            (key, _task_from_json(payload), int(attempt))
+            for key, payload, attempt in rows
+        ]
+
+    def _complete_rows(
+        self,
+        con: sqlite3.Connection,
+        result_rows: Sequence[Tuple[str, str, str, float]],
+    ) -> None:
+        """Land a batch of completions inside a held write transaction."""
+        con.executemany(
+            "UPDATE tasks SET status='done', worker=?, lease_expires=NULL, "
+            "error_type=NULL, error=NULL WHERE key = ?",
+            [(worker, key) for key, _flats, worker, _ in result_rows],
+        )
+        con.executemany(
+            "INSERT OR REPLACE INTO results(key, flats, worker, completed) "
+            "VALUES (?, ?, ?, ?)",
+            list(result_rows),
+        )
+
+    def claim_block(
+        self,
+        worker_id: str,
+        lease_s: float,
+        n: int = 1,
+        now: Optional[float] = None,
+    ) -> List[Tuple[str, _BatchTask, int]]:
+        """Lease the ``n`` oldest due pending tasks in one transaction.
+
+        Returns up to ``n`` ``(key, task, attempt)`` tuples in rowid
+        order — the attempt index the worker must evaluate each task
+        under (it keys the fault and backoff streams, so a re-queued
+        task faults exactly as it would have on any backend).  An empty
+        list means nothing is due.
+        """
+        reference = now if now is not None else time.time()
+        return self._write(
+            lambda con: self._claim_rows(
+                con, worker_id, lease_s, max(1, int(n)), reference
+            )
+        )
+
     def claim(
         self, worker_id: str, lease_s: float, now: Optional[float] = None
     ) -> Optional[Tuple[str, _BatchTask, int]]:
         """Lease the oldest due pending task; ``None`` when nothing is due.
 
-        Returns ``(key, task, attempt)`` — the attempt index the worker
-        must evaluate under (it keys the fault and backoff streams, so a
-        re-queued task faults exactly as it would have on any backend).
+        The single-task protocol — :meth:`claim_block` with ``n=1``.
         """
+        claimed = self.claim_block(worker_id, lease_s, 1, now=now)
+        return claimed[0] if claimed else None
+
+    def complete_many(
+        self,
+        completions: Sequence[Tuple[str, List[Dict[str, Any]]]],
+        worker_id: str,
+        now: Optional[float] = None,
+    ) -> None:
+        """Land a block of ``(key, flats)`` results in one transaction.
+
+        Idempotent per key, exactly like :meth:`complete`: a late
+        double-completion rewrites rows with the same bits, because
+        evaluation is pure.
+        """
+        if not completions:
+            return
         reference = now if now is not None else time.time()
-
-        def operate(con: sqlite3.Connection):
-            row = con.execute(
-                "SELECT key, payload, attempt FROM tasks "
-                "WHERE status = 'pending' AND not_before <= ? "
-                "ORDER BY rowid LIMIT 1",
-                (reference,),
-            ).fetchone()
-            if row is None:
-                return None
-            key, payload, attempt = row
-            con.execute(
-                "UPDATE tasks SET status='leased', worker=?, lease_expires=? "
-                "WHERE key = ?",
-                (worker_id, reference + lease_s, key),
-            )
-            return key, _task_from_json(payload), int(attempt)
-
-        return self._write(operate)
+        result_rows = [
+            (key, self._encode_flats(flats), worker_id, reference)
+            for key, flats in completions
+        ]
+        self._write(lambda con: self._complete_rows(con, result_rows))
 
     def complete(
         self,
@@ -317,21 +475,55 @@ class WorkQueue:
         expired and the task re-ran elsewhere) rewrites the row with the
         same bits — evaluation is pure, so there is nothing to race over.
         """
+        self.complete_many([(key, flats)], worker_id, now=now)
+
+    def complete_and_claim(
+        self,
+        completions: Sequence[Tuple[str, List[Dict[str, Any]]]],
+        worker_id: str,
+        lease_s: float,
+        n: int = 1,
+        tasks_done: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> List[Tuple[str, _BatchTask, int]]:
+        """The steady-state block protocol: one transaction per block.
+
+        Completes the previous block's ``(key, flats)`` results,
+        refreshes this worker's heartbeat row when ``tasks_done`` is
+        given, and claims the next block of up to ``n`` due tasks — all
+        inside a single ``BEGIN IMMEDIATE``, so a long campaign costs
+        one queue round-trip per block rather than two per point.
+
+        Crash accounting is unchanged by the fusion: results not yet
+        flushed by this call belong to rows still ``leased`` by the
+        worker, so a death between calls re-queues exactly the
+        unfinished leases (one :class:`WorkerCrashError` charge each)
+        and never the ones a previous call already landed.
+        """
         reference = now if now is not None else time.time()
+        result_rows = [
+            (key, self._encode_flats(flats), worker_id, reference)
+            for key, flats in completions
+        ]
 
-        def operate(con: sqlite3.Connection) -> None:
-            con.execute(
-                "UPDATE tasks SET status='done', worker=?, lease_expires=NULL, "
-                "error_type=NULL, error=NULL WHERE key = ?",
-                (worker_id, key),
-            )
-            con.execute(
-                "INSERT OR REPLACE INTO results(key, flats, worker, completed) "
-                "VALUES (?, ?, ?, ?)",
-                (key, json.dumps(flats), worker_id, reference),
+        def operate(con: sqlite3.Connection):
+            if result_rows:
+                self._complete_rows(con, result_rows)
+            if tasks_done is not None:
+                con.execute(
+                    "INSERT INTO heartbeats"
+                    "(worker, started, last_seen, tasks_done) "
+                    "VALUES (?, ?, ?, ?) "
+                    "ON CONFLICT(worker) DO UPDATE SET "
+                    "last_seen=excluded.last_seen, "
+                    "tasks_done=excluded.tasks_done",
+                    (worker_id, reference, reference, tasks_done),
+                )
+            return self._claim_rows(
+                con, worker_id, lease_s, max(1, int(n)), reference
             )
 
-        self._write(operate)
+        return self._write(operate)
 
     def fail(
         self,
@@ -446,15 +638,31 @@ class WorkQueue:
     # -- the parent protocol -----------------------------------------------
 
     def fetch_results(
-        self, after_rowid: int = 0
-    ) -> List[Tuple[int, str, List[Dict[str, Any]]]]:
-        """Result rows newer than ``after_rowid``: ``(rowid, key, flats)``."""
-        rows = self._connect().execute(
-            "SELECT rowid, key, flats FROM results WHERE rowid > ? "
-            "ORDER BY rowid",
-            (after_rowid,),
-        ).fetchall()
-        return [(int(rid), key, json.loads(flats)) for rid, key, flats in rows]
+        self, after_rowid: int = 0, limit: Optional[int] = None
+    ) -> List[Tuple[int, str, Optional[List[Dict[str, Any]]]]]:
+        """Result rows newer than ``after_rowid``: ``(rowid, key, flats)``.
+
+        ``limit`` bounds the page (``None`` keeps the full scan for
+        small queues and tests).  ``flats`` is ``None`` when the row's
+        object-store payload dangles — the caller charges the attempt
+        like any corrupt row and the task recomputes.
+        """
+        if limit is None:
+            rows = self._connect().execute(
+                "SELECT rowid, key, flats FROM results WHERE rowid > ? "
+                "ORDER BY rowid",
+                (after_rowid,),
+            ).fetchall()
+        else:
+            rows = self._connect().execute(
+                "SELECT rowid, key, flats FROM results WHERE rowid > ? "
+                "ORDER BY rowid LIMIT ?",
+                (after_rowid, int(limit)),
+            ).fetchall()
+        return [
+            (int(rid), key, self._decode_flats(flats))
+            for rid, key, flats in rows
+        ]
 
     def fetch_exhausted(self) -> List[Tuple[str, int, str, str]]:
         """Exhausted rows: ``(key, attempt, error_type, error)``."""
@@ -496,6 +704,81 @@ class WorkQueue:
         return total > 0 and not (
             counts.get("pending", 0) or counts.get("leased", 0)
         )
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _disk_bytes(self) -> int:
+        # The -shm file is transient shared memory (fixed 32 KiB while any
+        # connection is open, gone after); counting it would make a drained
+        # queue look like it grew across compact.
+        total = 0
+        for suffix in ("", "-wal"):
+            try:
+                total += os.path.getsize(str(self.db_path) + suffix)
+            except OSError:
+                continue
+        return total
+
+    def compact(
+        self,
+        heartbeat_max_age_s: float = HEARTBEAT_MAX_AGE_S,
+        now: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Drop completed rows and reclaim their disk space.
+
+        Deletes ``done`` task rows and every result row without a task,
+        age-sweeps heartbeat rows of long-dead workers, sweeps object
+        files no surviving result references, then truncates the WAL
+        and ``VACUUM``\\ s the database.  Returns what was removed and
+        the bytes reclaimed.  A compacted campaign re-enqueued later
+        simply recomputes (or serves from the result cache) — the queue
+        holds work in flight, not the archive.
+        """
+        reference = now if now is not None else time.time()
+
+        def operate(con: sqlite3.Connection) -> Tuple[int, int, int]:
+            tasks_dropped = con.execute(
+                "DELETE FROM tasks WHERE status = 'done'"
+            ).rowcount
+            results_dropped = con.execute(
+                "DELETE FROM results "
+                "WHERE key NOT IN (SELECT key FROM tasks)"
+            ).rowcount
+            heartbeats_swept = con.execute(
+                "DELETE FROM heartbeats WHERE last_seen < ?",
+                (reference - heartbeat_max_age_s,),
+            ).rowcount
+            return tasks_dropped, results_dropped, heartbeats_swept
+
+        bytes_before = self._disk_bytes()
+        tasks_dropped, results_dropped, heartbeats_swept = self._write(operate)
+        objects_swept = 0
+        object_bytes = 0
+        if self.objects.exists():
+            live: set = set()
+            for (text,) in self._connect().execute(
+                "SELECT flats FROM results WHERE flats LIKE ?",
+                (f'%{MARKER_KEY}%',),
+            ):
+                live |= refs_in_text(text)
+            objects_swept, object_bytes = self.objects.sweep(live)
+        con = self._connect()
+        con.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        con.execute("VACUUM")
+        # In WAL mode VACUUM writes the rebuilt image through the WAL;
+        # checkpoint again so the -wal file does not dwarf the database.
+        con.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        bytes_after = self._disk_bytes()
+        return {
+            "tasks_dropped": int(tasks_dropped),
+            "results_dropped": int(results_dropped),
+            "heartbeats_swept": int(heartbeats_swept),
+            "objects_swept": objects_swept,
+            "object_bytes": object_bytes,
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_after,
+            "reclaimed_bytes": max(0, bytes_before - bytes_after),
+        }
 
     # -- liveness and status -------------------------------------------------
 
@@ -576,6 +859,11 @@ class WorkQueue:
         telemetry = json.loads(meta.get("telemetry", "null"))
         if telemetry:
             config["telemetry"] = telemetry
+        lease_block = json.loads(meta.get("lease_block", "1"))
+        if lease_block and int(lease_block) > 1:
+            config["lease_block"] = int(lease_block)
+        if json.loads(meta.get("object_store", "false")):
+            config["object_store"] = True
         completed_in_window, rate = self.completion_rate(
             window_s, now=reference
         )
@@ -603,6 +891,7 @@ def worker_loop(
     poll_s: float = DEFAULT_POLL_S,
     linger_s: float = 0.0,
     max_tasks: Optional[int] = None,
+    block: Optional[int] = None,
 ) -> int:
     """Claim-and-evaluate until the queue drains; returns tasks completed.
 
@@ -612,6 +901,15 @@ def worker_loop(
     flags, failure policy and fault plan, so evaluation — and fault
     decisions, keyed by ``(run key, attempt)`` — matches the serial and
     pool backends bit for bit.
+
+    The loop runs the block protocol: each
+    :meth:`WorkQueue.complete_and_claim` round-trip lands the previous
+    block's results, refreshes the heartbeat when due, and claims the
+    next block of ``block`` tasks (``None`` reads the published
+    ``lease_block``; 1 reproduces the original row-at-a-time cadence).
+    Completed-but-unflushed results belong to rows still leased by this
+    worker, so a crash between round-trips re-queues exactly those
+    leases and nothing that already landed.
 
     ``linger_s`` keeps an idle worker polling that long after the queue
     drains (a shared long-lived queue may receive more campaigns); 0
@@ -624,6 +922,10 @@ def worker_loop(
     config = queue.read_config()
     policy: FailurePolicy = config["policy"]
     lease_s: float = config["lease_s"]
+    if block is None:
+        block = config["lease_block"]
+    block = max(1, int(block))
+    queue.object_store = config["object_store"]
     plan = (
         faults.FaultPlan.from_token(config["fault_plan"])
         if config["fault_plan"]
@@ -642,26 +944,30 @@ def worker_loop(
     completed = 0
     idle_since: Optional[float] = None
     last_beat = 0.0
+    pending: List[Tuple[str, List[Dict[str, Any]]]] = []
 
-    def beat(force: bool = False) -> None:
-        """Refresh the liveness row, rate-limited to the heartbeat cadence."""
+    def beat_due(force: bool = False) -> Optional[int]:
+        """``tasks_done`` when a heartbeat is due this round-trip.
+
+        The heartbeat rides the block transaction instead of costing
+        its own, rate-limited to the usual cadence; ``None`` skips it.
+        """
         nonlocal last_beat
         mono = time.monotonic()
         if not force and mono - last_beat < HEARTBEAT_INTERVAL_S:
-            return
+            return None
         last_beat = mono
-        queue.heartbeat(worker_id, tasks_done=completed)
         recorder.event(
             "worker.heartbeat", worker=worker_id, tasks_done=completed
         )
+        return completed
 
-    beat(force=True)
     try:
+        claimed = queue.complete_and_claim(
+            [], worker_id, lease_s, block, tasks_done=beat_due(force=True)
+        )
         while True:
-            claim_start = time.perf_counter()
-            claimed = queue.claim(worker_id, lease_s)
-            beat()
-            if claimed is None:
+            if not claimed:
                 now = time.time()
                 if queue.drained():
                     if idle_since is None:
@@ -669,51 +975,72 @@ def worker_loop(
                     if now - idle_since >= linger_s:
                         break
                 time.sleep(poll_s)
+                claimed = queue.complete_and_claim(
+                    [], worker_id, lease_s, block, tasks_done=beat_due()
+                )
                 continue
             idle_since = None
-            key, task, attempt = claimed
-            recorder.event(
-                "queue.claimed",
-                key=key[:12],
-                attempt=attempt,
-                claim_s=round(time.perf_counter() - claim_start, 6),
-            )
-            try:
-                flats = _timed_attempt((task, key, attempt), policy.timeout_s)
-                kind, _params, seeds = task
-                if (
-                    not isinstance(flats, list)
-                    or len(flats) != len(seeds)
-                    or not all(
-                        validate_flat_metrics(kind, flat) for flat in flats
-                    )
-                ):
-                    raise CorruptResultError(
-                        f"task returned metrics that do not rebuild as "
-                        f"kind {kind!r}"
-                    )
-            except KeyboardInterrupt:
-                raise
-            except BaseException as error:
-                recorder.counter("queue.task_failed")
-                queue.fail(key, type(error).__name__, str(error), policy)
-            else:
-                complete_start = time.perf_counter()
-                queue.complete(key, flats, worker_id)
-                completed += 1
+            recorder.counter("queue.blocks_claimed")
+            recorder.counter("queue.block_rows", len(claimed))
+            stop = False
+            for key, task, attempt in claimed:
+                attempt_start = time.perf_counter()
                 recorder.event(
-                    "queue.completed",
-                    key=key[:12],
-                    attempt=attempt,
-                    complete_s=round(
-                        time.perf_counter() - complete_start, 6
-                    ),
+                    "queue.claimed", key=key[:12], attempt=attempt
                 )
-                beat()
-                if max_tasks is not None and completed >= max_tasks:
-                    break
+                try:
+                    flats = _timed_attempt(
+                        (task, key, attempt), policy.timeout_s
+                    )
+                    kind, _params, seeds = task
+                    if (
+                        not isinstance(flats, list)
+                        or len(flats) != len(seeds)
+                        or not all(
+                            validate_flat_metrics(kind, flat)
+                            for flat in flats
+                        )
+                    ):
+                        raise CorruptResultError(
+                            f"task returned metrics that do not rebuild as "
+                            f"kind {kind!r}"
+                        )
+                except KeyboardInterrupt:
+                    raise
+                except BaseException as error:
+                    recorder.counter("queue.task_failed")
+                    queue.fail(key, type(error).__name__, str(error), policy)
+                else:
+                    pending.append((key, flats))
+                    completed += 1
+                    recorder.event(
+                        "queue.completed",
+                        key=key[:12],
+                        attempt=attempt,
+                        task_s=round(
+                            time.perf_counter() - attempt_start, 6
+                        ),
+                    )
+                    if max_tasks is not None and completed >= max_tasks:
+                        stop = True
+                        break
+            if stop:
+                break
+            claimed = queue.complete_and_claim(
+                pending, worker_id, lease_s, block, tasks_done=beat_due()
+            )
+            pending = []
     finally:
-        beat(force=True)
+        # Flush whatever the block in progress finished; on a crash the
+        # interpreter never gets here and those rows re-queue instead.
+        try:
+            queue.complete_many(pending, worker_id)
+        except sqlite3.Error:  # pragma: no cover - queue gone mid-shutdown
+            pass
+        queue.heartbeat(worker_id, tasks_done=completed)
+        recorder.event(
+            "worker.heartbeat", worker=worker_id, tasks_done=completed
+        )
         recorder.flush()
     return completed
 
@@ -759,6 +1086,9 @@ class ShardedBackend:
     lease_s:
         Lease duration; ``None`` derives it from the policy's
         ``timeout_s`` (plus slack) or :data:`DEFAULT_LEASE_S`.
+    lease_block:
+        Tasks each worker claims (and completes) per queue transaction;
+        ``None`` reads the ambient ``ExecutionConfig.lease_block``.
     """
 
     def __init__(
@@ -767,6 +1097,7 @@ class ShardedBackend:
         queue_dir: Optional[Union[str, Path]] = None,
         lease_s: Optional[float] = None,
         poll_s: float = DEFAULT_POLL_S,
+        lease_block: Optional[int] = None,
     ) -> None:
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1
@@ -774,6 +1105,7 @@ class ShardedBackend:
         self.queue_dir = Path(queue_dir) if queue_dir is not None else None
         self.lease_s = lease_s
         self.poll_s = poll_s
+        self.lease_block = lease_block
 
     def execute(
         self,
@@ -786,7 +1118,7 @@ class ShardedBackend:
         state = _ExecutionState(
             runs, _resolve_policy(failure_policy), on_result, on_failure
         )
-        leases = _build_leases(runs)
+        leases = _serve_from_memo(state, _build_leases(runs))
         if leases:
             self._drain_queue(state, leases)
         return state.finish()
@@ -830,6 +1162,7 @@ class ShardedBackend:
             policy,
             lease_s=self._lease_duration(policy),
             fault_plan_token=plan.token if plan is not None else None,
+            lease_block=self.lease_block,
         )
         queue.enqueue(leases)
         outstanding: Dict[str, _Lease] = {lease.key: lease for lease in leases}
@@ -845,23 +1178,34 @@ class ShardedBackend:
                 self._spawn(queue_dir, workers)
                 spawns += 1
             while outstanding:
-                rows = queue.fetch_results(cursor)
-                for rowid, key, flats in rows:
-                    cursor = max(cursor, rowid)
-                    lease = outstanding.get(key)
-                    if lease is None:
-                        continue
-                    try:
-                        validated = _validated(lease, flats)
-                    except CorruptResultError as error:
-                        # A torn row (or schema drift): charge the
-                        # attempt and let the queue retry it.
-                        queue.fail(
-                            key, type(error).__name__, str(error), policy
-                        )
-                        continue
-                    del outstanding[key]
-                    state.deliver(lease, validated)
+                # Drain completions page by page: each poll reads at
+                # most RESULT_PAGE_ROWS rows per query, so a burst of
+                # block completions never turns into one giant scan.
+                while True:
+                    rows = queue.fetch_results(cursor, limit=RESULT_PAGE_ROWS)
+                    if rows:
+                        recorder = get_recorder()
+                        recorder.counter("queue.result_pages")
+                        recorder.counter("queue.result_rows", len(rows))
+                    for rowid, key, flats in rows:
+                        cursor = max(cursor, rowid)
+                        lease = outstanding.get(key)
+                        if lease is None:
+                            continue
+                        try:
+                            validated = _validated(lease, flats)
+                        except CorruptResultError as error:
+                            # A torn row (or schema drift, or a swept
+                            # object): charge the attempt and let the
+                            # queue retry it.
+                            queue.fail(
+                                key, type(error).__name__, str(error), policy
+                            )
+                            continue
+                        del outstanding[key]
+                        state.deliver(lease, validated)
+                    if len(rows) < RESULT_PAGE_ROWS:
+                        break
                 for key, attempt, error_type, error in queue.fetch_exhausted():
                     lease = outstanding.pop(key, None)
                     if lease is None:

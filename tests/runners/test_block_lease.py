@@ -1,0 +1,314 @@
+"""Block leasing: batched claim/complete and its crash accounting.
+
+The block protocol must be an I/O optimisation and nothing else: a
+worker claiming N points per transaction and completing them in one
+batch has to preserve the row-at-a-time queue's semantics exactly —
+in particular, a worker dying mid-block re-queues *only* the leases it
+never flushed (one ``WorkerCrashError`` charge each) and never touches
+the ones an earlier round-trip already landed.
+"""
+
+import math
+import multiprocessing
+import sqlite3
+
+import pytest
+
+from repro.runners import (
+    CampaignSpec,
+    FailurePolicy,
+    FaultPlan,
+    WorkQueue,
+    clear_run_caches,
+    execution,
+    reset_stats,
+    run_campaign,
+    worker_loop,
+)
+from repro.runners import context, faults
+from repro.runners.backends import _build_leases
+from repro.runners.failures import WorkerCrashError
+from repro.runners.faults import CRASH_EXIT_CODE
+from repro.runners.queue import _worker_entry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_runner_state():
+    previous = context.get_execution()
+    clear_run_caches()
+    reset_stats()
+    yield
+    clear_run_caches()
+    context._config = previous
+    faults._in_pool_worker = False
+
+
+def spec_with_runs(n):
+    """A percolation spec with exactly ``n`` single-seed runs."""
+    return CampaignSpec.build(
+        kind="percolation",
+        axes={"grid_side": tuple(range(4, 4 + n))},
+        fixed={"reliability": 0.9, "runs": 3, "process": "bond"},
+        seed_params=("grid_side", "reliability"),
+    )
+
+
+def fake_flats(task):
+    """A validation-free stand-in result (queue-level tests only)."""
+    _kind, _params, seeds = task
+    return [{"v": 1.0} for _ in seeds]
+
+
+class TestClaimBlock:
+    def test_claims_oldest_due_in_one_call(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        leases = _build_leases(spec_with_runs(5).runs())
+        queue.enqueue(leases)
+        claimed = queue.claim_block("w1", lease_s=60.0, n=3, now=100.0)
+        assert [key for key, _task, _attempt in claimed] == [
+            lease.key for lease in leases[:3]
+        ]
+        assert all(attempt == 0 for _key, _task, attempt in claimed)
+        counts = queue.counts()
+        assert counts == {"leased": 3, "pending": 2}
+
+    def test_short_final_block(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(_build_leases(spec_with_runs(2).runs()))
+        assert len(queue.claim_block("w1", lease_s=60.0, n=8, now=100.0)) == 2
+        assert queue.claim_block("w1", lease_s=60.0, n=8, now=100.0) == []
+
+    def test_complete_and_claim_is_one_write_transaction(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(_build_leases(spec_with_runs(6).runs()))
+        first = queue.complete_and_claim([], "w1", 60.0, 3, now=100.0)
+        assert len(first) == 3
+        before = queue.round_trips
+        second = queue.complete_and_claim(
+            [(key, fake_flats(task)) for key, task, _attempt in first],
+            "w1",
+            60.0,
+            3,
+            tasks_done=3,
+            now=101.0,
+        )
+        # Complete 3 + heartbeat + claim 3 cost exactly one round-trip.
+        assert queue.round_trips == before + 1
+        assert len(second) == 3
+        counts = queue.counts()
+        assert counts["done"] == 3 and counts["leased"] == 3
+        beats = {row["worker"]: row for row in queue.worker_heartbeats()}
+        assert beats["w1"]["tasks_done"] == 3
+
+    def test_round_trips_bounded_by_block_count(self, tmp_path):
+        n, block = 12, 4
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(_build_leases(spec_with_runs(n).runs()))
+        start = queue.round_trips
+        claimed = queue.complete_and_claim([], "w1", 60.0, block, now=100.0)
+        while claimed:
+            done = [(key, fake_flats(task)) for key, task, _a in claimed]
+            claimed = queue.complete_and_claim(
+                done, "w1", 60.0, block, now=100.0
+            )
+        assert queue.drained()
+        assert queue.round_trips - start <= math.ceil(n / block) + 1
+
+    def test_midblock_crash_requeues_exactly_the_unfinished(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        policy = FailurePolicy()
+        leases = _build_leases(spec_with_runs(5).runs())
+        queue.enqueue(leases)
+        claimed = queue.claim_block("dead", lease_s=60.0, n=4, now=100.0)
+        flushed = claimed[:2]
+        queue.complete_many(
+            [(key, fake_flats(task)) for key, task, _a in flushed],
+            "dead",
+            now=101.0,
+        )
+        # The worker dies before the next round-trip could flush the
+        # other two: only those re-queue, each charged one crash attempt.
+        assert queue.release_worker("dead", policy, now=102.0) == 2
+        counts = queue.counts()
+        assert counts == {"done": 2, "pending": 3}
+        attempts = queue.attempts_for([lease.key for lease in leases])
+        for key, _task, _attempt in flushed:
+            assert attempts[key] == 0
+        for key, _task, _attempt in claimed[2:]:
+            assert attempts[key] == 1
+        assert attempts[leases[4].key] == 0  # never claimed, never charged
+        con = sqlite3.connect(str(tmp_path / "q" / "queue.sqlite"))
+        error_types = {
+            key: error_type
+            for key, error_type in con.execute(
+                "SELECT key, error_type FROM tasks WHERE error_type IS NOT NULL"
+            )
+        }
+        con.close()
+        assert set(error_types.values()) == {WorkerCrashError.__name__}
+        assert set(error_types) == {key for key, _t, _a in claimed[2:]}
+        # The flushed completions are never re-queued or double-landed.
+        rows = queue.fetch_results()
+        assert sorted(key for _rid, key, _flats in rows) == sorted(
+            key for key, _t, _a in flushed
+        )
+
+    def test_expired_block_charges_only_the_unfinished(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        policy = FailurePolicy()
+        queue.enqueue(_build_leases(spec_with_runs(5).runs()))
+        claimed = queue.claim_block("hung", lease_s=10.0, n=4, now=100.0)
+        queue.complete_many(
+            [(key, fake_flats(task)) for key, task, _a in claimed[:2]],
+            "hung",
+            now=105.0,
+        )
+        assert queue.requeue_expired(policy, now=105.0) == 0
+        assert queue.requeue_expired(policy, now=111.0) == 2
+
+    def test_configure_publishes_block_size(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.configure(FailurePolicy(), lease_block=16)
+        assert queue.read_config()["lease_block"] == 16
+        assert WorkQueue(tmp_path / "q2").read_config()["lease_block"] == 1
+
+
+class TestWorkerLoopBlocks:
+    def test_block_worker_drains_the_queue(self, tmp_path):
+        spec = spec_with_runs(5)
+        queue = WorkQueue(tmp_path / "q")
+        queue.configure(FailurePolicy())
+        leases = _build_leases(spec.runs())
+        queue.enqueue(leases)
+        completed = worker_loop(tmp_path / "q", worker_id="inline", block=3)
+        assert completed == len(leases)
+        assert queue.drained()
+        results = {key for _rid, key, _flats in queue.fetch_results()}
+        assert results == {lease.key for lease in leases}
+
+    def test_worker_reads_published_block_size(self, tmp_path, monkeypatch):
+        queue = WorkQueue(tmp_path / "q")
+        queue.configure(FailurePolicy(), lease_block=3)
+        queue.enqueue(_build_leases(spec_with_runs(5).runs()))
+        seen = []
+        original = WorkQueue.complete_and_claim
+
+        def spy(self, completions, worker_id, lease_s, n=1, **kwargs):
+            seen.append(n)
+            return original(self, completions, worker_id, lease_s, n, **kwargs)
+
+        monkeypatch.setattr(WorkQueue, "complete_and_claim", spy)
+        assert worker_loop(tmp_path / "q", worker_id="inline") == 5
+        assert seen and set(seen) == {3}
+
+    def test_standalone_worker_crash_midblock_recovers(self, tmp_path):
+        # A spawned worker claims the whole 3-task block, then the crash
+        # fault kills it (os._exit) on the first evaluation: nothing was
+        # flushed, so all three leases must re-queue with exactly one
+        # charge — and the retried drain must match a fault-free queue.
+        spec = spec_with_runs(3)
+        leases = _build_leases(spec.runs())
+        policy = FailurePolicy()
+        queue = WorkQueue(tmp_path / "q")
+        queue.configure(
+            policy,
+            fault_plan_token=FaultPlan(crash_rate=1.0).token,
+            lease_block=3,
+        )
+        queue.enqueue(leases)
+        process = multiprocessing.Process(
+            target=_worker_entry, args=(str(tmp_path / "q"), "crashy", 0.01)
+        )
+        process.start()
+        process.join(60)
+        assert process.exitcode == CRASH_EXIT_CODE
+        counts = queue.counts()
+        assert counts.get("done", 0) == 0
+        assert counts.get("leased", 0) == 3
+        assert queue.fetch_results() == []
+        assert queue.release_worker("crashy", policy) == 3
+        attempts = queue.attempts_for([lease.key for lease in leases])
+        assert all(attempts[lease.key] == 1 for lease in leases)
+        # Attempt 1 is past the plan's max_attempt: the retry succeeds.
+        assert worker_loop(tmp_path / "q", worker_id="retry", block=3) == 3
+        recovered = {
+            key: flats for _rid, key, flats in queue.fetch_results()
+        }
+        clean_queue = WorkQueue(tmp_path / "clean")
+        clean_queue.configure(policy, lease_block=3)
+        clean_queue.enqueue(leases)
+        worker_loop(tmp_path / "clean", worker_id="clean", block=3)
+        clean = {
+            key: flats for _rid, key, flats in clean_queue.fetch_results()
+        }
+        assert recovered == clean
+
+
+class TestShardedBlockChaos:
+    def test_block_leasing_bit_identical_under_crashes(self):
+        spec = spec_with_runs(4)
+        clear_run_caches()
+        with execution(backend="serial"):
+            reference = [
+                run_campaign(spec, use_cache=False).metrics(**point)
+                for point in spec.points()
+            ]
+        clear_run_caches()
+        with execution(
+            backend="sharded",
+            jobs=2,
+            lease_block=3,
+            fault_plan=FaultPlan(crash_rate=0.2),
+        ):
+            result = run_campaign(spec, use_cache=False)
+        assert not result.failures
+        assert [
+            result.metrics(**point) for point in spec.points()
+        ] == reference
+
+
+class TestCompact:
+    def test_compact_drops_done_rows_and_dead_heartbeats(self, tmp_path):
+        spec = spec_with_runs(4)
+        queue = WorkQueue(tmp_path / "q")
+        queue.configure(FailurePolicy())
+        queue.enqueue(_build_leases(spec.runs()))
+        assert worker_loop(tmp_path / "q", worker_id="inline", block=2) == 4
+        import time as _time
+
+        report = queue.compact(
+            heartbeat_max_age_s=3600.0, now=_time.time() + 7200.0
+        )
+        assert report["tasks_dropped"] == 4
+        assert report["results_dropped"] == 4
+        assert report["heartbeats_swept"] >= 1
+        assert report["bytes_after"] <= report["bytes_before"]
+        assert report["reclaimed_bytes"] >= 0
+        assert queue.counts() == {}
+        assert queue.fetch_results() == []
+        # The compacted queue is still a working queue.
+        queue.enqueue(_build_leases(spec.runs()))
+        assert queue.counts() == {"pending": 4}
+
+    def test_compact_keeps_unfinished_work(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue(_build_leases(spec_with_runs(3).runs()))
+        claimed = queue.claim_block("w1", lease_s=60.0, n=1, now=100.0)
+        queue.complete_many(
+            [(key, fake_flats(task)) for key, task, _a in claimed], "w1"
+        )
+        report = queue.compact()
+        assert report["tasks_dropped"] == 1
+        assert queue.counts() == {"pending": 2}
+
+    def test_cli_queue_compact(self, tmp_path, capsys):
+        from repro.cli import main
+
+        queue = WorkQueue(tmp_path / "q")
+        queue.configure(FailurePolicy())
+        queue.enqueue(_build_leases(spec_with_runs(2).runs()))
+        worker_loop(tmp_path / "q", worker_id="inline")
+        assert main(["queue", "compact", "--queue", str(tmp_path / "q")]) == 0
+        out = capsys.readouterr().out
+        assert "compacted work queue" in out
+        assert "dropped 2 completed tasks" in out

@@ -1,0 +1,346 @@
+"""Content-addressed payload store and its cache/journal/queue plumbing.
+
+The contract under test: writers only indirect payloads when opted in
+(and past the size threshold), readers resolve markers regardless of
+any flag, and a swept or corrupt object degrades to a cache miss /
+skipped journal line / re-queued task — never a wrong payload and
+never an error.
+"""
+
+import json
+
+import pytest
+
+from repro.runners import (
+    CampaignSpec,
+    FailurePolicy,
+    ObjectStore,
+    ResultCache,
+    SQLiteCacheTier,
+    WorkQueue,
+    clear_run_caches,
+    execution,
+    reset_stats,
+    run_campaign,
+    worker_loop,
+)
+from repro.runners import context, faults
+from repro.runners.backends import _build_leases
+from repro.runners.journal import CampaignJournal
+from repro.runners.object_store import (
+    MARKER_KEY,
+    object_marker_ref,
+    refs_in_text,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_runner_state():
+    previous = context.get_execution()
+    clear_run_caches()
+    reset_stats()
+    yield
+    clear_run_caches()
+    context._config = previous
+    faults._in_pool_worker = False
+
+
+def big_metrics(tag="a"):
+    """A flat-metrics dict comfortably past the default threshold."""
+    return {f"metric_{tag}_{index:03d}": float(index) for index in range(200)}
+
+
+def tiny_spec():
+    return CampaignSpec.build(
+        kind="percolation",
+        axes={"grid_side": (6, 8)},
+        fixed={"reliability": 0.9, "runs": 3, "process": "bond"},
+        seed_params=("grid_side", "reliability"),
+    )
+
+
+class TestObjectStore:
+    def test_encode_resolve_roundtrip(self, tmp_path):
+        store = ObjectStore(tmp_path, threshold_bytes=0)
+        payload = big_metrics()
+        marker = store.encode(payload)
+        ref = object_marker_ref(marker)
+        assert ref is not None and len(ref) == 64
+        assert store.resolve(marker) == payload
+        assert store.resolve({"not": "a marker"}) == {"not": "a marker"}
+
+    def test_small_payloads_stay_inline(self, tmp_path):
+        store = ObjectStore(tmp_path, threshold_bytes=10_000_000)
+        payload = {"small": 1.0}
+        assert store.encode(payload) is payload
+        assert list(store.object_paths()) == []
+
+    def test_identical_payloads_deduplicate(self, tmp_path):
+        store = ObjectStore(tmp_path, threshold_bytes=0)
+        first = store.encode(big_metrics())
+        second = store.encode(big_metrics())
+        assert first == second
+        assert len(list(store.object_paths())) == 1
+
+    def test_corrupt_object_fails_hash_verification(self, tmp_path):
+        store = ObjectStore(tmp_path, threshold_bytes=0)
+        marker = store.encode(big_metrics())
+        path = store._path(object_marker_ref(marker))
+        path.write_text(path.read_text()[:-5] + "xxxx}", encoding="utf-8")
+        assert store.resolve(marker) is None
+
+    def test_dangling_ref_resolves_to_none(self, tmp_path):
+        store = ObjectStore(tmp_path)
+        assert store.resolve({MARKER_KEY: "0" * 64}) is None
+
+    def test_sweep_keeps_only_live_refs(self, tmp_path):
+        store = ObjectStore(tmp_path, threshold_bytes=0)
+        keep = object_marker_ref(store.encode(big_metrics("keep")))
+        object_marker_ref(store.encode(big_metrics("drop")))
+        swept, swept_bytes = store.sweep({keep})
+        assert swept == 1 and swept_bytes > 0
+        assert store.has(keep)
+        swept, _bytes = store.sweep(set())
+        assert swept == 1
+        assert not store.exists()  # fully swept store leaves no trace
+
+    def test_refs_in_text_finds_serialized_markers(self):
+        ref = "ab" * 32
+        line = json.dumps({"metrics": {MARKER_KEY: ref}, "other": 1})
+        assert refs_in_text(line) == {ref}
+        assert refs_in_text(json.dumps({"metrics": {"v": 1.0}})) == set()
+
+
+class TestFileCacheIntegration:
+    def test_put_stores_marker_get_resolves(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBJECT_THRESHOLD", "0")
+        cache = ResultCache(tmp_path, object_store=True)
+        payload = {"kind": "percolation", "metrics": big_metrics()}
+        cache.put("ab" * 32, payload)
+        entry_text = cache._path("ab" * 32).read_text(encoding="utf-8")
+        assert MARKER_KEY in entry_text
+        assert cache.get("ab" * 32)["metrics"] == big_metrics()
+        stats = cache.stats()
+        assert stats.n_objects == 1 and stats.object_bytes > 0
+
+    def test_reader_without_flag_still_resolves(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBJECT_THRESHOLD", "0")
+        writer = ResultCache(tmp_path, object_store=True)
+        writer.put("cd" * 32, {"kind": "k", "metrics": big_metrics()})
+        plain_reader = ResultCache(tmp_path)
+        assert plain_reader.get("cd" * 32)["metrics"] == big_metrics()
+
+    def test_dangling_object_reads_as_miss(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBJECT_THRESHOLD", "0")
+        cache = ResultCache(tmp_path, object_store=True)
+        cache.put("ef" * 32, {"kind": "k", "metrics": big_metrics()})
+        cache.objects.sweep(set())
+        assert cache.get("ef" * 32) is None
+        # A recompute rewrites entry and object and the hit returns.
+        cache.put("ef" * 32, {"kind": "k", "metrics": big_metrics()})
+        assert cache.get("ef" * 32) is not None
+
+    def test_purge_sweeps_unreferenced_objects(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBJECT_THRESHOLD", "0")
+        cache = ResultCache(tmp_path, object_store=True)
+        cache.put("11" * 32, {"kind": "k", "metrics": big_metrics("one")})
+        cache.put("22" * 32, {"kind": "k", "metrics": big_metrics("two")})
+        # A live entry keeps its object; a full purge sweeps everything.
+        report = cache.purge(max_age_days=9999.0)
+        assert report.objects_swept == 0
+        assert cache.get("11" * 32) is not None
+        report = cache.purge()
+        assert report.objects_swept == 2 and report.object_bytes > 0
+        assert not cache.objects.exists()
+
+
+class TestSQLiteTierIntegration:
+    def test_rows_carry_refs_and_reads_resolve(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBJECT_THRESHOLD", "0")
+        tier = SQLiteCacheTier(tmp_path, object_store=True)
+        tier.put("ab" * 32, {"kind": "k", "metrics": big_metrics()})
+        row = tier._connect().execute(
+            "SELECT payload FROM entries WHERE key = ?", ("ab" * 32,)
+        ).fetchone()
+        assert MARKER_KEY in row[0]
+        assert tier.get_many(["ab" * 32])["ab" * 32]["metrics"] == big_metrics()
+        # Write-through mirror and database row share one stored object.
+        assert len(list(tier.objects.object_paths())) == 1
+        tier.close()
+
+    def test_dangling_object_is_a_miss_on_both_layers(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_OBJECT_THRESHOLD", "0")
+        tier = SQLiteCacheTier(tmp_path, object_store=True)
+        tier.put("cd" * 32, {"kind": "k", "metrics": big_metrics()})
+        tier.objects.sweep(set())
+        assert tier.get_many(["cd" * 32]) == {}
+        assert tier.quarantined == 0  # the row is fine, only degraded
+        tier.close()
+
+    def test_purge_keeps_objects_referenced_by_db_rows(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_OBJECT_THRESHOLD", "0")
+        tier = SQLiteCacheTier(tmp_path, object_store=True)
+        tier.put("ef" * 32, {"kind": "k", "metrics": big_metrics()})
+        ref = next(iter(tier.objects.object_paths())).stem
+        # Remove the JSON mirror: only the database row references the
+        # object now, and a criteria purge that keeps the row must keep it.
+        tier.files._path("ef" * 32).unlink()
+        report = tier.purge(max_age_days=9999.0)
+        assert report.objects_swept == 0
+        assert tier.objects.has(ref)
+        assert tier.get("ef" * 32)["metrics"] == big_metrics()
+        tier.close()
+
+    def test_stats_count_objects(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBJECT_THRESHOLD", "0")
+        tier = SQLiteCacheTier(tmp_path, object_store=True)
+        tier.put("aa" * 32, {"kind": "k", "metrics": big_metrics()})
+        stats = tier.stats()
+        assert stats.n_objects == 1 and stats.object_bytes > 0
+        tier.close()
+
+
+class TestJournalIntegration:
+    def test_journal_lines_reference_and_load_resolves(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_OBJECT_THRESHOLD", "0")
+        store = ObjectStore(tmp_path)
+        journal = CampaignJournal.for_campaign(
+            tmp_path, "deadbeef", object_store=store
+        )
+        journal.append_result("k1", "percolation", 7, big_metrics())
+        journal.close()
+        assert MARKER_KEY in journal.path.read_text(encoding="utf-8")
+        # A plain reader (no store handed in) resolves via the path.
+        replay = CampaignJournal.for_campaign(tmp_path, "deadbeef").load()
+        assert replay.results == {"k1": big_metrics()}
+        assert replay.skipped == 0
+
+    def test_swept_object_skips_the_line(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBJECT_THRESHOLD", "0")
+        store = ObjectStore(tmp_path)
+        journal = CampaignJournal.for_campaign(
+            tmp_path, "deadbeef", object_store=store
+        )
+        journal.append_result("k1", "percolation", 7, big_metrics())
+        journal.close()
+        store.sweep(set())
+        replay = CampaignJournal.for_campaign(tmp_path, "deadbeef").load()
+        assert replay.results == {}
+        assert replay.skipped == 1
+
+
+class TestQueueIntegration:
+    def test_result_rows_reference_and_fetch_resolves(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_OBJECT_THRESHOLD", "0")
+        queue = WorkQueue(tmp_path / "q")
+        queue.object_store = True
+        leases = _build_leases(tiny_spec().runs())
+        queue.enqueue(leases)
+        claimed = queue.claim_block("w1", lease_s=60.0, n=2, now=100.0)
+        flats = [big_metrics()]
+        queue.complete_many(
+            [(key, flats) for key, _task, _a in claimed], "w1", now=101.0
+        )
+        row = queue._connect().execute(
+            "SELECT flats FROM results LIMIT 1"
+        ).fetchone()
+        assert MARKER_KEY in row[0]
+        for _rowid, _key, fetched in queue.fetch_results():
+            assert fetched == flats
+        # Identical payloads across rows share one stored object.
+        assert len(list(queue.objects.object_paths())) == 1
+
+    def test_swept_object_degrades_to_retryable_none(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_OBJECT_THRESHOLD", "0")
+        queue = WorkQueue(tmp_path / "q")
+        queue.object_store = True
+        leases = _build_leases(tiny_spec().runs())
+        queue.enqueue(leases)
+        claimed = queue.claim_block("w1", lease_s=60.0, n=1, now=100.0)
+        queue.complete_many(
+            [(claimed[0][0], [big_metrics()])], "w1", now=101.0
+        )
+        queue.objects.sweep(set())
+        rows = queue.fetch_results()
+        assert rows and rows[0][2] is None
+
+    def test_compact_sweeps_objects_with_their_rows(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_OBJECT_THRESHOLD", "0")
+        spec = tiny_spec()
+        queue = WorkQueue(tmp_path / "q")
+        with execution(object_store=True):
+            queue.configure(FailurePolicy())
+        queue.enqueue(_build_leases(spec.runs()))
+        assert worker_loop(tmp_path / "q", worker_id="inline") == 2
+        assert len(list(queue.objects.object_paths())) >= 1
+        report = queue.compact()
+        assert report["objects_swept"] >= 1
+        assert not queue.objects.exists()
+
+
+class TestCampaignParity:
+    @pytest.mark.parametrize("tier", ["file", "sqlite"])
+    def test_bit_identical_with_store_on_and_off(
+        self, tmp_path, monkeypatch, tier
+    ):
+        monkeypatch.setenv("REPRO_OBJECT_THRESHOLD", "0")
+        spec = tiny_spec()
+        with execution(cache_dir=str(tmp_path / "plain"), cache_tier=tier):
+            reference = run_campaign(spec)
+        clear_run_caches()
+        with execution(
+            cache_dir=str(tmp_path / "indirect"),
+            cache_tier=tier,
+            object_store=True,
+        ):
+            first = run_campaign(spec)
+            clear_run_caches()
+            warm = run_campaign(spec)  # warm read resolves every marker
+        points = list(spec.points())
+        assert [first.metrics(**point) for point in points] == [
+            reference.metrics(**point) for point in points
+        ]
+        assert [warm.metrics(**point) for point in points] == [
+            reference.metrics(**point) for point in points
+        ]
+        cache = ResultCache(tmp_path / "indirect")
+        assert cache.objects.exists()
+
+    def test_sharded_backend_with_object_store_parity(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_OBJECT_THRESHOLD", "0")
+        spec = tiny_spec()
+        with execution(backend="serial"):
+            reference = run_campaign(spec, use_cache=False)
+        clear_run_caches()
+        with execution(
+            backend="sharded",
+            jobs=2,
+            object_store=True,
+            queue_dir=str(tmp_path / "q"),
+        ):
+            result = run_campaign(spec, use_cache=False)
+        points = list(spec.points())
+        assert [result.metrics(**point) for point in points] == [
+            reference.metrics(**point) for point in points
+        ]
+        # The queue's result rows were indirected through the store.
+        queue = WorkQueue(tmp_path / "q")
+        marked = queue._connect().execute(
+            "SELECT COUNT(*) FROM results WHERE flats LIKE ?",
+            (f"%{MARKER_KEY}%",),
+        ).fetchone()[0]
+        assert marked == len(spec.runs())
